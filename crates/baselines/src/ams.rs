@@ -1,0 +1,144 @@
+//! The AMS (Alon-Matias-Szegedy) F₂ sketch [AMS99].
+
+use fsc_counters::hashing::PolyHash;
+use fsc_state::{MomentEstimator, StateTracker, StreamAlgorithm, TrackedVec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The tug-of-war sketch: `groups × per_group` signed counters `Z_j = Σ_i s_j(i)·f_i`
+/// with 4-wise independent signs; `F_2` is estimated as the median over groups of the
+/// mean of `Z_j²` within a group.
+///
+/// Every update adds ±1 to every counter, so the state-change count is `Θ(m)` and the
+/// word-write count is `Θ(k·m)` — the canonical example of a space-efficient but
+/// write-heavy linear sketch (Section 1.4 makes the same point about precision
+/// sampling).
+#[derive(Debug, Clone)]
+pub struct AmsSketch {
+    counters: TrackedVec<i64>,
+    signs: Vec<PolyHash>,
+    groups: usize,
+    per_group: usize,
+    tracker: StateTracker,
+}
+
+impl AmsSketch {
+    /// Creates a sketch with `groups` independent groups of `per_group` counters each.
+    pub fn new(groups: usize, per_group: usize, seed: u64) -> Self {
+        assert!(groups >= 1 && per_group >= 1);
+        let tracker = StateTracker::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let total = groups * per_group;
+        let counters = TrackedVec::filled(&tracker, total, 0i64);
+        let signs = (0..total).map(|_| PolyHash::four_wise(&mut rng)).collect();
+        Self {
+            counters,
+            signs,
+            groups,
+            per_group,
+            tracker,
+        }
+    }
+
+    /// Creates a sketch achieving relative error `ε` with failure probability `δ`
+    /// (`per_group = ⌈8/ε²⌉` counters averaged, `groups = Θ(log 1/δ)` medians).
+    pub fn for_error(eps: f64, delta: f64, seed: u64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0 && delta > 0.0 && delta < 1.0);
+        let per_group = (8.0 / (eps * eps)).ceil() as usize;
+        let groups = ((4.0 * (1.0 / delta).ln()).ceil().max(1.0) as usize) | 1;
+        Self::new(groups, per_group, seed)
+    }
+
+    /// Total number of counters.
+    pub fn counters(&self) -> usize {
+        self.groups * self.per_group
+    }
+}
+
+impl StreamAlgorithm for AmsSketch {
+    fn name(&self) -> String {
+        format!("AMS({}x{})", self.groups, self.per_group)
+    }
+
+    fn process_item(&mut self, item: u64) {
+        for (j, sign_hash) in self.signs.iter().enumerate() {
+            let sign = sign_hash.hash_sign(item);
+            self.counters.update(j, |c| c + sign);
+        }
+    }
+
+    fn tracker(&self) -> &StateTracker {
+        &self.tracker
+    }
+}
+
+impl MomentEstimator for AmsSketch {
+    fn p(&self) -> f64 {
+        2.0
+    }
+
+    fn estimate_moment(&self) -> f64 {
+        let mut group_means = Vec::with_capacity(self.groups);
+        for g in 0..self.groups {
+            let mean: f64 = (0..self.per_group)
+                .map(|j| {
+                    let z = *self.counters.peek(g * self.per_group + j) as f64;
+                    z * z
+                })
+                .sum::<f64>()
+                / self.per_group as f64;
+            group_means.push(mean);
+        }
+        group_means.sort_by(f64::total_cmp);
+        group_means[group_means.len() / 2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsc_streamgen::zipf::zipf_stream;
+    use fsc_streamgen::FrequencyVector;
+
+    #[test]
+    fn f2_estimate_is_within_relative_error() {
+        let stream = zipf_stream(1 << 10, 20_000, 1.1, 7);
+        let truth = FrequencyVector::from_stream(&stream).fp(2.0);
+        let mut ams = AmsSketch::for_error(0.1, 0.05, 3);
+        ams.process_stream(&stream);
+        let est = ams.estimate_moment();
+        let rel = (est - truth).abs() / truth;
+        assert!(rel < 0.2, "relative error {rel} (est {est}, truth {truth})");
+        assert_eq!(ams.p(), 2.0);
+    }
+
+    #[test]
+    fn write_count_is_linear_in_stream_and_counters() {
+        let stream = zipf_stream(256, 1_000, 1.0, 1);
+        let mut ams = AmsSketch::new(3, 16, 5);
+        ams.process_stream(&stream);
+        let r = ams.report();
+        assert_eq!(r.state_changes, 1_000);
+        // init (48) + 48 sign updates per stream element, minus the rare ±1 collisions
+        // that cancel (update() skips writes when the value is unchanged, which cannot
+        // happen for ±1 increments).
+        assert_eq!(r.word_writes as usize, 48 + 48 * 1_000);
+    }
+
+    #[test]
+    fn space_matches_counter_budget() {
+        let ams = AmsSketch::for_error(0.2, 0.1, 2);
+        assert_eq!(ams.space_words(), ams.counters());
+        // per_group = 8/0.04 = 200, groups = odd(ceil(4·ln 10)) = 11.
+        assert_eq!(ams.counters(), 200 * 11);
+    }
+
+    #[test]
+    fn permutation_stream_has_f2_equal_to_length() {
+        let stream: Vec<u64> = (0..4096).collect();
+        let mut ams = AmsSketch::for_error(0.1, 0.1, 11);
+        ams.process_stream(&stream);
+        let rel = (ams.estimate_moment() - 4096.0).abs() / 4096.0;
+        assert!(rel < 0.25, "relative error {rel}");
+    }
+}

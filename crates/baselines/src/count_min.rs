@@ -1,0 +1,141 @@
+//! The CountMin sketch [CM05].
+
+use fsc_counters::hashing::TabulationHash;
+use fsc_state::{FrequencyEstimator, StateTracker, StreamAlgorithm, TrackedVec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A CountMin sketch with `depth` rows of `width` counters.
+///
+/// Estimates satisfy `f_i ≤ estimate(i) ≤ f_i + ε·m` with probability `1 − δ` for
+/// `width = ⌈e/ε⌉`, `depth = ⌈ln(1/δ)⌉`.  Every update increments `depth` counters, so
+/// the state-change count is `Θ(m)` (and the word-write count is `Θ(depth·m)`).
+#[derive(Debug, Clone)]
+pub struct CountMin {
+    rows: Vec<TrackedVec<u64>>,
+    hashes: Vec<TabulationHash>,
+    width: usize,
+    tracker: StateTracker,
+}
+
+impl CountMin {
+    /// Creates a sketch with explicit dimensions.
+    pub fn new(width: usize, depth: usize, seed: u64) -> Self {
+        assert!(width >= 1 && depth >= 1);
+        let tracker = StateTracker::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows = (0..depth)
+            .map(|_| TrackedVec::filled(&tracker, width, 0u64))
+            .collect();
+        let hashes = (0..depth).map(|_| TabulationHash::new(&mut rng)).collect();
+        Self {
+            rows,
+            hashes,
+            width,
+            tracker,
+        }
+    }
+
+    /// Creates a sketch for additive error `ε·m` with failure probability `δ`.
+    pub fn for_error(eps: f64, delta: f64, seed: u64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0 && delta > 0.0 && delta < 1.0);
+        let width = (std::f64::consts::E / eps).ceil() as usize;
+        let depth = (1.0 / delta).ln().ceil().max(1.0) as usize;
+        Self::new(width, depth, seed)
+    }
+
+    /// Sketch width (counters per row).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Sketch depth (number of rows).
+    pub fn depth(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+impl StreamAlgorithm for CountMin {
+    fn name(&self) -> String {
+        format!("CountMin({}x{})", self.depth(), self.width)
+    }
+
+    fn process_item(&mut self, item: u64) {
+        for (row, hash) in self.rows.iter_mut().zip(&self.hashes) {
+            let bucket = hash.hash_bucket(item, self.width);
+            row.update(bucket, |c| c + 1);
+        }
+    }
+
+    fn tracker(&self) -> &StateTracker {
+        &self.tracker
+    }
+}
+
+impl FrequencyEstimator for CountMin {
+    fn estimate(&self, item: u64) -> f64 {
+        self.rows
+            .iter()
+            .zip(&self.hashes)
+            .map(|(row, hash)| *row.peek(hash.hash_bucket(item, self.width)))
+            .min()
+            .unwrap_or(0) as f64
+    }
+
+    /// CountMin has no explicit key set; heavy-hitter extraction requires an external
+    /// candidate set (the benchmark harness queries the exact top-k candidates).
+    fn tracked_items(&self) -> Vec<u64> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsc_streamgen::zipf::zipf_stream;
+    use fsc_streamgen::FrequencyVector;
+
+    #[test]
+    fn estimates_are_overestimates_within_the_bound() {
+        let stream = zipf_stream(1 << 12, 20_000, 1.1, 3);
+        let truth = FrequencyVector::from_stream(&stream);
+        let mut cm = CountMin::for_error(0.01, 0.01, 7);
+        cm.process_stream(&stream);
+        for (item, f) in truth.top_k(50) {
+            let est = cm.estimate(item);
+            assert!(est + 1e-9 >= f as f64, "CountMin never underestimates");
+            assert!(
+                est <= f as f64 + 0.02 * stream.len() as f64,
+                "item {item}: est {est}, true {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn dimensions_follow_the_standard_formulas() {
+        let cm = CountMin::for_error(0.01, 0.05, 1);
+        assert_eq!(cm.width(), 272);
+        assert_eq!(cm.depth(), 3);
+        assert_eq!(cm.space_words(), 272 * 3);
+    }
+
+    #[test]
+    fn every_update_is_a_state_change() {
+        let stream = zipf_stream(256, 2_000, 1.0, 9);
+        let mut cm = CountMin::new(64, 4, 2);
+        cm.process_stream(&stream);
+        let r = cm.report();
+        assert_eq!(r.state_changes, 2_000);
+        assert_eq!(r.word_writes as usize, 64 * 4 + 4 * 2_000, "init + depth per update");
+    }
+
+    #[test]
+    fn unseen_items_can_still_collide_but_rarely() {
+        let stream = zipf_stream(1 << 10, 5_000, 1.2, 4);
+        let mut cm = CountMin::for_error(0.005, 0.01, 11);
+        cm.process_stream(&stream);
+        // An item far outside the universe should have a small estimate.
+        assert!(cm.estimate(u64::MAX - 1) <= 0.01 * stream.len() as f64);
+        assert!(cm.tracked_items().is_empty());
+    }
+}

@@ -1,0 +1,162 @@
+//! The CountSketch [CCF04].
+
+use fsc_counters::hashing::PolyHash;
+use fsc_state::{FrequencyEstimator, StateTracker, StreamAlgorithm, TrackedVec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A CountSketch with `depth` rows of `width` signed counters.
+///
+/// Each row hashes the item to a bucket and adds a 4-wise-independent sign; the
+/// estimate is the median over rows of the signed bucket values.  Estimates satisfy
+/// `|estimate(i) − f_i| ≤ ε·‖f‖_2` for `width = O(1/ε²)`, making it the classic `L_2`
+/// heavy-hitters sketch — the row of Table 1 directly above the paper's contribution.
+/// Like CountMin it writes `depth` counters per update: `Θ(m)` state changes.
+#[derive(Debug, Clone)]
+pub struct CountSketch {
+    rows: Vec<TrackedVec<i64>>,
+    bucket_hashes: Vec<PolyHash>,
+    sign_hashes: Vec<PolyHash>,
+    width: usize,
+    tracker: StateTracker,
+}
+
+impl CountSketch {
+    /// Creates a sketch with explicit dimensions.
+    pub fn new(width: usize, depth: usize, seed: u64) -> Self {
+        assert!(width >= 1 && depth >= 1);
+        let tracker = StateTracker::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows = (0..depth)
+            .map(|_| TrackedVec::filled(&tracker, width, 0i64))
+            .collect();
+        let bucket_hashes = (0..depth).map(|_| PolyHash::two_wise(&mut rng)).collect();
+        let sign_hashes = (0..depth).map(|_| PolyHash::four_wise(&mut rng)).collect();
+        Self {
+            rows,
+            bucket_hashes,
+            sign_hashes,
+            width,
+            tracker,
+        }
+    }
+
+    /// Creates a sketch with `L_2` error `ε·‖f‖_2` and failure probability `δ`.
+    pub fn for_error(eps: f64, delta: f64, seed: u64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0 && delta > 0.0 && delta < 1.0);
+        let width = (3.0 / (eps * eps)).ceil() as usize;
+        let depth = (4.0 * (1.0 / delta).ln()).ceil().max(1.0) as usize | 1;
+        Self::new(width, depth, seed)
+    }
+
+    /// Sketch width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Sketch depth.
+    pub fn depth(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+impl StreamAlgorithm for CountSketch {
+    fn name(&self) -> String {
+        format!("CountSketch({}x{})", self.depth(), self.width)
+    }
+
+    fn process_item(&mut self, item: u64) {
+        for ((row, bucket_hash), sign_hash) in self
+            .rows
+            .iter_mut()
+            .zip(&self.bucket_hashes)
+            .zip(&self.sign_hashes)
+        {
+            let bucket = bucket_hash.hash_bucket(item, self.width);
+            let sign = sign_hash.hash_sign(item);
+            row.update(bucket, |c| c + sign);
+        }
+    }
+
+    fn tracker(&self) -> &StateTracker {
+        &self.tracker
+    }
+}
+
+impl FrequencyEstimator for CountSketch {
+    fn estimate(&self, item: u64) -> f64 {
+        let mut estimates: Vec<f64> = self
+            .rows
+            .iter()
+            .zip(&self.bucket_hashes)
+            .zip(&self.sign_hashes)
+            .map(|((row, bucket_hash), sign_hash)| {
+                let bucket = bucket_hash.hash_bucket(item, self.width);
+                (sign_hash.hash_sign(item) * row.peek(bucket)) as f64
+            })
+            .collect();
+        estimates.sort_by(f64::total_cmp);
+        estimates[estimates.len() / 2]
+    }
+
+    /// CountSketch has no explicit key set (see [`CountMin::tracked_items`]).
+    fn tracked_items(&self) -> Vec<u64> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsc_streamgen::zipf::zipf_stream;
+    use fsc_streamgen::FrequencyVector;
+
+    #[test]
+    fn l2_error_bound_holds_for_top_items() {
+        let stream = zipf_stream(1 << 12, 30_000, 1.1, 5);
+        let truth = FrequencyVector::from_stream(&stream);
+        let eps = 0.05;
+        let mut cs = CountSketch::for_error(eps, 0.02, 3);
+        cs.process_stream(&stream);
+        let l2 = truth.lp(2.0);
+        let mut violations = 0;
+        for (item, f) in truth.top_k(40) {
+            if (cs.estimate(item) - f as f64).abs() > 2.0 * eps * l2 {
+                violations += 1;
+            }
+        }
+        assert!(violations <= 2, "{violations} of 40 items violated the L2 bound");
+    }
+
+    #[test]
+    fn dimensions_and_space() {
+        let cs = CountSketch::for_error(0.1, 0.05, 1);
+        assert_eq!(cs.width(), 300);
+        assert!(cs.depth() % 2 == 1);
+        assert_eq!(cs.space_words(), cs.width() * cs.depth());
+    }
+
+    #[test]
+    fn state_changes_are_linear() {
+        let stream = zipf_stream(512, 3_000, 1.0, 2);
+        let mut cs = CountSketch::new(128, 5, 4);
+        cs.process_stream(&stream);
+        assert_eq!(cs.report().state_changes, 3_000);
+    }
+
+    #[test]
+    fn signs_keep_light_items_near_zero() {
+        let stream = zipf_stream(1 << 12, 20_000, 1.3, 6);
+        let mut cs = CountSketch::for_error(0.05, 0.02, 9);
+        cs.process_stream(&stream);
+        // Items that never appeared should typically have small (possibly negative)
+        // estimates; individual queries can be unlucky, so check the median over many.
+        let mut unseen: Vec<f64> = (0..50u64)
+            .map(|k| cs.estimate(u64::MAX - k).abs())
+            .collect();
+        unseen.sort_by(f64::total_cmp);
+        let median = unseen[unseen.len() / 2];
+        let l2 = FrequencyVector::from_stream(&stream).lp(2.0);
+        assert!(median <= 0.2 * l2, "median estimate {median} too large vs l2 {l2}");
+    }
+}

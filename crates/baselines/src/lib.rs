@@ -1,0 +1,40 @@
+//! # fsc-baselines — classic streaming algorithms, instrumented for state changes
+//!
+//! The algorithms the paper compares against (Table 1 and Section 1.4), each built on
+//! the tracked-memory substrate of `fsc-state` so that their write behaviour is measured
+//! with exactly the same accounting as the paper's algorithms:
+//!
+//! | Algorithm | Problem | State changes |
+//! |-----------|---------|---------------|
+//! | [`ExactCounting`] | exact frequencies (reference) | `O(m)` |
+//! | [`MisraGries`] \[MG82\] | `L_1` heavy hitters | `O(m)` |
+//! | [`SpaceSaving`] \[MAA05\] | `L_1` heavy hitters | `O(m)` |
+//! | [`CountMin`] \[CM05\] | `L_1` heavy hitters | `O(m)` |
+//! | [`CountSketch`] \[CCF04\] | `L_2` heavy hitters | `O(m)` |
+//! | [`AmsSketch`] \[AMS99\] | `F_2` estimation | `O(m)` |
+//! | [`SampleAndHoldClassic`] \[EV02\] | frequent items | sublinear, but unbounded counter growth |
+//! | [`PickAndDrop`] \[BO13/BKSV14\] | `F_p` heavy hitters | sublinear, but fails below `p = 3` (Section 1.4) |
+//!
+//! All of them change state on (essentially) every update — the observation that
+//! motivates the paper.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod ams;
+mod count_min;
+mod count_sketch;
+mod exact;
+mod misra_gries;
+mod pick_and_drop;
+mod sample_hold;
+mod space_saving;
+
+pub use ams::AmsSketch;
+pub use count_min::CountMin;
+pub use count_sketch::CountSketch;
+pub use exact::ExactCounting;
+pub use misra_gries::MisraGries;
+pub use pick_and_drop::PickAndDrop;
+pub use sample_hold::SampleAndHoldClassic;
+pub use space_saving::SpaceSaving;

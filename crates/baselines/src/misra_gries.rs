@@ -1,0 +1,141 @@
+//! The Misra-Gries frequent-items summary [MG82].
+
+use fsc_state::{FrequencyEstimator, StateTracker, StreamAlgorithm, TrackedMap};
+
+/// The deterministic Misra-Gries summary with `k` counters.
+///
+/// Guarantees `f_i − m/(k+1) ≤ estimate(i) ≤ f_i`, i.e. it solves the `L_1`
+/// heavy-hitter problem with `ε = 1/(k+1)` in `O(k)` words.  Every update either
+/// increments a counter, inserts a new counter, or decrements *all* counters — so the
+/// number of state changes is `Θ(m)` (Table 1), which is what the paper improves on.
+#[derive(Debug, Clone)]
+pub struct MisraGries {
+    counters: TrackedMap<u64, u64>,
+    k: usize,
+    tracker: StateTracker,
+}
+
+impl MisraGries {
+    /// Creates a summary with `k ≥ 1` counters.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1);
+        let tracker = StateTracker::new();
+        Self {
+            counters: TrackedMap::new(&tracker),
+            k,
+            tracker,
+        }
+    }
+
+    /// Creates a summary sized for additive error `ε·m` (i.e. `k = ⌈1/ε⌉`).
+    pub fn for_epsilon(eps: f64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0);
+        Self::new((1.0 / eps).ceil() as usize)
+    }
+
+    /// Number of counter slots.
+    pub fn capacity(&self) -> usize {
+        self.k
+    }
+}
+
+impl StreamAlgorithm for MisraGries {
+    fn name(&self) -> String {
+        format!("MisraGries(k={})", self.k)
+    }
+
+    fn process_item(&mut self, item: u64) {
+        if self.counters.contains_key(&item) {
+            self.counters.modify(&item, |c| c + 1);
+        } else if self.counters.len() < self.k {
+            self.counters.insert(item, 1);
+        } else {
+            // Decrement every counter and evict the ones that reach zero.
+            let keys = self.counters.keys_untracked();
+            for key in keys {
+                self.counters.modify(&key, |c| c - 1);
+            }
+            self.counters.retain(|_, &c| c > 0);
+        }
+    }
+
+    fn tracker(&self) -> &StateTracker {
+        &self.tracker
+    }
+}
+
+impl FrequencyEstimator for MisraGries {
+    fn estimate(&self, item: u64) -> f64 {
+        self.counters.get(&item).copied().unwrap_or(0) as f64
+    }
+
+    fn tracked_items(&self) -> Vec<u64> {
+        self.counters.keys_untracked()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsc_streamgen::zipf::zipf_stream;
+    use fsc_streamgen::FrequencyVector;
+
+    #[test]
+    fn estimates_are_underestimates_with_bounded_error() {
+        let stream = zipf_stream(1 << 12, 20_000, 1.2, 5);
+        let truth = FrequencyVector::from_stream(&stream);
+        let mut mg = MisraGries::new(64);
+        mg.process_stream(&stream);
+        let max_err = stream.len() as f64 / 65.0;
+        for (item, f) in truth.top_k(20) {
+            let est = mg.estimate(item);
+            assert!(est <= f as f64 + 1e-9, "overestimate for {item}");
+            assert!(
+                est >= f as f64 - max_err - 1e-9,
+                "item {item}: est {est} true {f} err bound {max_err}"
+            );
+        }
+    }
+
+    #[test]
+    fn finds_the_majority_element() {
+        let mut stream: Vec<u64> = vec![42; 600];
+        stream.extend((0..500u64).map(|i| i + 100));
+        fsc_streamgen::shuffle(&mut stream, 3);
+        let mut mg = MisraGries::new(8);
+        mg.process_stream(&stream);
+        let hh = mg.heavy_hitters(200.0);
+        assert_eq!(hh.len(), 1);
+        assert_eq!(hh[0].0, 42);
+    }
+
+    #[test]
+    fn space_is_bounded_by_k() {
+        let stream = zipf_stream(1 << 14, 30_000, 0.8, 1);
+        let mut mg = MisraGries::new(32);
+        mg.process_stream(&stream);
+        assert!(mg.tracked_items().len() <= 32);
+        assert!(mg.capacity() == 32);
+        // 3 words per entry + map overhead stays proportional to k, far below F_0.
+        assert!(mg.space_words() <= 32 * 4);
+    }
+
+    #[test]
+    fn state_changes_are_linear_in_the_stream() {
+        let stream = zipf_stream(1 << 10, 10_000, 1.0, 2);
+        let mut mg = MisraGries::new(16);
+        mg.process_stream(&stream);
+        let r = mg.report();
+        assert!(
+            r.state_changes as f64 > 0.95 * stream.len() as f64,
+            "Misra-Gries should write on almost every update ({} of {})",
+            r.state_changes,
+            stream.len()
+        );
+    }
+
+    #[test]
+    fn for_epsilon_sets_capacity() {
+        assert_eq!(MisraGries::for_epsilon(0.01).capacity(), 100);
+    }
+}

@@ -1,0 +1,203 @@
+//! A pick-and-drop style sampler in the spirit of [BO13, BKSV14].
+//!
+//! These algorithms sample candidate items throughout the stream, maintain a temporary
+//! counter for the current candidate, and *drop* the candidate whenever a newly sampled
+//! item's local count beats it.  Section 1.4 of the paper explains why this local
+//! comparison fails for `L_p` heavy hitters with `p < 3`: on the block-structured
+//! counterexample stream, pseudo-heavy items look locally larger than the true heavy
+//! hitter, so the heavy hitter is repeatedly dropped.  Experiment F6 reproduces exactly
+//! that failure, and the paper's time-bucketed counter maintenance avoids it.
+//!
+//! This implementation keeps the essential mechanism (per-block sampling, candidate
+//! replacement by local-count comparison, several independent rows) without the full
+//! parameter schedule of [BO13], which is all that is needed to exhibit the phenomenon.
+
+use fsc_state::{FrequencyEstimator, StateTracker, StreamAlgorithm, TrackedCell};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[derive(Debug, Clone)]
+struct Row {
+    /// Current candidate item and its accumulated count.
+    candidate: TrackedCell<(u64, u64)>,
+    /// Pending sample for the current block: (item, count within the block).
+    pending: TrackedCell<(u64, u64)>,
+    /// Position within the current block at which a new sample is picked.
+    pick_offset: usize,
+    has_candidate: bool,
+    has_pending: bool,
+}
+
+/// A pick-and-drop style heavy-hitter sampler with `rows` independent rows and a fixed
+/// block length.
+#[derive(Debug, Clone)]
+pub struct PickAndDrop {
+    rows: Vec<Row>,
+    block_len: usize,
+    pos_in_block: usize,
+    rng: StdRng,
+    tracker: StateTracker,
+}
+
+impl PickAndDrop {
+    /// Creates a sampler with `rows ≥ 1` rows and blocks of `block_len ≥ 1` updates.
+    pub fn new(block_len: usize, rows: usize, seed: u64) -> Self {
+        assert!(block_len >= 1 && rows >= 1);
+        let tracker = StateTracker::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows = (0..rows)
+            .map(|_| Row {
+                candidate: TrackedCell::new(&tracker, (0, 0)),
+                pending: TrackedCell::new(&tracker, (0, 0)),
+                pick_offset: rng.gen_range(0..block_len),
+                has_candidate: false,
+                has_pending: false,
+            })
+            .collect();
+        Self {
+            rows,
+            block_len,
+            pos_in_block: 0,
+            rng,
+            tracker,
+        }
+    }
+
+    /// The block length used for local comparisons.
+    pub fn block_len(&self) -> usize {
+        self.block_len
+    }
+
+    /// Current candidates (one per row) with their accumulated counts.
+    pub fn candidates(&self) -> Vec<(u64, u64)> {
+        self.rows
+            .iter()
+            .filter(|r| r.has_candidate)
+            .map(|r| *r.candidate.peek())
+            .collect()
+    }
+
+    fn end_of_block(&mut self) {
+        for row in &mut self.rows {
+            if row.has_pending {
+                let pending = *row.pending.peek();
+                let candidate = *row.candidate.peek();
+                // Local comparison: the pending block-sample replaces the candidate if
+                // its local count is at least the candidate's accumulated count.
+                if !row.has_candidate || pending.1 >= candidate.1 {
+                    row.candidate.write(pending);
+                    row.has_candidate = true;
+                }
+                row.has_pending = false;
+            }
+            row.pick_offset = self.rng.gen_range(0..self.block_len);
+        }
+    }
+}
+
+impl StreamAlgorithm for PickAndDrop {
+    fn name(&self) -> String {
+        format!("PickAndDrop(b={},r={})", self.block_len, self.rows.len())
+    }
+
+    fn process_item(&mut self, item: u64) {
+        for row in &mut self.rows {
+            // Count occurrences of the held candidate.
+            if row.has_candidate && row.candidate.peek().0 == item {
+                row.candidate.modify(|&(it, c)| (it, c + 1));
+            }
+            // Start or advance the pending block sample.
+            if row.has_pending {
+                if row.pending.peek().0 == item {
+                    row.pending.modify(|&(it, c)| (it, c + 1));
+                }
+            } else if self.pos_in_block == row.pick_offset {
+                row.pending.write((item, 1));
+                row.has_pending = true;
+            }
+        }
+        self.pos_in_block += 1;
+        if self.pos_in_block == self.block_len {
+            self.pos_in_block = 0;
+            self.end_of_block();
+        }
+    }
+
+    fn tracker(&self) -> &StateTracker {
+        &self.tracker
+    }
+}
+
+impl FrequencyEstimator for PickAndDrop {
+    fn estimate(&self, item: u64) -> f64 {
+        self.candidates()
+            .into_iter()
+            .filter(|&(i, _)| i == item)
+            .map(|(_, c)| c as f64)
+            .fold(0.0, f64::max)
+    }
+
+    fn tracked_items(&self) -> Vec<u64> {
+        let mut items: Vec<u64> = self.candidates().into_iter().map(|(i, _)| i).collect();
+        items.sort_unstable();
+        items.dedup();
+        items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsc_streamgen::blocks::counterexample_stream;
+    use fsc_streamgen::planted::single_heavy_hitter;
+
+    #[test]
+    fn finds_an_overwhelming_heavy_hitter() {
+        // When one item makes up a third of the stream, some block sample lands on it
+        // and its accumulated count beats everything else.
+        let stream = single_heavy_hitter(1 << 12, 8_000, 4_000, 2);
+        let mut pd = PickAndDrop::new(64, 8, 3);
+        pd.process_stream(&stream);
+        assert!(pd.tracked_items().contains(&0));
+        assert!(pd.estimate(0) > 500.0);
+    }
+
+    #[test]
+    fn misses_the_heavy_hitter_on_the_counterexample_stream() {
+        // The Section 1.4 phenomenon: pseudo-heavy items dominate every local
+        // comparison, so the true heavy hitter (item 0) is dropped.
+        let cx = counterexample_stream(16);
+        let mut pd = PickAndDrop::new(cx.scale * cx.scale, 8, 7);
+        pd.process_stream(&cx.stream);
+        let found = pd.tracked_items().contains(&cx.heavy_hitter);
+        assert!(
+            !found,
+            "pick-and-drop unexpectedly found the heavy hitter; candidates: {:?}",
+            pd.candidates()
+        );
+    }
+
+    #[test]
+    fn space_is_constant_in_the_stream_length() {
+        let stream = single_heavy_hitter(1 << 12, 20_000, 100, 5);
+        let mut pd = PickAndDrop::new(128, 4, 1);
+        pd.process_stream(&stream);
+        assert!(pd.space_words() <= 4 * 4 + 4, "space {}", pd.space_words());
+        assert_eq!(pd.block_len(), 128);
+    }
+
+    #[test]
+    fn state_changes_are_sublinear_on_flat_streams() {
+        let stream = fsc_streamgen::uniform::permutation_stream(1 << 14, 9);
+        let mut pd = PickAndDrop::new(256, 4, 2);
+        pd.process_stream(&stream);
+        let r = pd.report();
+        // On an all-distinct stream a row writes only when a block sample is taken:
+        // about rows · (m / block_len) writes in total.
+        assert!(
+            r.state_changes < (stream.len() / 32) as u64,
+            "state changes {} not sublinear",
+            r.state_changes
+        );
+    }
+}

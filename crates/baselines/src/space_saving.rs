@@ -1,0 +1,128 @@
+//! The SpaceSaving summary [MAA05].
+
+use fsc_state::{FrequencyEstimator, StateTracker, StreamAlgorithm, TrackedMap};
+
+/// The SpaceSaving summary with `k` monitored items.
+///
+/// On every update the counter of the arriving item is incremented; if the item is not
+/// monitored, the minimum counter is evicted and *inherited* (over-)estimating the new
+/// item.  Estimates satisfy `f_i ≤ estimate(i) ≤ f_i + m/k`.  Like Misra-Gries it
+/// writes on every single update, so its state-change count is `Θ(m)`.
+#[derive(Debug, Clone)]
+pub struct SpaceSaving {
+    counters: TrackedMap<u64, u64>,
+    k: usize,
+    tracker: StateTracker,
+}
+
+impl SpaceSaving {
+    /// Creates a summary monitoring `k ≥ 1` items.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1);
+        let tracker = StateTracker::new();
+        Self {
+            counters: TrackedMap::new(&tracker),
+            k,
+            tracker,
+        }
+    }
+
+    /// Creates a summary sized for additive error `ε·m` (`k = ⌈1/ε⌉`).
+    pub fn for_epsilon(eps: f64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0);
+        Self::new((1.0 / eps).ceil() as usize)
+    }
+
+    /// Number of monitored slots.
+    pub fn capacity(&self) -> usize {
+        self.k
+    }
+
+    fn min_entry(&self) -> Option<(u64, u64)> {
+        self.counters
+            .iter_untracked()
+            .map(|(&k, &v)| (k, v))
+            .min_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)))
+    }
+}
+
+impl StreamAlgorithm for SpaceSaving {
+    fn name(&self) -> String {
+        format!("SpaceSaving(k={})", self.k)
+    }
+
+    fn process_item(&mut self, item: u64) {
+        if self.counters.contains_key(&item) {
+            self.counters.modify(&item, |c| c + 1);
+        } else if self.counters.len() < self.k {
+            self.counters.insert(item, 1);
+        } else {
+            let (min_item, min_count) = self.min_entry().expect("non-empty table");
+            self.counters.remove(&min_item);
+            self.counters.insert(item, min_count + 1);
+        }
+    }
+
+    fn tracker(&self) -> &StateTracker {
+        &self.tracker
+    }
+}
+
+impl FrequencyEstimator for SpaceSaving {
+    fn estimate(&self, item: u64) -> f64 {
+        self.counters.get(&item).copied().unwrap_or(0) as f64
+    }
+
+    fn tracked_items(&self) -> Vec<u64> {
+        self.counters.keys_untracked()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsc_streamgen::zipf::zipf_stream;
+    use fsc_streamgen::FrequencyVector;
+
+    #[test]
+    fn estimates_are_overestimates_with_bounded_error() {
+        let stream = zipf_stream(1 << 12, 20_000, 1.2, 8);
+        let truth = FrequencyVector::from_stream(&stream);
+        let mut ss = SpaceSaving::new(64);
+        ss.process_stream(&stream);
+        let bound = stream.len() as f64 / 64.0;
+        for (item, f) in truth.top_k(10) {
+            let est = ss.estimate(item);
+            assert!(est + 1e-9 >= f as f64, "SpaceSaving must not underestimate");
+            assert!(est <= f as f64 + bound + 1e-9, "error bound violated");
+        }
+    }
+
+    #[test]
+    fn table_never_exceeds_capacity() {
+        let stream = zipf_stream(1 << 14, 30_000, 0.5, 2);
+        let mut ss = SpaceSaving::new(20);
+        ss.process_stream(&stream);
+        assert_eq!(ss.tracked_items().len(), 20);
+        assert_eq!(ss.capacity(), 20);
+    }
+
+    #[test]
+    fn writes_happen_on_every_update() {
+        let stream = zipf_stream(1 << 10, 5_000, 1.0, 6);
+        let mut ss = SpaceSaving::new(16);
+        ss.process_stream(&stream);
+        assert_eq!(ss.report().state_changes, 5_000);
+    }
+
+    #[test]
+    fn top_heavy_item_is_reported() {
+        let mut stream: Vec<u64> = vec![7; 400];
+        stream.extend(zipf_stream(1 << 10, 2_000, 0.3, 1).iter().map(|x| x + 1000));
+        fsc_streamgen::shuffle(&mut stream, 5);
+        let mut ss = SpaceSaving::for_epsilon(0.05);
+        ss.process_stream(&stream);
+        let hh = ss.heavy_hitters(stream.len() as f64 * 0.1);
+        assert!(hh.iter().any(|&(i, _)| i == 7));
+    }
+}

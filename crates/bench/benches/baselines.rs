@@ -1,0 +1,44 @@
+//! Per-update cost of the baseline summaries at several sketch sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fsc_baselines::{AmsSketch, CountMin, MisraGries};
+use fsc_state::StreamAlgorithm;
+use fsc_streamgen::zipf::zipf_stream;
+
+const N: usize = 1 << 12;
+const M: usize = 2 * N;
+
+fn bench_baselines(c: &mut Criterion) {
+    let stream = zipf_stream(N, M, 1.1, 3);
+    let mut group = c.benchmark_group("baseline_updates");
+    group.throughput(Throughput::Elements(M as u64));
+    group.sample_size(10);
+
+    for &k in &[64usize, 256, 1024] {
+        group.bench_with_input(BenchmarkId::new("MisraGries", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut alg = MisraGries::new(k);
+                alg.process_stream(&stream);
+                alg.space_words()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("CountMin_width", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut alg = CountMin::new(k, 4, 1);
+                alg.process_stream(&stream);
+                alg.space_words()
+            })
+        });
+    }
+    group.bench_function("AMS_eps0.2", |b| {
+        b.iter(|| {
+            let mut alg = AmsSketch::for_error(0.2, 0.1, 1);
+            alg.process_stream(&stream);
+            alg.space_words()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Counter micro-benchmarks: exact vs Morris vs geometric accumulators.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fsc_counters::{Counter, ExactCounter, GeometricAccumulator, MorrisCounter};
+use fsc_state::StateTracker;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const INCREMENTS: u64 = 100_000;
+
+fn bench_counters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counters");
+    group.throughput(Throughput::Elements(INCREMENTS));
+    group.sample_size(20);
+
+    group.bench_function("exact_counter", |b| {
+        b.iter(|| {
+            let tracker = StateTracker::new();
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut counter = ExactCounter::new(&tracker);
+            for _ in 0..INCREMENTS {
+                counter.increment(&mut rng);
+            }
+            counter.estimate()
+        })
+    });
+    group.bench_function("morris_counter_a0.005", |b| {
+        b.iter(|| {
+            let tracker = StateTracker::new();
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut counter = MorrisCounter::new(&tracker, 0.005);
+            for _ in 0..INCREMENTS {
+                counter.increment(&mut rng);
+            }
+            counter.estimate()
+        })
+    });
+    group.bench_function("geometric_accumulator_beta0.05", |b| {
+        b.iter(|| {
+            let tracker = StateTracker::new();
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut acc = GeometricAccumulator::new(&tracker, 0.05);
+            for _ in 0..INCREMENTS {
+                acc.add(1.0, &mut rng);
+            }
+            acc.estimate()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_counters);
+criterion_main!(benches);

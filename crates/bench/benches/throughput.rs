@@ -1,0 +1,72 @@
+//! Update-throughput micro-benchmarks: the paper's algorithms vs. the classic
+//! summaries, processing the same Zipfian stream.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fsc::{FewStateHeavyHitters, FpEstimator, Params, SampleAndHold};
+use fsc_baselines::{CountMin, CountSketch, MisraGries, SpaceSaving};
+use fsc_state::StreamAlgorithm;
+use fsc_streamgen::zipf::zipf_stream;
+
+const N: usize = 1 << 12;
+const M: usize = 4 * N;
+
+fn bench_updates(c: &mut Criterion) {
+    let stream = zipf_stream(N, M, 1.1, 7);
+    let mut group = c.benchmark_group("stream_updates");
+    group.throughput(Throughput::Elements(M as u64));
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::new("SampleAndHold", "p2"), |b| {
+        b.iter(|| {
+            let mut alg = SampleAndHold::standalone(&Params::new(2.0, 0.2, N, M));
+            alg.process_stream(&stream);
+            alg.report().state_changes
+        })
+    });
+    group.bench_function(BenchmarkId::new("FewStateHeavyHitters", "p2"), |b| {
+        b.iter(|| {
+            let mut alg = FewStateHeavyHitters::new(Params::new(2.0, 0.2, N, M));
+            alg.process_stream(&stream);
+            alg.report().state_changes
+        })
+    });
+    group.bench_function(BenchmarkId::new("FpEstimator", "p2"), |b| {
+        b.iter(|| {
+            let mut alg = FpEstimator::new(Params::new(2.0, 0.3, N, M));
+            alg.process_stream(&stream);
+            alg.report().state_changes
+        })
+    });
+    group.bench_function(BenchmarkId::new("MisraGries", "eps0.05"), |b| {
+        b.iter(|| {
+            let mut alg = MisraGries::for_epsilon(0.05);
+            alg.process_stream(&stream);
+            alg.report().state_changes
+        })
+    });
+    group.bench_function(BenchmarkId::new("SpaceSaving", "eps0.05"), |b| {
+        b.iter(|| {
+            let mut alg = SpaceSaving::for_epsilon(0.05);
+            alg.process_stream(&stream);
+            alg.report().state_changes
+        })
+    });
+    group.bench_function(BenchmarkId::new("CountMin", "eps0.05"), |b| {
+        b.iter(|| {
+            let mut alg = CountMin::for_error(0.05, 0.05, 1);
+            alg.process_stream(&stream);
+            alg.report().state_changes
+        })
+    });
+    group.bench_function(BenchmarkId::new("CountSketch", "eps0.1"), |b| {
+        b.iter(|| {
+            let mut alg = CountSketch::for_error(0.1, 0.05, 1);
+            alg.process_stream(&stream);
+            alg.report().state_changes
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates);
+criterion_main!(benches);

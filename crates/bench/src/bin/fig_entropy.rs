@@ -1,0 +1,7 @@
+//! Regenerates experiment F8: entropy estimation across stream skews.
+
+fn main() {
+    let scale = fsc_bench::Scale::from_args();
+    let (table, _) = fsc_bench::experiments::entropy::run(scale);
+    table.print();
+}

@@ -1,0 +1,7 @@
+//! Regenerates experiment F4: heavy-hitter quality vs classic summaries.
+
+fn main() {
+    let scale = fsc_bench::Scale::from_args();
+    let (table, _) = fsc_bench::experiments::heavy_hitters::run(scale);
+    table.print();
+}

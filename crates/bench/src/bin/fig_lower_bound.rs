@@ -1,0 +1,7 @@
+//! Regenerates experiment F5: the state-change lower bound phase transition.
+
+fn main() {
+    let scale = fsc_bench::Scale::from_args();
+    let (table, _) = fsc_bench::experiments::lower_bound::run(scale);
+    table.print();
+}

@@ -1,0 +1,7 @@
+//! Regenerates experiment F7: Morris counter accuracy and state changes.
+
+fn main() {
+    let scale = fsc_bench::Scale::from_args();
+    let (table, _) = fsc_bench::experiments::morris::run(scale);
+    table.print();
+}

@@ -1,0 +1,7 @@
+//! Regenerates experiment F9: simulated NVM write energy and wear.
+
+fn main() {
+    let scale = fsc_bench::Scale::from_args();
+    let (table, _) = fsc_bench::experiments::nvm::run(scale);
+    table.print();
+}

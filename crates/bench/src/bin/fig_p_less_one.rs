@@ -1,0 +1,7 @@
+//! Regenerates experiment F10: F_p estimation for p < 1.
+
+fn main() {
+    let scale = fsc_bench::Scale::from_args();
+    let (table, _) = fsc_bench::experiments::p_small::run(scale);
+    table.print();
+}

@@ -1,0 +1,41 @@
+//! Runs every experiment in DESIGN.md order and prints all tables.
+//!
+//! `cargo run -p fsc-bench --release --bin run_all`          — full scale (minutes)
+//! `cargo run -p fsc-bench --release --bin run_all -- --quick` — reduced scale
+
+use fsc_bench::{experiments, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("# Few State Changes — experiment suite ({scale:?} scale)\n");
+
+    let (t1, _) = experiments::table1::run(scale);
+    t1.print();
+
+    let (f1, f2, series) = experiments::scaling::run(scale);
+    f1.print();
+    for s in &series {
+        println!(
+            "p = {:.1}: fitted state-change slope {:.3} (theory {:.3})",
+            s.p, s.state_slope, s.predicted_state_slope
+        );
+    }
+    f2.print();
+
+    let (f3, _) = experiments::accuracy::run(scale);
+    f3.print();
+    let (f4, _) = experiments::heavy_hitters::run(scale);
+    f4.print();
+    let (f5, _) = experiments::lower_bound::run(scale);
+    f5.print();
+    let (f6, _) = experiments::counterexample::run(scale);
+    f6.print();
+    let (f7, _) = experiments::morris::run(scale);
+    f7.print();
+    let (f8, _) = experiments::entropy::run(scale);
+    f8.print();
+    let (f9, _) = experiments::nvm::run(scale);
+    f9.print();
+    let (f10, _) = experiments::p_small::run(scale);
+    f10.print();
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table 1 of the paper (experiment T1 in DESIGN.md).
+
+fn main() {
+    let scale = fsc_bench::Scale::from_args();
+    let (table, _) = fsc_bench::experiments::table1::run(scale);
+    table.print();
+}

@@ -1,0 +1,116 @@
+//! Experiment F5 — the state-change lower bound (Theorems 1.2 and 1.4), empirically.
+//!
+//! For each universe size `n`, we generate the adversarial pair `(S_1, S_2)`
+//! (one planted block of a repeated item vs. a pure permutation), and ask estimators
+//! with a hard state-change budget to distinguish them via their `F_p` estimates
+//! (`S_1` has roughly twice the moment of `S_2`).  The theorems predict a phase
+//! transition: budgets well below `n^{1−1/p}/2` cannot distinguish the pair, budgets
+//! above it can.  The paper's own (unbudgeted) estimator is included as a reference —
+//! its natural state-change count sits above the threshold, as Theorem 1.3 requires.
+
+use fsc::{BudgetedAlgorithm, FpEstimator, Params};
+use fsc_state::{MomentEstimator, StreamAlgorithm};
+use fsc_streamgen::lower_bound::moment_lower_bound_pair;
+
+use crate::table::{f, Table};
+use crate::Scale;
+
+/// Result of one (n, budget) cell.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Universe size / stream length.
+    pub n: usize,
+    /// State-change budget, as a multiple of `n^{1−1/p}`.
+    pub budget_multiplier: f64,
+    /// Absolute budget.
+    pub budget: u64,
+    /// Fraction of trials where the budgeted estimator reported
+    /// `F̂_p(S_1)/F̂_p(S_2) ≥ 1.5`.
+    pub distinguish_rate: f64,
+}
+
+/// Runs the lower-bound experiment for `p = 2`.
+pub fn run(scale: Scale) -> (Table, Vec<Row>) {
+    let p = 2.0;
+    let sizes: Vec<usize> = match scale {
+        Scale::Quick => vec![1 << 10, 1 << 12],
+        Scale::Full => vec![1 << 12, 1 << 14, 1 << 16],
+    };
+    let trials = scale.pick(3, 7);
+    // The last entry stands for "no budget at all" (the paper's own algorithm, whose
+    // natural Õ(n^{1−1/p}·polylog) state-change count sits above the threshold).
+    let multipliers = [0.05, 0.25, 1.0, 4.0, f64::INFINITY];
+
+    let mut rows = Vec::new();
+    let mut table = Table::new(
+        "F5 — distinguishing the Theorem 1.4 stream pair under a state-change budget (p = 2)",
+        &["n", "n^{1-1/p}", "budget multiplier", "budget", "distinguish rate"],
+    );
+
+    for &n in &sizes {
+        let threshold = (n as f64).powf(1.0 - 1.0 / p);
+        for &mult in &multipliers {
+            let budget = if mult.is_infinite() {
+                u64::MAX
+            } else {
+                (mult * threshold).ceil().max(1.0) as u64
+            };
+            let mut distinguished = 0usize;
+            for trial in 0..trials {
+                let pair = moment_lower_bound_pair(n, p, 5000 + trial as u64);
+                let params = Params::new(p, 0.3, n, n).with_seed(31 + trial as u64);
+                let est_1 = run_budgeted(&params, budget, &pair.s1);
+                let est_2 = run_budgeted(&params, budget, &pair.s2);
+                if est_2 > 0.0 && est_1 / est_2 >= 1.5 {
+                    distinguished += 1;
+                }
+            }
+            let rate = distinguished as f64 / trials as f64;
+            table.row(vec![
+                n.to_string(),
+                f(threshold),
+                if mult.is_infinite() { "unbudgeted".into() } else { f(mult) },
+                if mult.is_infinite() { "-".into() } else { budget.to_string() },
+                f(rate),
+            ]);
+            rows.push(Row {
+                n,
+                budget_multiplier: mult,
+                budget,
+                distinguish_rate: rate,
+            });
+        }
+    }
+    (table, rows)
+}
+
+fn run_budgeted(params: &Params, budget: u64, stream: &[u64]) -> f64 {
+    let mut alg = BudgetedAlgorithm::new(FpEstimator::new(params.clone()), budget);
+    alg.process_stream(stream);
+    alg.estimate_moment()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_budgets_fail_and_generous_budgets_succeed() {
+        let (_, rows) = run(Scale::Quick);
+        // For every n, the smallest budget must distinguish strictly less often than
+        // the largest one, and the largest budget must usually succeed.
+        for n in rows.iter().map(|r| r.n).collect::<std::collections::BTreeSet<_>>() {
+            let per_n: Vec<&Row> = rows.iter().filter(|r| r.n == n).collect();
+            let smallest = per_n.first().unwrap();
+            let largest = per_n.last().unwrap();
+            assert!(
+                smallest.distinguish_rate <= largest.distinguish_rate,
+                "n={n}: {} vs {}",
+                smallest.distinguish_rate,
+                largest.distinguish_rate
+            );
+            assert!(largest.distinguish_rate >= 0.6, "n={n} largest budget should succeed");
+            assert!(smallest.distinguish_rate <= 0.4, "n={n} tiny budget should fail");
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! One module per table/figure of the paper (DESIGN.md Section 3).
+
+pub mod accuracy;
+pub mod counterexample;
+pub mod entropy;
+pub mod heavy_hitters;
+pub mod lower_bound;
+pub mod morris;
+pub mod nvm;
+pub mod p_small;
+pub mod scaling;
+pub mod table1;

@@ -1,0 +1,105 @@
+//! Experiment F7 — Morris counters (Theorem 1.5): state changes grow polylogarithmically
+//! with the count while the estimate stays within `(1±ε)`.
+
+use fsc_counters::{Counter, ExactCounter, MorrisCounter};
+use fsc_state::StateTracker;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::table::{f, Table};
+use crate::Scale;
+
+/// Measurements for one (count, ε) configuration.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// True number of increments.
+    pub count: u64,
+    /// Accuracy parameter the counter was built for.
+    pub eps: f64,
+    /// Relative estimation error.
+    pub rel_error: f64,
+    /// State changes of the Morris counter (its register value).
+    pub morris_state_changes: u64,
+    /// State changes of an exact counter (equals the count).
+    pub exact_state_changes: u64,
+}
+
+/// Runs the Morris-counter sweep.
+pub fn run(scale: Scale) -> (Table, Vec<Row>) {
+    let counts: Vec<u64> = match scale {
+        Scale::Quick => vec![1_000, 10_000, 100_000],
+        Scale::Full => vec![1_000, 10_000, 100_000, 1_000_000, 10_000_000],
+    };
+    let eps_values = [0.05, 0.1, 0.3];
+    let mut rows = Vec::new();
+    let mut table = Table::new(
+        "F7 — Morris counters: state changes and accuracy vs count",
+        &["count", "eps", "rel. error", "state changes (Morris)", "state changes (exact)"],
+    );
+
+    for &count in &counts {
+        for &eps in &eps_values {
+            let tracker = StateTracker::new();
+            let mut rng = StdRng::seed_from_u64(count ^ (eps * 1e4) as u64);
+            let mut morris = MorrisCounter::new(&tracker, eps * eps / 2.0);
+            let mut exact = ExactCounter::new(&tracker);
+            for _ in 0..count {
+                tracker.begin_epoch();
+                morris.increment(&mut rng);
+                exact.increment(&mut rng);
+            }
+            let rel_error = (morris.estimate() - count as f64).abs() / count as f64;
+            let row = Row {
+                count,
+                eps,
+                rel_error,
+                morris_state_changes: morris.register(),
+                exact_state_changes: exact.count(),
+            };
+            table.row(vec![
+                count.to_string(),
+                f(eps),
+                f(rel_error),
+                row.morris_state_changes.to_string(),
+                row.exact_state_changes.to_string(),
+            ]);
+            rows.push(row);
+        }
+    }
+    (table, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn morris_writes_grow_sublinearly_and_estimates_stay_close() {
+        let (_, rows) = run(Scale::Quick);
+        for row in &rows {
+            assert_eq!(row.exact_state_changes, row.count);
+            assert!(
+                row.morris_state_changes < row.count,
+                "count {}: register {}",
+                row.count,
+                row.morris_state_changes
+            );
+            // The savings factor grows with the count (logarithmic vs linear growth);
+            // at small counts and tight ε the register is still close to exact.
+            if row.count >= 10_000 {
+                assert!(
+                    row.morris_state_changes < row.count / 4,
+                    "count {} eps {}: register {}",
+                    row.count,
+                    row.eps,
+                    row.morris_state_changes
+                );
+            }
+            assert!(row.rel_error < 4.0 * row.eps + 0.05, "error {}", row.rel_error);
+        }
+        // Going from 1k to 100k increments must grow the register far less than 100×.
+        let small = rows.iter().find(|r| r.count == 1_000 && r.eps == 0.1).unwrap();
+        let large = rows.iter().find(|r| r.count == 100_000 && r.eps == 0.1).unwrap();
+        assert!(large.morris_state_changes < 20 * small.morris_state_changes.max(1));
+    }
+}

@@ -1,0 +1,113 @@
+//! Experiment F9 — simulated NVM cost (Section 1.1 motivation).
+//!
+//! The state-change counts of experiment T1 are converted into simulated write energy
+//! and device wear under three memory-technology profiles (DRAM, PCM-like NVM, NAND
+//! flash).  The algorithms are identical in accuracy terms (see F4); the point of this
+//! table is that on write-asymmetric memory the paper's algorithm pays an order of
+//! magnitude less write energy, and that a per-cell wear analysis of its hottest cell
+//! stays far from the endurance budget.
+
+use fsc::{Params, SampleAndHold};
+use fsc_baselines::{CountMin, MisraGries, SpaceSaving};
+use fsc_state::{NvmCostModel, NvmReport, StateReport, StateTracker, StreamAlgorithm};
+use fsc_streamgen::zipf::zipf_stream;
+
+use crate::table::{f, Table};
+use crate::Scale;
+
+/// Simulated memory cost of one algorithm under one technology profile.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Algorithm name.
+    pub name: String,
+    /// Memory technology profile.
+    pub model: &'static str,
+    /// Total simulated write energy (µJ).
+    pub write_energy_uj: f64,
+    /// Fraction of total memory energy spent on writes.
+    pub write_energy_fraction: f64,
+    /// Wear of the hottest tracked cell as a fraction of endurance (if tracked).
+    pub max_cell_wear: Option<f64>,
+}
+
+/// Runs the NVM cost comparison.
+pub fn run(scale: Scale) -> (Table, Vec<Row>) {
+    let n = scale.pick(1 << 13, 1 << 15);
+    let m = 4 * n;
+    let stream = zipf_stream(n, m, 1.1, 555);
+    let models = [NvmCostModel::dram(), NvmCostModel::pcm(), NvmCostModel::nand_flash()];
+
+    // Baselines with their built-in trackers.
+    let mut reports: Vec<(String, StateReport)> = Vec::new();
+    let mut mg = MisraGries::for_epsilon(0.05);
+    mg.process_stream(&stream);
+    reports.push((mg.name(), mg.report()));
+    let mut ss = SpaceSaving::for_epsilon(0.05);
+    ss.process_stream(&stream);
+    reports.push((ss.name(), ss.report()));
+    let mut cm = CountMin::for_error(0.05, 0.05, 3);
+    cm.process_stream(&stream);
+    reports.push((cm.name(), cm.report()));
+
+    // The paper's algorithm with per-cell wear tracking enabled.
+    let params = Params::new(2.0, 0.2, n, m).with_seed(5);
+    let tracker = StateTracker::with_address_tracking();
+    let mut ours = SampleAndHold::new(&params, m, &tracker, 5);
+    ours.process_stream(&stream);
+    reports.push((format!("{} (wear-tracked)", ours.name()), ours.report()));
+
+    let mut rows = Vec::new();
+    let mut table = Table::new(
+        &format!("F9 — simulated memory cost on a Zipf(1.1) stream (n = {n}, m = {m})"),
+        &["algorithm", "memory", "write energy (µJ)", "write share of energy", "max cell wear"],
+    );
+    for (name, report) in &reports {
+        for model in &models {
+            let nvm = NvmReport::from_state(report, model);
+            let row = Row {
+                name: name.clone(),
+                model: model.name,
+                write_energy_uj: nvm.write_energy_nj / 1e3,
+                write_energy_fraction: nvm.write_energy_fraction(),
+                max_cell_wear: nvm.max_cell_wear_fraction,
+            };
+            table.row(vec![
+                row.name.clone(),
+                row.model.to_string(),
+                f(row.write_energy_uj),
+                f(row.write_energy_fraction),
+                row.max_cell_wear.map(f).unwrap_or_else(|| "-".into()),
+            ]);
+            rows.push(row);
+        }
+    }
+    (table, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn our_algorithm_spends_less_write_energy_on_asymmetric_memory() {
+        let (_, rows) = run(Scale::Quick);
+        let nand = |name_part: &str| {
+            rows.iter()
+                .find(|r| r.name.contains(name_part) && r.model == "NAND-flash")
+                .unwrap()
+        };
+        let ours = nand("SampleAndHold");
+        let mg = nand("MisraGries");
+        let cm = nand("CountMin");
+        assert!(ours.write_energy_uj < 0.7 * mg.write_energy_uj);
+        assert!(ours.write_energy_uj < 0.5 * cm.write_energy_uj);
+        assert!(ours.max_cell_wear.is_some());
+        assert!(ours.max_cell_wear.unwrap() < 1.0, "a single run must not wear out a cell");
+        // On DRAM (symmetric), writes are a smaller share of total energy than on NAND.
+        let ours_dram = rows
+            .iter()
+            .find(|r| r.name.contains("SampleAndHold") && r.model == "DRAM")
+            .unwrap();
+        assert!(ours_dram.write_energy_fraction <= ours.write_energy_fraction);
+    }
+}

@@ -1,0 +1,140 @@
+//! Experiments F1 and F2 — state-change and space scaling of the `F_p` estimator.
+//!
+//! Theorem 1.3: the number of internal state changes grows as `Õ(n^{1−1/p})` while the
+//! space is `poly(log nm, 1/ε)` for `p ∈ [1, 2]` and `Õ(n^{1−2/p})` for `p > 2`.
+//! We sweep the universe size `n` (with `m = 4n`), measure both quantities, and fit
+//! log-log slopes; the measured slope should approach `1 − 1/p` for state changes and
+//! stay near 0 (resp. `1 − 2/p`) for space.
+
+use fsc::{FpEstimator, Params};
+use fsc_state::StreamAlgorithm;
+use fsc_streamgen::zipf::zipf_stream;
+
+use crate::table::{f, Table};
+use crate::{log_log_slope, Scale};
+
+/// Measured scaling for one value of `p`.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Moment order.
+    pub p: f64,
+    /// `(n, state_changes)` points (per-update indicator, the paper's definition).
+    pub state_changes: Vec<(f64, f64)>,
+    /// `(n, word_writes)` points (total writes across all copies — the quantity the
+    /// paper's Õ(n^{1−1/p}) bound actually counts before collapsing it to the
+    /// per-update indicator).
+    pub word_writes: Vec<(f64, f64)>,
+    /// `(n, space_words)` points.
+    pub space_words: Vec<(f64, f64)>,
+    /// Fitted log-log slope of the state-change curve.
+    pub state_slope: f64,
+    /// Fitted log-log slope of the word-write curve.
+    pub word_slope: f64,
+    /// Fitted log-log slope of the space curve.
+    pub space_slope: f64,
+    /// The slope Theorem 1.3 predicts for state changes.
+    pub predicted_state_slope: f64,
+}
+
+/// Runs the sweep and returns (state-change table, space table, series).
+pub fn run(scale: Scale) -> (Table, Table, Vec<Series>) {
+    let ps: Vec<f64> = vec![1.0, 1.5, 2.0, 3.0];
+    let sizes: Vec<usize> = match scale {
+        Scale::Quick => vec![1 << 10, 1 << 11, 1 << 12],
+        Scale::Full => vec![1 << 12, 1 << 13, 1 << 14, 1 << 15, 1 << 16],
+    };
+    let eps = 0.3;
+
+    let mut state_table = Table::new(
+        "F1 — state changes of the F_p estimator vs n (m = 4n, Zipf 1.1)",
+        &[
+            "p",
+            "n",
+            "state changes",
+            "changes / m",
+            "word writes",
+            "slope (fit, changes)",
+            "slope (fit, writes)",
+            "slope (theory 1-1/p)",
+        ],
+    );
+    let mut space_table = Table::new(
+        "F2 — space of the F_p estimator vs n (words)",
+        &["p", "n", "space (words)", "slope (fit)", "slope (theory max(0,1-2/p))"],
+    );
+
+    let mut all = Vec::new();
+    for &p in &ps {
+        let mut state_points = Vec::new();
+        let mut write_points = Vec::new();
+        let mut space_points = Vec::new();
+        for &n in &sizes {
+            let m = 4 * n;
+            let stream = zipf_stream(n, m, 1.1, 1000 + n as u64);
+            let mut est = FpEstimator::new(Params::new(p, eps, n, m).with_seed(n as u64));
+            est.process_stream(&stream);
+            let report = est.report();
+            state_points.push((n as f64, report.state_changes as f64));
+            write_points.push((n as f64, report.word_writes as f64));
+            space_points.push((n as f64, report.words_peak as f64));
+        }
+        let series = Series {
+            p,
+            state_slope: log_log_slope(&state_points),
+            word_slope: log_log_slope(&write_points),
+            space_slope: log_log_slope(&space_points),
+            predicted_state_slope: 1.0 - 1.0 / p,
+            state_changes: state_points,
+            word_writes: write_points,
+            space_words: space_points,
+        };
+        for (i, &(n, sc)) in series.state_changes.iter().enumerate() {
+            state_table.row(vec![
+                f(p),
+                (n as usize).to_string(),
+                (sc as u64).to_string(),
+                f(sc / (4.0 * n)),
+                (series.word_writes[i].1 as u64).to_string(),
+                if i == 0 { f(series.state_slope) } else { String::new() },
+                if i == 0 { f(series.word_slope) } else { String::new() },
+                if i == 0 { f(series.predicted_state_slope) } else { String::new() },
+            ]);
+        }
+        for (i, &(n, words)) in series.space_words.iter().enumerate() {
+            space_table.row(vec![
+                f(p),
+                (n as usize).to_string(),
+                (words as u64).to_string(),
+                if i == 0 { f(series.space_slope) } else { String::new() },
+                if i == 0 { f((1.0 - 2.0 / p).max(0.0)) } else { String::new() },
+            ]);
+        }
+        all.push(series);
+    }
+    (state_table, space_table, all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_change_slopes_are_ordered_by_p() {
+        let (state, space, series) = run(Scale::Quick);
+        assert!(!state.is_empty() && !space.is_empty());
+        assert_eq!(series.len(), 4);
+        // Larger p ⇒ steeper state-change growth (the n^{1-1/p} law), even at the
+        // reduced quick scale where absolute slopes are noisy.
+        let p1 = &series[0];
+        let p3 = &series[3];
+        assert!(
+            p3.state_slope > p1.state_slope - 0.05,
+            "slope(p=3) = {} should not be below slope(p=1) = {}",
+            p3.state_slope,
+            p1.state_slope
+        );
+        // p = 1 state changes must be far below the stream length at the largest n.
+        let (n, sc) = *p1.state_changes.last().unwrap();
+        assert!(sc < 0.8 * 4.0 * n, "p=1 state changes {sc} vs m {}", 4.0 * n);
+    }
+}

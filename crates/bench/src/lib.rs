@@ -1,0 +1,86 @@
+//! # fsc-bench — experiment harness
+//!
+//! One module per table/figure of the paper (see `DESIGN.md`, Section 3 for the
+//! experiment index and `EXPERIMENTS.md` for recorded results).  Every experiment is a
+//! plain function that returns its rows as data and prints a markdown table, so it can
+//! be invoked from the corresponding `src/bin/*.rs` binary, from `run_all`, or from a
+//! test at a reduced scale.
+//!
+//! Run an individual experiment with e.g.
+//! `cargo run -p fsc-bench --release --bin table1`, or everything with
+//! `cargo run -p fsc-bench --release --bin run_all`.  Pass `--quick` for a reduced
+//! problem size (used in CI and in the crate tests).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod table;
+
+/// Problem-size profile shared by all experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced sizes for tests / CI smoke runs (seconds).
+    Quick,
+    /// The sizes recorded in `EXPERIMENTS.md` (minutes).
+    Full,
+}
+
+impl Scale {
+    /// Parses the scale from process arguments (`--quick` selects [`Scale::Quick`]).
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--quick") {
+            Scale::Quick
+        } else {
+            Scale::Full
+        }
+    }
+
+    /// Picks between the quick and full value.
+    pub fn pick<T>(self, quick: T, full: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// Least-squares slope of `ln(y)` against `ln(x)` — used to verify scaling exponents
+/// such as the `n^{1−1/p}` state-change growth of Theorem 1.3.
+pub fn log_log_slope(points: &[(f64, f64)]) -> f64 {
+    let pts: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(x, y)| *x > 0.0 && *y > 0.0)
+        .map(|(x, y)| (x.ln(), y.ln()))
+        .collect();
+    if pts.len() < 2 {
+        return 0.0;
+    }
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|(x, _)| x).sum();
+    let sy: f64 = pts.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = pts.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = pts.iter().map(|(x, y)| x * y).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slope_of_a_power_law_is_recovered() {
+        let pts: Vec<(f64, f64)> = (1..=8).map(|i| {
+            let x = 2f64.powi(i);
+            (x, 3.0 * x.powf(0.5))
+        }).collect();
+        assert!((log_log_slope(&pts) - 0.5).abs() < 1e-9);
+        assert_eq!(log_log_slope(&[(1.0, 1.0)]), 0.0);
+    }
+
+    #[test]
+    fn scale_pick_selects_the_right_value() {
+        assert_eq!(Scale::Quick.pick(1, 2), 1);
+        assert_eq!(Scale::Full.pick(1, 2), 2);
+    }
+}

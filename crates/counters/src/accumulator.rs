@@ -1,0 +1,150 @@
+//! Geometric (Morris-style) accumulators for monotone sums of non-negative reals.
+//!
+//! The `p < 1` moment estimator of Theorem 3.2 ([JW19]) maintains the inner products
+//! `⟨D^{(i,+)}, x⟩` and `⟨D^{(i,−)}, x⟩`, which on insertion-only streams are monotone
+//! non-decreasing sums of positive reals.  Exactly as Morris counters replace exact
+//! integer counters, a [`GeometricAccumulator`] stores only the index of the current
+//! value on a geometric grid `((1+β)^X − 1)/β`, so the number of state changes over the
+//! whole stream is `O(log_{1+β}(total)) = poly(1/β, log total)` instead of one per
+//! addition, at the cost of a `(1+β)`-factor grid error.
+
+use fsc_state::{StateTracker, TrackedCell};
+use rand::{Rng, RngCore};
+
+/// An approximate accumulator for a monotone non-decreasing sum of non-negative reals.
+#[derive(Debug, Clone)]
+pub struct GeometricAccumulator {
+    register: TrackedCell<u64>,
+    beta: f64,
+}
+
+impl GeometricAccumulator {
+    /// Creates an accumulator with grid parameter `β ∈ (0, 1]` (relative grid error).
+    pub fn new(tracker: &StateTracker, beta: f64) -> Self {
+        assert!(beta > 0.0 && beta <= 1.0, "grid parameter must be in (0, 1]");
+        Self {
+            register: TrackedCell::new(tracker, 0),
+            beta,
+        }
+    }
+
+    /// The grid parameter `β`.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Current register value (equals the number of state changes this accumulator has
+    /// made, since the register only ever increases and each write increases it).
+    pub fn register(&self) -> u64 {
+        *self.register.peek()
+    }
+
+    /// The value represented by register `x`.
+    fn value_of(&self, x: f64) -> f64 {
+        ((1.0 + self.beta).powf(x) - 1.0) / self.beta
+    }
+
+    /// Current estimate of the accumulated sum.
+    pub fn estimate(&self) -> f64 {
+        self.value_of(self.register() as f64)
+    }
+
+    /// Adds `amount ≥ 0` to the accumulated sum.  The register is advanced to the grid
+    /// index of the new total with probabilistic rounding, so the expected represented
+    /// value tracks the true sum up to the `(1+β)` grid granularity; the register (and
+    /// hence the state) changes only when the new total crosses a grid boundary.
+    pub fn add(&mut self, amount: f64, rng: &mut dyn RngCore) {
+        assert!(amount >= 0.0, "accumulator is monotone non-decreasing");
+        if amount == 0.0 {
+            return;
+        }
+        let current = self.estimate();
+        let target = current + amount;
+        let exact_register = (1.0 + self.beta * target).ln() / (1.0 + self.beta).ln();
+        let floor = exact_register.floor();
+        let frac = exact_register - floor;
+        let mut new_register = floor as u64;
+        if rng.gen::<f64>() < frac {
+            new_register += 1;
+        }
+        if new_register > self.register() {
+            self.register.write(new_register);
+        } else {
+            // Below-grid addition: read-only, no state change.
+            let _ = self.register.read();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tracks_a_large_sum_of_unit_additions() {
+        let tracker = StateTracker::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut acc = GeometricAccumulator::new(&tracker, 0.05);
+        let n = 50_000u64;
+        for _ in 0..n {
+            tracker.begin_epoch();
+            acc.add(1.0, &mut rng);
+        }
+        let rel = (acc.estimate() - n as f64).abs() / n as f64;
+        assert!(rel < 0.15, "relative error {rel}");
+        // Register (= state changes of this accumulator) is logarithmic, not linear.
+        assert!(acc.register() < 500, "register {}", acc.register());
+        assert!(tracker.state_changes() < 500);
+    }
+
+    #[test]
+    fn tracks_heavy_tailed_additions() {
+        let tracker = StateTracker::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut acc = GeometricAccumulator::new(&tracker, 0.1);
+        let mut exact = 0.0;
+        for i in 1..3_000u64 {
+            let amount = if i % 100 == 0 { 500.0 } else { 0.3 };
+            exact += amount;
+            acc.add(amount, &mut rng);
+        }
+        let rel = (acc.estimate() - exact).abs() / exact;
+        assert!(rel < 0.2, "relative error {rel} (est {}, exact {exact})", acc.estimate());
+    }
+
+    #[test]
+    fn zero_additions_never_write() {
+        let tracker = StateTracker::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut acc = GeometricAccumulator::new(&tracker, 0.2);
+        tracker.begin_epoch();
+        acc.add(0.0, &mut rng);
+        assert_eq!(acc.estimate(), 0.0);
+        assert_eq!(tracker.state_changes(), 0);
+        assert_eq!(acc.beta(), 0.2);
+    }
+
+    #[test]
+    fn estimate_is_monotone() {
+        let tracker = StateTracker::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut acc = GeometricAccumulator::new(&tracker, 0.3);
+        let mut last = 0.0;
+        for _ in 0..200 {
+            acc.add(2.5, &mut rng);
+            assert!(acc.estimate() >= last);
+            last = acc.estimate();
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_amounts_are_rejected() {
+        let tracker = StateTracker::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut acc = GeometricAccumulator::new(&tracker, 0.1);
+        acc.add(-1.0, &mut rng);
+    }
+}

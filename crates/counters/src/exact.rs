@@ -1,0 +1,103 @@
+//! Exact counters: one state change per increment.
+
+use fsc_state::{StateTracker, TrackedCell};
+use rand::RngCore;
+
+use crate::Counter;
+
+/// An exact counter stored in a single tracked word.
+///
+/// This is the counter the paper's introduction uses as the canonical example of a
+/// deterministic, write-per-update data structure: counting the stream length exactly
+/// requires `m` state changes on a stream of length `m`.  It is provided both as a
+/// baseline and as a building block for the classic heavy-hitter algorithms.
+#[derive(Debug, Clone)]
+pub struct ExactCounter {
+    value: TrackedCell<u64>,
+}
+
+impl ExactCounter {
+    /// Creates a counter at zero, charging one tracked word of space.
+    pub fn new(tracker: &StateTracker) -> Self {
+        Self {
+            value: TrackedCell::new(tracker, 0),
+        }
+    }
+
+    /// Creates a counter with an explicit initial value (used by SpaceSaving when a
+    /// slot is recycled for a new item).
+    pub fn with_value(tracker: &StateTracker, value: u64) -> Self {
+        Self {
+            value: TrackedCell::new(tracker, value),
+        }
+    }
+
+    /// Exact current count.
+    pub fn count(&self) -> u64 {
+        *self.value.peek()
+    }
+
+    /// Sets the count to an explicit value (charged as a write).
+    pub fn set(&mut self, value: u64) {
+        self.value.write(value);
+    }
+}
+
+impl Counter for ExactCounter {
+    fn increment(&mut self, _rng: &mut dyn RngCore) {
+        self.value.modify(|v| v + 1);
+    }
+
+    fn add(&mut self, k: u64, _rng: &mut dyn RngCore) {
+        if k > 0 {
+            self.value.modify(|v| v + k);
+        }
+    }
+
+    fn estimate(&self) -> f64 {
+        *self.value.peek() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsc_state::StateTracker;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn every_increment_is_a_state_change() {
+        let tracker = StateTracker::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut c = ExactCounter::new(&tracker);
+        for _ in 0..100 {
+            tracker.begin_epoch();
+            c.increment(&mut rng);
+        }
+        assert_eq!(c.count(), 100);
+        assert_eq!(c.estimate(), 100.0);
+        assert_eq!(tracker.state_changes(), 100);
+    }
+
+    #[test]
+    fn add_is_a_single_write() {
+        let tracker = StateTracker::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut c = ExactCounter::with_value(&tracker, 5);
+        tracker.begin_epoch();
+        c.add(10, &mut rng);
+        c.add(0, &mut rng);
+        assert_eq!(c.count(), 15);
+        // init write + one changing write; the zero add was free.
+        assert_eq!(tracker.snapshot().word_writes, 2);
+    }
+
+    #[test]
+    fn set_overwrites() {
+        let tracker = StateTracker::new();
+        let mut c = ExactCounter::new(&tracker);
+        c.set(42);
+        assert_eq!(c.count(), 42);
+    }
+}

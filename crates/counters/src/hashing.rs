@@ -1,0 +1,250 @@
+//! Limited-independence hash families.
+//!
+//! The paper's algorithms need pseudorandom decisions that can be re-derived from a
+//! small stored seed rather than stored explicitly (storing a fresh random bit per item
+//! would itself defeat the space bound).  This module provides:
+//!
+//! * [`PolyHash`] — k-wise independent polynomial hashing over the Mersenne prime
+//!   `2^61 − 1`, used for universe subsampling (Algorithm 3), stream-position
+//!   subsampling (Algorithm 2), and seed-derived p-stable variates ([`crate::stable`]).
+//! * [`TabulationHash`] — simple tabulation hashing (3-wise independent, very fast),
+//!   used by the CountMin / CountSketch baselines where 2-wise independence suffices.
+
+use rand::{Rng, RngCore, SeedableRng};
+
+/// The Mersenne prime 2^61 − 1, the modulus for polynomial hashing.
+pub const MERSENNE_61: u64 = (1u64 << 61) - 1;
+
+/// Reduces a 128-bit product modulo 2^61 − 1.
+#[inline]
+fn mod_mersenne(x: u128) -> u64 {
+    let lo = (x & MERSENNE_61 as u128) as u64;
+    let hi = (x >> 61) as u64;
+    let mut r = lo + hi;
+    if r >= MERSENNE_61 {
+        r -= MERSENNE_61;
+    }
+    r
+}
+
+/// k-wise independent hash function `h(x) = Σ a_i x^i mod (2^61 − 1)`.
+///
+/// Evaluations are deterministic given the seed, so the function occupies only `k`
+/// words of space regardless of how many items are hashed.
+#[derive(Debug, Clone)]
+pub struct PolyHash {
+    coefficients: Vec<u64>,
+}
+
+impl PolyHash {
+    /// Draws a fresh k-wise independent hash function using `rng`.
+    pub fn new(k: usize, rng: &mut impl RngCore) -> Self {
+        assert!(k >= 1, "independence must be at least 1");
+        let coefficients = (0..k).map(|_| rng.gen_range(0..MERSENNE_61)).collect();
+        Self { coefficients }
+    }
+
+    /// Deterministically derives a k-wise independent hash function from a seed
+    /// (convenient for reproducible experiments).
+    pub fn from_seed(k: usize, seed: u64) -> Self {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Self::new(k, &mut rng)
+    }
+
+    /// A pairwise-independent function (k = 2).
+    pub fn two_wise(rng: &mut impl RngCore) -> Self {
+        Self::new(2, rng)
+    }
+
+    /// A 4-wise independent function (used by AMS-style sign sketches).
+    pub fn four_wise(rng: &mut impl RngCore) -> Self {
+        Self::new(4, rng)
+    }
+
+    /// Degree of independence.
+    pub fn independence(&self) -> usize {
+        self.coefficients.len()
+    }
+
+    /// Hash of `x` as an element of `[0, 2^61 − 1)`.
+    pub fn hash_u64(&self, x: u64) -> u64 {
+        let x = x % MERSENNE_61;
+        let mut acc: u64 = 0;
+        // Horner evaluation from the highest coefficient down.
+        for &c in self.coefficients.iter().rev() {
+            acc = mod_mersenne(acc as u128 * x as u128 + c as u128);
+        }
+        acc
+    }
+
+    /// Hash of `x` mapped to the unit interval `[0, 1)`.
+    pub fn hash_unit(&self, x: u64) -> f64 {
+        self.hash_u64(x) as f64 / MERSENNE_61 as f64
+    }
+
+    /// Hash of `x` mapped to a bucket in `[0, buckets)`.
+    pub fn hash_bucket(&self, x: u64, buckets: usize) -> usize {
+        assert!(buckets > 0);
+        // Multiply-shift style mapping avoids the modulo bias of `% buckets` on the
+        // nearly-uniform 61-bit output.
+        ((self.hash_u64(x) as u128 * buckets as u128) >> 61) as usize
+    }
+
+    /// Hash of `x` mapped to a Rademacher sign `±1`.
+    pub fn hash_sign(&self, x: u64) -> i64 {
+        if self.hash_u64(x) & 1 == 0 {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Whether `x` survives subsampling at rate `rate ∈ [0, 1]`.
+    ///
+    /// Because the decision is a deterministic function of `x`, repeated occurrences of
+    /// the same item are consistently kept or dropped — exactly what universe
+    /// subsampling (Algorithm 3) requires — and nested rates produce nested subsets when
+    /// the same hash function is reused with smaller rates.
+    pub fn subsamples(&self, x: u64, rate: f64) -> bool {
+        self.hash_unit(x) < rate
+    }
+}
+
+/// Simple tabulation hashing on the 8 bytes of a `u64` key (3-wise independent).
+#[derive(Debug, Clone)]
+pub struct TabulationHash {
+    tables: Vec<[u64; 256]>,
+}
+
+impl TabulationHash {
+    /// Draws fresh random tables using `rng`.
+    pub fn new(rng: &mut impl RngCore) -> Self {
+        let mut tables = Vec::with_capacity(8);
+        for _ in 0..8 {
+            let mut t = [0u64; 256];
+            for entry in t.iter_mut() {
+                *entry = rng.gen();
+            }
+            tables.push(t);
+        }
+        Self { tables }
+    }
+
+    /// Hash of `x` as a full 64-bit value.
+    pub fn hash_u64(&self, x: u64) -> u64 {
+        let mut acc = 0u64;
+        for (i, table) in self.tables.iter().enumerate() {
+            let byte = ((x >> (8 * i)) & 0xff) as usize;
+            acc ^= table[byte];
+        }
+        acc
+    }
+
+    /// Hash of `x` mapped to a bucket in `[0, buckets)`.
+    pub fn hash_bucket(&self, x: u64, buckets: usize) -> usize {
+        assert!(buckets > 0);
+        ((self.hash_u64(x) as u128 * buckets as u128) >> 64) as usize
+    }
+
+    /// Hash of `x` mapped to a Rademacher sign `±1`.
+    pub fn hash_sign(&self, x: u64) -> i64 {
+        if self.hash_u64(x).count_ones() % 2 == 0 {
+            1
+        } else {
+            -1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn poly_hash_is_deterministic_and_seeded() {
+        let h1 = PolyHash::from_seed(4, 99);
+        let h2 = PolyHash::from_seed(4, 99);
+        let h3 = PolyHash::from_seed(4, 100);
+        for x in [0u64, 1, 17, u64::MAX - 3] {
+            assert_eq!(h1.hash_u64(x), h2.hash_u64(x));
+        }
+        assert_ne!(
+            (0..64).map(|x| h1.hash_u64(x)).collect::<Vec<_>>(),
+            (0..64).map(|x| h3.hash_u64(x)).collect::<Vec<_>>()
+        );
+        assert_eq!(h1.independence(), 4);
+    }
+
+    #[test]
+    fn unit_hash_is_roughly_uniform() {
+        let h = PolyHash::from_seed(2, 7);
+        let n = 20_000u64;
+        let mean: f64 = (0..n).map(|x| h.hash_unit(x)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        let below_quarter = (0..n).filter(|&x| h.hash_unit(x) < 0.25).count();
+        let frac = below_quarter as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    fn bucket_hash_spreads_over_all_buckets() {
+        let h = PolyHash::from_seed(2, 3);
+        let buckets = 16;
+        let mut counts = vec![0usize; buckets];
+        for x in 0..16_000u64 {
+            counts[h.hash_bucket(x, buckets)] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 700 && c < 1_300, "bucket count {c} far from 1000");
+        }
+    }
+
+    #[test]
+    fn sign_hash_is_balanced() {
+        let h = PolyHash::from_seed(4, 11);
+        let sum: i64 = (0..10_000u64).map(|x| h.hash_sign(x)).sum();
+        assert!(sum.abs() < 500, "sign sum {sum} not balanced");
+    }
+
+    #[test]
+    fn subsampling_rate_is_respected_and_consistent() {
+        let h = PolyHash::from_seed(2, 5);
+        let n = 50_000u64;
+        let kept = (0..n).filter(|&x| h.subsamples(x, 0.1)).count();
+        let frac = kept as f64 / n as f64;
+        assert!((frac - 0.1).abs() < 0.01, "kept fraction {frac}");
+        // Nested: everything kept at rate 0.05 is also kept at rate 0.1.
+        for x in 0..n {
+            if h.subsamples(x, 0.05) {
+                assert!(h.subsamples(x, 0.1));
+            }
+        }
+    }
+
+    #[test]
+    fn mersenne_reduction_matches_naive_modulo() {
+        for &(a, b) in &[(3u64, 5u64), (MERSENNE_61 - 1, 2), (1 << 60, 1 << 59)] {
+            let expected = ((a as u128 * b as u128) % MERSENNE_61 as u128) as u64;
+            assert_eq!(mod_mersenne(a as u128 * b as u128), expected);
+        }
+    }
+
+    #[test]
+    fn tabulation_hash_buckets_and_signs_behave() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let h = TabulationHash::new(&mut rng);
+        let buckets = 8;
+        let mut counts = vec![0usize; buckets];
+        let mut sign_sum = 0i64;
+        for x in 0..8_000u64 {
+            counts[h.hash_bucket(x, buckets)] += 1;
+            sign_sum += h.hash_sign(x);
+        }
+        for &c in &counts {
+            assert!(c > 700 && c < 1_300);
+        }
+        assert!(sign_sum.abs() < 500);
+        assert_eq!(h.hash_u64(12345), h.hash_u64(12345));
+    }
+}

@@ -1,0 +1,196 @@
+//! p-stable variate generation (Definition 3.1 of the paper; [Zol89, Nol03]).
+//!
+//! A distribution `D_p` is p-stable if for independent `Z, Z_1, …, Z_n ~ D_p` and any
+//! vector `x`, `Σ_i Z_i x_i` is distributed as `‖x‖_p · Z`.  The `p < 1` moment
+//! estimator (Theorem 3.2, following [Ind06, JW19]) sketches the frequency vector with
+//! a matrix of p-stable variates; the variates are *not stored* but re-derived on demand
+//! from a limited-independence seed, as in [KNW10, JW19].
+//!
+//! Variates are produced with the Chambers–Mallows–Stuck transform quoted in the paper
+//! (Section 3.1): for `θ ~ Uni[−π/2, π/2]` and `r ~ Uni(0, 1)`,
+//!
+//! ```text
+//! X = sin(pθ)/cos(θ)^{1/p} · ( cos(θ(1−p)) / ln(1/r) )^{(1−p)/p}.
+//! ```
+
+use crate::hashing::PolyHash;
+use rand::RngCore;
+use std::f64::consts::FRAC_PI_2;
+
+/// Transforms two uniforms into a standard p-stable variate (CMS transform).
+///
+/// `theta_unit` and `r_unit` must lie in `(0, 1)`; they are mapped to
+/// `θ ∈ (−π/2, π/2)` and `r ∈ (0, 1)` respectively.  Valid for `p ∈ (0, 2]`:
+/// `p = 1` yields the Cauchy distribution and `p = 2` the Gaussian (scaled by √2).
+pub fn p_stable_from_uniforms(p: f64, theta_unit: f64, r_unit: f64) -> f64 {
+    assert!(p > 0.0 && p <= 2.0, "p must be in (0, 2]");
+    // Clamp away from the endpoints to avoid infinities from cos(±π/2) = 0 or ln(0).
+    let theta_unit = theta_unit.clamp(1e-12, 1.0 - 1e-12);
+    let r_unit = r_unit.clamp(1e-12, 1.0 - 1e-12);
+    let theta = (theta_unit - 0.5) * 2.0 * FRAC_PI_2;
+    let ln_inv_r = (1.0 / r_unit).ln();
+
+    let first = (p * theta).sin() / theta.cos().powf(1.0 / p);
+    let exponent = (1.0 - p) / p;
+    let second = ((theta * (1.0 - p)).cos() / ln_inv_r).powf(exponent);
+    first * second
+}
+
+/// Draws a standard p-stable variate using a random-number generator.
+pub fn sample_p_stable(p: f64, rng: &mut dyn RngCore) -> f64 {
+    let theta_unit = uniform_from(rng);
+    let r_unit = uniform_from(rng);
+    p_stable_from_uniforms(p, theta_unit, r_unit)
+}
+
+fn uniform_from(rng: &mut dyn RngCore) -> f64 {
+    // 53 uniform mantissa bits in (0, 1).
+    ((rng.next_u64() >> 11) as f64 + 0.5) / (1u64 << 53) as f64
+}
+
+/// An implicit `rows × universe` matrix of p-stable variates derived from
+/// limited-independence hash seeds.
+///
+/// Entry `(i, j)` is a deterministic function of the row seed and the column index, so
+/// the matrix costs `O(rows · k)` words of seed storage instead of `rows · n` variates,
+/// mirroring the derandomisation discussed in Section 3.1 of the paper.
+#[derive(Debug, Clone)]
+pub struct StableMatrix {
+    p: f64,
+    rows: Vec<(PolyHash, PolyHash)>,
+}
+
+impl StableMatrix {
+    /// Creates a matrix with `rows` rows for stability parameter `p`, using hash
+    /// functions of `independence`-wise independence (the paper uses
+    /// `O(log(1/ε)/log log(1/ε))`).
+    pub fn new(p: f64, rows: usize, independence: usize, rng: &mut impl RngCore) -> Self {
+        assert!(rows > 0);
+        let rows = (0..rows)
+            .map(|_| {
+                (
+                    PolyHash::new(independence.max(2), rng),
+                    PolyHash::new(independence.max(2), rng),
+                )
+            })
+            .collect();
+        Self { p, rows }
+    }
+
+    /// Stability parameter.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The p-stable variate at row `i`, column `j`.
+    pub fn entry(&self, i: usize, j: u64) -> f64 {
+        let (h_theta, h_r) = &self.rows[i];
+        p_stable_from_uniforms(self.p, h_theta.hash_unit(j), h_r.hash_unit(j))
+    }
+
+    /// Words of seed storage used by the implicit matrix.
+    pub fn seed_words(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|(a, b)| a.independence() + b.independence())
+            .sum()
+    }
+}
+
+/// Median of the absolute value of the standard p-stable distribution, used to
+/// normalise median-based `F_p` estimators ([Ind06]).  Computed empirically from the
+/// generator itself so that estimator and normaliser share any small bias of the
+/// limited-precision transform.
+pub fn median_of_abs(p: f64, samples: usize, rng: &mut dyn RngCore) -> f64 {
+    let mut v: Vec<f64> = (0..samples.max(1))
+        .map(|_| sample_p_stable(p, rng).abs())
+        .collect();
+    v.sort_by(f64::total_cmp);
+    v[v.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cauchy_median_of_abs_is_near_one() {
+        // For p = 1 (Cauchy), median(|X|) = tan(π/4) = 1 exactly.
+        let mut rng = StdRng::seed_from_u64(10);
+        let med = median_of_abs(1.0, 40_000, &mut rng);
+        assert!((med - 1.0).abs() < 0.05, "median {med}");
+    }
+
+    #[test]
+    fn gaussian_case_has_light_tails() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let extreme = (0..n)
+            .map(|_| sample_p_stable(2.0, &mut rng))
+            .filter(|x| x.abs() > 6.0)
+            .count();
+        // p = 2 is Gaussian (scale √2): |X| > 6 has probability ~2e-5.
+        assert!(extreme <= 5, "too many extreme values: {extreme}");
+    }
+
+    #[test]
+    fn half_stable_has_heavy_tails() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let n = 20_000;
+        let extreme = (0..n)
+            .map(|_| sample_p_stable(0.5, &mut rng))
+            .filter(|x| x.abs() > 100.0)
+            .count();
+        // p = 0.5 has tail P(|X| > t) ≈ c/√t, so values above 100 must appear.
+        assert!(extreme > 100, "expected heavy tails, got {extreme}");
+    }
+
+    #[test]
+    fn stability_property_holds_approximately_for_cauchy() {
+        // For Cauchy variates, (Z1 + Z2 + Z3 + Z4) should be distributed as 4·Z
+        // (‖(1,1,1,1)‖_1 = 4).  Compare medians of absolute values.
+        let mut rng = StdRng::seed_from_u64(13);
+        let n = 30_000;
+        let mut sums: Vec<f64> = (0..n)
+            .map(|_| (0..4).map(|_| sample_p_stable(1.0, &mut rng)).sum::<f64>())
+            .map(f64::abs)
+            .collect();
+        sums.sort_by(f64::total_cmp);
+        let med = sums[n / 2];
+        assert!((med - 4.0).abs() < 0.3, "median of |sum| = {med}, expected ≈ 4");
+    }
+
+    #[test]
+    fn extreme_uniform_inputs_do_not_produce_nan() {
+        for &p in &[0.25, 0.5, 1.0, 1.5, 2.0] {
+            for &(a, b) in &[(0.0, 0.0), (1.0, 1.0), (0.0, 1.0), (0.5, 0.5)] {
+                let x = p_stable_from_uniforms(p, a, b);
+                assert!(x.is_finite(), "p={p} a={a} b={b} gave {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn stable_matrix_is_deterministic_and_small() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = StableMatrix::new(1.0, 4, 6, &mut rng);
+        assert_eq!(m.rows(), 4);
+        assert_eq!(m.p(), 1.0);
+        assert_eq!(m.entry(2, 77), m.entry(2, 77));
+        assert_ne!(m.entry(0, 77), m.entry(1, 77));
+        assert_eq!(m.seed_words(), 4 * 12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn p_above_two_is_rejected() {
+        let _ = p_stable_from_uniforms(2.5, 0.3, 0.3);
+    }
+}

@@ -1,0 +1,135 @@
+//! A hard state-change budget wrapper, used by the lower-bound experiments.
+//!
+//! Theorems 1.2 and 1.4 show that *any* algorithm whose internal state changes fewer
+//! than `~n^{1−1/p}/2` times cannot solve `L_p` heavy hitters or `(2−ε)`-approximate
+//! `F_p` estimation.  [`BudgetedAlgorithm`] turns that statement into an executable
+//! experiment: it wraps an arbitrary [`StreamAlgorithm`] and simply stops forwarding
+//! updates once the wrapped algorithm has spent its state-change budget (reads are
+//! still free).  Experiment F5 feeds the adversarial stream pairs of
+//! [`fsc_streamgen::lower_bound`] to budgeted estimators and measures how often they
+//! distinguish the pair as the budget crosses the `n^{1−1/p}` threshold.
+
+use fsc_state::{FrequencyEstimator, MomentEstimator, StateTracker, StreamAlgorithm};
+
+/// Wraps an algorithm and enforces a hard cap on its number of state changes.
+#[derive(Debug)]
+pub struct BudgetedAlgorithm<A: StreamAlgorithm> {
+    inner: A,
+    budget: u64,
+    dropped_updates: u64,
+}
+
+impl<A: StreamAlgorithm> BudgetedAlgorithm<A> {
+    /// Wraps `inner`, allowing it at most `budget` state changes.
+    pub fn new(inner: A, budget: u64) -> Self {
+        Self {
+            inner,
+            budget,
+            dropped_updates: 0,
+        }
+    }
+
+    /// The state-change budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Number of updates that were not forwarded because the budget was exhausted.
+    pub fn dropped_updates(&self) -> u64 {
+        self.dropped_updates
+    }
+
+    /// Whether the budget has been exhausted.
+    pub fn exhausted(&self) -> bool {
+        self.inner.tracker().state_changes() >= self.budget
+    }
+
+    /// Access to the wrapped algorithm (e.g. to query its estimates).
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+}
+
+impl<A: StreamAlgorithm> StreamAlgorithm for BudgetedAlgorithm<A> {
+    fn name(&self) -> String {
+        format!("Budgeted[{}]({})", self.budget, self.inner.name())
+    }
+
+    fn process_item(&mut self, item: u64) {
+        if self.exhausted() {
+            self.dropped_updates += 1;
+        } else {
+            self.inner.process_item(item);
+        }
+    }
+
+    fn tracker(&self) -> &StateTracker {
+        self.inner.tracker()
+    }
+}
+
+impl<A: FrequencyEstimator> FrequencyEstimator for BudgetedAlgorithm<A> {
+    fn estimate(&self, item: u64) -> f64 {
+        self.inner.estimate(item)
+    }
+
+    fn tracked_items(&self) -> Vec<u64> {
+        self.inner.tracked_items()
+    }
+}
+
+impl<A: MomentEstimator> MomentEstimator for BudgetedAlgorithm<A> {
+    fn p(&self) -> f64 {
+        self.inner.p()
+    }
+
+    fn estimate_moment(&self) -> f64 {
+        self.inner.estimate_moment()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Params;
+    use crate::sample_and_hold::SampleAndHold;
+    use fsc_streamgen::zipf::zipf_stream;
+
+    #[test]
+    fn budget_is_enforced() {
+        let n = 1 << 12;
+        let m = 4 * n;
+        let stream = zipf_stream(n, m, 1.1, 3);
+        let inner = SampleAndHold::standalone(&Params::new(2.0, 0.3, n, m).with_seed(1));
+        let mut budgeted = BudgetedAlgorithm::new(inner, 50);
+        budgeted.process_stream(&stream);
+        let r = budgeted.report();
+        // Construction writes plus at most the budget (the final change may land
+        // exactly on the cap).
+        assert!(r.state_changes <= 51, "state changes {}", r.state_changes);
+        assert!(budgeted.exhausted());
+        assert!(budgeted.dropped_updates() > 0);
+        assert_eq!(budgeted.budget(), 50);
+        assert_eq!(r.epochs as usize, m, "every update still opens an epoch");
+    }
+
+    #[test]
+    fn generous_budget_changes_nothing() {
+        let n = 1 << 10;
+        let m = 2 * n;
+        let stream = zipf_stream(n, m, 1.2, 5);
+        let params = Params::new(2.0, 0.3, n, m).with_seed(7);
+        let mut plain = SampleAndHold::standalone(&params);
+        plain.process_stream(&stream);
+        let inner = SampleAndHold::standalone(&params);
+        let mut budgeted = BudgetedAlgorithm::new(inner, u64::MAX);
+        budgeted.process_stream(&stream);
+        assert!(!budgeted.exhausted());
+        assert_eq!(budgeted.dropped_updates(), 0);
+        assert_eq!(
+            budgeted.inner().tracked_items(),
+            plain.tracked_items(),
+            "identical seeds and no budget pressure must give identical summaries"
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Sparse support recovery with few state changes.
+//!
+//! The paper lists sparse support recovery among the problems for which state-change-
+//! and space-optimal algorithms exist.  For a frequency vector promised to be
+//! `k`-sparse (at most `k` distinct items appear), the support can be recovered exactly
+//! with exactly one state change per *distinct* item: every update first reads the
+//! summary and only writes when the item has not been seen before.  This gives `k ≤ n`
+//! state changes on a stream of arbitrary length `m`, the natural analogue of the
+//! paper's separation between reads (cheap, every update) and writes (rare).
+
+use fsc_state::{StateTracker, StreamAlgorithm, SupportRecovery, TrackedMap};
+
+/// Exact support recovery for `k`-sparse streams using `O(k)` words and `k` state
+/// changes.
+#[derive(Debug, Clone)]
+pub struct FewStateSparseRecovery {
+    seen: TrackedMap<u64, ()>,
+    sparsity: usize,
+    overflowed: bool,
+    tracker: StateTracker,
+}
+
+impl FewStateSparseRecovery {
+    /// Creates a recovery structure for streams with at most `sparsity` distinct items.
+    pub fn new(sparsity: usize) -> Self {
+        assert!(sparsity >= 1);
+        let tracker = StateTracker::new();
+        Self {
+            seen: TrackedMap::new(&tracker),
+            sparsity,
+            overflowed: false,
+            tracker,
+        }
+    }
+
+    /// The promised sparsity `k`.
+    pub fn sparsity(&self) -> usize {
+        self.sparsity
+    }
+
+    /// Whether the stream violated the sparsity promise (more than `k` distinct items
+    /// arrived).  The first `k` distinct items are still reported exactly.
+    pub fn overflowed(&self) -> bool {
+        self.overflowed
+    }
+
+    /// Number of distinct items recorded so far.
+    pub fn distinct_seen(&self) -> usize {
+        self.seen.len()
+    }
+}
+
+impl StreamAlgorithm for FewStateSparseRecovery {
+    fn name(&self) -> String {
+        format!("FewStateSparseRecovery(k={})", self.sparsity)
+    }
+
+    fn process_item(&mut self, item: u64) {
+        if self.seen.contains_key(&item) {
+            return; // read-only path: the common case costs no state change
+        }
+        if self.seen.len() < self.sparsity {
+            self.seen.insert(item, ());
+        } else {
+            self.overflowed = true;
+        }
+    }
+
+    fn tracker(&self) -> &StateTracker {
+        &self.tracker
+    }
+}
+
+impl SupportRecovery for FewStateSparseRecovery {
+    fn recovered_support(&self) -> Vec<u64> {
+        let mut support = self.seen.keys_untracked();
+        support.sort_unstable();
+        support
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsc_streamgen::uniform::grouped_stream;
+    use fsc_streamgen::FrequencyVector;
+
+    #[test]
+    fn recovers_the_exact_support_with_one_state_change_per_distinct_item() {
+        // 32 distinct items, each repeated 1000 times.
+        let stream = grouped_stream(32, 1_000);
+        let mut alg = FewStateSparseRecovery::new(64);
+        alg.process_stream(&stream);
+        let truth = FrequencyVector::from_stream(&stream).support();
+        assert_eq!(alg.recovered_support(), truth);
+        assert_eq!(alg.distinct_seen(), 32);
+        assert!(!alg.overflowed());
+        let r = alg.report();
+        assert_eq!(r.epochs as usize, stream.len());
+        assert_eq!(r.state_changes, 32, "one state change per distinct item");
+    }
+
+    #[test]
+    fn shuffled_streams_give_the_same_answer() {
+        let mut stream = grouped_stream(50, 200);
+        fsc_streamgen::shuffle(&mut stream, 9);
+        let mut alg = FewStateSparseRecovery::new(50);
+        alg.process_stream(&stream);
+        assert_eq!(alg.recovered_support().len(), 50);
+        assert_eq!(alg.report().state_changes, 50);
+    }
+
+    #[test]
+    fn overflow_is_flagged_but_prefix_is_exact() {
+        let stream: Vec<u64> = (0..100).collect();
+        let mut alg = FewStateSparseRecovery::new(10);
+        alg.process_stream(&stream);
+        assert!(alg.overflowed());
+        assert_eq!(alg.recovered_support(), (0..10).collect::<Vec<u64>>());
+        assert_eq!(alg.sparsity(), 10);
+    }
+
+    #[test]
+    fn space_is_proportional_to_sparsity_not_stream_length() {
+        let stream = grouped_stream(16, 10_000);
+        let mut alg = FewStateSparseRecovery::new(16);
+        alg.process_stream(&stream);
+        assert!(alg.space_words() <= 16 * 4);
+    }
+}

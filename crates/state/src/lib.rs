@@ -1,0 +1,91 @@
+//! # fsc-state — state-change accounting substrate
+//!
+//! The paper *Streaming Algorithms with Few State Changes* (PODS 2024) proposes the
+//! **number of internal state changes** of a streaming algorithm as a first-class
+//! complexity measure, alongside space and update time.  Formally (paper, Section 1.5):
+//! for an algorithm `A` with memory state `σ_t` after processing the `t`-th stream
+//! update, let `X_t = 1` if `σ_t ≠ σ_{t−1}` and `X_t = 0` otherwise; the number of
+//! internal state changes is `Σ_t X_t`.
+//!
+//! This crate provides the substrate on which every algorithm in this repository is
+//! built so that state changes are measured uniformly and cannot be under-counted:
+//!
+//! * [`StateTracker`] — a cheaply clonable handle that records, per stream update
+//!   ("epoch"), whether any tracked word of memory changed, along with finer-grained
+//!   counters (word writes, redundant writes, reads) and space usage (current / peak
+//!   words).
+//! * [`TrackedCell`], [`TrackedVec`], [`TrackedMap`] — drop-in storage primitives that
+//!   report every mutation to their tracker and only count a *state change* when the
+//!   stored value actually differs.
+//! * [`nvm`] — an asymmetric-memory (NVM / NAND flash) cost model that converts a
+//!   [`StateReport`] into simulated write energy, latency, and per-cell wear, following
+//!   the motivation of Section 1.1 of the paper.
+//! * [`traits`] — the common traits implemented by the paper's algorithms and by all
+//!   baselines ([`StreamAlgorithm`], [`FrequencyEstimator`], [`MomentEstimator`], …).
+//!
+//! ## Example
+//!
+//! ```
+//! use fsc_state::{StateTracker, TrackedCell};
+//!
+//! let tracker = StateTracker::new();
+//! let mut cell = TrackedCell::new(&tracker, 0u64);
+//!
+//! // Three stream updates; only two of them modify the cell.
+//! tracker.begin_epoch();
+//! cell.write(5);
+//! tracker.begin_epoch();
+//! cell.write(5); // unchanged: a redundant write, not a state change
+//! tracker.begin_epoch();
+//! cell.write(7);
+//!
+//! let report = tracker.snapshot();
+//! assert_eq!(report.state_changes, 2);
+//! // Initialising the cell plus the two updates that changed it:
+//! assert_eq!(report.word_writes, 3);
+//! assert_eq!(report.redundant_writes, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cell;
+mod map;
+pub mod nvm;
+mod report;
+mod tracker;
+pub mod traits;
+mod vec;
+
+pub use cell::TrackedCell;
+pub use map::TrackedMap;
+pub use nvm::{NvmCostModel, NvmReport};
+pub use report::StateReport;
+pub use tracker::{AddrRange, StateTracker};
+pub use traits::{
+    EntropyEstimator, FrequencyEstimator, MomentEstimator, StreamAlgorithm, SupportRecovery,
+};
+pub use vec::TrackedVec;
+
+/// Number of 64-bit machine words needed to store a value of type `T`.
+///
+/// Every tracked container charges space in words of `O(log n + log m)` bits, matching
+/// the word model of the paper (Section 1.5).  Zero-sized types are charged one word so
+/// that presence/absence information is never free.
+pub fn words_of<T>() -> usize {
+    std::mem::size_of::<T>().div_ceil(8).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_of_charges_at_least_one_word() {
+        assert_eq!(words_of::<()>(), 1);
+        assert_eq!(words_of::<u8>(), 1);
+        assert_eq!(words_of::<u64>(), 1);
+        assert_eq!(words_of::<u128>(), 2);
+        assert_eq!(words_of::<[u64; 5]>(), 5);
+    }
+}

@@ -1,0 +1,198 @@
+//! Asymmetric-memory (NVM / NAND flash) cost model.
+//!
+//! The paper's Section 1.1 motivates minimizing state changes by the read/write
+//! asymmetry of non-volatile memory: writes cost more energy and latency than reads, and
+//! NVM cells wear out after a bounded number of writes (10^8–10^12 for general NVM
+//! [MSCT14], 10^4–10^6 for NAND flash cells [BT11]).  The paper itself does not measure
+//! hardware; this module is the documented substitution: it converts the exact
+//! state-change counts measured by [`crate::StateTracker`] into simulated energy,
+//! latency, and wear figures under a configurable cost model, so that the benefit of a
+//! write-frugal algorithm can be reported in interpretable units.
+
+use crate::report::StateReport;
+
+/// Per-operation costs and endurance of a memory technology.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NvmCostModel {
+    /// Human-readable name of the technology profile.
+    pub name: &'static str,
+    /// Energy per word read, in nanojoules.
+    pub read_energy_nj: f64,
+    /// Energy per word write, in nanojoules.
+    pub write_energy_nj: f64,
+    /// Latency per word read, in nanoseconds.
+    pub read_latency_ns: f64,
+    /// Latency per word write, in nanoseconds.
+    pub write_latency_ns: f64,
+    /// Number of writes a single cell endures before wearing out.
+    pub endurance_writes: u64,
+}
+
+impl NvmCostModel {
+    /// DRAM-like profile: symmetric read/write costs, effectively unlimited endurance.
+    /// Used as the "writes are free" reference point.
+    pub fn dram() -> Self {
+        Self {
+            name: "DRAM",
+            read_energy_nj: 1.0,
+            write_energy_nj: 1.0,
+            read_latency_ns: 50.0,
+            write_latency_ns: 50.0,
+            endurance_writes: u64::MAX,
+        }
+    }
+
+    /// Phase-change-memory-like profile: writes ~10x the energy and ~5x the latency of
+    /// reads, 10^8 write endurance (order-of-magnitude figures from the systems
+    /// literature cited in the paper, e.g. [LIMB09, QGR11]).
+    pub fn pcm() -> Self {
+        Self {
+            name: "PCM-NVM",
+            read_energy_nj: 2.0,
+            write_energy_nj: 20.0,
+            read_latency_ns: 100.0,
+            write_latency_ns: 500.0,
+            endurance_writes: 100_000_000,
+        }
+    }
+
+    /// NAND-flash-like profile: writes are far more expensive than reads and cells wear
+    /// out after ~10^5 writes [BT11].
+    pub fn nand_flash() -> Self {
+        Self {
+            name: "NAND-flash",
+            read_energy_nj: 5.0,
+            write_energy_nj: 250.0,
+            read_latency_ns: 25_000.0,
+            write_latency_ns: 200_000.0,
+            endurance_writes: 100_000,
+        }
+    }
+
+    /// Ratio of write energy to read energy (the asymmetry the paper targets).
+    pub fn write_read_energy_ratio(&self) -> f64 {
+        self.write_energy_nj / self.read_energy_nj
+    }
+}
+
+/// Simulated cost of a measured execution under a given memory technology.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NvmReport {
+    /// Technology profile name.
+    pub model: &'static str,
+    /// Total simulated energy (nJ) spent on reads.
+    pub read_energy_nj: f64,
+    /// Total simulated energy (nJ) spent on writes (only writes that changed memory;
+    /// a read-before-write implementation skips redundant writes).
+    pub write_energy_nj: f64,
+    /// Total simulated memory latency (ns), reads plus writes.
+    pub total_latency_ns: f64,
+    /// Wear of the most-written cell as a fraction of the endurance budget,
+    /// if per-cell tracking was enabled.
+    pub max_cell_wear_fraction: Option<f64>,
+    /// How many identical runs of this workload the device would survive before the
+    /// most-written cell wears out (only with per-cell tracking).
+    pub runs_to_wearout: Option<u64>,
+}
+
+impl NvmReport {
+    /// Computes the simulated cost of `state` under `model`.
+    pub fn from_state(state: &StateReport, model: &NvmCostModel) -> Self {
+        let reads = state.reads as f64;
+        let writes = state.word_writes as f64;
+        let read_energy = reads * model.read_energy_nj;
+        let write_energy = writes * model.write_energy_nj;
+        let latency = reads * model.read_latency_ns + writes * model.write_latency_ns;
+        let (wear, runs) = match state.max_cell_writes {
+            Some(0) | None => (None, None),
+            Some(w) => (
+                Some(w as f64 / model.endurance_writes as f64),
+                Some(model.endurance_writes / w),
+            ),
+        };
+        Self {
+            model: model.name,
+            read_energy_nj: read_energy,
+            write_energy_nj: write_energy,
+            total_latency_ns: latency,
+            max_cell_wear_fraction: wear,
+            runs_to_wearout: runs,
+        }
+    }
+
+    /// Total simulated energy (reads + writes), in nanojoules.
+    pub fn total_energy_nj(&self) -> f64 {
+        self.read_energy_nj + self.write_energy_nj
+    }
+
+    /// Fraction of the total energy spent on writes.
+    pub fn write_energy_fraction(&self) -> f64 {
+        let total = self.total_energy_nj();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.write_energy_nj / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(reads: u64, writes: u64, max_cell: Option<u64>) -> StateReport {
+        StateReport {
+            reads,
+            word_writes: writes,
+            max_cell_writes: max_cell,
+            ..StateReport::default()
+        }
+    }
+
+    #[test]
+    fn profiles_are_ordered_by_asymmetry() {
+        assert!(NvmCostModel::dram().write_read_energy_ratio() <= 1.0 + 1e-9);
+        assert!(NvmCostModel::pcm().write_read_energy_ratio() > 5.0);
+        assert!(
+            NvmCostModel::nand_flash().write_read_energy_ratio()
+                > NvmCostModel::pcm().write_read_energy_ratio()
+        );
+        assert!(NvmCostModel::nand_flash().endurance_writes < NvmCostModel::pcm().endurance_writes);
+    }
+
+    #[test]
+    fn energy_accounting_matches_counts() {
+        let model = NvmCostModel::pcm();
+        let r = NvmReport::from_state(&report(1000, 10, None), &model);
+        assert!((r.read_energy_nj - 2000.0).abs() < 1e-9);
+        assert!((r.write_energy_nj - 200.0).abs() < 1e-9);
+        assert!((r.total_energy_nj() - 2200.0).abs() < 1e-9);
+        assert!((r.write_energy_fraction() - 200.0 / 2200.0).abs() < 1e-12);
+        assert!(r.max_cell_wear_fraction.is_none());
+    }
+
+    #[test]
+    fn wear_uses_the_hottest_cell() {
+        let model = NvmCostModel::nand_flash();
+        let r = NvmReport::from_state(&report(0, 500, Some(50)), &model);
+        assert!((r.max_cell_wear_fraction.unwrap() - 50.0 / 100_000.0).abs() < 1e-12);
+        assert_eq!(r.runs_to_wearout, Some(2000));
+    }
+
+    #[test]
+    fn fewer_writes_means_less_energy_on_asymmetric_memory() {
+        let model = NvmCostModel::nand_flash();
+        // Same number of memory touches, different write shares.
+        let write_heavy = NvmReport::from_state(&report(0, 1000, None), &model);
+        let read_heavy = NvmReport::from_state(&report(990, 10, None), &model);
+        assert!(read_heavy.total_energy_nj() < write_heavy.total_energy_nj() / 10.0);
+    }
+
+    #[test]
+    fn zero_activity_report_is_zero_cost() {
+        let r = NvmReport::from_state(&StateReport::default(), &NvmCostModel::dram());
+        assert_eq!(r.total_energy_nj(), 0.0);
+        assert_eq!(r.write_energy_fraction(), 0.0);
+        assert!(r.runs_to_wearout.is_none());
+    }
+}

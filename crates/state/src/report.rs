@@ -1,0 +1,173 @@
+//! Immutable snapshots of a [`crate::StateTracker`]'s counters.
+
+use std::fmt;
+
+/// A snapshot of every counter maintained by a [`crate::StateTracker`].
+///
+/// Reports are plain data: they can be compared, aggregated across repetitions, and fed
+/// to the NVM cost model ([`crate::nvm::NvmReport::from_state`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StateReport {
+    /// Number of stream updates in which at least one tracked word changed
+    /// (the paper's definition of the number of internal state changes).
+    pub state_changes: u64,
+    /// Number of individual word writes that changed the stored value.
+    pub word_writes: u64,
+    /// Number of word writes whose new value equalled the old value (these cost a read
+    /// in a read-before-write implementation but never a state change).
+    pub redundant_writes: u64,
+    /// Number of word reads.
+    pub reads: u64,
+    /// Number of epochs (stream updates) processed.
+    pub epochs: u64,
+    /// Words of tracked memory currently allocated.
+    pub words_current: usize,
+    /// Peak words of tracked memory allocated at any point.
+    pub words_peak: usize,
+    /// Maximum number of writes to any single tracked word (only with address tracking).
+    pub max_cell_writes: Option<u64>,
+    /// Number of addressable words observed (only with address tracking).
+    pub tracked_cells: Option<usize>,
+    /// Total writes recorded across all addresses (only with address tracking).
+    pub total_addr_writes: Option<u64>,
+}
+
+impl StateReport {
+    /// Peak space usage in bits, assuming 64-bit words.
+    pub fn bits_peak(&self) -> usize {
+        self.words_peak * 64
+    }
+
+    /// Fraction of stream updates that changed the state (`state_changes / epochs`).
+    ///
+    /// Classic streaming algorithms (Misra-Gries, CountMin, …) have a fraction close to
+    /// 1; the paper's algorithms have a fraction that vanishes as `n^{-1/p}`.
+    pub fn change_fraction(&self) -> f64 {
+        if self.epochs == 0 {
+            0.0
+        } else {
+            self.state_changes as f64 / self.epochs as f64
+        }
+    }
+
+    /// Writes per update that actually modified memory (`word_writes / epochs`).
+    pub fn writes_per_update(&self) -> f64 {
+        if self.epochs == 0 {
+            0.0
+        } else {
+            self.word_writes as f64 / self.epochs as f64
+        }
+    }
+
+    /// Component-wise sum of two reports (useful for aggregating algorithm ensembles
+    /// that use several trackers).
+    pub fn merged(&self, other: &StateReport) -> StateReport {
+        fn add_opt<T: std::ops::Add<Output = T>>(a: Option<T>, b: Option<T>) -> Option<T> {
+            match (a, b) {
+                (Some(x), Some(y)) => Some(x + y),
+                (Some(x), None) | (None, Some(x)) => Some(x),
+                (None, None) => None,
+            }
+        }
+        StateReport {
+            state_changes: self.state_changes + other.state_changes,
+            word_writes: self.word_writes + other.word_writes,
+            redundant_writes: self.redundant_writes + other.redundant_writes,
+            reads: self.reads + other.reads,
+            epochs: self.epochs.max(other.epochs),
+            words_current: self.words_current + other.words_current,
+            words_peak: self.words_peak + other.words_peak,
+            max_cell_writes: match (self.max_cell_writes, other.max_cell_writes) {
+                (Some(x), Some(y)) => Some(x.max(y)),
+                (a, b) => a.or(b),
+            },
+            tracked_cells: add_opt(self.tracked_cells, other.tracked_cells),
+            total_addr_writes: add_opt(self.total_addr_writes, other.total_addr_writes),
+        }
+    }
+}
+
+impl fmt::Display for StateReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "state_changes={} word_writes={} reads={} epochs={} words_peak={} change_fraction={:.4}",
+            self.state_changes,
+            self.word_writes,
+            self.reads,
+            self.epochs,
+            self.words_peak,
+            self.change_fraction()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StateReport {
+        StateReport {
+            state_changes: 10,
+            word_writes: 25,
+            redundant_writes: 5,
+            reads: 100,
+            epochs: 40,
+            words_current: 8,
+            words_peak: 16,
+            max_cell_writes: Some(7),
+            tracked_cells: Some(16),
+            total_addr_writes: Some(25),
+        }
+    }
+
+    #[test]
+    fn change_fraction_and_writes_per_update() {
+        let r = sample();
+        assert!((r.change_fraction() - 0.25).abs() < 1e-12);
+        assert!((r.writes_per_update() - 0.625).abs() < 1e-12);
+        assert_eq!(StateReport::default().change_fraction(), 0.0);
+        assert_eq!(StateReport::default().writes_per_update(), 0.0);
+    }
+
+    #[test]
+    fn bits_peak_is_words_times_64() {
+        assert_eq!(sample().bits_peak(), 16 * 64);
+    }
+
+    #[test]
+    fn merged_sums_counts_and_maxes_wear() {
+        let a = sample();
+        let mut b = sample();
+        b.max_cell_writes = Some(3);
+        b.epochs = 50;
+        let m = a.merged(&b);
+        assert_eq!(m.state_changes, 20);
+        assert_eq!(m.word_writes, 50);
+        assert_eq!(m.words_peak, 32);
+        assert_eq!(m.epochs, 50, "epochs of a shared stream are not additive");
+        assert_eq!(m.max_cell_writes, Some(7));
+        assert_eq!(m.tracked_cells, Some(32));
+    }
+
+    #[test]
+    fn merged_handles_missing_address_tracking() {
+        let a = sample();
+        let b = StateReport {
+            max_cell_writes: None,
+            tracked_cells: None,
+            total_addr_writes: None,
+            ..sample()
+        };
+        let m = a.merged(&b);
+        assert_eq!(m.max_cell_writes, Some(7));
+        assert_eq!(m.tracked_cells, Some(16));
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let s = sample().to_string();
+        assert!(s.contains("state_changes=10"));
+        assert!(s.contains("change_fraction=0.2500"));
+    }
+}

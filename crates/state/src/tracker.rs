@@ -1,0 +1,294 @@
+//! The [`StateTracker`] handle and its internal counters.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::report::StateReport;
+
+/// A contiguous range of tracked memory addresses, returned by [`StateTracker::alloc`].
+///
+/// Addresses are abstract word indices in the tracker's address space.  They are used
+/// only when per-cell wear accounting is enabled (see
+/// [`StateTracker::with_address_tracking`]); algorithms never interpret them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddrRange {
+    /// First word index of the allocation.
+    pub start: usize,
+    /// Number of words allocated.
+    pub len: usize,
+}
+
+impl AddrRange {
+    /// An empty range used by structures created without an owning tracker allocation.
+    pub const EMPTY: AddrRange = AddrRange { start: 0, len: 0 };
+
+    /// Address of the `i`-th word in this range (`i < len`).
+    pub fn word(&self, i: usize) -> usize {
+        debug_assert!(i < self.len.max(1));
+        self.start + i.min(self.len.saturating_sub(1))
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Paper-definition state changes: number of epochs in which ≥ 1 word changed.
+    state_changes: u64,
+    /// Number of individual word writes that changed the stored value.
+    word_writes: u64,
+    /// Number of word writes whose new value equalled the old value.
+    redundant_writes: u64,
+    /// Number of word reads.
+    reads: u64,
+    /// Number of epochs started so far (one per stream update by convention).
+    epochs: u64,
+    /// Whether the current epoch has already been counted as a state change.
+    dirty: bool,
+    /// Whether any epoch has been opened yet.  Writes performed before the first epoch
+    /// (data-structure initialisation) are counted as word writes but not as state
+    /// changes, matching the paper's convention that state changes are counted per
+    /// stream update.
+    in_epoch: bool,
+    /// Currently allocated words.
+    words_current: usize,
+    /// Peak allocated words over the lifetime of the tracker.
+    words_peak: usize,
+    /// Per-address write counts (only when address tracking is enabled).
+    addr_writes: Option<Vec<u64>>,
+    /// Next free address for `alloc`.
+    next_addr: usize,
+}
+
+impl Inner {
+    fn charge_alloc(&mut self, words: usize) -> AddrRange {
+        let range = AddrRange {
+            start: self.next_addr,
+            len: words,
+        };
+        self.next_addr += words;
+        self.words_current += words;
+        self.words_peak = self.words_peak.max(self.words_current);
+        if let Some(aw) = &mut self.addr_writes {
+            aw.resize(self.next_addr, 0);
+        }
+        range
+    }
+
+    fn charge_dealloc(&mut self, words: usize) {
+        self.words_current = self.words_current.saturating_sub(words);
+    }
+
+    fn record_write(&mut self, addr: Option<usize>, changed: bool) {
+        if changed {
+            self.word_writes += 1;
+            if self.in_epoch && !self.dirty {
+                self.dirty = true;
+                self.state_changes += 1;
+            }
+            if let (Some(aw), Some(a)) = (&mut self.addr_writes, addr) {
+                if a >= aw.len() {
+                    aw.resize(a + 1, 0);
+                }
+                aw[a] += 1;
+            }
+        } else {
+            self.redundant_writes += 1;
+        }
+    }
+}
+
+/// Shared handle recording all memory activity of one streaming algorithm.
+///
+/// The handle is a thin reference-counted pointer, so tracked containers each hold a
+/// clone of it.  Tracking is single-threaded by design: a streaming algorithm's state
+/// change count is a sequential notion (one update at a time), and the paper's model is
+/// sequential.
+///
+/// # Epochs
+///
+/// The paper counts a *state change* per stream update, not per modified word: an update
+/// that rewrites five words counts once.  Call [`StateTracker::begin_epoch`] at the start
+/// of each stream update (the [`crate::traits::StreamAlgorithm::update`] default method
+/// does this for you); all writes until the next `begin_epoch` belong to that epoch, and
+/// the epoch contributes at most one state change.
+#[derive(Debug, Clone, Default)]
+pub struct StateTracker {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl StateTracker {
+    /// Creates a tracker with aggregate counters only.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a tracker that additionally records per-address write counts, enabling
+    /// wear analysis through [`crate::nvm::NvmReport`].
+    ///
+    /// Address tracking costs one `u64` per tracked word, so it is intended for
+    /// moderate-size experiments (it is an analysis feature, not part of the algorithm).
+    pub fn with_address_tracking() -> Self {
+        let t = Self::new();
+        t.inner.borrow_mut().addr_writes = Some(Vec::new());
+        t
+    }
+
+    /// Starts a new epoch (stream update).  At most one state change is counted per
+    /// epoch regardless of how many words are modified within it.
+    pub fn begin_epoch(&self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.epochs += 1;
+        inner.dirty = false;
+        inner.in_epoch = true;
+    }
+
+    /// Allocates `words` words of tracked memory and charges them to the space accounts.
+    pub fn alloc(&self, words: usize) -> AddrRange {
+        self.inner.borrow_mut().charge_alloc(words)
+    }
+
+    /// Releases `words` words of tracked memory (peak usage is unaffected).
+    pub fn dealloc(&self, words: usize) {
+        self.inner.borrow_mut().charge_dealloc(words)
+    }
+
+    /// Records a write to one word.  `changed` must be `true` iff the stored value
+    /// actually differs from the previous value; only changed writes can trigger a state
+    /// change.  `addr` feeds per-cell wear accounting when enabled.
+    pub fn record_write(&self, addr: Option<usize>, changed: bool) {
+        self.inner.borrow_mut().record_write(addr, changed)
+    }
+
+    /// Records `n` word reads.
+    pub fn record_reads(&self, n: u64) {
+        self.inner.borrow_mut().reads += n;
+    }
+
+    /// Number of state changes so far (paper definition).
+    pub fn state_changes(&self) -> u64 {
+        self.inner.borrow().state_changes
+    }
+
+    /// Number of epochs (stream updates) started so far.
+    pub fn epochs(&self) -> u64 {
+        self.inner.borrow().epochs
+    }
+
+    /// Current number of allocated words.
+    pub fn words_current(&self) -> usize {
+        self.inner.borrow().words_current
+    }
+
+    /// Peak number of allocated words.
+    pub fn words_peak(&self) -> usize {
+        self.inner.borrow().words_peak
+    }
+
+    /// Produces an immutable snapshot of every counter.
+    pub fn snapshot(&self) -> StateReport {
+        let inner = self.inner.borrow();
+        let (max_cell_writes, tracked_cells, total_addr_writes) = match &inner.addr_writes {
+            Some(aw) => (
+                aw.iter().copied().max(),
+                Some(aw.len()),
+                Some(aw.iter().sum()),
+            ),
+            None => (None, None, None),
+        };
+        StateReport {
+            state_changes: inner.state_changes,
+            word_writes: inner.word_writes,
+            redundant_writes: inner.redundant_writes,
+            reads: inner.reads,
+            epochs: inner.epochs,
+            words_current: inner.words_current,
+            words_peak: inner.words_peak,
+            max_cell_writes,
+            tracked_cells,
+            total_addr_writes,
+        }
+    }
+
+    /// Per-address write counts, if address tracking is enabled.
+    pub fn address_writes(&self) -> Option<Vec<u64>> {
+        self.inner.borrow().addr_writes.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epochs_bound_state_changes() {
+        let t = StateTracker::new();
+        for _ in 0..10 {
+            t.begin_epoch();
+            // Three changed writes within the same epoch count as one state change.
+            t.record_write(None, true);
+            t.record_write(None, true);
+            t.record_write(None, true);
+        }
+        let r = t.snapshot();
+        assert_eq!(r.epochs, 10);
+        assert_eq!(r.state_changes, 10);
+        assert_eq!(r.word_writes, 30);
+    }
+
+    #[test]
+    fn unchanged_writes_are_not_state_changes() {
+        let t = StateTracker::new();
+        t.begin_epoch();
+        t.record_write(None, false);
+        t.record_write(None, false);
+        assert_eq!(t.state_changes(), 0);
+        assert_eq!(t.snapshot().redundant_writes, 2);
+    }
+
+    #[test]
+    fn allocation_tracks_current_and_peak() {
+        let t = StateTracker::new();
+        let a = t.alloc(10);
+        let b = t.alloc(5);
+        assert_eq!(a.start, 0);
+        assert_eq!(b.start, 10);
+        assert_eq!(t.words_current(), 15);
+        t.dealloc(10);
+        assert_eq!(t.words_current(), 5);
+        assert_eq!(t.words_peak(), 15);
+        let c = t.alloc(1);
+        assert_eq!(c.start, 15, "addresses are never reused");
+    }
+
+    #[test]
+    fn address_tracking_records_per_cell_wear() {
+        let t = StateTracker::with_address_tracking();
+        let r = t.alloc(4);
+        t.begin_epoch();
+        t.record_write(Some(r.word(0)), true);
+        t.begin_epoch();
+        t.record_write(Some(r.word(0)), true);
+        t.begin_epoch();
+        t.record_write(Some(r.word(3)), true);
+        let snap = t.snapshot();
+        assert_eq!(snap.max_cell_writes, Some(2));
+        assert_eq!(snap.total_addr_writes, Some(3));
+        assert_eq!(snap.tracked_cells, Some(4));
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let t = StateTracker::new();
+        let t2 = t.clone();
+        t.begin_epoch();
+        t2.record_write(None, true);
+        assert_eq!(t.state_changes(), 1);
+    }
+
+    #[test]
+    fn addr_range_word_is_clamped() {
+        let r = AddrRange { start: 7, len: 3 };
+        assert_eq!(r.word(0), 7);
+        assert_eq!(r.word(2), 9);
+        assert_eq!(AddrRange::EMPTY.word(0), 0);
+    }
+}

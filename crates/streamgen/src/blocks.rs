@@ -1,0 +1,167 @@
+//! The Section 1.4 counterexample stream.
+//!
+//! The paper contrasts its time-bucketed counter maintenance with earlier
+//! sampling-based moment estimators ([BO13, BKSV14]) using a block-structured stream:
+//! locally, *pseudo-heavy* items look much larger than the true `L_2` heavy hitter, so
+//! an algorithm that evicts the smallest counters globally will keep the pseudo-heavy
+//! items and drop the heavy hitter.  This module generates that stream.
+//!
+//! Construction (parameterised by a scale `q`, with `m = q^4` total updates split into
+//! `q^2` blocks of `q^2` updates each):
+//!
+//! * one **heavy hitter** (item 0) with total frequency `q·r^2 ≈ √m`, where
+//!   `r = ⌊√q⌋`;
+//! * `q^2` **pseudo-heavy** items, each of frequency `q = m^{1/4}`, packed `q` per
+//!   *special block*;
+//! * all other updates are **light** items that appear exactly once.
+//!
+//! Each special block is followed by `r` blocks containing `r` occurrences of the heavy
+//! hitter (the paper places the special blocks consecutively, which makes the follower
+//! blocks overlap; we space them `r+1` blocks apart so the construction is executable
+//! while preserving the property that the heavy hitter never looks locally large).
+
+/// A generated counterexample stream plus the identities needed to score algorithms.
+#[derive(Debug, Clone)]
+pub struct CounterexampleStream {
+    /// The stream updates.
+    pub stream: Vec<u64>,
+    /// The unique true `L_2` heavy hitter (item id 0).
+    pub heavy_hitter: u64,
+    /// Exact frequency of the heavy hitter.
+    pub heavy_freq: u64,
+    /// Exact frequency of each pseudo-heavy item.
+    pub pseudo_freq: u64,
+    /// Number of pseudo-heavy items.
+    pub pseudo_count: usize,
+    /// Scale parameter `q`.
+    pub scale: usize,
+}
+
+/// Generates the counterexample stream at scale `q ≥ 4` (stream length `q^4`).
+pub fn counterexample_stream(q: usize) -> CounterexampleStream {
+    assert!(q >= 4, "scale must be at least 4");
+    let r = (q as f64).sqrt().floor() as usize; // n^{1/8} in the paper's notation
+    let block_size = q * q;
+    let num_blocks = q * q;
+    let heavy_hitter = 0u64;
+    let pseudo_base = 1u64;
+    let pseudo_count = q * q;
+    let mut next_light = pseudo_base + pseudo_count as u64;
+
+    // Special blocks are spaced r+1 apart so each has r dedicated follower blocks.
+    let special_positions: Vec<usize> = (0..q).map(|w| w * (r + 1)).collect();
+    assert!(
+        special_positions.last().copied().unwrap_or(0) + r < num_blocks,
+        "scale too small to lay out special blocks"
+    );
+
+    let mut stream = Vec::with_capacity(block_size * num_blocks);
+    let mut heavy_freq = 0u64;
+    let mut block_kind = vec![0u8; num_blocks]; // 0 = light, 1 = special, 2 = follower
+    for (w, &pos) in special_positions.iter().enumerate() {
+        block_kind[pos] = 1;
+        for follow in 1..=r {
+            block_kind[pos + follow] = 2;
+        }
+        let _ = w;
+    }
+
+    let mut special_index = 0usize;
+    for kind in block_kind.iter().copied() {
+        match kind {
+            1 => {
+                // q distinct pseudo-heavy items, each repeated q times.
+                let first = pseudo_base + (special_index * q) as u64;
+                special_index += 1;
+                for j in 0..q as u64 {
+                    for _ in 0..q {
+                        stream.push(first + j);
+                    }
+                }
+            }
+            2 => {
+                // r occurrences of the heavy hitter, then light filler.
+                for _ in 0..r {
+                    stream.push(heavy_hitter);
+                    heavy_freq += 1;
+                }
+                for _ in 0..(block_size - r) {
+                    stream.push(next_light);
+                    next_light += 1;
+                }
+            }
+            _ => {
+                for _ in 0..block_size {
+                    stream.push(next_light);
+                    next_light += 1;
+                }
+            }
+        }
+    }
+
+    CounterexampleStream {
+        stream,
+        heavy_hitter,
+        heavy_freq,
+        pseudo_freq: q as u64,
+        pseudo_count: q * q,
+        scale: q,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FrequencyVector;
+
+    #[test]
+    fn frequencies_match_the_construction() {
+        let cx = counterexample_stream(8);
+        assert_eq!(cx.stream.len(), 8usize.pow(4));
+        let f = FrequencyVector::from_stream(&cx.stream);
+        assert_eq!(f.frequency(cx.heavy_hitter), cx.heavy_freq);
+        // r = floor(sqrt(8)) = 2, so heavy frequency = q * r * r = 32.
+        assert_eq!(cx.heavy_freq, 32);
+        // The pseudo-heavy items actually used all have frequency q = 8.
+        let used_pseudo: Vec<u64> = f
+            .iter()
+            .filter(|&(item, _)| item >= 1 && item <= cx.pseudo_count as u64)
+            .map(|(_, c)| c)
+            .collect();
+        assert!(!used_pseudo.is_empty());
+        assert!(used_pseudo.iter().all(|&c| c == cx.pseudo_freq));
+    }
+
+    #[test]
+    fn heavy_hitter_dominates_the_l2_norm() {
+        let cx = counterexample_stream(16);
+        let f = FrequencyVector::from_stream(&cx.stream);
+        // The heavy hitter is an L2 heavy hitter at ε = 0.25 …
+        let hh = f.heavy_hitters(2.0, 0.25);
+        assert!(hh.iter().any(|&(item, _)| item == cx.heavy_hitter));
+        // … and no pseudo-heavy item is (they only reach frequency q).
+        assert!(hh
+            .iter()
+            .all(|&(item, _)| item == cx.heavy_hitter || f.frequency(item) > cx.pseudo_freq));
+    }
+
+    #[test]
+    fn heavy_hitter_never_looks_locally_large() {
+        // Within any single block the heavy hitter appears at most r = floor(sqrt(q))
+        // times, while pseudo-heavy items reach q occurrences in their block.
+        let cx = counterexample_stream(9);
+        let q = cx.scale;
+        let block = q * q;
+        let r = (q as f64).sqrt().floor() as u64;
+        for chunk in cx.stream.chunks(block) {
+            let hh_in_block = chunk.iter().filter(|&&x| x == cx.heavy_hitter).count() as u64;
+            assert!(hh_in_block <= r);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn tiny_scales_are_rejected() {
+        let _ = counterexample_stream(3);
+    }
+}

@@ -1,0 +1,217 @@
+//! Exact statistics of a stream, used as ground truth for every experiment.
+
+use std::collections::HashMap;
+
+/// The exact frequency vector `f ∈ R^n` defined by an insertion-only stream
+/// (`f_i` = number of occurrences of item `i`), together with exact functionals of it.
+#[derive(Debug, Clone, Default)]
+pub struct FrequencyVector {
+    counts: HashMap<u64, u64>,
+    stream_len: u64,
+}
+
+impl FrequencyVector {
+    /// Builds the exact frequency vector of `stream`.
+    pub fn from_stream(stream: &[u64]) -> Self {
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        for &item in stream {
+            *counts.entry(item).or_insert(0) += 1;
+        }
+        Self {
+            counts,
+            stream_len: stream.len() as u64,
+        }
+    }
+
+    /// Stream length `m = Σ_i f_i`.
+    pub fn stream_len(&self) -> u64 {
+        self.stream_len
+    }
+
+    /// Number of distinct items (`F_0`).
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Exact frequency of `item`.
+    pub fn frequency(&self, item: u64) -> u64 {
+        self.counts.get(&item).copied().unwrap_or(0)
+    }
+
+    /// Largest single frequency (`L_∞`).
+    pub fn max_frequency(&self) -> u64 {
+        self.counts.values().copied().max().unwrap_or(0)
+    }
+
+    /// The item achieving the largest frequency, if the stream is non-empty.
+    pub fn mode(&self) -> Option<(u64, u64)> {
+        self.counts
+            .iter()
+            .map(|(&k, &v)| (k, v))
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+    }
+
+    /// The support (distinct items), sorted.
+    pub fn support(&self) -> Vec<u64> {
+        let mut s: Vec<u64> = self.counts.keys().copied().collect();
+        s.sort_unstable();
+        s
+    }
+
+    /// Exact frequency moment `F_p = Σ_i f_i^p`.
+    pub fn fp(&self, p: f64) -> f64 {
+        assert!(p >= 0.0);
+        self.counts
+            .values()
+            .map(|&c| (c as f64).powf(p))
+            .sum()
+    }
+
+    /// Exact `L_p` norm `(F_p)^{1/p}` (for `p > 0`).
+    pub fn lp(&self, p: f64) -> f64 {
+        assert!(p > 0.0);
+        self.fp(p).powf(1.0 / p)
+    }
+
+    /// Exact Shannon entropy of the empirical distribution, in bits:
+    /// `H = −Σ_i (f_i/m)·log2(f_i/m)`.
+    pub fn entropy_bits(&self) -> f64 {
+        if self.stream_len == 0 {
+            return 0.0;
+        }
+        let m = self.stream_len as f64;
+        self.counts
+            .values()
+            .map(|&c| {
+                let p = c as f64 / m;
+                -p * p.log2()
+            })
+            .sum()
+    }
+
+    /// Exact `L_p` heavy hitters: all items with `f_i ≥ ε·‖f‖_p`, sorted by decreasing
+    /// frequency.
+    pub fn heavy_hitters(&self, p: f64, eps: f64) -> Vec<(u64, u64)> {
+        let threshold = eps * self.lp(p);
+        let mut out: Vec<(u64, u64)> = self
+            .counts
+            .iter()
+            .filter(|(_, &c)| c as f64 >= threshold)
+            .map(|(&k, &v)| (k, v))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// The `k` most frequent items, sorted by decreasing frequency (ties by item id).
+    pub fn top_k(&self, k: usize) -> Vec<(u64, u64)> {
+        let mut all: Vec<(u64, u64)> = self.counts.iter().map(|(&k, &v)| (k, v)).collect();
+        all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+
+    /// Iterates over `(item, frequency)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts.iter().map(|(&k, &v)| (k, v))
+    }
+}
+
+/// Precision/recall of a reported heavy-hitter set against the exact one.
+///
+/// `reported` and `exact` are item-id sets; order and estimated frequencies are ignored.
+pub fn precision_recall(reported: &[u64], exact: &[u64]) -> (f64, f64) {
+    if reported.is_empty() && exact.is_empty() {
+        return (1.0, 1.0);
+    }
+    let exact_set: std::collections::HashSet<u64> = exact.iter().copied().collect();
+    let reported_set: std::collections::HashSet<u64> = reported.iter().copied().collect();
+    let true_positives = reported_set.intersection(&exact_set).count() as f64;
+    let precision = if reported_set.is_empty() {
+        1.0
+    } else {
+        true_positives / reported_set.len() as f64
+    };
+    let recall = if exact_set.is_empty() {
+        1.0
+    } else {
+        true_positives / exact_set.len() as f64
+    };
+    (precision, recall)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FrequencyVector {
+        // f = {1: 4, 2: 2, 3: 1, 4: 1}
+        FrequencyVector::from_stream(&[1, 2, 1, 3, 1, 2, 4, 1])
+    }
+
+    #[test]
+    fn basic_counts() {
+        let f = sample();
+        assert_eq!(f.stream_len(), 8);
+        assert_eq!(f.distinct(), 4);
+        assert_eq!(f.frequency(1), 4);
+        assert_eq!(f.frequency(99), 0);
+        assert_eq!(f.max_frequency(), 4);
+        assert_eq!(f.mode(), Some((1, 4)));
+        assert_eq!(f.support(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn moments_match_hand_computation() {
+        let f = sample();
+        assert_eq!(f.fp(0.0), 4.0);
+        assert_eq!(f.fp(1.0), 8.0);
+        assert_eq!(f.fp(2.0), 16.0 + 4.0 + 1.0 + 1.0);
+        assert!((f.lp(2.0) - 22.0f64.sqrt()).abs() < 1e-12);
+        assert!((f.fp(3.0) - (64.0 + 8.0 + 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_matches_hand_computation() {
+        let f = sample();
+        // p = [1/2, 1/4, 1/8, 1/8] → H = 0.5 + 0.5 + 0.375 + 0.375 = 1.75 bits.
+        assert!((f.entropy_bits() - 1.75).abs() < 1e-12);
+        assert_eq!(FrequencyVector::from_stream(&[]).entropy_bits(), 0.0);
+        let uniform = FrequencyVector::from_stream(&[1, 2, 3, 4]);
+        assert!((uniform.entropy_bits() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heavy_hitters_respect_the_threshold() {
+        let f = sample();
+        // L2 = sqrt(22) ≈ 4.69; with ε = 0.5 the threshold is ≈ 2.35: only item 1.
+        assert_eq!(f.heavy_hitters(2.0, 0.5), vec![(1, 4)]);
+        // With ε = 0.4 the threshold is ≈ 1.88: items 1 and 2.
+        assert_eq!(f.heavy_hitters(2.0, 0.4), vec![(1, 4), (2, 2)]);
+    }
+
+    #[test]
+    fn top_k_is_sorted_and_truncated() {
+        let f = sample();
+        assert_eq!(f.top_k(2), vec![(1, 4), (2, 2)]);
+        assert_eq!(f.top_k(10).len(), 4);
+        assert_eq!(f.top_k(0), vec![]);
+    }
+
+    #[test]
+    fn precision_recall_basics() {
+        let (p, r) = precision_recall(&[1, 2, 5], &[1, 2, 3, 4]);
+        assert!((p - 2.0 / 3.0).abs() < 1e-12);
+        assert!((r - 0.5).abs() < 1e-12);
+        assert_eq!(precision_recall(&[], &[]), (1.0, 1.0));
+        assert_eq!(precision_recall(&[], &[1]), (1.0, 0.0));
+        assert_eq!(precision_recall(&[1], &[]), (0.0, 1.0));
+    }
+
+    #[test]
+    fn iter_covers_all_items() {
+        let f = sample();
+        let total: u64 = f.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 8);
+    }
+}

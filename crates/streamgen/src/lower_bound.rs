@@ -1,0 +1,166 @@
+//! Adversarial stream pairs from the lower bounds (Theorems 1.2 and 1.4).
+//!
+//! Both lower bounds use the same two-stream construction over a universe of size `n`:
+//!
+//! * `S_1` — a stream of length `n` in which one random item `i` is repeated inside a
+//!   random contiguous block `B` (of length `n^{1/p}` for the `F_p` bound, or
+//!   `ε·n^{1/p}` for the heavy-hitter bound); every other update is a fresh distinct
+//!   item.  Then `F_p(S_1) ≈ 2n` and `i` is an `ε/2` heavy hitter.
+//! * `S_2` — a random permutation of `[n]`, so `F_p(S_2) = n` and there is no heavy
+//!   hitter.
+//!
+//! An algorithm whose state changes fewer than `~n^{1−1/p}/2` times is, with constant
+//! probability, in the same state before and after `B`, hence cannot distinguish the
+//! two streams.  Experiment F5 replays this argument empirically against both a
+//! state-change-capped estimator and the paper's algorithm.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::uniform::permutation_stream;
+
+/// The pair `(S_1, S_2)` plus the identity of the planted block.
+#[derive(Debug, Clone)]
+pub struct LowerBoundPair {
+    /// The stream with a planted repeated block.
+    pub s1: Vec<u64>,
+    /// The permutation stream with no repetitions.
+    pub s2: Vec<u64>,
+    /// The repeated item.
+    pub planted_item: u64,
+    /// Index of the first update of the planted block in `s1`.
+    pub block_start: usize,
+    /// Length of the planted block (the planted item's frequency).
+    pub block_len: usize,
+    /// Universe size / stream length `n`.
+    pub n: usize,
+}
+
+impl LowerBoundPair {
+    /// Exact `F_p` of `S_1`: `(n − block_len) + block_len^p`.
+    pub fn fp_s1(&self, p: f64) -> f64 {
+        (self.n - self.block_len) as f64 + (self.block_len as f64).powf(p)
+    }
+
+    /// Exact `F_p` of `S_2`: `n`.
+    pub fn fp_s2(&self, _p: f64) -> f64 {
+        self.n as f64
+    }
+
+    /// Ratio `F_p(S_1)/F_p(S_2)`; the lower bound applies to algorithms that can detect
+    /// this gap (close to 2 for the Theorem 1.4 block length).
+    pub fn moment_gap(&self, p: f64) -> f64 {
+        self.fp_s1(p) / self.fp_s2(p)
+    }
+}
+
+/// Builds the lower-bound pair for the `F_p` estimation bound (Theorem 1.4):
+/// the planted block has length `⌈n^{1/p}⌉`.
+pub fn moment_lower_bound_pair(n: usize, p: f64, seed: u64) -> LowerBoundPair {
+    build_pair(n, ((n as f64).powf(1.0 / p).ceil() as usize).max(2), seed)
+}
+
+/// Builds the lower-bound pair for the heavy-hitter bound (Theorem 1.2):
+/// the planted block has length `⌈ε·n^{1/p}⌉`.
+pub fn heavy_hitter_lower_bound_pair(n: usize, p: f64, eps: f64, seed: u64) -> LowerBoundPair {
+    assert!(eps > 0.0 && eps <= 1.0);
+    let len = ((eps * (n as f64).powf(1.0 / p)).ceil() as usize).max(2);
+    build_pair(n, len, seed)
+}
+
+fn build_pair(n: usize, block_len: usize, seed: u64) -> LowerBoundPair {
+    assert!(n >= 4, "universe too small");
+    let block_len = block_len.min(n / 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let planted_item = rng.gen_range(0..n as u64);
+    let block_start = rng.gen_range(0..=(n - block_len));
+
+    // Distinct fillers: every universe item except the planted one, in random order.
+    let mut fillers: Vec<u64> = permutation_stream(n, seed.wrapping_add(1))
+        .into_iter()
+        .filter(|&x| x != planted_item)
+        .collect();
+    fillers.truncate(n - block_len);
+
+    let mut s1 = Vec::with_capacity(n);
+    let mut filler_iter = fillers.into_iter();
+    for t in 0..n {
+        if t >= block_start && t < block_start + block_len {
+            s1.push(planted_item);
+        } else {
+            s1.push(filler_iter.next().expect("enough distinct fillers"));
+        }
+    }
+
+    let s2 = permutation_stream(n, seed.wrapping_add(2));
+
+    LowerBoundPair {
+        s1,
+        s2,
+        planted_item,
+        block_start,
+        block_len,
+        n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FrequencyVector;
+
+    #[test]
+    fn s1_has_exactly_one_repeated_item() {
+        let pair = moment_lower_bound_pair(1 << 12, 2.0, 7);
+        assert_eq!(pair.s1.len(), 1 << 12);
+        let f = FrequencyVector::from_stream(&pair.s1);
+        assert_eq!(f.frequency(pair.planted_item), pair.block_len as u64);
+        assert_eq!(f.max_frequency(), pair.block_len as u64);
+        // Everything else appears exactly once.
+        let repeated = f.iter().filter(|&(_, c)| c > 1).count();
+        assert_eq!(repeated, 1);
+        // Block length for p = 2 is ceil(sqrt(4096)) = 64.
+        assert_eq!(pair.block_len, 64);
+    }
+
+    #[test]
+    fn planted_block_is_contiguous() {
+        let pair = moment_lower_bound_pair(2048, 3.0, 9);
+        for (t, &x) in pair.s1.iter().enumerate() {
+            let inside = t >= pair.block_start && t < pair.block_start + pair.block_len;
+            assert_eq!(x == pair.planted_item, inside, "position {t}");
+        }
+    }
+
+    #[test]
+    fn s2_is_a_permutation_and_the_gap_is_near_two() {
+        let pair = moment_lower_bound_pair(1 << 12, 2.0, 3);
+        let f2 = FrequencyVector::from_stream(&pair.s2);
+        assert_eq!(f2.distinct(), 1 << 12);
+        assert_eq!(f2.max_frequency(), 1);
+        let gap = pair.moment_gap(2.0);
+        assert!(gap > 1.9 && gap < 2.1, "gap {gap}");
+        assert_eq!(pair.fp_s2(2.0), 4096.0);
+    }
+
+    #[test]
+    fn heavy_hitter_variant_scales_block_with_eps() {
+        let small = heavy_hitter_lower_bound_pair(1 << 12, 2.0, 0.1, 5);
+        let large = heavy_hitter_lower_bound_pair(1 << 12, 2.0, 0.5, 5);
+        assert!(small.block_len < large.block_len);
+        let f = FrequencyVector::from_stream(&large.s1);
+        // The planted item is an ε/2-heavy hitter for L_2.
+        let threshold = 0.25 * f.lp(2.0);
+        assert!(f.frequency(large.planted_item) as f64 >= threshold);
+    }
+
+    #[test]
+    fn pairs_are_seeded_deterministically() {
+        let a = moment_lower_bound_pair(1024, 1.5, 42);
+        let b = moment_lower_bound_pair(1024, 1.5, 42);
+        let c = moment_lower_bound_pair(1024, 1.5, 43);
+        assert_eq!(a.s1, b.s1);
+        assert_eq!(a.s2, b.s2);
+        assert_ne!(a.s1, c.s1);
+    }
+}

@@ -1,0 +1,162 @@
+//! Synthetic network-flow traces (elephants and mice).
+//!
+//! The paper motivates heavy hitters with elephant-flow detection in network traffic
+//! monitoring [BEFK17].  Real traces (CAIDA, enterprise datacenter logs) are not
+//! redistributable, so this module generates the documented substitution: a packet
+//! stream in which a small number of *elephant* flows carry heavy-tailed (Pareto)
+//! packet counts and a large number of *mice* flows carry only a few packets each.
+//! The heavy-hitter structure — which is what the algorithms react to — matches the
+//! published characterisations of such traces.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::shuffle;
+
+/// Parameters of a synthetic flow trace.
+#[derive(Debug, Clone)]
+pub struct FlowTraceSpec {
+    /// Number of elephant flows (flow ids `0..elephants`).
+    pub elephants: usize,
+    /// Number of mice flows (flow ids `elephants..elephants+mice`).
+    pub mice: usize,
+    /// Minimum packet count of an elephant flow (Pareto scale parameter).
+    pub elephant_min_packets: u64,
+    /// Pareto tail exponent for elephant sizes (smaller = heavier tail).
+    pub pareto_alpha: f64,
+    /// Maximum packet count of a mouse flow (sizes are uniform in `1..=max`).
+    pub mouse_max_packets: u64,
+    /// Seed for sizes and packet interleaving.
+    pub seed: u64,
+}
+
+impl Default for FlowTraceSpec {
+    fn default() -> Self {
+        Self {
+            elephants: 16,
+            mice: 20_000,
+            elephant_min_packets: 500,
+            pareto_alpha: 1.2,
+            mouse_max_packets: 4,
+            seed: 0,
+        }
+    }
+}
+
+/// A generated packet trace plus its per-flow ground truth.
+#[derive(Debug, Clone)]
+pub struct FlowTrace {
+    /// Packet stream: each update is a flow id.
+    pub packets: Vec<u64>,
+    /// Exact packet count per elephant flow (index = flow id).
+    pub elephant_sizes: Vec<u64>,
+    /// Total number of flows.
+    pub flows: usize,
+}
+
+/// Generates the packet trace described by `spec`.
+pub fn flow_trace(spec: &FlowTraceSpec) -> FlowTrace {
+    assert!(spec.elephants > 0 && spec.mice > 0);
+    assert!(spec.pareto_alpha > 0.0);
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+
+    let elephant_sizes: Vec<u64> = (0..spec.elephants)
+        .map(|_| {
+            // Inverse-CDF Pareto sample: scale / U^{1/alpha}.
+            let u: f64 = rng.gen_range(1e-9..1.0);
+            (spec.elephant_min_packets as f64 / u.powf(1.0 / spec.pareto_alpha)).round() as u64
+        })
+        .collect();
+
+    let mut packets = Vec::new();
+    for (flow, &size) in elephant_sizes.iter().enumerate() {
+        for _ in 0..size {
+            packets.push(flow as u64);
+        }
+    }
+    for mouse in 0..spec.mice {
+        let flow = (spec.elephants + mouse) as u64;
+        let size = rng.gen_range(1..=spec.mouse_max_packets);
+        for _ in 0..size {
+            packets.push(flow);
+        }
+    }
+    shuffle(&mut packets, spec.seed.wrapping_add(17));
+
+    FlowTrace {
+        packets,
+        elephant_sizes,
+        flows: spec.elephants + spec.mice,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FrequencyVector;
+
+    #[test]
+    fn elephants_have_their_planned_sizes() {
+        let spec = FlowTraceSpec {
+            elephants: 8,
+            mice: 2_000,
+            seed: 4,
+            ..FlowTraceSpec::default()
+        };
+        let trace = flow_trace(&spec);
+        let f = FrequencyVector::from_stream(&trace.packets);
+        for (flow, &size) in trace.elephant_sizes.iter().enumerate() {
+            assert_eq!(f.frequency(flow as u64), size);
+            assert!(size >= spec.elephant_min_packets);
+        }
+        assert_eq!(trace.flows, 2_008);
+    }
+
+    #[test]
+    fn mice_are_light_and_numerous() {
+        let spec = FlowTraceSpec {
+            elephants: 4,
+            mice: 5_000,
+            seed: 1,
+            ..FlowTraceSpec::default()
+        };
+        let trace = flow_trace(&spec);
+        let f = FrequencyVector::from_stream(&trace.packets);
+        let heaviest_mouse = f
+            .iter()
+            .filter(|&(flow, _)| flow >= spec.elephants as u64)
+            .map(|(_, c)| c)
+            .max()
+            .unwrap();
+        assert!(heaviest_mouse <= spec.mouse_max_packets);
+        assert!(f.distinct() > 4_900, "almost every mouse flow should appear");
+    }
+
+    #[test]
+    fn elephants_are_the_l1_heavy_hitters() {
+        let trace = flow_trace(&FlowTraceSpec {
+            elephants: 6,
+            mice: 3_000,
+            elephant_min_packets: 1_000,
+            seed: 9,
+            ..FlowTraceSpec::default()
+        });
+        let f = FrequencyVector::from_stream(&trace.packets);
+        let hh: Vec<u64> = f.heavy_hitters(1.0, 0.02).into_iter().map(|(i, _)| i).collect();
+        for flow in 0..6u64 {
+            assert!(hh.contains(&flow), "elephant {flow} not reported as heavy");
+        }
+        assert!(hh.iter().all(|&flow| flow < 6), "a mouse flow was reported heavy");
+    }
+
+    #[test]
+    fn trace_is_deterministic_per_seed() {
+        let spec = FlowTraceSpec::default();
+        assert_eq!(flow_trace(&spec).packets, flow_trace(&spec).packets);
+        let other = FlowTraceSpec {
+            seed: 99,
+            ..FlowTraceSpec::default()
+        };
+        assert_ne!(flow_trace(&spec).packets, flow_trace(&other).packets);
+    }
+}

@@ -1,0 +1,133 @@
+//! Streams with explicitly planted heavy hitters of known frequency.
+//!
+//! A planted stream consists of a background of light items (each appearing a handful
+//! of times) plus a small set of planted items whose frequencies are chosen by the
+//! caller.  Because the planted frequencies are exact, these streams give sharp
+//! accuracy measurements for heavy-hitter frequency estimation (experiment F4) and for
+//! the `F_p` level-set machinery (experiment F3).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::shuffle;
+
+/// Description of a planted-heavy-hitter workload.
+#[derive(Debug, Clone)]
+pub struct PlantedSpec {
+    /// Universe size `n`; background items are drawn from `[planted.len(), n)`.
+    pub universe: usize,
+    /// Number of background (light) updates.
+    pub background_updates: usize,
+    /// Frequencies of the planted items; planted item `i` is the universe element `i`.
+    pub planted: Vec<u64>,
+    /// Seed controlling background draws and the final shuffle.
+    pub seed: u64,
+}
+
+impl PlantedSpec {
+    /// Total stream length `m`.
+    pub fn stream_len(&self) -> usize {
+        self.background_updates + self.planted.iter().sum::<u64>() as usize
+    }
+}
+
+/// Generates the stream described by `spec`, shuffled so planted occurrences are spread
+/// over the whole stream.
+pub fn planted_stream(spec: &PlantedSpec) -> Vec<u64> {
+    assert!(
+        spec.planted.len() < spec.universe,
+        "planted items must fit in the universe"
+    );
+    let mut out = Vec::with_capacity(spec.stream_len());
+    for (item, &freq) in spec.planted.iter().enumerate() {
+        for _ in 0..freq {
+            out.push(item as u64);
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let lo = spec.planted.len() as u64;
+    let hi = spec.universe as u64;
+    for _ in 0..spec.background_updates {
+        out.push(rng.gen_range(lo..hi));
+    }
+    shuffle(&mut out, spec.seed.wrapping_add(1));
+    out
+}
+
+/// Convenience constructor: one planted heavy hitter of frequency `hh_freq` on top of
+/// `background_updates` light updates over universe `[0, n)`.
+pub fn single_heavy_hitter(
+    universe: usize,
+    background_updates: usize,
+    hh_freq: u64,
+    seed: u64,
+) -> Vec<u64> {
+    planted_stream(&PlantedSpec {
+        universe,
+        background_updates,
+        planted: vec![hh_freq],
+        seed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FrequencyVector;
+
+    #[test]
+    fn planted_frequencies_are_exact() {
+        let spec = PlantedSpec {
+            universe: 1 << 14,
+            background_updates: 20_000,
+            planted: vec![500, 300, 100],
+            seed: 11,
+        };
+        let stream = planted_stream(&spec);
+        assert_eq!(stream.len(), spec.stream_len());
+        let f = FrequencyVector::from_stream(&stream);
+        assert_eq!(f.frequency(0), 500);
+        assert_eq!(f.frequency(1), 300);
+        assert_eq!(f.frequency(2), 100);
+    }
+
+    #[test]
+    fn background_is_light() {
+        let spec = PlantedSpec {
+            universe: 1 << 16,
+            background_updates: 30_000,
+            planted: vec![1000],
+            seed: 2,
+        };
+        let f = FrequencyVector::from_stream(&planted_stream(&spec));
+        let heaviest_background = f
+            .iter()
+            .filter(|&(item, _)| item != 0)
+            .map(|(_, c)| c)
+            .max()
+            .unwrap();
+        assert!(heaviest_background < 10, "background item too heavy: {heaviest_background}");
+        assert_eq!(f.mode().unwrap().0, 0);
+    }
+
+    #[test]
+    fn planted_occurrences_are_spread_out() {
+        let stream = single_heavy_hitter(1 << 12, 10_000, 1_000, 9);
+        // The heavy hitter should appear in both halves of the stream after shuffling.
+        let mid = stream.len() / 2;
+        let first = stream[..mid].iter().filter(|&&x| x == 0).count();
+        let second = stream[mid..].iter().filter(|&&x| x == 0).count();
+        assert!(first > 300 && second > 300, "first={first} second={second}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn planted_items_must_fit_in_universe() {
+        let _ = planted_stream(&PlantedSpec {
+            universe: 2,
+            background_updates: 0,
+            planted: vec![1, 1, 1],
+            seed: 0,
+        });
+    }
+}

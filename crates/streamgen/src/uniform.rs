@@ -1,0 +1,95 @@
+//! Uniform, permutation, and all-distinct streams.
+//!
+//! These are the "flat" inputs: no heavy hitters exist, `F_p ≈ m` for every `p`, and
+//! they are exactly the regime in which the paper's lower bounds show that *any*
+//! constant-factor `F_p` approximation must perform `Ω(n^{1−1/p})` state changes.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A stream of `m` items drawn independently and uniformly from `[0, n)`.
+pub fn uniform_stream(n: usize, m: usize, seed: u64) -> Vec<u64> {
+    assert!(n > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..m).map(|_| rng.gen_range(0..n as u64)).collect()
+}
+
+/// A uniformly random permutation of the universe `[0, n)`: every item appears exactly
+/// once (this is the stream `S_2` of the lower-bound constructions).
+pub fn permutation_stream(n: usize, seed: u64) -> Vec<u64> {
+    let mut items: Vec<u64> = (0..n as u64).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    items.shuffle(&mut rng);
+    items
+}
+
+/// A stream of `m` distinct items (`m ≤ n`), in random order.
+pub fn distinct_stream(n: usize, m: usize, seed: u64) -> Vec<u64> {
+    assert!(m <= n, "cannot draw {m} distinct items from a universe of {n}");
+    let mut perm = permutation_stream(n, seed);
+    perm.truncate(m);
+    perm
+}
+
+/// A sorted stream in which each item `i ∈ [0, n)` appears exactly `reps` times,
+/// consecutively (`0,0,…,0,1,1,…`).  This is the "all items arrive together" case
+/// discussed in the counter-maintenance paragraph of Section 1.3.
+pub fn grouped_stream(n: usize, reps: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(n * reps);
+    for i in 0..n as u64 {
+        for _ in 0..reps {
+            out.push(i);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FrequencyVector;
+
+    #[test]
+    fn uniform_stream_stays_in_range_and_is_seeded() {
+        let a = uniform_stream(100, 10_000, 1);
+        assert_eq!(a, uniform_stream(100, 10_000, 1));
+        assert_ne!(a, uniform_stream(100, 10_000, 2));
+        assert!(a.iter().all(|&x| x < 100));
+        let f = FrequencyVector::from_stream(&a);
+        assert!(f.distinct() > 90, "expected near-full coverage of the universe");
+    }
+
+    #[test]
+    fn permutation_contains_every_item_once() {
+        let p = permutation_stream(512, 3);
+        let f = FrequencyVector::from_stream(&p);
+        assert_eq!(f.distinct(), 512);
+        assert_eq!(f.max_frequency(), 1);
+        assert_eq!(f.stream_len(), 512);
+        assert_ne!(p, (0..512).collect::<Vec<u64>>(), "should be shuffled");
+    }
+
+    #[test]
+    fn distinct_stream_has_no_repeats() {
+        let s = distinct_stream(1000, 100, 5);
+        let f = FrequencyVector::from_stream(&s);
+        assert_eq!(f.distinct(), 100);
+        assert_eq!(f.max_frequency(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn distinct_stream_rejects_oversized_requests() {
+        let _ = distinct_stream(10, 11, 0);
+    }
+
+    #[test]
+    fn grouped_stream_is_contiguous() {
+        let s = grouped_stream(4, 3);
+        assert_eq!(s, vec![0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3]);
+        let f = FrequencyVector::from_stream(&s);
+        assert_eq!(f.max_frequency(), 3);
+        assert_eq!(f.distinct(), 4);
+    }
+}

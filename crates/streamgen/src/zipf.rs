@@ -1,0 +1,124 @@
+//! Zipfian stream generation.
+//!
+//! Zipfian item popularity (frequency of the `r`-th most popular item ∝ `r^{−s}`) is the
+//! standard model for the skewed workloads that motivate heavy-hitter detection:
+//! network flow sizes, query logs, and caching traces.  The generator uses an explicit
+//! inverse-CDF table, so streams are reproducible across platforms for a fixed seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A Zipfian distribution over the universe `{0, 1, …, n−1}` with exponent `s`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution table for universe size `n > 0` and exponent `s ≥ 0`
+    /// (`s = 0` is the uniform distribution; larger `s` is more skewed).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "universe must be non-empty");
+        assert!(s >= 0.0, "exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 1..=n {
+            acc += (rank as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Universe size.
+    pub fn universe(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Samples one item (item `0` is the most popular rank).
+    pub fn sample(&self, rng: &mut impl Rng) -> u64 {
+        let u: f64 = rng.gen();
+        // Binary search for the first CDF entry ≥ u.
+        match self.cdf.binary_search_by(|probe| probe.total_cmp(&u)) {
+            Ok(i) | Err(i) => i.min(self.cdf.len() - 1) as u64,
+        }
+    }
+
+    /// Probability mass of rank `i` (0-based).
+    pub fn pmf(&self, i: usize) -> f64 {
+        assert!(i < self.cdf.len());
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+}
+
+/// Generates a Zipfian stream of length `m` over universe `[0, n)` with exponent `s`.
+pub fn zipf_stream(n: usize, m: usize, s: f64, seed: u64) -> Vec<u64> {
+    let dist = Zipf::new(n, s);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..m).map(|_| dist.sample(&mut rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FrequencyVector;
+
+    #[test]
+    fn pmf_sums_to_one_and_is_monotone() {
+        let z = Zipf::new(100, 1.2);
+        let total: f64 = (0..100).map(|i| z.pmf(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for i in 1..100 {
+            assert!(z.pmf(i) <= z.pmf(i - 1) + 1e-15);
+        }
+        assert_eq!(z.universe(), 100);
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for i in 0..10 {
+            assert!((z.pmf(i) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn stream_is_deterministic_per_seed() {
+        let a = zipf_stream(1 << 10, 5_000, 1.1, 3);
+        let b = zipf_stream(1 << 10, 5_000, 1.1, 3);
+        let c = zipf_stream(1 << 10, 5_000, 1.1, 4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 5_000);
+        assert!(a.iter().all(|&x| x < 1 << 10));
+    }
+
+    #[test]
+    fn skew_concentrates_mass_on_low_ranks() {
+        let stream = zipf_stream(1 << 12, 50_000, 1.3, 7);
+        let f = FrequencyVector::from_stream(&stream);
+        let top = f.top_k(10);
+        let top_mass: u64 = top.iter().map(|&(_, c)| c).sum();
+        assert!(
+            top_mass as f64 > 0.4 * stream.len() as f64,
+            "top-10 mass {top_mass} too small for a skewed stream"
+        );
+        // Rank 0 should dominate.
+        assert_eq!(top[0].0, 0);
+    }
+
+    #[test]
+    fn low_skew_spreads_mass() {
+        let stream = zipf_stream(1 << 12, 50_000, 0.2, 7);
+        let f = FrequencyVector::from_stream(&stream);
+        let top_mass: u64 = f.top_k(10).iter().map(|&(_, c)| c).sum();
+        assert!((top_mass as f64) < 0.1 * stream.len() as f64);
+    }
+}

@@ -1,0 +1,72 @@
+//! Elephant-flow detection on a synthetic packet trace — the workload the paper's
+//! introduction motivates (network traffic monitoring, iceberg queries).
+//!
+//! A router line card wants to know which flows carry the bulk of the traffic, but its
+//! per-packet budget for *writing* to (slow, wear-limited) memory is tiny.  We compare
+//! the classic SpaceSaving summary with the paper's write-frugal heavy hitter
+//! algorithm on the same trace.
+//!
+//! Run with: `cargo run --release --example network_monitoring`
+
+use few_state_changes::algorithms::{FewStateHeavyHitters, Params};
+use few_state_changes::baselines::SpaceSaving;
+use few_state_changes::state::{FrequencyEstimator, StreamAlgorithm};
+use few_state_changes::streamgen::ground_truth::precision_recall;
+use few_state_changes::streamgen::netflow::{flow_trace, FlowTraceSpec};
+use few_state_changes::streamgen::FrequencyVector;
+
+fn main() {
+    let spec = FlowTraceSpec {
+        elephants: 12,
+        mice: 30_000,
+        elephant_min_packets: 2_000,
+        ..FlowTraceSpec::default()
+    };
+    let trace = flow_trace(&spec);
+    let truth = FrequencyVector::from_stream(&trace.packets);
+    let eps = 0.02;
+    let threshold = eps * truth.lp(1.0);
+    let exact: Vec<u64> = truth.heavy_hitters(1.0, eps).into_iter().map(|(i, _)| i).collect();
+    println!(
+        "trace: {} packets, {} flows, {} true elephant flows above {:.0} packets\n",
+        trace.packets.len(),
+        trace.flows,
+        exact.len(),
+        threshold
+    );
+
+    let mut space_saving = SpaceSaving::for_epsilon(eps / 2.0);
+    space_saving.process_stream(&trace.packets);
+    let ss_reported: Vec<u64> = space_saving
+        .heavy_hitters(threshold)
+        .into_iter()
+        .map(|(i, _)| i)
+        .collect();
+    summarize("SpaceSaving [MAA05]", &space_saving, &ss_reported, &exact);
+
+    let mut ours = FewStateHeavyHitters::new(
+        Params::new(1.0, eps, trace.flows, trace.packets.len()).with_seed(7),
+    );
+    ours.process_stream(&trace.packets);
+    let our_reported: Vec<u64> = ours
+        .heavy_hitters_with_norm(truth.lp(1.0))
+        .into_iter()
+        .map(|(i, _)| i)
+        .collect();
+    summarize("FewStateHeavyHitters (this paper)", &ours, &our_reported, &exact);
+}
+
+fn summarize<A: StreamAlgorithm>(name: &str, alg: &A, reported: &[u64], exact: &[u64]) {
+    let (precision, recall) = precision_recall(reported, exact);
+    let report = alg.report();
+    println!("{name}");
+    println!("  reported elephants : {}", reported.len());
+    println!("  precision / recall : {precision:.2} / {recall:.2}");
+    println!(
+        "  state changes      : {} of {} packets ({:.1}% of packets wrote to memory)",
+        report.state_changes,
+        report.epochs,
+        100.0 * report.change_fraction()
+    );
+    println!("  space              : {} words\n", report.words_peak);
+}

@@ -1,0 +1,58 @@
+//! Simulated NVM / NAND-flash cost of streaming summaries (the Section 1.1 motivation).
+//!
+//! Every algorithm processes the same stream; its measured reads and writes are then
+//! priced under three memory technologies.  On write-asymmetric memory the write-frugal
+//! summary pays far less energy, and its hottest cell stays far from the endurance
+//! limit.
+//!
+//! Run with: `cargo run --release --example nvm_wear`
+
+use few_state_changes::algorithms::{Params, SampleAndHold};
+use few_state_changes::baselines::{CountMin, MisraGries};
+use few_state_changes::state::{NvmCostModel, NvmReport, StateReport, StateTracker, StreamAlgorithm};
+use few_state_changes::streamgen::zipf::zipf_stream;
+
+fn main() {
+    let n = 1 << 14;
+    let m = 4 * n;
+    let stream = zipf_stream(n, m, 1.1, 9);
+
+    let mut reports: Vec<(String, StateReport)> = Vec::new();
+
+    let mut mg = MisraGries::for_epsilon(0.05);
+    mg.process_stream(&stream);
+    reports.push((mg.name(), mg.report()));
+
+    let mut cm = CountMin::for_error(0.05, 0.05, 1);
+    cm.process_stream(&stream);
+    reports.push((cm.name(), cm.report()));
+
+    // Enable per-cell wear tracking for the paper's algorithm so the hottest-cell wear
+    // can be reported.
+    let tracker = StateTracker::with_address_tracking();
+    let mut ours = SampleAndHold::new(&Params::new(2.0, 0.2, n, m), m, &tracker, 3);
+    ours.process_stream(&stream);
+    reports.push((format!("{} (this paper)", ours.name()), ours.report()));
+
+    for model in [NvmCostModel::dram(), NvmCostModel::pcm(), NvmCostModel::nand_flash()] {
+        println!(
+            "=== {} (write costs {:.0}x a read, endurance {} writes/cell) ===",
+            model.name,
+            model.write_read_energy_ratio(),
+            model.endurance_writes
+        );
+        for (name, report) in &reports {
+            let nvm = NvmReport::from_state(report, &model);
+            let wear = nvm
+                .max_cell_wear_fraction
+                .map(|w| format!("{:.4}% of endurance", 100.0 * w))
+                .unwrap_or_else(|| "(per-cell tracking not enabled)".into());
+            println!(
+                "  {name:<40} write energy {:>10.1} µJ   write share {:>5.1}%   hottest cell {wear}",
+                nvm.write_energy_nj / 1e3,
+                100.0 * nvm.write_energy_fraction(),
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,50 @@
+//! Quickstart: estimate F_2 and find the L_2 heavy hitters of a skewed stream while
+//! counting how often the summaries actually write to memory.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use few_state_changes::algorithms::{FewStateHeavyHitters, FpEstimator, Params};
+use few_state_changes::state::{FrequencyEstimator, MomentEstimator, StreamAlgorithm};
+use few_state_changes::streamgen::zipf::zipf_stream;
+use few_state_changes::streamgen::FrequencyVector;
+
+fn main() {
+    // A Zipfian stream: 2^14 distinct items, 2^16 updates, exponent 1.2.
+    let n = 1 << 14;
+    let m = 4 * n;
+    let stream = zipf_stream(n, m, 1.2, 42);
+    let truth = FrequencyVector::from_stream(&stream);
+
+    // --- F_2 moment estimation (Theorem 1.3) -------------------------------------
+    let mut moment = FpEstimator::new(Params::new(2.0, 0.2, n, m));
+    moment.process_stream(&stream);
+    let estimate = moment.estimate_moment();
+    let exact = truth.fp(2.0);
+    println!("F2 estimate : {estimate:.3e}");
+    println!("F2 exact    : {exact:.3e}");
+    println!("rel. error  : {:.2}%", 100.0 * (estimate - exact).abs() / exact);
+    let report = moment.report();
+    println!(
+        "state changes: {} over {} updates ({:.1}% of updates wrote to memory)\n",
+        report.state_changes,
+        report.epochs,
+        100.0 * report.change_fraction()
+    );
+
+    // --- L_2 heavy hitters (Theorem 1.1) ------------------------------------------
+    let eps = 0.1;
+    let mut hh = FewStateHeavyHitters::new(Params::new(2.0, eps, n, m));
+    hh.process_stream(&stream);
+    println!("L2 heavy hitters (threshold {:.0}):", eps * truth.lp(2.0));
+    for (item, estimate) in hh.heavy_hitters_with_norm(truth.lp(2.0)) {
+        println!(
+            "  item {item:>6}  estimated frequency {estimate:>9.1}  true {}",
+            truth.frequency(item)
+        );
+    }
+    let report = hh.report();
+    println!(
+        "heavy-hitter summary: {} state changes, {} words of space",
+        report.state_changes, report.words_peak
+    );
+}

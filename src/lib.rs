@@ -1,0 +1,22 @@
+//! # few-state-changes — umbrella crate
+//!
+//! Re-exports the full public surface of the workspace implementing
+//! *Streaming Algorithms with Few State Changes* (Jayaram, Woodruff, Zhou; PODS 2024):
+//!
+//! * [`state`] — state-change accounting substrate and NVM cost model (`fsc-state`).
+//! * [`counters`] — Morris counters, hash families, p-stable variates (`fsc-counters`).
+//! * [`streamgen`] — synthetic workloads and exact ground truth (`fsc-streamgen`).
+//! * [`baselines`] — classic write-heavy streaming algorithms (`fsc-baselines`).
+//! * [`algorithms`] — the paper's write-frugal algorithms (`fsc`).
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` for the system
+//! inventory and experiment index.
+
+pub use fsc as algorithms;
+pub use fsc_baselines as baselines;
+pub use fsc_counters as counters;
+pub use fsc_state as state;
+pub use fsc_streamgen as streamgen;
+
+/// Crate version of the umbrella package.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -1,0 +1,101 @@
+//! Cross-crate integration tests: workload generators → the paper's algorithms →
+//! scoring against exact ground truth, with the state-change accounting checked along
+//! the way.
+
+use few_state_changes::algorithms::{FewStateHeavyHitters, FpEstimator, Params, SampleAndHold};
+use few_state_changes::baselines::{CountSketch, MisraGries};
+use few_state_changes::state::{FrequencyEstimator, MomentEstimator, StreamAlgorithm};
+use few_state_changes::streamgen::ground_truth::precision_recall;
+use few_state_changes::streamgen::netflow::{flow_trace, FlowTraceSpec};
+use few_state_changes::streamgen::zipf::zipf_stream;
+use few_state_changes::streamgen::FrequencyVector;
+
+#[test]
+fn elephant_flows_are_found_with_fewer_writes_than_misra_gries() {
+    let trace = flow_trace(&FlowTraceSpec {
+        elephants: 8,
+        mice: 10_000,
+        elephant_min_packets: 1_500,
+        seed: 3,
+        ..FlowTraceSpec::default()
+    });
+    let truth = FrequencyVector::from_stream(&trace.packets);
+    let eps = 0.02;
+    let exact: Vec<u64> = truth.heavy_hitters(1.0, eps).into_iter().map(|(i, _)| i).collect();
+    assert!(exact.len() >= 8, "all elephants should be heavy");
+
+    let mut ours =
+        FewStateHeavyHitters::new(Params::new(1.0, eps, trace.flows, trace.packets.len()).with_seed(1));
+    ours.process_stream(&trace.packets);
+    let reported: Vec<u64> = ours
+        .heavy_hitters_with_norm(truth.lp(1.0))
+        .into_iter()
+        .map(|(i, _)| i)
+        .collect();
+    let (precision, recall) = precision_recall(&reported, &exact);
+    assert!(recall >= 0.9, "recall {recall}");
+    assert!(precision >= 0.8, "precision {precision}");
+
+    let mut mg = MisraGries::for_epsilon(eps / 2.0);
+    mg.process_stream(&trace.packets);
+    assert!(
+        ours.report().state_changes < mg.report().state_changes,
+        "ours {} vs Misra-Gries {}",
+        ours.report().state_changes,
+        mg.report().state_changes
+    );
+}
+
+#[test]
+fn f2_estimate_agrees_with_ground_truth_and_the_count_sketch_threshold() {
+    let n = 1 << 13;
+    let m = 4 * n;
+    let stream = zipf_stream(n, m, 1.3, 17);
+    let truth = FrequencyVector::from_stream(&stream);
+
+    let mut fp = FpEstimator::new(Params::new(2.0, 0.2, n, m).with_seed(5));
+    fp.process_stream(&stream);
+    let rel = (fp.estimate_moment() - truth.fp(2.0)).abs() / truth.fp(2.0);
+    assert!(rel < 0.35, "relative error {rel}");
+
+    // The estimated norm is good enough to drive a CountSketch-style threshold query.
+    let norm = fp.estimate_moment().powf(0.5);
+    let mut cs = CountSketch::for_error(0.05, 0.05, 3);
+    cs.process_stream(&stream);
+    let top = truth.mode().unwrap().0;
+    assert!(cs.estimate(top) >= 0.2 * norm, "top item must clear an ε-fraction of the estimated norm");
+}
+
+#[test]
+fn state_change_accounting_is_consistent_across_the_stack() {
+    let n = 1 << 12;
+    let m = 4 * n;
+    let stream = zipf_stream(n, m, 1.1, 23);
+    let mut alg = SampleAndHold::standalone(&Params::new(2.0, 0.25, n, m).with_seed(2));
+    alg.process_stream(&stream);
+    let report = alg.report();
+    // Structural invariants of the accounting substrate.
+    assert_eq!(report.epochs as usize, m);
+    assert!(report.state_changes <= report.epochs);
+    assert!(report.word_writes >= report.state_changes);
+    assert!(report.words_peak >= report.words_current);
+    assert!(report.reads > 0, "membership checks must be charged as reads");
+}
+
+#[test]
+fn frequency_estimates_never_exceed_truth_by_more_than_the_morris_error() {
+    let n = 1 << 12;
+    let m = 4 * n;
+    let stream = zipf_stream(n, m, 1.2, 31);
+    let truth = FrequencyVector::from_stream(&stream);
+    let mut alg = SampleAndHold::standalone(&Params::new(2.0, 0.25, n, m).with_seed(9));
+    alg.process_stream(&stream);
+    for item in alg.tracked_items() {
+        let est = alg.estimate(item);
+        let exact = truth.frequency(item) as f64;
+        assert!(
+            est <= 1.4 * exact + 2.0,
+            "item {item}: estimate {est} vs exact {exact}"
+        );
+    }
+}

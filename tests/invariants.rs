@@ -1,0 +1,107 @@
+//! Property-based tests (proptest) for the core invariants of the substrate and the
+//! algorithms, on arbitrary small streams.
+
+use few_state_changes::algorithms::sparse_recovery::FewStateSparseRecovery;
+use few_state_changes::algorithms::{Params, SampleAndHold};
+use few_state_changes::counters::{Counter, ExactCounter, GeometricAccumulator, MorrisCounter};
+use few_state_changes::state::{
+    FrequencyEstimator, StateTracker, StreamAlgorithm, SupportRecovery, TrackedCell, TrackedMap,
+};
+use few_state_changes::streamgen::FrequencyVector;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The exact frequency vector always satisfies the basic moment relations:
+    /// `F_1 = m`, `F_0 =` number of distinct items, `F_2 ≥ F_1²/F_0` (Cauchy-Schwarz),
+    /// and `0 ≤ H ≤ log2(F_0)`.
+    #[test]
+    fn ground_truth_moment_relations(stream in proptest::collection::vec(0u64..64, 1..300)) {
+        let f = FrequencyVector::from_stream(&stream);
+        prop_assert_eq!(f.fp(1.0) as u64, stream.len() as u64);
+        prop_assert_eq!(f.fp(0.0) as usize, f.distinct());
+        let cs_lower = f.fp(1.0).powi(2) / f.distinct() as f64;
+        prop_assert!(f.fp(2.0) + 1e-6 >= cs_lower);
+        prop_assert!(f.entropy_bits() >= -1e-9);
+        prop_assert!(f.entropy_bits() <= (f.distinct() as f64).log2() + 1e-9);
+    }
+
+    /// The state tracker never reports more state changes than epochs, and word writes
+    /// always dominate state changes.
+    #[test]
+    fn tracker_counter_ordering(ops in proptest::collection::vec((0u8..3, 0u64..16), 1..200)) {
+        let tracker = StateTracker::new();
+        let mut map: TrackedMap<u64, u64> = TrackedMap::new(&tracker);
+        let mut cell = TrackedCell::new(&tracker, 0u64);
+        for (op, value) in ops {
+            tracker.begin_epoch();
+            match op {
+                0 => { map.insert(value, value); }
+                1 => { map.remove(&value); }
+                _ => { cell.write(value); }
+            }
+        }
+        let report = tracker.snapshot();
+        prop_assert!(report.state_changes <= report.epochs);
+        prop_assert!(report.word_writes + report.redundant_writes >= report.state_changes);
+        prop_assert!(report.words_peak >= report.words_current);
+    }
+
+    /// Sparse recovery returns exactly the support of the stream whenever the sparsity
+    /// promise holds, with one state change per distinct item.
+    #[test]
+    fn sparse_recovery_is_exact(stream in proptest::collection::vec(0u64..32, 1..400)) {
+        let truth = FrequencyVector::from_stream(&stream);
+        let mut alg = FewStateSparseRecovery::new(32);
+        alg.process_stream(&stream);
+        prop_assert!(!alg.overflowed());
+        prop_assert_eq!(alg.recovered_support(), truth.support());
+        prop_assert_eq!(alg.report().state_changes as usize, truth.distinct());
+    }
+
+    /// Morris counters and geometric accumulators are monotone and their registers
+    /// (state changes) never exceed the number of increments.
+    #[test]
+    fn approximate_counters_are_monotone(increments in 1u64..2_000, seed in 0u64..1_000) {
+        let tracker = StateTracker::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut morris = MorrisCounter::new(&tracker, 0.1);
+        let mut acc = GeometricAccumulator::new(&tracker, 0.1);
+        let mut exact = ExactCounter::new(&tracker);
+        let mut last_morris = 0.0;
+        let mut last_acc = 0.0;
+        for _ in 0..increments {
+            morris.increment(&mut rng);
+            acc.add(1.0, &mut rng);
+            exact.increment(&mut rng);
+            prop_assert!(morris.estimate() >= last_morris);
+            prop_assert!(acc.estimate() >= last_acc);
+            last_morris = morris.estimate();
+            last_acc = acc.estimate();
+        }
+        prop_assert_eq!(exact.count(), increments);
+        prop_assert!(morris.register() <= increments);
+        prop_assert!(acc.register() <= increments);
+    }
+
+    /// `SampleAndHold` never reports an item that did not occur, and its tracked-item
+    /// estimates are positive.
+    #[test]
+    fn sample_and_hold_reports_only_real_items(
+        stream in proptest::collection::vec(0u64..128, 10..400),
+        seed in 0u64..100,
+    ) {
+        let truth = FrequencyVector::from_stream(&stream);
+        let params = Params::new(2.0, 0.3, 128, stream.len()).with_seed(seed);
+        let mut alg = SampleAndHold::standalone(&params);
+        alg.process_stream(&stream);
+        for item in alg.tracked_items() {
+            prop_assert!(truth.frequency(item) > 0, "item {} never occurred", item);
+            prop_assert!(alg.estimate(item) >= 1.0);
+        }
+        prop_assert!(alg.estimate(999_999) == 0.0);
+    }
+}
