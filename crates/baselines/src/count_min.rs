@@ -126,7 +126,11 @@ mod tests {
         cm.process_stream(&stream);
         let r = cm.report();
         assert_eq!(r.state_changes, 2_000);
-        assert_eq!(r.word_writes as usize, 64 * 4 + 4 * 2_000, "init + depth per update");
+        assert_eq!(
+            r.word_writes as usize,
+            64 * 4 + 4 * 2_000,
+            "init + depth per update"
+        );
     }
 
     #[test]

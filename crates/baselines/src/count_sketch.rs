@@ -99,7 +99,7 @@ impl FrequencyEstimator for CountSketch {
         estimates[estimates.len() / 2]
     }
 
-    /// CountSketch has no explicit key set (see [`CountMin::tracked_items`]).
+    /// CountSketch has no explicit key set (see [`CountMin`](crate::CountMin)).
     fn tracked_items(&self) -> Vec<u64> {
         Vec::new()
     }
@@ -125,7 +125,10 @@ mod tests {
                 violations += 1;
             }
         }
-        assert!(violations <= 2, "{violations} of 40 items violated the L2 bound");
+        assert!(
+            violations <= 2,
+            "{violations} of 40 items violated the L2 bound"
+        );
     }
 
     #[test]
@@ -157,6 +160,9 @@ mod tests {
         unseen.sort_by(f64::total_cmp);
         let median = unseen[unseen.len() / 2];
         let l2 = FrequencyVector::from_stream(&stream).lp(2.0);
-        assert!(median <= 0.2 * l2, "median estimate {median} too large vs l2 {l2}");
+        assert!(
+            median <= 0.2 * l2,
+            "median estimate {median} too large vs l2 {l2}"
+        );
     }
 }

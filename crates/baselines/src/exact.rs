@@ -131,7 +131,10 @@ mod tests {
         alg.process_stream(&stream);
         let r = alg.report();
         assert_eq!(r.epochs, 500);
-        assert_eq!(r.state_changes, 500, "exact counting writes on every update");
+        assert_eq!(
+            r.state_changes, 500,
+            "exact counting writes on every update"
+        );
     }
 
     #[test]

@@ -41,7 +41,14 @@ pub fn run(scale: Scale) -> (Table, Vec<Row>) {
     let mut rows = Vec::new();
     let mut table = Table::new(
         &format!("F3 — relative error of F_p estimation (Zipf 1.2, n = {n}, m = {m})"),
-        &["p", "eps", "rel. error (ours)", "state changes (ours)", "rel. error (AMS)", "state changes (AMS)"],
+        &[
+            "p",
+            "eps",
+            "rel. error (ours)",
+            "state changes (ours)",
+            "rel. error (AMS)",
+            "state changes (AMS)",
+        ],
     );
 
     for &p in &ps {

@@ -105,8 +105,16 @@ mod tests {
         let (_, rows) = run(Scale::Quick);
         let ours = &rows[0];
         let pad = &rows[1];
-        assert!(ours.found_rate >= 0.65, "ours found rate {}", ours.found_rate);
-        assert!(pad.found_rate <= 0.35, "pick-and-drop found rate {}", pad.found_rate);
+        assert!(
+            ours.found_rate >= 0.65,
+            "ours found rate {}",
+            ours.found_rate
+        );
+        assert!(
+            pad.found_rate <= 0.35,
+            "pick-and-drop found rate {}",
+            pad.found_rate
+        );
         assert!(ours.mean_estimate > pad.mean_estimate);
     }
 }

@@ -35,7 +35,14 @@ pub fn run(scale: Scale) -> (Table, Vec<Row>) {
     let mut rows = Vec::new();
     let mut table = Table::new(
         &format!("F8 — entropy estimation across skews (n = {n}, m = {m})"),
-        &["zipf s", "exact H (bits)", "estimate (bits)", "additive error", "state changes", "sqrt(n)"],
+        &[
+            "zipf s",
+            "exact H (bits)",
+            "estimate (bits)",
+            "additive error",
+            "state changes",
+            "sqrt(n)",
+        ],
     );
 
     for (idx, &s) in skews.iter().enumerate() {
@@ -80,7 +87,15 @@ mod tests {
         // Near-uniform streams (the well-conditioned regime) must be reasonably
         // accurate; moderately skewed streams are dominated by mid-frequency items and
         // carry a larger error (see the discussion in EXPERIMENTS.md).
-        assert!(rows[0].additive_error < 1.0, "error {}", rows[0].additive_error);
-        assert!(rows[1].additive_error < 2.5, "error {}", rows[1].additive_error);
+        assert!(
+            rows[0].additive_error < 1.0,
+            "error {}",
+            rows[0].additive_error
+        );
+        assert!(
+            rows[1].additive_error < 2.5,
+            "error {}",
+            rows[1].additive_error
+        );
     }
 }

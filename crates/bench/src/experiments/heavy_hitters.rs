@@ -44,7 +44,11 @@ pub fn run(scale: Scale) -> (Table, Vec<Row>) {
 
     let mut rows = Vec::new();
     for &p in &[1.0, 2.0] {
-        let exact: Vec<u64> = truth.heavy_hitters(p, eps).into_iter().map(|(i, _)| i).collect();
+        let exact: Vec<u64> = truth
+            .heavy_hitters(p, eps)
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect();
         let norm = truth.lp(p);
 
         if (p - 1.0).abs() < 1e-9 {
@@ -87,7 +91,14 @@ pub fn run(scale: Scale) -> (Table, Vec<Row>) {
 
     let mut table = Table::new(
         &format!("F4 — heavy hitters on a Zipf(1.2) stream (n = {n}, m = {m}, eps = {eps})"),
-        &["algorithm", "p", "recall", "precision(ε/4 floor)", "max |f̂-f| / (ε·‖f‖_p)", "state changes"],
+        &[
+            "algorithm",
+            "p",
+            "recall",
+            "precision(ε/4 floor)",
+            "max |f̂-f| / (ε·‖f‖_p)",
+            "state changes",
+        ],
     );
     for r in &rows {
         table.row(vec![
@@ -156,6 +167,10 @@ mod tests {
         assert!(ours_l2.name.contains("FewState"));
         assert!(ours_l2.state_changes < countsketch.state_changes);
         // Theorem 1.1 bounds the estimate error by (ε/2)·‖f‖_p; allow practical slack.
-        assert!(ours_l2.max_error_units < 1.0, "error {}", ours_l2.max_error_units);
+        assert!(
+            ours_l2.max_error_units < 1.0,
+            "error {}",
+            ours_l2.max_error_units
+        );
     }
 }

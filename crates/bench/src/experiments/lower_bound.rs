@@ -44,7 +44,13 @@ pub fn run(scale: Scale) -> (Table, Vec<Row>) {
     let mut rows = Vec::new();
     let mut table = Table::new(
         "F5 — distinguishing the Theorem 1.4 stream pair under a state-change budget (p = 2)",
-        &["n", "n^{1-1/p}", "budget multiplier", "budget", "distinguish rate"],
+        &[
+            "n",
+            "n^{1-1/p}",
+            "budget multiplier",
+            "budget",
+            "distinguish rate",
+        ],
     );
 
     for &n in &sizes {
@@ -69,8 +75,16 @@ pub fn run(scale: Scale) -> (Table, Vec<Row>) {
             table.row(vec![
                 n.to_string(),
                 f(threshold),
-                if mult.is_infinite() { "unbudgeted".into() } else { f(mult) },
-                if mult.is_infinite() { "-".into() } else { budget.to_string() },
+                if mult.is_infinite() {
+                    "unbudgeted".into()
+                } else {
+                    f(mult)
+                },
+                if mult.is_infinite() {
+                    "-".into()
+                } else {
+                    budget.to_string()
+                },
                 f(rate),
             ]);
             rows.push(Row {
@@ -99,7 +113,11 @@ mod tests {
         let (_, rows) = run(Scale::Quick);
         // For every n, the smallest budget must distinguish strictly less often than
         // the largest one, and the largest budget must usually succeed.
-        for n in rows.iter().map(|r| r.n).collect::<std::collections::BTreeSet<_>>() {
+        for n in rows
+            .iter()
+            .map(|r| r.n)
+            .collect::<std::collections::BTreeSet<_>>()
+        {
             let per_n: Vec<&Row> = rows.iter().filter(|r| r.n == n).collect();
             let smallest = per_n.first().unwrap();
             let largest = per_n.last().unwrap();
@@ -109,8 +127,14 @@ mod tests {
                 smallest.distinguish_rate,
                 largest.distinguish_rate
             );
-            assert!(largest.distinguish_rate >= 0.6, "n={n} largest budget should succeed");
-            assert!(smallest.distinguish_rate <= 0.4, "n={n} tiny budget should fail");
+            assert!(
+                largest.distinguish_rate >= 0.6,
+                "n={n} largest budget should succeed"
+            );
+            assert!(
+                smallest.distinguish_rate <= 0.4,
+                "n={n} tiny budget should fail"
+            );
         }
     }
 }

@@ -1,4 +1,4 @@
-//! One module per table/figure of the paper (DESIGN.md Section 3).
+//! One module per table/figure of the paper (DESIGN.md Section 5).
 
 pub mod accuracy;
 pub mod counterexample;

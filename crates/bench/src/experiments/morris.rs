@@ -34,7 +34,13 @@ pub fn run(scale: Scale) -> (Table, Vec<Row>) {
     let mut rows = Vec::new();
     let mut table = Table::new(
         "F7 — Morris counters: state changes and accuracy vs count",
-        &["count", "eps", "rel. error", "state changes (Morris)", "state changes (exact)"],
+        &[
+            "count",
+            "eps",
+            "rel. error",
+            "state changes (Morris)",
+            "state changes (exact)",
+        ],
     );
 
     for &count in &counts {
@@ -95,11 +101,21 @@ mod tests {
                     row.morris_state_changes
                 );
             }
-            assert!(row.rel_error < 4.0 * row.eps + 0.05, "error {}", row.rel_error);
+            assert!(
+                row.rel_error < 4.0 * row.eps + 0.05,
+                "error {}",
+                row.rel_error
+            );
         }
         // Going from 1k to 100k increments must grow the register far less than 100×.
-        let small = rows.iter().find(|r| r.count == 1_000 && r.eps == 0.1).unwrap();
-        let large = rows.iter().find(|r| r.count == 100_000 && r.eps == 0.1).unwrap();
+        let small = rows
+            .iter()
+            .find(|r| r.count == 1_000 && r.eps == 0.1)
+            .unwrap();
+        let large = rows
+            .iter()
+            .find(|r| r.count == 100_000 && r.eps == 0.1)
+            .unwrap();
         assert!(large.morris_state_changes < 20 * small.morris_state_changes.max(1));
     }
 }

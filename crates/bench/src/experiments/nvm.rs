@@ -35,7 +35,11 @@ pub fn run(scale: Scale) -> (Table, Vec<Row>) {
     let n = scale.pick(1 << 13, 1 << 15);
     let m = 4 * n;
     let stream = zipf_stream(n, m, 1.1, 555);
-    let models = [NvmCostModel::dram(), NvmCostModel::pcm(), NvmCostModel::nand_flash()];
+    let models = [
+        NvmCostModel::dram(),
+        NvmCostModel::pcm(),
+        NvmCostModel::nand_flash(),
+    ];
 
     // Baselines with their built-in trackers.
     let mut reports: Vec<(String, StateReport)> = Vec::new();
@@ -59,7 +63,13 @@ pub fn run(scale: Scale) -> (Table, Vec<Row>) {
     let mut rows = Vec::new();
     let mut table = Table::new(
         &format!("F9 — simulated memory cost on a Zipf(1.1) stream (n = {n}, m = {m})"),
-        &["algorithm", "memory", "write energy (µJ)", "write share of energy", "max cell wear"],
+        &[
+            "algorithm",
+            "memory",
+            "write energy (µJ)",
+            "write share of energy",
+            "max cell wear",
+        ],
     );
     for (name, report) in &reports {
         for model in &models {
@@ -102,7 +112,10 @@ mod tests {
         assert!(ours.write_energy_uj < 0.7 * mg.write_energy_uj);
         assert!(ours.write_energy_uj < 0.5 * cm.write_energy_uj);
         assert!(ours.max_cell_wear.is_some());
-        assert!(ours.max_cell_wear.unwrap() < 1.0, "a single run must not wear out a cell");
+        assert!(
+            ours.max_cell_wear.unwrap() < 1.0,
+            "a single run must not wear out a cell"
+        );
         // On DRAM (symmetric), writes are a smaller share of total energy than on NAND.
         let ours_dram = rows
             .iter()

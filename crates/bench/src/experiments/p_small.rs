@@ -35,7 +35,13 @@ pub fn run(scale: Scale) -> (Table, Vec<Row>) {
     let mut rows = Vec::new();
     let mut table = Table::new(
         &format!("F10 — F_p estimation for p < 1 (n = {n}, m = {m}, eps = {eps})"),
-        &["p", "rel. error", "word writes (ours)", "word writes (exact sketch)", "reduction"],
+        &[
+            "p",
+            "rel. error",
+            "word writes (ours)",
+            "word writes (exact sketch)",
+            "reduction",
+        ],
     );
     for (idx, &p) in ps.iter().enumerate() {
         let exact = truth.fp(p);

@@ -60,7 +60,13 @@ pub fn run(scale: Scale) -> (Table, Table, Vec<Series>) {
     );
     let mut space_table = Table::new(
         "F2 — space of the F_p estimator vs n (words)",
-        &["p", "n", "space (words)", "slope (fit)", "slope (theory max(0,1-2/p))"],
+        &[
+            "p",
+            "n",
+            "space (words)",
+            "slope (fit)",
+            "slope (theory max(0,1-2/p))",
+        ],
     );
 
     let mut all = Vec::new();
@@ -95,9 +101,21 @@ pub fn run(scale: Scale) -> (Table, Table, Vec<Series>) {
                 (sc as u64).to_string(),
                 f(sc / (4.0 * n)),
                 (series.word_writes[i].1 as u64).to_string(),
-                if i == 0 { f(series.state_slope) } else { String::new() },
-                if i == 0 { f(series.word_slope) } else { String::new() },
-                if i == 0 { f(series.predicted_state_slope) } else { String::new() },
+                if i == 0 {
+                    f(series.state_slope)
+                } else {
+                    String::new()
+                },
+                if i == 0 {
+                    f(series.word_slope)
+                } else {
+                    String::new()
+                },
+                if i == 0 {
+                    f(series.predicted_state_slope)
+                } else {
+                    String::new()
+                },
             ]);
         }
         for (i, &(n, words)) in series.space_words.iter().enumerate() {
@@ -105,8 +123,16 @@ pub fn run(scale: Scale) -> (Table, Table, Vec<Series>) {
                 f(p),
                 (n as usize).to_string(),
                 (words as u64).to_string(),
-                if i == 0 { f(series.space_slope) } else { String::new() },
-                if i == 0 { f((1.0 - 2.0 / p).max(0.0)) } else { String::new() },
+                if i == 0 {
+                    f(series.space_slope)
+                } else {
+                    String::new()
+                },
+                if i == 0 {
+                    f((1.0 - 2.0 / p).max(0.0))
+                } else {
+                    String::new()
+                },
             ]);
         }
         all.push(series);
@@ -135,6 +161,10 @@ mod tests {
         );
         // p = 1 state changes must be far below the stream length at the largest n.
         let (n, sc) = *p1.state_changes.last().unwrap();
-        assert!(sc < 0.8 * 4.0 * n, "p=1 state changes {sc} vs m {}", 4.0 * n);
+        assert!(
+            sc < 0.8 * 4.0 * n,
+            "p=1 state changes {sc} vs m {}",
+            4.0 * n
+        );
     }
 }

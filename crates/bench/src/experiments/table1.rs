@@ -46,8 +46,16 @@ pub fn run(scale: Scale) -> (Table, Vec<Row>) {
     let eps = scale.pick(0.2, 0.1);
     let stream = zipf_stream(n, m, 1.1, 42);
     let truth = FrequencyVector::from_stream(&stream);
-    let exact_l1: Vec<u64> = truth.heavy_hitters(1.0, eps).into_iter().map(|(i, _)| i).collect();
-    let exact_l2: Vec<u64> = truth.heavy_hitters(2.0, eps).into_iter().map(|(i, _)| i).collect();
+    let exact_l1: Vec<u64> = truth
+        .heavy_hitters(1.0, eps)
+        .into_iter()
+        .map(|(i, _)| i)
+        .collect();
+    let exact_l2: Vec<u64> = truth
+        .heavy_hitters(2.0, eps)
+        .into_iter()
+        .map(|(i, _)| i)
+        .collect();
     let candidates: Vec<u64> = truth.top_k(64).into_iter().map(|(i, _)| i).collect();
 
     let mut rows = Vec::new();
@@ -55,26 +63,63 @@ pub fn run(scale: Scale) -> (Table, Vec<Row>) {
     // --- L1-only baselines -------------------------------------------------------
     let mut mg = MisraGries::for_epsilon(eps / 2.0);
     mg.process_stream(&stream);
-    rows.push(score_tracked(&mg, "L1 heavy hitters only", eps, &truth, &exact_l1, 1.0));
+    rows.push(score_tracked(
+        &mg,
+        "L1 heavy hitters only",
+        eps,
+        &truth,
+        &exact_l1,
+        1.0,
+    ));
 
     let mut ss = SpaceSaving::for_epsilon(eps / 2.0);
     ss.process_stream(&stream);
-    rows.push(score_tracked(&ss, "L1 heavy hitters only", eps, &truth, &exact_l1, 1.0));
+    rows.push(score_tracked(
+        &ss,
+        "L1 heavy hitters only",
+        eps,
+        &truth,
+        &exact_l1,
+        1.0,
+    ));
 
     let mut cm = CountMin::for_error(eps / 2.0, 0.05, 7);
     cm.process_stream(&stream);
-    rows.push(score_candidates(&cm, "L1 heavy hitters only", eps, &truth, &exact_l1, &candidates, 1.0));
+    rows.push(score_candidates(
+        &cm,
+        "L1 heavy hitters only",
+        eps,
+        &truth,
+        &exact_l1,
+        &candidates,
+        1.0,
+    ));
 
     // --- L2 baselines and the paper's algorithm ----------------------------------
     let mut cs = CountSketch::for_error(eps, 0.05, 11);
     cs.process_stream(&stream);
-    rows.push(score_candidates(&cs, "L2 heavy hitters", eps, &truth, &exact_l2, &candidates, 2.0));
+    rows.push(score_candidates(
+        &cs,
+        "L2 heavy hitters",
+        eps,
+        &truth,
+        &exact_l2,
+        &candidates,
+        2.0,
+    ));
 
     // The core subroutine (Algorithm 1) — a single write-frugal summary; this is the
     // row whose state-change count exhibits the Õ(n^{1−1/p}) ≪ m gap of Table 1.
     let mut core = SampleAndHold::standalone(&Params::new(2.0, eps, n, m).with_seed(3));
     core.process_stream(&stream);
-    rows.push(score_tracked(&core, "L2 heavy hitters (this paper, Algorithm 1)", eps, &truth, &exact_l2, 2.0));
+    rows.push(score_tracked(
+        &core,
+        "L2 heavy hitters (this paper, Algorithm 1)",
+        eps,
+        &truth,
+        &exact_l2,
+        2.0,
+    ));
 
     // The full Theorem 1.1 construction (R × Y copies of Algorithm 1).  Its *per-copy*
     // behaviour is identical, but because the per-update state-change indicator is
@@ -82,11 +127,25 @@ pub fn run(scale: Scale) -> (Table, Vec<Row>) {
     // reported for completeness.
     let mut ours = FewStateHeavyHitters::new(Params::new(2.0, eps, n, m).with_seed(3));
     ours.process_stream(&stream);
-    rows.push(score_tracked(&ours, "L2 heavy hitters (this paper, Theorem 1.1)", eps, &truth, &exact_l2, 2.0));
+    rows.push(score_tracked(
+        &ours,
+        "L2 heavy hitters (this paper, Theorem 1.1)",
+        eps,
+        &truth,
+        &exact_l2,
+        2.0,
+    ));
 
     let mut table = Table::new(
         &format!("Table 1 — state changes on a Zipf(1.1) stream, n = {n}, m = {m}, eps = {eps}"),
-        &["algorithm", "setting", "state changes", "changes / m", "space (words)", "recall"],
+        &[
+            "algorithm",
+            "setting",
+            "state changes",
+            "changes / m",
+            "space (words)",
+            "recall",
+        ],
     );
     for r in &rows {
         table.row(vec![
@@ -118,7 +177,11 @@ fn score_tracked<A: FrequencyEstimator>(
     p: f64,
 ) -> Row {
     let threshold = query_threshold(eps, truth.lp(p));
-    let reported: Vec<u64> = alg.heavy_hitters(threshold).into_iter().map(|(i, _)| i).collect();
+    let reported: Vec<u64> = alg
+        .heavy_hitters(threshold)
+        .into_iter()
+        .map(|(i, _)| i)
+        .collect();
     let (_, recall) = precision_recall(&reported, exact);
     finish(alg, setting, recall)
 }

@@ -1,6 +1,6 @@
 //! # fsc-bench — experiment harness
 //!
-//! One module per table/figure of the paper (see `DESIGN.md`, Section 3 for the
+//! One module per table/figure of the paper (see `DESIGN.md`, Section 5 for the
 //! experiment index and `EXPERIMENTS.md` for recorded results).  Every experiment is a
 //! plain function that returns its rows as data and prints a markdown table, so it can
 //! be invoked from the corresponding `src/bin/*.rs` binary, from `run_all`, or from a
@@ -70,10 +70,12 @@ mod tests {
 
     #[test]
     fn slope_of_a_power_law_is_recovered() {
-        let pts: Vec<(f64, f64)> = (1..=8).map(|i| {
-            let x = 2f64.powi(i);
-            (x, 3.0 * x.powf(0.5))
-        }).collect();
+        let pts: Vec<(f64, f64)> = (1..=8)
+            .map(|i| {
+                let x = 2f64.powi(i);
+                (x, 3.0 * x.powf(0.5))
+            })
+            .collect();
         assert!((log_log_slope(&pts) - 0.5).abs() < 1e-9);
         assert_eq!(log_log_slope(&[(1.0, 1.0)]), 0.0);
     }

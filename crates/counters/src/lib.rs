@@ -3,7 +3,7 @@
 //! Building blocks shared by the paper's algorithms and the baselines:
 //!
 //! * [`MorrisCounter`] / [`MorrisPlusCounter`] — the approximate counters of
-//!   Theorem 1.5 ([Mor78], analysed tightly by [NY22]): a `(1+ε)`-approximate counter
+//!   Theorem 1.5 (\[Mor78\], analysed tightly by \[NY22\]): a `(1+ε)`-approximate counter
 //!   that changes its state only `poly(log n, 1/ε, log 1/δ)` times over a stream of
 //!   length `n`, instead of once per increment.
 //! * [`ExactCounter`] — the write-per-increment counter used by the deterministic
@@ -11,7 +11,7 @@
 //! * [`hashing`] — limited-independence hash families (polynomial hashing over a
 //!   Mersenne prime, and tabulation hashing) used for subsampling stream positions,
 //!   subsampling the universe, and the CountSketch / AMS baselines.
-//! * [`stable`] — p-stable variate generation (Definition 3.1 / [Nol03]) with
+//! * [`stable`] — p-stable variate generation (Definition 3.1 / \[Nol03\]) with
 //!   limited-independence seeds, used by the `p < 1` moment estimator of Theorem 3.2.
 
 #![warn(missing_docs)]

@@ -103,7 +103,7 @@ impl StableMatrix {
 }
 
 /// Median of the absolute value of the standard p-stable distribution, used to
-/// normalise median-based `F_p` estimators ([Ind06]).  Computed empirically from the
+/// normalise median-based `F_p` estimators (\[Ind06\]).  Computed empirically from the
 /// generator itself so that estimator and normaliser share any small bias of the
 /// limited-precision transform.
 pub fn median_of_abs(p: f64, samples: usize, rng: &mut dyn RngCore) -> f64 {
@@ -164,7 +164,10 @@ mod tests {
             .collect();
         sums.sort_by(f64::total_cmp);
         let med = sums[n / 2];
-        assert!((med - 4.0).abs() < 0.3, "median of |sum| = {med}, expected ≈ 4");
+        assert!(
+            (med - 4.0).abs() < 0.3,
+            "median of |sum| = {med}, expected ≈ 4"
+        );
     }
 
     #[test]

@@ -87,7 +87,11 @@ mod tests {
         est.process_stream(&stream);
         let truth = (n as f64).log2();
         let err = (est.estimate_entropy() - truth).abs();
-        assert!(err < 0.5, "estimate {} vs truth {truth}", est.estimate_entropy());
+        assert!(
+            err < 0.5,
+            "estimate {} vs truth {truth}",
+            est.estimate_entropy()
+        );
     }
 
     #[test]

@@ -139,7 +139,11 @@ mod tests {
         let mut est = FpSmallEstimator::new(0.5, 0.3, 3);
         est.process_stream(&stream);
         let rel = (est.estimate_moment() - truth).abs() / truth;
-        assert!(rel < 0.35, "relative error {rel} (est {}, truth {truth})", est.estimate_moment());
+        assert!(
+            rel < 0.35,
+            "relative error {rel} (est {}, truth {truth})",
+            est.estimate_moment()
+        );
         assert_eq!(est.p(), 0.5);
     }
 

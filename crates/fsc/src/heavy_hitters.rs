@@ -73,7 +73,10 @@ impl FewStateHeavyHitters {
 
 impl StreamAlgorithm for FewStateHeavyHitters {
     fn name(&self) -> String {
-        format!("FewStateHeavyHitters(p={}, eps={})", self.params.p, self.params.eps)
+        format!(
+            "FewStateHeavyHitters(p={}, eps={})",
+            self.params.p, self.params.eps
+        )
     }
 
     fn process_item(&mut self, item: u64) {
@@ -109,8 +112,15 @@ mod tests {
         let eps = 0.25;
         let stream = zipf_stream(n, m, 1.3, 9);
         let truth = FrequencyVector::from_stream(&stream);
-        let exact: Vec<u64> = truth.heavy_hitters(2.0, eps).into_iter().map(|(i, _)| i).collect();
-        assert!(!exact.is_empty(), "workload should contain L2 heavy hitters");
+        let exact: Vec<u64> = truth
+            .heavy_hitters(2.0, eps)
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect();
+        assert!(
+            !exact.is_empty(),
+            "workload should contain L2 heavy hitters"
+        );
 
         let mut alg = FewStateHeavyHitters::new(Params::new(2.0, eps, n, m).with_seed(4));
         alg.process_stream(&stream);
@@ -120,7 +130,10 @@ mod tests {
             .map(|(i, _)| i)
             .collect();
         let (_, recall) = precision_recall(&reported, &exact);
-        assert!(recall >= 0.99, "recall {recall} (reported {reported:?}, exact {exact:?})");
+        assert!(
+            recall >= 0.99,
+            "recall {recall} (reported {reported:?}, exact {exact:?})"
+        );
         // Soundness: nothing below the ε/4 threshold may be reported.
         let floor = 0.25 * eps * truth.lp(2.0);
         for &item in &reported {
@@ -140,7 +153,10 @@ mod tests {
         let mut alg = FewStateHeavyHitters::new(Params::new(2.0, 0.3, n, m).with_seed(8));
         alg.process_stream(&stream);
         assert!(alg.rough_fp() >= m as f64);
-        assert!(alg.rough_fp() <= 2.0 * truth.fp(2.0), "rough Fp should not blow up");
+        assert!(
+            alg.rough_fp() <= 2.0 * truth.fp(2.0),
+            "rough Fp should not blow up"
+        );
         let hh = alg.heavy_hitters();
         assert!(!hh.is_empty());
         // The most frequent item must be in the list.

@@ -46,7 +46,10 @@ impl Params {
     /// Practical-profile parameters with `δ = 1/3` (the paper's constant success
     /// probability) and `R = 3` repetitions.
     pub fn new(p: f64, eps: f64, universe: usize, stream_len_hint: usize) -> Self {
-        assert!(p >= 1.0, "Params is for p ≥ 1; use FpSmallEstimator for p < 1");
+        assert!(
+            p >= 1.0,
+            "Params is for p ≥ 1; use FpSmallEstimator for p < 1"
+        );
         assert!(eps > 0.0 && eps < 1.0);
         assert!(universe > 0 && stream_len_hint > 0);
         Self {

@@ -203,7 +203,10 @@ impl SampleAndHold {
 
 impl StreamAlgorithm for SampleAndHold {
     fn name(&self) -> String {
-        format!("SampleAndHold(p={}, eps={})", self.params.p, self.params.eps)
+        format!(
+            "SampleAndHold(p={}, eps={})",
+            self.params.p, self.params.eps
+        )
     }
 
     fn process_item(&mut self, item: u64) {

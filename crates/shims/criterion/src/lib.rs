@@ -1,0 +1,249 @@
+//! Offline shim for the [`criterion`](https://crates.io/crates/criterion) benchmarking
+//! crate (0.5-compatible subset).
+//!
+//! The build environment has no access to crates.io, so this crate re-implements the
+//! slice of the criterion API used by the workspace's benches: [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Throughput`], [`Bencher`], [`black_box`],
+//! and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Statistics are intentionally simple: each benchmark runs `sample_size` samples
+//! after a warm-up, and the median per-iteration wall time is printed along with
+//! throughput when configured. There are no HTML reports or significance tests —
+//! the goal is that `cargo bench` builds, runs, and prints usable numbers.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimizing away a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group: per-iteration work volume.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: a function name plus a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id like `"name/parameter"`.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        Self {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion trait so `bench_function` accepts both strings and [`BenchmarkId`]s.
+pub trait IntoBenchmarkId {
+    /// Renders the id to its display string.
+    fn into_id_string(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id_string(self) -> String {
+        self.full
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id_string(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id_string(self) -> String {
+        self
+    }
+}
+
+/// Timing context handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the sample's iteration count, timing the whole batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        eprintln!("group: {name}");
+        BenchmarkGroup {
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<ID: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: ID,
+        f: F,
+    ) -> &mut Self {
+        let sample_size = self.sample_size;
+        run_benchmark(&id.into_id_string(), sample_size, None, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing throughput and sample-size settings.
+pub struct BenchmarkGroup<'a> {
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration work volume used to report throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function<ID: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: ID,
+        f: F,
+    ) -> &mut Self {
+        run_benchmark(&id.into_id_string(), self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Benchmarks a closure parameterized by an input value.
+    pub fn bench_with_input<ID: IntoBenchmarkId, I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: ID,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut per_iter: Vec<f64> = Vec::with_capacity(sample_size);
+    // One warm-up sample, then `sample_size` timed samples of one iteration each.
+    for sample in 0..=sample_size {
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        if sample > 0 {
+            per_iter.push(bencher.elapsed.as_secs_f64() / bencher.iters as f64);
+        }
+    }
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if median > 0.0 => {
+            format!("  ({:.2} Melem/s)", n as f64 / median / 1e6)
+        }
+        Some(Throughput::Bytes(n)) if median > 0.0 => {
+            format!("  ({:.2} MiB/s)", n as f64 / median / (1024.0 * 1024.0))
+        }
+        _ => String::new(),
+    };
+    eprintln!("  {id}: median {:.3} ms/iter{rate}", median * 1e3);
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(4));
+        group.sample_size(3);
+        let mut runs = 0;
+        group.bench_function(BenchmarkId::new("sum", 4), |b| {
+            runs += 1;
+            b.iter(|| (0u64..4).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::new("sq", 3), &3u64, |b, &k| b.iter(|| k * k));
+        group.finish();
+        // warm-up + 3 samples
+        assert_eq!(runs, 4);
+    }
+}

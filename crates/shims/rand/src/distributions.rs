@@ -1,0 +1,273 @@
+//! Distributions: the [`Standard`] distribution and uniform range sampling.
+
+use crate::{Rng, RngCore};
+
+/// A type that can produce samples of `T` given a source of randomness.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution for a type: uniform over all values for integers,
+/// uniform in `[0, 1)` for floats, a fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<u128> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 random mantissa bits scaled into [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+pub mod uniform {
+    //! Uniform sampling from ranges, mirroring `rand::distributions::uniform`.
+
+    use super::*;
+    use core::ops::{Range, RangeInclusive};
+
+    /// Types that can be sampled uniformly from a range.
+    pub trait SampleUniform: Sized {
+        /// Uniform sample from `[low, high)`.
+        fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+        /// Uniform sample from `[low, high]`.
+        fn sample_uniform_inclusive<R: RngCore + ?Sized>(
+            rng: &mut R,
+            low: Self,
+            high: Self,
+        ) -> Self;
+    }
+
+    /// Exactly uniform sample from `[0, span)` — Lemire's multiply-shift with the
+    /// rejection step, so large spans (e.g. the Mersenne-61 coefficient draws in the
+    /// hashing crate) are not biased toward low-mapped values.
+    fn lemire<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        let mut m = rng.next_u64() as u128 * span as u128;
+        let mut lo = m as u64;
+        if lo < span {
+            let threshold = span.wrapping_neg() % span;
+            while lo < threshold {
+                m = rng.next_u64() as u128 * span as u128;
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    macro_rules! uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                    assert!(low < high, "gen_range: low must be < high");
+                    let span = (high as i128 - low as i128) as u64;
+                    (low as i128 + lemire(rng, span) as i128) as $t
+                }
+
+                fn sample_uniform_inclusive<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    low: Self,
+                    high: Self,
+                ) -> Self {
+                    assert!(low <= high, "gen_range: low must be <= high");
+                    let span = (high as i128 - low as i128) as u128 + 1;
+                    if span > u64::MAX as u128 {
+                        // Full 64-bit domain: every draw is already in range.
+                        return (low as i128 + rng.next_u64() as i128) as $t;
+                    }
+                    (low as i128 + lemire(rng, span as u64) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! uniform_float {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                    assert!(low < high, "gen_range: low must be < high");
+                    let unit = (rng.next_u64() >> 11) as $t * (1.0 / (1u64 << 53) as $t);
+                    let x = low + (high - low) * unit;
+                    // `low + (high-low)*unit` can round up to `high` when the span is
+                    // near the ulp at `high`; keep the contract half-open.
+                    if x >= high {
+                        high.next_down()
+                    } else {
+                        x
+                    }
+                }
+
+                fn sample_uniform_inclusive<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    low: Self,
+                    high: Self,
+                ) -> Self {
+                    assert!(low <= high, "gen_range: low must be <= high");
+                    let unit = (rng.next_u64() >> 11) as $t * (1.0 / ((1u64 << 53) - 1) as $t);
+                    let x = low + (high - low) * unit;
+                    // `high - low` can round up, pushing the lerp past `high`.
+                    if x > high {
+                        high
+                    } else {
+                        x
+                    }
+                }
+            }
+        )*};
+    }
+
+    uniform_float!(f32, f64);
+
+    /// Range types accepted by [`crate::Rng::gen_range`].
+    pub trait SampleRange<T> {
+        /// Draws one sample from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_uniform(rng, self.start, self.end)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (low, high) = self.into_inner();
+            T::sample_uniform_inclusive(rng, low, high)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn unit_floats_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(5u64..=9);
+            assert!((5..=9).contains(&y));
+            let z = rng.gen_range(-4i64..4);
+            assert!((-4..4).contains(&z));
+            let f = rng.gen_range(1e-9..1.0);
+            assert!((1e-9..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[rng.gen_range(0usize..8)] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (8_000..12_000).contains(&c),
+                "bucket count {c} far from uniform"
+            );
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_strictly_below_the_upper_bound() {
+        // The span here is near the ulp at `high`, so naive lerp rounds up to `high`
+        // about half the time; the contract is half-open.
+        let mut rng = StdRng::seed_from_u64(5);
+        let (low, high) = (1e16f64, 1e16 + 2.0);
+        for _ in 0..1_000 {
+            let x = rng.gen_range(low..high);
+            assert!(x >= low && x < high, "{x} escaped [{low}, {high})");
+        }
+    }
+
+    #[test]
+    fn inclusive_float_range_never_exceeds_the_bound() {
+        // `high - low` rounds up here, so an unclamped lerp can land above `high`.
+        let mut rng = StdRng::seed_from_u64(6);
+        let (low, high) = (3e-16f64, 1.0);
+        for _ in 0..100_000 {
+            let x = rng.gen_range(low..=high);
+            assert!(x >= low && x <= high, "{x} escaped [{low}, {high}]");
+        }
+    }
+
+    #[test]
+    fn large_span_sampling_is_unbiased_across_residues() {
+        // With span = 3 << 61, floor(2^64 / span) is tiny, so unrejected multiply-shift
+        // sampling would skew the residues; rejection keeps them uniform.
+        let mut rng = StdRng::seed_from_u64(7);
+        let span = 3u64 << 61;
+        let mut counts = [0u32; 3];
+        for _ in 0..30_000 {
+            let x = rng.gen_range(0..span);
+            counts[(x >> 61) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (9_000..11_000).contains(&c),
+                "bucket count {c} far from uniform"
+            );
+        }
+    }
+
+    #[test]
+    fn full_domain_inclusive_ranges_do_not_overflow() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let _: u64 = rng.gen_range(0..=u64::MAX);
+        let x: i64 = rng.gen_range(i64::MIN..=i64::MAX);
+        let _ = x;
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((23_000..27_000).contains(&hits));
+    }
+}

@@ -144,7 +144,11 @@ mod tests {
         assert_eq!(m.len(), 2);
         assert_eq!(t.words_current(), 2 * 3);
         t.begin_epoch();
-        assert_eq!(m.insert(1, 10), Some(10), "identical re-insert is redundant");
+        assert_eq!(
+            m.insert(1, 10),
+            Some(10),
+            "identical re-insert is redundant"
+        );
         assert_eq!(t.state_changes(), 1);
         t.begin_epoch();
         m.insert(1, 11);

@@ -3,7 +3,7 @@
 //! The paper's Section 1.1 motivates minimizing state changes by the read/write
 //! asymmetry of non-volatile memory: writes cost more energy and latency than reads, and
 //! NVM cells wear out after a bounded number of writes (10^8–10^12 for general NVM
-//! [MSCT14], 10^4–10^6 for NAND flash cells [BT11]).  The paper itself does not measure
+//! \[MSCT14\], 10^4–10^6 for NAND flash cells \[BT11\]).  The paper itself does not measure
 //! hardware; this module is the documented substitution: it converts the exact
 //! state-change counts measured by [`crate::StateTracker`] into simulated energy,
 //! latency, and wear figures under a configurable cost model, so that the benefit of a
@@ -57,7 +57,7 @@ impl NvmCostModel {
     }
 
     /// NAND-flash-like profile: writes are far more expensive than reads and cells wear
-    /// out after ~10^5 writes [BT11].
+    /// out after ~10^5 writes \[BT11\].
     pub fn nand_flash() -> Self {
         Self {
             name: "NAND-flash",

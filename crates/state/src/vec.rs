@@ -133,7 +133,11 @@ mod tests {
         assert_eq!(v.len(), 8);
         assert_eq!(t.snapshot().word_writes, 8);
         assert_eq!(t.words_current(), 8);
-        assert_eq!(t.state_changes(), 0, "init happens before any epoch? no epoch opened");
+        assert_eq!(
+            t.state_changes(),
+            0,
+            "init happens before any epoch? no epoch opened"
+        );
     }
 
     #[test]

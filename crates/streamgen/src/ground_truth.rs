@@ -61,10 +61,7 @@ impl FrequencyVector {
     /// Exact frequency moment `F_p = Σ_i f_i^p`.
     pub fn fp(&self, p: f64) -> f64 {
         assert!(p >= 0.0);
-        self.counts
-            .values()
-            .map(|&c| (c as f64).powf(p))
-            .sum()
+        self.counts.values().map(|&c| (c as f64).powf(p)).sum()
     }
 
     /// Exact `L_p` norm `(F_p)^{1/p}` (for `p > 0`).

@@ -1,7 +1,7 @@
 //! Synthetic network-flow traces (elephants and mice).
 //!
 //! The paper motivates heavy hitters with elephant-flow detection in network traffic
-//! monitoring [BEFK17].  Real traces (CAIDA, enterprise datacenter logs) are not
+//! monitoring \[BEFK17\].  Real traces (CAIDA, enterprise datacenter logs) are not
 //! redistributable, so this module generates the documented substitution: a packet
 //! stream in which a small number of *elephant* flows carry heavy-tailed (Pareto)
 //! packet counts and a large number of *mice* flows carry only a few packets each.
@@ -129,7 +129,10 @@ mod tests {
             .max()
             .unwrap();
         assert!(heaviest_mouse <= spec.mouse_max_packets);
-        assert!(f.distinct() > 4_900, "almost every mouse flow should appear");
+        assert!(
+            f.distinct() > 4_900,
+            "almost every mouse flow should appear"
+        );
     }
 
     #[test]
@@ -142,11 +145,18 @@ mod tests {
             ..FlowTraceSpec::default()
         });
         let f = FrequencyVector::from_stream(&trace.packets);
-        let hh: Vec<u64> = f.heavy_hitters(1.0, 0.02).into_iter().map(|(i, _)| i).collect();
+        let hh: Vec<u64> = f
+            .heavy_hitters(1.0, 0.02)
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect();
         for flow in 0..6u64 {
             assert!(hh.contains(&flow), "elephant {flow} not reported as heavy");
         }
-        assert!(hh.iter().all(|&flow| flow < 6), "a mouse flow was reported heavy");
+        assert!(
+            hh.iter().all(|&flow| flow < 6),
+            "a mouse flow was reported heavy"
+        );
     }
 
     #[test]

@@ -106,7 +106,10 @@ mod tests {
             .map(|(_, c)| c)
             .max()
             .unwrap();
-        assert!(heaviest_background < 10, "background item too heavy: {heaviest_background}");
+        assert!(
+            heaviest_background < 10,
+            "background item too heavy: {heaviest_background}"
+        );
         assert_eq!(f.mode().unwrap().0, 0);
     }
 

@@ -26,7 +26,10 @@ pub fn permutation_stream(n: usize, seed: u64) -> Vec<u64> {
 
 /// A stream of `m` distinct items (`m ≤ n`), in random order.
 pub fn distinct_stream(n: usize, m: usize, seed: u64) -> Vec<u64> {
-    assert!(m <= n, "cannot draw {m} distinct items from a universe of {n}");
+    assert!(
+        m <= n,
+        "cannot draw {m} distinct items from a universe of {n}"
+    );
     let mut perm = permutation_stream(n, seed);
     perm.truncate(m);
     perm
@@ -57,7 +60,10 @@ mod tests {
         assert_ne!(a, uniform_stream(100, 10_000, 2));
         assert!(a.iter().all(|&x| x < 100));
         let f = FrequencyVector::from_stream(&a);
-        assert!(f.distinct() > 90, "expected near-full coverage of the universe");
+        assert!(
+            f.distinct() > 90,
+            "expected near-full coverage of the universe"
+        );
     }
 
     #[test]

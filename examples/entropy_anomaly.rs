@@ -47,6 +47,9 @@ fn main() {
             "  state changes     : {} of {} packets",
             report.state_changes, report.epochs
         );
-        println!("  anomaly alarm     : {}\n", if alarm { "RAISED" } else { "quiet" });
+        println!(
+            "  anomaly alarm     : {}\n",
+            if alarm { "RAISED" } else { "quiet" }
+        );
     }
 }

@@ -26,7 +26,11 @@ fn main() {
     let truth = FrequencyVector::from_stream(&trace.packets);
     let eps = 0.02;
     let threshold = eps * truth.lp(1.0);
-    let exact: Vec<u64> = truth.heavy_hitters(1.0, eps).into_iter().map(|(i, _)| i).collect();
+    let exact: Vec<u64> = truth
+        .heavy_hitters(1.0, eps)
+        .into_iter()
+        .map(|(i, _)| i)
+        .collect();
     println!(
         "trace: {} packets, {} flows, {} true elephant flows above {:.0} packets\n",
         trace.packets.len(),
@@ -53,7 +57,12 @@ fn main() {
         .into_iter()
         .map(|(i, _)| i)
         .collect();
-    summarize("FewStateHeavyHitters (this paper)", &ours, &our_reported, &exact);
+    summarize(
+        "FewStateHeavyHitters (this paper)",
+        &ours,
+        &our_reported,
+        &exact,
+    );
 }
 
 fn summarize<A: StreamAlgorithm>(name: &str, alg: &A, reported: &[u64], exact: &[u64]) {

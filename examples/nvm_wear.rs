@@ -9,7 +9,9 @@
 
 use few_state_changes::algorithms::{Params, SampleAndHold};
 use few_state_changes::baselines::{CountMin, MisraGries};
-use few_state_changes::state::{NvmCostModel, NvmReport, StateReport, StateTracker, StreamAlgorithm};
+use few_state_changes::state::{
+    NvmCostModel, NvmReport, StateReport, StateTracker, StreamAlgorithm,
+};
 use few_state_changes::streamgen::zipf::zipf_stream;
 
 fn main() {
@@ -34,7 +36,11 @@ fn main() {
     ours.process_stream(&stream);
     reports.push((format!("{} (this paper)", ours.name()), ours.report()));
 
-    for model in [NvmCostModel::dram(), NvmCostModel::pcm(), NvmCostModel::nand_flash()] {
+    for model in [
+        NvmCostModel::dram(),
+        NvmCostModel::pcm(),
+        NvmCostModel::nand_flash(),
+    ] {
         println!(
             "=== {} (write costs {:.0}x a read, endurance {} writes/cell) ===",
             model.name,

@@ -4,7 +4,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use few_state_changes::algorithms::{FewStateHeavyHitters, FpEstimator, Params};
-use few_state_changes::state::{FrequencyEstimator, MomentEstimator, StreamAlgorithm};
+use few_state_changes::state::{MomentEstimator, StreamAlgorithm};
 use few_state_changes::streamgen::zipf::zipf_stream;
 use few_state_changes::streamgen::FrequencyVector;
 
@@ -22,7 +22,10 @@ fn main() {
     let exact = truth.fp(2.0);
     println!("F2 estimate : {estimate:.3e}");
     println!("F2 exact    : {exact:.3e}");
-    println!("rel. error  : {:.2}%", 100.0 * (estimate - exact).abs() / exact);
+    println!(
+        "rel. error  : {:.2}%",
+        100.0 * (estimate - exact).abs() / exact
+    );
     let report = moment.report();
     println!(
         "state changes: {} over {} updates ({:.1}% of updates wrote to memory)\n",

@@ -11,7 +11,10 @@ use few_state_changes::streamgen::zipf::zipf_stream;
 
 #[test]
 fn generators_are_pure_functions_of_their_seeds() {
-    assert_eq!(zipf_stream(512, 2_000, 1.1, 9), zipf_stream(512, 2_000, 1.1, 9));
+    assert_eq!(
+        zipf_stream(512, 2_000, 1.1, 9),
+        zipf_stream(512, 2_000, 1.1, 9)
+    );
     assert_eq!(
         counterexample_stream(8).stream,
         counterexample_stream(8).stream
@@ -51,7 +54,9 @@ fn algorithms_with_equal_seeds_produce_identical_summaries() {
     let run_cs = || {
         let mut alg = CountSketch::for_error(0.1, 0.05, 13);
         alg.process_stream(&stream);
-        (0..32u64).map(|i| alg.estimate(i).to_bits()).collect::<Vec<_>>()
+        (0..32u64)
+            .map(|i| alg.estimate(i).to_bits())
+            .collect::<Vec<_>>()
     };
     assert_eq!(run_cs(), run_cs());
 }

@@ -21,11 +21,16 @@ fn elephant_flows_are_found_with_fewer_writes_than_misra_gries() {
     });
     let truth = FrequencyVector::from_stream(&trace.packets);
     let eps = 0.02;
-    let exact: Vec<u64> = truth.heavy_hitters(1.0, eps).into_iter().map(|(i, _)| i).collect();
+    let exact: Vec<u64> = truth
+        .heavy_hitters(1.0, eps)
+        .into_iter()
+        .map(|(i, _)| i)
+        .collect();
     assert!(exact.len() >= 8, "all elephants should be heavy");
 
-    let mut ours =
-        FewStateHeavyHitters::new(Params::new(1.0, eps, trace.flows, trace.packets.len()).with_seed(1));
+    let mut ours = FewStateHeavyHitters::new(
+        Params::new(1.0, eps, trace.flows, trace.packets.len()).with_seed(1),
+    );
     ours.process_stream(&trace.packets);
     let reported: Vec<u64> = ours
         .heavy_hitters_with_norm(truth.lp(1.0))
@@ -63,7 +68,10 @@ fn f2_estimate_agrees_with_ground_truth_and_the_count_sketch_threshold() {
     let mut cs = CountSketch::for_error(0.05, 0.05, 3);
     cs.process_stream(&stream);
     let top = truth.mode().unwrap().0;
-    assert!(cs.estimate(top) >= 0.2 * norm, "top item must clear an ε-fraction of the estimated norm");
+    assert!(
+        cs.estimate(top) >= 0.2 * norm,
+        "top item must clear an ε-fraction of the estimated norm"
+    );
 }
 
 #[test]
@@ -79,7 +87,10 @@ fn state_change_accounting_is_consistent_across_the_stack() {
     assert!(report.state_changes <= report.epochs);
     assert!(report.word_writes >= report.state_changes);
     assert!(report.words_peak >= report.words_current);
-    assert!(report.reads > 0, "membership checks must be charged as reads");
+    assert!(
+        report.reads > 0,
+        "membership checks must be charged as reads"
+    );
 }
 
 #[test]

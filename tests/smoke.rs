@@ -1,0 +1,52 @@
+//! Umbrella-crate smoke tests: every re-export resolves, and a tiny end-to-end run
+//! works through the public surface alone.
+
+use few_state_changes::algorithms::{Params, SampleAndHold};
+use few_state_changes::state::StreamAlgorithm;
+use few_state_changes::streamgen::zipf::zipf_stream;
+
+/// Every documented re-export of the umbrella crate resolves to its crate.
+#[test]
+fn reexports_resolve() {
+    // One load-bearing item per re-exported module; a rename or dropped re-export
+    // fails this test at compile time.
+    let _state: fn() -> few_state_changes::state::StateTracker =
+        few_state_changes::state::StateTracker::new;
+    let _counters: fn(&few_state_changes::state::StateTracker) -> _ =
+        few_state_changes::counters::ExactCounter::new;
+    let _streamgen: fn(&[u64]) -> few_state_changes::streamgen::FrequencyVector =
+        few_state_changes::streamgen::FrequencyVector::from_stream;
+    let _baselines: fn(usize) -> few_state_changes::baselines::MisraGries =
+        few_state_changes::baselines::MisraGries::new;
+    let _algorithms: fn(f64, f64, usize, usize) -> few_state_changes::algorithms::Params =
+        few_state_changes::algorithms::Params::new;
+}
+
+/// `VERSION` matches the manifest version baked in at compile time.
+#[test]
+fn version_is_populated() {
+    assert_eq!(few_state_changes::VERSION, env!("CARGO_PKG_VERSION"));
+    assert!(!few_state_changes::VERSION.is_empty());
+}
+
+/// End-to-end: SampleAndHold over a small Zipf stream processes every update and
+/// writes to memory at least once, but far less often than once per update.
+#[test]
+fn sample_and_hold_over_zipf_stream() {
+    let n = 1 << 10;
+    let m = 8 * n;
+    let stream = zipf_stream(n, m, 1.2, 7);
+    let params = Params::new(2.0, 0.3, n, m).with_seed(7);
+    let mut alg = SampleAndHold::standalone(&params);
+    alg.process_stream(&stream);
+    let report = alg.report();
+    assert_eq!(report.epochs, m as u64);
+    assert!(report.epochs > 0);
+    assert!(report.state_changes >= 1);
+    assert!(
+        report.state_changes < report.epochs,
+        "a write-frugal algorithm wrote on every update: {} of {}",
+        report.state_changes,
+        report.epochs
+    );
+}
