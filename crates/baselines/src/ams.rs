@@ -1,7 +1,7 @@
 //! The AMS (Alon-Matias-Szegedy) F₂ sketch [AMS99].
 
 use fsc_counters::hashing::PolyHash;
-use fsc_state::{MomentEstimator, StateTracker, StreamAlgorithm, TrackedVec};
+use fsc_state::{Mergeable, MomentEstimator, StateTracker, StreamAlgorithm, TrackedVec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -19,24 +19,36 @@ pub struct AmsSketch {
     signs: Vec<PolyHash>,
     groups: usize,
     per_group: usize,
+    seed: u64,
     tracker: StateTracker,
 }
 
 impl AmsSketch {
     /// Creates a sketch with `groups` independent groups of `per_group` counters each.
     pub fn new(groups: usize, per_group: usize, seed: u64) -> Self {
+        Self::with_tracker(&StateTracker::new(), groups, per_group, seed)
+    }
+
+    /// Creates a sketch attached to a caller-supplied tracker (e.g. a lean one from
+    /// [`StateTracker::lean`], which makes the sketch `Send` for sharded runs).
+    pub fn with_tracker(
+        tracker: &StateTracker,
+        groups: usize,
+        per_group: usize,
+        seed: u64,
+    ) -> Self {
         assert!(groups >= 1 && per_group >= 1);
-        let tracker = StateTracker::new();
         let mut rng = StdRng::seed_from_u64(seed);
         let total = groups * per_group;
-        let counters = TrackedVec::filled(&tracker, total, 0i64);
+        let counters = TrackedVec::filled(tracker, total, 0i64);
         let signs = (0..total).map(|_| PolyHash::four_wise(&mut rng)).collect();
         Self {
             counters,
             signs,
             groups,
             per_group,
-            tracker,
+            seed,
+            tracker: tracker.clone(),
         }
     }
 
@@ -69,6 +81,26 @@ impl StreamAlgorithm for AmsSketch {
 
     fn tracker(&self) -> &StateTracker {
         &self.tracker
+    }
+}
+
+impl Mergeable for AmsSketch {
+    /// Exact merge: `Z_j = Σ_i s_j(i)·f_i` is linear in `f`, so adding counters yields
+    /// the sketch of the concatenated stream (identical dimensions and seed required).
+    fn merge_from(&mut self, other: &Self) {
+        assert!(
+            self.groups == other.groups
+                && self.per_group == other.per_group
+                && self.seed == other.seed,
+            "AMS shards must share dimensions and sign seed"
+        );
+        self.tracker.begin_epoch();
+        self.tracker.record_reads(other.counters.len() as u64);
+        for (j, &v) in other.counters.iter_untracked().enumerate() {
+            if v != 0 {
+                self.counters.update(j, |c| c + v);
+            }
+        }
     }
 }
 
@@ -131,6 +163,20 @@ mod tests {
         assert_eq!(ams.space_words(), ams.counters());
         // per_group = 8/0.04 = 200, groups = odd(ceil(4·ln 10)) = 11.
         assert_eq!(ams.counters(), 200 * 11);
+    }
+
+    #[test]
+    fn sharded_merge_equals_the_unsharded_sketch() {
+        let stream = zipf_stream(1 << 10, 6_000, 1.0, 12);
+        let (left, right) = stream.split_at(stream.len() / 2);
+        let mut whole = AmsSketch::new(5, 64, 33);
+        whole.process_stream(&stream);
+        let mut a = AmsSketch::new(5, 64, 33);
+        a.process_stream(left);
+        let mut b = AmsSketch::new(5, 64, 33);
+        b.process_stream(right);
+        a.merge_from(&b);
+        assert_eq!(a.estimate_moment(), whole.estimate_moment());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The CountMin sketch [CM05].
 
 use fsc_counters::hashing::TabulationHash;
-use fsc_state::{FrequencyEstimator, StateTracker, StreamAlgorithm, TrackedVec};
+use fsc_state::{FrequencyEstimator, Mergeable, StateTracker, StreamAlgorithm, TrackedVec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -15,24 +15,31 @@ pub struct CountMin {
     rows: Vec<TrackedVec<u64>>,
     hashes: Vec<TabulationHash>,
     width: usize,
+    seed: u64,
     tracker: StateTracker,
 }
 
 impl CountMin {
     /// Creates a sketch with explicit dimensions.
     pub fn new(width: usize, depth: usize, seed: u64) -> Self {
+        Self::with_tracker(&StateTracker::new(), width, depth, seed)
+    }
+
+    /// Creates a sketch attached to a caller-supplied tracker (e.g. a lean one from
+    /// [`StateTracker::lean`], which makes the sketch `Send` for sharded runs).
+    pub fn with_tracker(tracker: &StateTracker, width: usize, depth: usize, seed: u64) -> Self {
         assert!(width >= 1 && depth >= 1);
-        let tracker = StateTracker::new();
         let mut rng = StdRng::seed_from_u64(seed);
         let rows = (0..depth)
-            .map(|_| TrackedVec::filled(&tracker, width, 0u64))
+            .map(|_| TrackedVec::filled(tracker, width, 0u64))
             .collect();
         let hashes = (0..depth).map(|_| TabulationHash::new(&mut rng)).collect();
         Self {
             rows,
             hashes,
             width,
-            tracker,
+            seed,
+            tracker: tracker.clone(),
         }
     }
 
@@ -69,6 +76,31 @@ impl StreamAlgorithm for CountMin {
 
     fn tracker(&self) -> &StateTracker {
         &self.tracker
+    }
+}
+
+impl Mergeable for CountMin {
+    /// Exact merge by counter addition: with identical dimensions and hash seed, the
+    /// merged sketch is bit-for-bit the sketch of the concatenated stream.
+    fn merge_from(&mut self, other: &Self) {
+        assert!(
+            self.width == other.width
+                && self.rows.len() == other.rows.len()
+                && self.seed == other.seed,
+            "CountMin shards must share width, depth, and hash seed"
+        );
+        // One accounting epoch for the whole merge; reads of the donor sketch are
+        // charged to the receiver.
+        self.tracker.begin_epoch();
+        self.tracker
+            .record_reads((self.width * self.rows.len()) as u64);
+        for (row, other_row) in self.rows.iter_mut().zip(&other.rows) {
+            for (i, &v) in other_row.iter_untracked().enumerate() {
+                if v != 0 {
+                    row.update(i, |c| c + v);
+                }
+            }
+        }
     }
 }
 
@@ -131,6 +163,30 @@ mod tests {
             64 * 4 + 4 * 2_000,
             "init + depth per update"
         );
+    }
+
+    #[test]
+    fn sharded_merge_equals_the_unsharded_sketch() {
+        let stream = zipf_stream(1 << 10, 8_000, 1.1, 5);
+        let (left, right) = stream.split_at(stream.len() / 3);
+        let mut whole = CountMin::new(128, 4, 9);
+        whole.process_stream(&stream);
+        let mut a = CountMin::new(128, 4, 9);
+        a.process_stream(left);
+        let mut b = CountMin::new(128, 4, 9);
+        b.process_stream(right);
+        a.merge_from(&b);
+        for item in 0..64u64 {
+            assert_eq!(a.estimate(item), whole.estimate(item), "item {item}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must share")]
+    fn merging_incompatible_sketches_panics() {
+        let mut a = CountMin::new(64, 4, 1);
+        let b = CountMin::new(64, 4, 2);
+        a.merge_from(&b);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The CountSketch [CCF04].
 
 use fsc_counters::hashing::PolyHash;
-use fsc_state::{FrequencyEstimator, StateTracker, StreamAlgorithm, TrackedVec};
+use fsc_state::{FrequencyEstimator, Mergeable, StateTracker, StreamAlgorithm, TrackedVec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -18,17 +18,23 @@ pub struct CountSketch {
     bucket_hashes: Vec<PolyHash>,
     sign_hashes: Vec<PolyHash>,
     width: usize,
+    seed: u64,
     tracker: StateTracker,
 }
 
 impl CountSketch {
     /// Creates a sketch with explicit dimensions.
     pub fn new(width: usize, depth: usize, seed: u64) -> Self {
+        Self::with_tracker(&StateTracker::new(), width, depth, seed)
+    }
+
+    /// Creates a sketch attached to a caller-supplied tracker (e.g. a lean one from
+    /// [`StateTracker::lean`], which makes the sketch `Send` for sharded runs).
+    pub fn with_tracker(tracker: &StateTracker, width: usize, depth: usize, seed: u64) -> Self {
         assert!(width >= 1 && depth >= 1);
-        let tracker = StateTracker::new();
         let mut rng = StdRng::seed_from_u64(seed);
         let rows = (0..depth)
-            .map(|_| TrackedVec::filled(&tracker, width, 0i64))
+            .map(|_| TrackedVec::filled(tracker, width, 0i64))
             .collect();
         let bucket_hashes = (0..depth).map(|_| PolyHash::two_wise(&mut rng)).collect();
         let sign_hashes = (0..depth).map(|_| PolyHash::four_wise(&mut rng)).collect();
@@ -37,7 +43,8 @@ impl CountSketch {
             bucket_hashes,
             sign_hashes,
             width,
-            tracker,
+            seed,
+            tracker: tracker.clone(),
         }
     }
 
@@ -80,6 +87,29 @@ impl StreamAlgorithm for CountSketch {
 
     fn tracker(&self) -> &StateTracker {
         &self.tracker
+    }
+}
+
+impl Mergeable for CountSketch {
+    /// Exact merge by signed-counter addition: with identical dimensions and hash seed,
+    /// the merged sketch equals the sketch of the concatenated stream.
+    fn merge_from(&mut self, other: &Self) {
+        assert!(
+            self.width == other.width
+                && self.rows.len() == other.rows.len()
+                && self.seed == other.seed,
+            "CountSketch shards must share width, depth, and hash seed"
+        );
+        self.tracker.begin_epoch();
+        self.tracker
+            .record_reads((self.width * self.rows.len()) as u64);
+        for (row, other_row) in self.rows.iter_mut().zip(&other.rows) {
+            for (i, &v) in other_row.iter_untracked().enumerate() {
+                if v != 0 {
+                    row.update(i, |c| c + v);
+                }
+            }
+        }
     }
 }
 
@@ -145,6 +175,22 @@ mod tests {
         let mut cs = CountSketch::new(128, 5, 4);
         cs.process_stream(&stream);
         assert_eq!(cs.report().state_changes, 3_000);
+    }
+
+    #[test]
+    fn sharded_merge_equals_the_unsharded_sketch() {
+        let stream = zipf_stream(1 << 10, 9_000, 1.2, 8);
+        let (left, right) = stream.split_at(2 * stream.len() / 5);
+        let mut whole = CountSketch::new(256, 5, 21);
+        whole.process_stream(&stream);
+        let mut a = CountSketch::new(256, 5, 21);
+        a.process_stream(left);
+        let mut b = CountSketch::new(256, 5, 21);
+        b.process_stream(right);
+        a.merge_from(&b);
+        for item in 0..64u64 {
+            assert_eq!(a.estimate(item), whole.estimate(item), "item {item}");
+        }
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Exact counting with a full frequency table (the "no sketching" reference point).
 
 use fsc_state::{
-    EntropyEstimator, FrequencyEstimator, MomentEstimator, StateTracker, StreamAlgorithm,
-    SupportRecovery, TrackedMap,
+    EntropyEstimator, FrequencyEstimator, Mergeable, MomentEstimator, StateTracker,
+    StreamAlgorithm, SupportRecovery, TrackedMap,
 };
 
 /// Maintains the exact frequency of every distinct item in a tracked hash map.
@@ -22,10 +22,15 @@ impl ExactCounting {
     /// Creates an exact counter; `p` is the moment order reported by
     /// [`MomentEstimator::estimate_moment`].
     pub fn new(p: f64) -> Self {
-        let tracker = StateTracker::new();
+        Self::with_tracker(&StateTracker::new(), p)
+    }
+
+    /// Creates an exact counter attached to a caller-supplied tracker (e.g. a lean one
+    /// from [`StateTracker::lean`], which makes the counter `Send` for sharded runs).
+    pub fn with_tracker(tracker: &StateTracker, p: f64) -> Self {
         Self {
-            counts: TrackedMap::new(&tracker),
-            tracker,
+            counts: TrackedMap::new(tracker),
+            tracker: tracker.clone(),
             p,
         }
     }
@@ -35,9 +40,26 @@ impl ExactCounting {
         self.counts.len()
     }
 
-    /// Total number of updates processed.
+    /// Total number of updates counted (`Σ_i f_i`).  Equals the number of epochs for a
+    /// standalone run and, unlike an epoch count, stays correct after
+    /// [`Mergeable::merge_from`] folds in another shard's table.
     pub fn stream_len(&self) -> u64 {
-        self.tracker.epochs()
+        self.counts.iter_untracked().map(|(_, &c)| c).sum()
+    }
+}
+
+impl Mergeable for ExactCounting {
+    /// Exact merge: frequency tables of disjoint substreams add componentwise.
+    fn merge_from(&mut self, other: &Self) {
+        self.tracker.begin_epoch();
+        self.tracker.record_reads(other.counts.len() as u64);
+        for (&item, &count) in other.counts.iter_untracked() {
+            if self.counts.peek(&item).is_some() {
+                self.counts.modify(&item, |c| c + count);
+            } else {
+                self.counts.insert(item, count);
+            }
+        }
     }
 }
 

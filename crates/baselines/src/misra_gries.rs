@@ -1,6 +1,6 @@
 //! The Misra-Gries frequent-items summary [MG82].
 
-use fsc_state::{FrequencyEstimator, StateTracker, StreamAlgorithm, TrackedMap};
+use fsc_state::{FrequencyEstimator, Mergeable, StateTracker, StreamAlgorithm, TrackedMap};
 
 /// The deterministic Misra-Gries summary with `k` counters.
 ///
@@ -18,12 +18,17 @@ pub struct MisraGries {
 impl MisraGries {
     /// Creates a summary with `k ≥ 1` counters.
     pub fn new(k: usize) -> Self {
+        Self::with_tracker(&StateTracker::new(), k)
+    }
+
+    /// Creates a summary attached to a caller-supplied tracker (e.g. a lean one from
+    /// [`StateTracker::lean`], which makes the summary `Send` for sharded runs).
+    pub fn with_tracker(tracker: &StateTracker, k: usize) -> Self {
         assert!(k >= 1);
-        let tracker = StateTracker::new();
         Self {
-            counters: TrackedMap::new(&tracker),
+            counters: TrackedMap::new(tracker),
             k,
-            tracker,
+            tracker: tracker.clone(),
         }
     }
 
@@ -61,6 +66,38 @@ impl StreamAlgorithm for MisraGries {
 
     fn tracker(&self) -> &StateTracker {
         &self.tracker
+    }
+}
+
+impl Mergeable for MisraGries {
+    /// The Agarwal–Cormode–Huang–Phillips–Wei–Yi merge: add counters for common items,
+    /// take the union otherwise, then subtract the `(k+1)`-st largest count from every
+    /// counter and drop the non-positive ones.  The result is a valid `k`-counter
+    /// summary of the concatenated stream: estimates stay underestimates with additive
+    /// error at most `(m_a + m_b)/(k+1)`.
+    fn merge_from(&mut self, other: &Self) {
+        assert_eq!(
+            self.k, other.k,
+            "Misra-Gries shards must share the counter capacity k"
+        );
+        self.tracker.begin_epoch();
+        self.tracker.record_reads(other.counters.len() as u64);
+        for (&item, &count) in other.counters.iter_untracked() {
+            if self.counters.peek(&item).is_some() {
+                self.counters.modify(&item, |c| c + count);
+            } else {
+                self.counters.insert(item, count);
+            }
+        }
+        if self.counters.len() > self.k {
+            let mut counts: Vec<u64> = self.counters.iter_untracked().map(|(_, &c)| c).collect();
+            counts.sort_unstable_by(|a, b| b.cmp(a));
+            let decrement = counts[self.k];
+            for key in self.counters.keys_untracked() {
+                self.counters.modify(&key, |c| c.saturating_sub(decrement));
+            }
+            self.counters.retain(|_, &c| c > 0);
+        }
     }
 }
 
@@ -118,6 +155,29 @@ mod tests {
         assert!(mg.capacity() == 32);
         // 3 words per entry + map overhead stays proportional to k, far below F_0.
         assert!(mg.space_words() <= 32 * 4);
+    }
+
+    #[test]
+    fn sharded_merge_obeys_the_misra_gries_error_bound() {
+        let stream = zipf_stream(1 << 12, 24_000, 1.2, 19);
+        let truth = FrequencyVector::from_stream(&stream);
+        let k = 64;
+        let (left, right) = stream.split_at(stream.len() / 2);
+        let mut a = MisraGries::new(k);
+        a.process_stream(left);
+        let mut b = MisraGries::new(k);
+        b.process_stream(right);
+        a.merge_from(&b);
+        assert!(a.tracked_items().len() <= k, "merge must respect capacity");
+        let max_err = stream.len() as f64 / (k + 1) as f64;
+        for (item, f) in truth.top_k(20) {
+            let est = a.estimate(item);
+            assert!(est <= f as f64 + 1e-9, "merged MG overestimated {item}");
+            assert!(
+                est >= f as f64 - max_err - 1e-9,
+                "item {item}: merged est {est}, true {f}, bound {max_err}"
+            );
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The SpaceSaving summary [MAA05].
 
-use fsc_state::{FrequencyEstimator, StateTracker, StreamAlgorithm, TrackedMap};
+use fsc_state::{FrequencyEstimator, Mergeable, StateTracker, StreamAlgorithm, TrackedMap};
 
 /// The SpaceSaving summary with `k` monitored items.
 ///
@@ -18,12 +18,17 @@ pub struct SpaceSaving {
 impl SpaceSaving {
     /// Creates a summary monitoring `k ≥ 1` items.
     pub fn new(k: usize) -> Self {
+        Self::with_tracker(&StateTracker::new(), k)
+    }
+
+    /// Creates a summary attached to a caller-supplied tracker (e.g. a lean one from
+    /// [`StateTracker::lean`], which makes the summary `Send` for sharded runs).
+    pub fn with_tracker(tracker: &StateTracker, k: usize) -> Self {
         assert!(k >= 1);
-        let tracker = StateTracker::new();
         Self {
-            counters: TrackedMap::new(&tracker),
+            counters: TrackedMap::new(tracker),
             k,
-            tracker,
+            tracker: tracker.clone(),
         }
     }
 
@@ -65,6 +70,59 @@ impl StreamAlgorithm for SpaceSaving {
 
     fn tracker(&self) -> &StateTracker {
         &self.tracker
+    }
+}
+
+impl Mergeable for SpaceSaving {
+    /// Overestimate-preserving merge (Cafaro et al. style): an item absent from one
+    /// table inherits that table's minimum counter (its largest possible frequency
+    /// there), the union is summed, and the `k` largest combined counters are kept.
+    /// Surviving items satisfy `f_i ≤ estimate(i) ≤ f_i + m_a/k + m_b/k`.
+    fn merge_from(&mut self, other: &Self) {
+        assert_eq!(
+            self.k, other.k,
+            "SpaceSaving shards must share the monitored capacity k"
+        );
+        self.tracker.begin_epoch();
+        self.tracker.record_reads(other.counters.len() as u64);
+        // An unmonitored item's frequency is bounded by the minimum counter — and by 0
+        // when the table never filled (then every seen item is monitored).
+        let min_self = if self.counters.len() == self.k {
+            self.min_entry().map_or(0, |(_, c)| c)
+        } else {
+            0
+        };
+        let min_other = if other.counters.len() == other.k {
+            other.min_entry().map_or(0, |(_, c)| c)
+        } else {
+            0
+        };
+        let mut combined: Vec<(u64, u64)> = self
+            .counters
+            .iter_untracked()
+            .map(|(&item, &c)| {
+                (
+                    item,
+                    c + other.counters.peek(&item).copied().unwrap_or(min_other),
+                )
+            })
+            .collect();
+        for (&item, &c) in other.counters.iter_untracked() {
+            if self.counters.peek(&item).is_none() {
+                combined.push((item, c + min_self));
+            }
+        }
+        combined.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        combined.truncate(self.k);
+        let kept: std::collections::HashSet<u64> = combined.iter().map(|&(i, _)| i).collect();
+        for key in self.counters.keys_untracked() {
+            if !kept.contains(&key) {
+                self.counters.remove(&key);
+            }
+        }
+        for (item, count) in combined {
+            self.counters.insert(item, count);
+        }
     }
 }
 
@@ -113,6 +171,33 @@ mod tests {
         let mut ss = SpaceSaving::new(16);
         ss.process_stream(&stream);
         assert_eq!(ss.report().state_changes, 5_000);
+    }
+
+    #[test]
+    fn sharded_merge_keeps_overestimates_within_the_combined_bound() {
+        let stream = zipf_stream(1 << 12, 24_000, 1.2, 23);
+        let truth = FrequencyVector::from_stream(&stream);
+        let k = 64;
+        let (left, right) = stream.split_at(stream.len() / 2);
+        let mut a = SpaceSaving::new(k);
+        a.process_stream(left);
+        let mut b = SpaceSaving::new(k);
+        b.process_stream(right);
+        a.merge_from(&b);
+        assert!(a.tracked_items().len() <= k);
+        // Per-shard error is m_shard/k, so the merged bound is (m_a + m_b)/k.
+        let bound = stream.len() as f64 / k as f64;
+        for (item, f) in truth.top_k(10) {
+            let est = a.estimate(item);
+            assert!(
+                est + 1e-9 >= f as f64,
+                "merged SpaceSaving must not underestimate {item}: est {est}, true {f}"
+            );
+            assert!(
+                est <= f as f64 + bound + 1e-9,
+                "item {item}: merged est {est}, true {f}, bound {bound}"
+            );
+        }
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fsc::{FewStateHeavyHitters, FpEstimator, Params, SampleAndHold};
 use fsc_baselines::{CountMin, CountSketch, MisraGries, SpaceSaving};
-use fsc_state::StreamAlgorithm;
+use fsc_state::{StateTracker, StreamAlgorithm, TrackerKind};
 use fsc_streamgen::zipf::zipf_stream;
 
 const N: usize = 1 << 12;
@@ -68,5 +68,37 @@ fn bench_updates(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_updates);
+/// Update-path cost of the exact-accounting `FullTracker` vs the atomic `LeanTracker`,
+/// holding the algorithm fixed.  The measured ratio is recorded in EXPERIMENTS.md
+/// (satellite of the backend refactor): CountMin stresses `record_write`/`record_reads`
+/// density (depth writes per update), SampleAndHold stresses `begin_epoch`/`epochs`
+/// polling with sparse writes.
+fn bench_tracker_backends(c: &mut Criterion) {
+    let stream = zipf_stream(N, M, 1.1, 7);
+    let mut group = c.benchmark_group("tracker_backends");
+    group.throughput(Throughput::Elements(M as u64));
+    group.sample_size(10);
+
+    for (label, kind) in [("full", TrackerKind::Full), ("lean", TrackerKind::Lean)] {
+        group.bench_function(BenchmarkId::new("CountMin", label), |b| {
+            b.iter(|| {
+                let tracker = StateTracker::of_kind(kind);
+                let mut alg = CountMin::with_tracker(&tracker, 1 << 10, 4, 1);
+                alg.process_stream(&stream);
+                alg.report().state_changes
+            })
+        });
+        group.bench_function(BenchmarkId::new("SampleAndHold", label), |b| {
+            b.iter(|| {
+                let mut alg =
+                    SampleAndHold::standalone(&Params::new(2.0, 0.2, N, M).with_tracker(kind));
+                alg.process_stream(&stream);
+                alg.report().state_changes
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates, bench_tracker_backends);
 criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Regenerates experiment F11: sharded merged summaries vs serial runs.
+
+fn main() {
+    let scale = fsc_bench::Scale::from_args();
+    let (table, rows) = fsc_bench::experiments::sharding::run(scale);
+    table.print();
+    for r in &rows {
+        println!(
+            "{}: {} shards, wall-clock speedup {:.2}x",
+            r.name,
+            fsc_bench::experiments::sharding::SHARDS,
+            r.speedup()
+        );
+    }
+}

@@ -8,6 +8,7 @@ use fsc_state::{MomentEstimator, StreamAlgorithm};
 use fsc_streamgen::zipf::zipf_stream;
 use fsc_streamgen::FrequencyVector;
 
+use crate::sharded::parallel_map;
 use crate::table::{f, Table};
 use crate::Scale;
 
@@ -28,8 +29,15 @@ pub struct Row {
     pub ams_state_changes: Option<u64>,
 }
 
-/// Runs the accuracy sweep.
+/// Runs the accuracy sweep serially.
 pub fn run(scale: Scale) -> (Table, Vec<Row>) {
+    run_with_threads(scale, 1)
+}
+
+/// Runs the accuracy sweep with up to `threads` worker threads.  Each `(p, ε)` grid
+/// cell is an independent deterministic computation (own estimator, own seeds), so the
+/// rows — and therefore the table — are identical at every thread count.
+pub fn run_with_threads(scale: Scale, threads: usize) -> (Table, Vec<Row>) {
     let n = scale.pick(1 << 12, 1 << 14);
     let m = 4 * n;
     let repeats = scale.pick(1, 3);
@@ -38,7 +46,45 @@ pub fn run(scale: Scale) -> (Table, Vec<Row>) {
     let stream = zipf_stream(n, m, 1.2, 77);
     let truth = FrequencyVector::from_stream(&stream);
 
-    let mut rows = Vec::new();
+    let grid: Vec<(f64, f64)> = ps
+        .iter()
+        .flat_map(|&p| eps_values.iter().map(move |&eps| (p, eps)))
+        .collect();
+    let rows = parallel_map(grid, threads, |_, (p, eps)| {
+        let exact = truth.fp(p);
+        let mut errors = Vec::new();
+        let mut changes = Vec::new();
+        for rep in 0..repeats {
+            let mut est = FpEstimator::new(Params::new(p, eps, n, m).with_seed(900 + rep as u64));
+            est.process_stream(&stream);
+            errors.push((est.estimate_moment() - exact).abs() / exact);
+            changes.push(est.report().state_changes);
+        }
+        errors.sort_by(f64::total_cmp);
+        let rel_error = errors[errors.len() / 2];
+        let state_changes = changes[changes.len() / 2];
+
+        let (ams_rel_error, ams_state_changes) = if (p - 2.0).abs() < 1e-9 {
+            let mut ams = AmsSketch::for_error(eps, 0.1, 5);
+            ams.process_stream(&stream);
+            (
+                Some((ams.estimate_moment() - exact).abs() / exact),
+                Some(ams.report().state_changes),
+            )
+        } else {
+            (None, None)
+        };
+
+        Row {
+            p,
+            eps,
+            rel_error,
+            state_changes,
+            ams_rel_error,
+            ams_state_changes,
+        }
+    });
+
     let mut table = Table::new(
         &format!("F3 — relative error of F_p estimation (Zipf 1.2, n = {n}, m = {m})"),
         &[
@@ -50,53 +96,17 @@ pub fn run(scale: Scale) -> (Table, Vec<Row>) {
             "state changes (AMS)",
         ],
     );
-
-    for &p in &ps {
-        let exact = truth.fp(p);
-        for &eps in &eps_values {
-            let mut errors = Vec::new();
-            let mut changes = Vec::new();
-            for rep in 0..repeats {
-                let mut est =
-                    FpEstimator::new(Params::new(p, eps, n, m).with_seed(900 + rep as u64));
-                est.process_stream(&stream);
-                errors.push((est.estimate_moment() - exact).abs() / exact);
-                changes.push(est.report().state_changes);
-            }
-            errors.sort_by(f64::total_cmp);
-            let rel_error = errors[errors.len() / 2];
-            let state_changes = changes[changes.len() / 2];
-
-            let (ams_rel_error, ams_state_changes) = if (p - 2.0).abs() < 1e-9 {
-                let mut ams = AmsSketch::for_error(eps, 0.1, 5);
-                ams.process_stream(&stream);
-                (
-                    Some((ams.estimate_moment() - exact).abs() / exact),
-                    Some(ams.report().state_changes),
-                )
-            } else {
-                (None, None)
-            };
-
-            table.row(vec![
-                f(p),
-                f(eps),
-                f(rel_error),
-                state_changes.to_string(),
-                ams_rel_error.map(f).unwrap_or_else(|| "-".into()),
-                ams_state_changes
-                    .map(|v| v.to_string())
-                    .unwrap_or_else(|| "-".into()),
-            ]);
-            rows.push(Row {
-                p,
-                eps,
-                rel_error,
-                state_changes,
-                ams_rel_error,
-                ams_state_changes,
-            });
-        }
+    for r in &rows {
+        table.row(vec![
+            f(r.p),
+            f(r.eps),
+            f(r.rel_error),
+            r.state_changes.to_string(),
+            r.ams_rel_error.map(f).unwrap_or_else(|| "-".into()),
+            r.ams_state_changes
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "-".into()),
+        ]);
     }
     (table, rows)
 }

@@ -9,4 +9,5 @@ pub mod morris;
 pub mod nvm;
 pub mod p_small;
 pub mod scaling;
+pub mod sharding;
 pub mod table1;

@@ -23,8 +23,14 @@ pub struct Row {
     pub exact_sketch_writes: u64,
 }
 
-/// Runs the `p < 1` sweep.
+/// Runs the `p < 1` sweep serially.
 pub fn run(scale: Scale) -> (Table, Vec<Row>) {
+    run_with_threads(scale, 1)
+}
+
+/// Runs the `p < 1` sweep with up to `threads` worker threads (rows are deterministic
+/// per cell, so output is identical at every thread count).
+pub fn run_with_threads(scale: Scale, threads: usize) -> (Table, Vec<Row>) {
     let n = scale.pick(1 << 10, 1 << 12);
     let m = 8 * n;
     let stream = zipf_stream(n, m, 1.0, 777);
@@ -32,7 +38,28 @@ pub fn run(scale: Scale) -> (Table, Vec<Row>) {
     let ps = [0.25, 0.5, 0.75];
     let eps = 0.3;
 
-    let mut rows = Vec::new();
+    // Each p-cell is an independent deterministic computation, so the sweep spreads
+    // over its own worker threads when asked (these are in addition to any workers the
+    // caller holds — `run_all` accepts the modest oversubscription).
+    let rows = crate::sharded::parallel_map(
+        ps.iter().copied().enumerate().collect(),
+        threads,
+        |_, (idx, p)| {
+            let exact = truth.fp(p);
+            let mut est = FpSmallEstimator::new(p, eps, 10 + idx as u64);
+            est.process_stream(&stream);
+            let rel_error = (est.estimate_moment() - exact).abs() / exact;
+            let report = est.report();
+            let exact_sketch_writes = (est.rows() * m) as u64;
+            Row {
+                p,
+                rel_error,
+                word_writes: report.word_writes,
+                exact_sketch_writes,
+            }
+        },
+    );
+
     let mut table = Table::new(
         &format!("F10 — F_p estimation for p < 1 (n = {n}, m = {m}, eps = {eps})"),
         &[
@@ -43,26 +70,14 @@ pub fn run(scale: Scale) -> (Table, Vec<Row>) {
             "reduction",
         ],
     );
-    for (idx, &p) in ps.iter().enumerate() {
-        let exact = truth.fp(p);
-        let mut est = FpSmallEstimator::new(p, eps, 10 + idx as u64);
-        est.process_stream(&stream);
-        let rel_error = (est.estimate_moment() - exact).abs() / exact;
-        let report = est.report();
-        let exact_sketch_writes = (est.rows() * m) as u64;
+    for r in &rows {
         table.row(vec![
-            f(p),
-            f(rel_error),
-            report.word_writes.to_string(),
-            exact_sketch_writes.to_string(),
-            f(exact_sketch_writes as f64 / report.word_writes.max(1) as f64),
+            f(r.p),
+            f(r.rel_error),
+            r.word_writes.to_string(),
+            r.exact_sketch_writes.to_string(),
+            f(r.exact_sketch_writes as f64 / r.word_writes.max(1) as f64),
         ]);
-        rows.push(Row {
-            p,
-            rel_error,
-            word_writes: report.word_writes,
-            exact_sketch_writes,
-        });
     }
     (table, rows)
 }

@@ -1,0 +1,200 @@
+//! Experiment F11 — sharded parallel execution of mergeable summaries.
+//!
+//! Splits one Zipfian stream across `S` shards, runs each shard's summary on its own
+//! thread over a lean (`Send + Sync`, atomic-counter) tracker, merges the shard
+//! summaries, and compares the merged answers and total accounting against a serial
+//! run of the same summary:
+//!
+//! * linear sketches (CountMin, CountSketch) merge *exactly* — identical estimates;
+//! * counter summaries (Misra-Gries, SpaceSaving) merge within their additive bounds;
+//! * total epochs across shards always equal the stream length, and the state-change
+//!   counts add across shards (state frugality survives sharding).
+
+use std::time::Instant;
+
+use fsc_baselines::{CountMin, CountSketch, MisraGries, SpaceSaving};
+use fsc_state::{FrequencyEstimator, Mergeable, StateTracker, StreamAlgorithm};
+use fsc_streamgen::zipf::zipf_stream;
+use fsc_streamgen::FrequencyVector;
+
+use crate::sharded::run_sharded;
+use crate::table::{f, Table};
+use crate::Scale;
+
+/// Number of shards the experiment uses.
+pub const SHARDS: usize = 4;
+
+/// One measured row of the sharding comparison.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Summary name.
+    pub name: String,
+    /// Serial state changes.
+    pub serial_state_changes: u64,
+    /// Sum of per-shard state changes (excluding the merge epoch).
+    pub sharded_state_changes: u64,
+    /// Largest |merged − serial| estimate difference over the query items.
+    pub max_estimate_diff: f64,
+    /// Serial wall-clock for the stream pass, in milliseconds.
+    pub serial_ms: f64,
+    /// Sharded wall-clock for the parallel pass plus merge, in milliseconds.
+    pub sharded_ms: f64,
+}
+
+impl Row {
+    /// Wall-clock speedup of the sharded pass over the serial pass.
+    pub fn speedup(&self) -> f64 {
+        if self.sharded_ms > 0.0 {
+            self.serial_ms / self.sharded_ms
+        } else {
+            0.0
+        }
+    }
+}
+
+fn compare<A, FSerial, FShard>(
+    name: &str,
+    stream: &[u64],
+    candidates: &[u64],
+    make_serial: FSerial,
+    make_shard: FShard,
+) -> Row
+where
+    A: StreamAlgorithm + FrequencyEstimator + Mergeable + Send,
+    FSerial: Fn() -> A,
+    FShard: Fn(usize) -> A + Sync,
+{
+    let start = Instant::now();
+    let mut serial = make_serial();
+    serial.process_batch(stream);
+    let serial_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let start = Instant::now();
+    let outcome = run_sharded(stream, SHARDS, make_shard);
+    let sharded_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let max_estimate_diff = candidates
+        .iter()
+        .map(|&c| (outcome.merged.estimate(c) - serial.estimate(c)).abs())
+        .fold(0.0, f64::max);
+    Row {
+        name: name.to_string(),
+        serial_state_changes: serial.report().state_changes,
+        sharded_state_changes: outcome.combined_report.state_changes,
+        max_estimate_diff,
+        serial_ms,
+        sharded_ms,
+    }
+}
+
+/// Runs the sharding comparison and returns the rows.
+pub fn run(scale: Scale) -> (Table, Vec<Row>) {
+    let n = scale.pick(1 << 12, 1 << 16);
+    let m = scale.pick(8, 16) * n;
+    let stream = zipf_stream(n, m, 1.1, 77);
+    let truth = FrequencyVector::from_stream(&stream);
+    let candidates: Vec<u64> = truth.top_k(64).into_iter().map(|(i, _)| i).collect();
+    let k = 256;
+    let (width, depth, sketch_seed) = (scale.pick(512, 2048), 4, 1234);
+
+    // Serial baseline and shards both run on the lean tracker: the wall-clock columns
+    // then isolate sharding itself rather than mixing in the full-vs-lean accounting
+    // overhead (measured separately by the `tracker_backends` bench).  State-change
+    // counts are identical under either backend.
+    let rows = vec![
+        compare(
+            "CountMin",
+            &stream,
+            &candidates,
+            || CountMin::with_tracker(&StateTracker::lean(), width, depth, sketch_seed),
+            // Linear sketches shard with the *same* seed (identical hash functions are
+            // what make the merge exact).
+            |_| CountMin::with_tracker(&StateTracker::lean(), width, depth, sketch_seed),
+        ),
+        compare(
+            "CountSketch",
+            &stream,
+            &candidates,
+            || CountSketch::with_tracker(&StateTracker::lean(), width, depth + 1, sketch_seed),
+            |_| CountSketch::with_tracker(&StateTracker::lean(), width, depth + 1, sketch_seed),
+        ),
+        compare(
+            "MisraGries",
+            &stream,
+            &candidates,
+            || MisraGries::with_tracker(&StateTracker::lean(), k),
+            |_| MisraGries::with_tracker(&StateTracker::lean(), k),
+        ),
+        compare(
+            "SpaceSaving",
+            &stream,
+            &candidates,
+            || SpaceSaving::with_tracker(&StateTracker::lean(), k),
+            |_| SpaceSaving::with_tracker(&StateTracker::lean(), k),
+        ),
+    ];
+
+    let mut table = Table::new(
+        &format!(
+            "Sharding — merged vs serial summaries, Zipf(1.1), n = {n}, m = {m}, {SHARDS} shards"
+        ),
+        &[
+            "summary",
+            "serial changes",
+            "sharded changes",
+            "max abs Δestimate",
+            "serial ms",
+            "sharded ms",
+            "speedup",
+        ],
+    );
+    for r in &rows {
+        table.row(vec![
+            r.name.clone(),
+            r.serial_state_changes.to_string(),
+            r.sharded_state_changes.to_string(),
+            f(r.max_estimate_diff),
+            f(r.serial_ms),
+            f(r.sharded_ms),
+            f(r.speedup()),
+        ]);
+    }
+    (table, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sketch_merges_are_exact_and_counter_merges_are_bounded() {
+        let (table, rows) = run(Scale::Quick);
+        assert_eq!(rows.len(), 4);
+        assert!(!table.is_empty());
+        for r in &rows[..2] {
+            assert_eq!(
+                r.max_estimate_diff, 0.0,
+                "{} is a linear sketch: sharded merge must be exact",
+                r.name
+            );
+        }
+        // Counter summaries: the merged estimate may differ from the serial run, but
+        // both carry the same additive guarantee; at quick scale the top items should
+        // stay within the m/(k+1)-style bound of each other (twice the one-sided bound).
+        let m = Scale::Quick.pick(8, 16) * (1 << 12) as usize;
+        for r in &rows[2..] {
+            assert!(
+                r.max_estimate_diff <= 2.0 * m as f64 / 257.0,
+                "{}: merged vs serial diff {} exceeds the additive bound",
+                r.name,
+                r.max_estimate_diff
+            );
+        }
+        for r in &rows {
+            assert!(
+                r.sharded_state_changes > 0 && r.serial_state_changes > 0,
+                "accounting must survive sharding"
+            );
+        }
+    }
+}

@@ -15,6 +15,7 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod sharded;
 pub mod table;
 
 /// Problem-size profile shared by all experiments.
@@ -43,6 +44,21 @@ impl Scale {
             Scale::Full => full,
         }
     }
+}
+
+/// Parses `--threads N` from the process arguments (defaults to 1 — serial).
+///
+/// Used by `run_all` to run independent experiment cells concurrently via
+/// [`sharded::parallel_map`]; each experiment stays internally deterministic, so the
+/// printed tables are identical at every thread count.
+pub fn threads_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|n| n.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
 }
 
 /// Least-squares slope of `ln(y)` against `ln(x)` — used to verify scaling exponents

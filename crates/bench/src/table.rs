@@ -107,7 +107,7 @@ mod tests {
     fn float_formatting_covers_ranges() {
         assert_eq!(f(0.0), "0");
         assert_eq!(f(12345.6), "12346");
-        assert_eq!(f(3.14159), "3.14");
-        assert_eq!(f(0.0314159), "0.0314");
+        assert_eq!(f(3.14222), "3.14");
+        assert_eq!(f(0.0314222), "0.0314");
     }
 }

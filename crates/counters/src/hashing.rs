@@ -148,7 +148,7 @@ impl TabulationHash {
 
     /// Hash of `x` mapped to a Rademacher sign `±1`.
     pub fn hash_sign(&self, x: u64) -> i64 {
-        if self.hash_u64(x).count_ones() % 2 == 0 {
+        if self.hash_u64(x).count_ones().is_multiple_of(2) {
             1
         } else {
             -1

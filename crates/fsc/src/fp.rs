@@ -49,9 +49,10 @@ pub struct FpEstimator {
 }
 
 impl FpEstimator {
-    /// Creates an estimator with its own tracker.
+    /// Creates an estimator with its own tracker (of the backend kind selected by
+    /// [`Params::tracker`]).
     pub fn new(params: Params) -> Self {
-        let tracker = StateTracker::new();
+        let tracker = params.make_tracker();
         Self::with_tracker(params, &tracker)
     }
 

@@ -60,9 +60,10 @@ impl FullSampleAndHold {
         }
     }
 
-    /// Creates a standalone instance with its own tracker.
+    /// Creates a standalone instance with its own tracker (of the backend kind selected
+    /// by [`Params::tracker`]).
     pub fn standalone(params: &Params) -> Self {
-        let tracker = StateTracker::new();
+        let tracker = params.make_tracker();
         let seed = params.seed;
         Self::new(params, &tracker, seed)
     }

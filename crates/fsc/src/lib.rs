@@ -37,3 +37,7 @@ pub use full_sample_and_hold::FullSampleAndHold;
 pub use heavy_hitters::FewStateHeavyHitters;
 pub use params::{Params, Profile};
 pub use sample_and_hold::SampleAndHold;
+
+// Re-exported so callers can select a tracker backend through `Params` without naming
+// the `fsc_state` crate explicitly.
+pub use fsc_state::TrackerKind;

@@ -11,6 +11,8 @@
 //!
 //! Every derived quantity is documented with the paper expression it instantiates.
 
+use fsc_state::{StateTracker, TrackerKind};
+
 /// Constant-factor profile.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Profile {
@@ -40,6 +42,11 @@ pub struct Params {
     pub profile: Profile,
     /// Seed for all internal randomness.
     pub seed: u64,
+    /// Which state-tracking backend the algorithm's tracker uses (default:
+    /// [`TrackerKind::Full`], the exact accounting used by all recorded experiments;
+    /// [`TrackerKind::Lean`] for answers-only runs that need `Send`able algorithms
+    /// and a near-zero-cost update path).
+    pub tracker: TrackerKind,
 }
 
 impl Params {
@@ -61,6 +68,7 @@ impl Params {
             reps: 3,
             profile: Profile::Practical,
             seed: 0xF5C_5EED,
+            tracker: TrackerKind::Full,
         }
     }
 
@@ -81,6 +89,25 @@ impl Params {
     pub fn paper_faithful(mut self) -> Self {
         self.profile = Profile::PaperFaithful;
         self
+    }
+
+    /// Returns a copy with a different tracker backend kind.
+    pub fn with_tracker(mut self, tracker: TrackerKind) -> Self {
+        self.tracker = tracker;
+        self
+    }
+
+    /// Returns a copy using the lean (atomic, `Send + Sync`, answers-only) tracker
+    /// backend — see [`fsc_state::LeanTracker`] for what it does and does not count.
+    pub fn lean(self) -> Self {
+        self.with_tracker(TrackerKind::Lean)
+    }
+
+    /// Creates the state tracker this parameter set asks for.  Every algorithm
+    /// constructor that owns its tracker goes through this, so backend selection is a
+    /// pure `Params` concern and algorithm update paths stay backend-agnostic.
+    pub fn make_tracker(&self) -> StateTracker {
+        StateTracker::of_kind(self.tracker)
     }
 
     /// `ln(nm + 2)`, the log factor every bound is expressed in.
@@ -297,6 +324,20 @@ mod tests {
         assert_eq!(p.seed, 7);
         assert_eq!(p.reps, 5);
         assert_eq!(p.profile, Profile::Practical);
+        assert_eq!(p.tracker, TrackerKind::Full);
+    }
+
+    #[test]
+    fn tracker_kind_selection_flows_into_make_tracker() {
+        assert_eq!(base().make_tracker().kind(), TrackerKind::Full);
+        assert_eq!(base().lean().make_tracker().kind(), TrackerKind::Lean);
+        assert_eq!(
+            base()
+                .with_tracker(TrackerKind::FullAddressTracked)
+                .make_tracker()
+                .kind(),
+            TrackerKind::FullAddressTracked
+        );
     }
 
     #[test]

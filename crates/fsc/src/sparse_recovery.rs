@@ -23,13 +23,18 @@ pub struct FewStateSparseRecovery {
 impl FewStateSparseRecovery {
     /// Creates a recovery structure for streams with at most `sparsity` distinct items.
     pub fn new(sparsity: usize) -> Self {
+        Self::with_tracker(sparsity, &StateTracker::new())
+    }
+
+    /// Creates a recovery structure attached to a caller-supplied tracker (e.g. a lean
+    /// one from [`StateTracker::lean`]).
+    pub fn with_tracker(sparsity: usize, tracker: &StateTracker) -> Self {
         assert!(sparsity >= 1);
-        let tracker = StateTracker::new();
         Self {
-            seen: TrackedMap::new(&tracker),
+            seen: TrackedMap::new(tracker),
             sparsity,
             overflowed: false,
-            tracker,
+            tracker: tracker.clone(),
         }
     }
 

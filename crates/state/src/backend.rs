@@ -1,0 +1,460 @@
+//! Pluggable tracker backends: exact accounting vs. near-zero-overhead counting.
+//!
+//! A [`crate::StateTracker`] handle dispatches every accounting event to a
+//! [`TrackerBackend`].  Two implementations exist:
+//!
+//! * [`FullTracker`] — the exact accounting the repository has always used: per-epoch
+//!   state changes, word writes, redundant writes, reads, current/peak space, and
+//!   optional per-address wear counts.  Counter semantics are identical to the original
+//!   single-threaded tracker, so all recorded experiment tables reproduce bit-for-bit.
+//! * [`LeanTracker`] — atomic epoch/state-change counters plus space accounting only.
+//!   Its update path is a handful of relaxed atomic operations; it does **not** count
+//!   word writes, redundant writes, reads, or per-cell wear (those fields of its
+//!   [`StateReport`] are zero/`None`).  Use it when only answers and the state-change
+//!   count are needed — e.g. sharded or throughput-critical runs.
+//!
+//! Both backends are lock-free on their hot paths (relaxed atomics; [`FullTracker`]
+//! takes a mutex only for the optional per-address wear table) and `Send + Sync`, so
+//! every algorithm built on the tracked substrate can be moved to a worker thread
+//! regardless of which backend it was constructed with.  Epoch bookkeeping remains a
+//! sequential per-tracker notion — a state change is defined per stream update — and
+//! sharded runs give each shard its own tracker, so the atomics are never contended in
+//! practice; they exist to make the handles shareable, not to merge concurrent streams
+//! into one tracker.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::report::StateReport;
+use crate::tracker::AddrRange;
+
+/// Which backend a [`crate::StateTracker`] was constructed with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TrackerKind {
+    /// Exact accounting (the default; reproduces all recorded experiments).
+    #[default]
+    Full,
+    /// Exact accounting plus per-address wear counts (analysis runs only).
+    FullAddressTracked,
+    /// Atomic epoch/state-change/space counters only; near-zero update cost.
+    Lean,
+}
+
+/// The accounting interface a tracker handle dispatches to.
+///
+/// All methods take `&self`: backends are internally synchronised, which is what lets
+/// tracked algorithms be `Send + Sync` without any change to algorithm code.
+pub trait TrackerBackend: fmt::Debug + Send + Sync {
+    /// Starts a new epoch (stream update).  At most one state change is counted per
+    /// epoch regardless of how many words are modified within it.
+    fn begin_epoch(&self);
+    /// Allocates `words` words of tracked memory and charges the space accounts.
+    fn alloc(&self, words: usize) -> AddrRange;
+    /// Releases `words` words of tracked memory (peak usage is unaffected).
+    fn dealloc(&self, words: usize);
+    /// Records a write to one word; `changed` must be `true` iff the stored value
+    /// actually differs from the previous one.
+    fn record_write(&self, addr: Option<usize>, changed: bool);
+    /// Records `n` word reads (a no-op on backends that do not count reads).
+    fn record_reads(&self, n: u64);
+    /// Number of state changes so far (paper definition).
+    fn state_changes(&self) -> u64;
+    /// Number of epochs (stream updates) started so far.
+    fn epochs(&self) -> u64;
+    /// Current number of allocated words.
+    fn words_current(&self) -> usize;
+    /// Peak number of allocated words.
+    fn words_peak(&self) -> usize;
+    /// Immutable snapshot of every counter the backend maintains.
+    fn snapshot(&self) -> StateReport;
+    /// Per-address write counts, if the backend records them.
+    fn address_writes(&self) -> Option<Vec<u64>>;
+    /// The backend's kind tag.
+    fn kind(&self) -> TrackerKind;
+}
+
+// ---------------------------------------------------------------------------
+// FullTracker — exact accounting (the original tracker semantics).
+// ---------------------------------------------------------------------------
+
+/// Exact accounting backend: every counter of the original tracker, held in relaxed
+/// atomics so the handle is `Send + Sync` without paying for a lock on the update path.
+///
+/// State-change semantics, initial-write conventions, address assignment, and every
+/// counter are unchanged from the pre-backend tracker, so experiment tables recorded
+/// against it reproduce exactly.  Only the optional per-address wear table sits behind
+/// a mutex, and it is touched only when address tracking was requested at construction.
+#[derive(Debug, Default)]
+pub struct FullTracker {
+    /// Paper-definition state changes: number of epochs in which ≥ 1 word changed.
+    state_changes: AtomicU64,
+    /// Number of individual word writes that changed the stored value.
+    word_writes: AtomicU64,
+    /// Number of word writes whose new value equalled the old value.
+    redundant_writes: AtomicU64,
+    /// Number of word reads.
+    reads: AtomicU64,
+    /// Number of epochs started so far (one per stream update by convention).
+    epochs: AtomicU64,
+    /// Whether the current epoch has already been counted as a state change.
+    dirty: AtomicBool,
+    /// Whether any epoch has been opened yet.  Writes performed before the first epoch
+    /// (data-structure initialisation) are counted as word writes but not as state
+    /// changes, matching the paper's convention that state changes are counted per
+    /// stream update.
+    in_epoch: AtomicBool,
+    /// Currently allocated words.
+    words_current: AtomicUsize,
+    /// Peak allocated words over the lifetime of the tracker.
+    words_peak: AtomicUsize,
+    /// Next free address for `alloc`.
+    next_addr: AtomicUsize,
+    /// Per-address write counts; populated only when `address_tracked` is set.
+    addr_writes: Mutex<Vec<u64>>,
+    /// Whether per-address wear accounting is enabled (fixed at construction).
+    address_tracked: bool,
+}
+
+impl FullTracker {
+    /// Creates a backend with aggregate counters only.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a backend that additionally records per-address write counts, enabling
+    /// wear analysis through [`crate::nvm::NvmReport`].  Address tracking costs one
+    /// `u64` per tracked word plus a lock per write, so it is intended for
+    /// moderate-size analysis runs.
+    pub fn with_address_tracking() -> Self {
+        Self {
+            address_tracked: true,
+            ..Self::default()
+        }
+    }
+
+    fn wear_table(&self) -> std::sync::MutexGuard<'_, Vec<u64>> {
+        match self.addr_writes.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl TrackerBackend for FullTracker {
+    fn begin_epoch(&self) {
+        self.epochs.fetch_add(1, Ordering::Relaxed);
+        self.dirty.store(false, Ordering::Relaxed);
+        self.in_epoch.store(true, Ordering::Relaxed);
+    }
+
+    fn alloc(&self, words: usize) -> AddrRange {
+        let start = self.next_addr.fetch_add(words, Ordering::Relaxed);
+        let current = self.words_current.fetch_add(words, Ordering::Relaxed) + words;
+        self.words_peak.fetch_max(current, Ordering::Relaxed);
+        if self.address_tracked {
+            // Grow-only: a concurrent alloc may already have extended the table past
+            // this range's end, and resize() would otherwise truncate its wear counts.
+            let mut wear = self.wear_table();
+            let target = (start + words).max(wear.len());
+            wear.resize(target, 0);
+        }
+        AddrRange { start, len: words }
+    }
+
+    fn dealloc(&self, words: usize) {
+        let _ = self
+            .words_current
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                Some(cur.saturating_sub(words))
+            });
+    }
+
+    fn record_write(&self, addr: Option<usize>, changed: bool) {
+        if changed {
+            self.word_writes.fetch_add(1, Ordering::Relaxed);
+            // The plain load screens out the common already-dirty case cheaply; the
+            // swap is what actually claims the epoch's single state change.
+            if self.in_epoch.load(Ordering::Relaxed)
+                && !self.dirty.load(Ordering::Relaxed)
+                && !self.dirty.swap(true, Ordering::Relaxed)
+            {
+                self.state_changes.fetch_add(1, Ordering::Relaxed);
+            }
+            if self.address_tracked {
+                if let Some(a) = addr {
+                    let mut wear = self.wear_table();
+                    if a >= wear.len() {
+                        wear.resize(a + 1, 0);
+                    }
+                    wear[a] += 1;
+                }
+            }
+        } else {
+            self.redundant_writes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn record_reads(&self, n: u64) {
+        self.reads.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn state_changes(&self) -> u64 {
+        self.state_changes.load(Ordering::Relaxed)
+    }
+
+    fn epochs(&self) -> u64 {
+        self.epochs.load(Ordering::Relaxed)
+    }
+
+    fn words_current(&self) -> usize {
+        self.words_current.load(Ordering::Relaxed)
+    }
+
+    fn words_peak(&self) -> usize {
+        self.words_peak.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self) -> StateReport {
+        let (max_cell_writes, tracked_cells, total_addr_writes) = if self.address_tracked {
+            let wear = self.wear_table();
+            (
+                wear.iter().copied().max(),
+                Some(wear.len()),
+                Some(wear.iter().sum()),
+            )
+        } else {
+            (None, None, None)
+        };
+        StateReport {
+            state_changes: self.state_changes(),
+            word_writes: self.word_writes.load(Ordering::Relaxed),
+            redundant_writes: self.redundant_writes.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            epochs: self.epochs(),
+            words_current: self.words_current(),
+            words_peak: self.words_peak(),
+            max_cell_writes,
+            tracked_cells,
+            total_addr_writes,
+        }
+    }
+
+    fn address_writes(&self) -> Option<Vec<u64>> {
+        if self.address_tracked {
+            Some(self.wear_table().clone())
+        } else {
+            None
+        }
+    }
+
+    fn kind(&self) -> TrackerKind {
+        if self.address_tracked {
+            TrackerKind::FullAddressTracked
+        } else {
+            TrackerKind::Full
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LeanTracker — atomic epoch/state-change/space counters only.
+// ---------------------------------------------------------------------------
+
+/// Near-zero-overhead backend: relaxed atomic counters for epochs, state changes, and
+/// space; everything else is uncounted.
+///
+/// What it counts identically to [`FullTracker`]: `epochs`, `state_changes` (the paper's
+/// headline measure — at most one per epoch, only for writes that actually change a
+/// value, never for pre-epoch initialisation writes), `words_current`, and `words_peak`.
+/// What it does not count: `word_writes`, `redundant_writes`, `reads`, and per-address
+/// wear — those report as zero/`None`.
+#[derive(Debug, Default)]
+pub struct LeanTracker {
+    epochs: AtomicU64,
+    state_changes: AtomicU64,
+    dirty: AtomicBool,
+    in_epoch: AtomicBool,
+    next_addr: AtomicUsize,
+    words_current: AtomicUsize,
+    words_peak: AtomicUsize,
+}
+
+impl LeanTracker {
+    /// Creates a lean backend with all counters at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TrackerBackend for LeanTracker {
+    fn begin_epoch(&self) {
+        self.epochs.fetch_add(1, Ordering::Relaxed);
+        self.dirty.store(false, Ordering::Relaxed);
+        self.in_epoch.store(true, Ordering::Relaxed);
+    }
+
+    fn alloc(&self, words: usize) -> AddrRange {
+        let start = self.next_addr.fetch_add(words, Ordering::Relaxed);
+        let current = self.words_current.fetch_add(words, Ordering::Relaxed) + words;
+        self.words_peak.fetch_max(current, Ordering::Relaxed);
+        AddrRange { start, len: words }
+    }
+
+    fn dealloc(&self, words: usize) {
+        let _ = self
+            .words_current
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                Some(cur.saturating_sub(words))
+            });
+    }
+
+    fn record_write(&self, _addr: Option<usize>, changed: bool) {
+        if changed
+            && self.in_epoch.load(Ordering::Relaxed)
+            && !self.dirty.load(Ordering::Relaxed)
+            && !self.dirty.swap(true, Ordering::Relaxed)
+        {
+            self.state_changes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn record_reads(&self, _n: u64) {}
+
+    fn state_changes(&self) -> u64 {
+        self.state_changes.load(Ordering::Relaxed)
+    }
+
+    fn epochs(&self) -> u64 {
+        self.epochs.load(Ordering::Relaxed)
+    }
+
+    fn words_current(&self) -> usize {
+        self.words_current.load(Ordering::Relaxed)
+    }
+
+    fn words_peak(&self) -> usize {
+        self.words_peak.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self) -> StateReport {
+        StateReport {
+            state_changes: self.state_changes(),
+            epochs: self.epochs(),
+            words_current: self.words_current(),
+            words_peak: self.words_peak(),
+            ..StateReport::default()
+        }
+    }
+
+    fn address_writes(&self) -> Option<Vec<u64>> {
+        None
+    }
+
+    fn kind(&self) -> TrackerKind {
+        TrackerKind::Lean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(backend: &dyn TrackerBackend) -> StateReport {
+        let r = backend.alloc(4);
+        assert_eq!(r.len, 4);
+        backend.record_write(Some(r.word(0)), true); // init: before any epoch
+        for _ in 0..3 {
+            backend.begin_epoch();
+            backend.record_write(Some(r.word(0)), true);
+            backend.record_write(Some(r.word(1)), true);
+        }
+        backend.begin_epoch();
+        backend.record_write(Some(r.word(2)), false);
+        backend.record_reads(7);
+        backend.dealloc(2);
+        backend.snapshot()
+    }
+
+    #[test]
+    fn full_and_lean_agree_on_epochs_state_changes_and_space() {
+        let full = exercise(&FullTracker::new());
+        let lean = exercise(&LeanTracker::new());
+        assert_eq!(full.epochs, 4);
+        assert_eq!(full.state_changes, 3, "redundant-only epoch does not count");
+        assert_eq!(lean.epochs, full.epochs);
+        assert_eq!(lean.state_changes, full.state_changes);
+        assert_eq!(lean.words_current, full.words_current);
+        assert_eq!(lean.words_peak, full.words_peak);
+    }
+
+    #[test]
+    fn lean_does_not_count_fine_grained_activity() {
+        let lean = exercise(&LeanTracker::new());
+        assert_eq!(lean.word_writes, 0);
+        assert_eq!(lean.redundant_writes, 0);
+        assert_eq!(lean.reads, 0);
+        assert_eq!(lean.max_cell_writes, None);
+        assert_eq!(LeanTracker::new().address_writes(), None);
+    }
+
+    #[test]
+    fn full_counts_fine_grained_activity() {
+        let full = exercise(&FullTracker::new());
+        assert_eq!(full.word_writes, 7); // 1 init + 3 epochs × 2
+        assert_eq!(full.redundant_writes, 1);
+        assert_eq!(full.reads, 7);
+    }
+
+    #[test]
+    fn full_address_tracking_records_wear_through_the_backend() {
+        let full = FullTracker::with_address_tracking();
+        let snap = exercise(&full);
+        assert_eq!(snap.max_cell_writes, Some(4), "word 0: init + 3 epochs");
+        assert_eq!(snap.tracked_cells, Some(4));
+        assert_eq!(snap.total_addr_writes, Some(7));
+        assert_eq!(full.address_writes().unwrap()[1], 3);
+    }
+
+    #[test]
+    fn kinds_are_reported() {
+        assert_eq!(FullTracker::new().kind(), TrackerKind::Full);
+        assert_eq!(
+            FullTracker::with_address_tracking().kind(),
+            TrackerKind::FullAddressTracked
+        );
+        assert_eq!(LeanTracker::new().kind(), TrackerKind::Lean);
+    }
+
+    #[test]
+    fn lean_allocations_hand_out_disjoint_ranges() {
+        let lean = LeanTracker::new();
+        let a = lean.alloc(3);
+        let b = lean.alloc(2);
+        assert_eq!(a.start, 0);
+        assert_eq!(b.start, 3);
+        assert_eq!(lean.words_peak(), 5);
+        lean.dealloc(3);
+        assert_eq!(lean.words_current(), 2);
+        lean.dealloc(100);
+        assert_eq!(lean.words_current(), 0, "dealloc saturates at zero");
+    }
+
+    #[test]
+    fn backends_are_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FullTracker>();
+        assert_send_sync::<LeanTracker>();
+        let lean = std::sync::Arc::new(LeanTracker::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let lean = std::sync::Arc::clone(&lean);
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        lean.record_reads(1);
+                    }
+                });
+            }
+        });
+    }
+}

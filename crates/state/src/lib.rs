@@ -13,7 +13,9 @@
 //! * [`StateTracker`] — a cheaply clonable handle that records, per stream update
 //!   ("epoch"), whether any tracked word of memory changed, along with finer-grained
 //!   counters (word writes, redundant writes, reads) and space usage (current / peak
-//!   words).
+//!   words).  The handle dispatches to a pluggable [`backend`]: the exact-accounting
+//!   [`FullTracker`] (default) or the atomic, `Send + Sync` [`LeanTracker`] that counts
+//!   only epochs, state changes, and space.
 //! * [`TrackedCell`], [`TrackedVec`], [`TrackedMap`] — drop-in storage primitives that
 //!   report every mutation to their tracker and only count a *state change* when the
 //!   stored value actually differs.
@@ -49,6 +51,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod backend;
 mod cell;
 mod map;
 pub mod nvm;
@@ -57,13 +60,15 @@ mod tracker;
 pub mod traits;
 mod vec;
 
+pub use backend::{FullTracker, LeanTracker, TrackerBackend, TrackerKind};
 pub use cell::TrackedCell;
 pub use map::TrackedMap;
 pub use nvm::{NvmCostModel, NvmReport};
 pub use report::StateReport;
 pub use tracker::{AddrRange, StateTracker};
 pub use traits::{
-    EntropyEstimator, FrequencyEstimator, MomentEstimator, StreamAlgorithm, SupportRecovery,
+    EntropyEstimator, FrequencyEstimator, Mergeable, MomentEstimator, StreamAlgorithm,
+    SupportRecovery,
 };
 pub use vec::TrackedVec;
 

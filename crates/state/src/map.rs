@@ -119,6 +119,12 @@ impl<K: Eq + Hash + Clone, V: PartialEq + Clone> TrackedMap<K, V> {
         before - self.data.len()
     }
 
+    /// Looks up `key` without charging a read (reporting / merge bookkeeping only; the
+    /// tracked analogue is [`TrackedMap::get`]).
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.data.get(key)
+    }
+
     /// Untracked iteration (reporting / extraction only).
     pub fn iter_untracked(&self) -> std::collections::hash_map::Iter<'_, K, V> {
         self.data.iter()

@@ -87,6 +87,22 @@ impl StateReport {
     }
 }
 
+impl StateReport {
+    /// Combination of reports from *sharded* runs over disjoint substreams.
+    ///
+    /// Unlike [`StateReport::merged`] (which models several trackers observing the
+    /// *same* stream and therefore keeps the maximum epoch count), sharding splits one
+    /// stream across independent trackers, so epochs — like state changes, writes, and
+    /// space — are additive: the combined report describes the total accounting cost of
+    /// processing the whole stream across all shards.
+    pub fn sharded(&self, other: &StateReport) -> StateReport {
+        StateReport {
+            epochs: self.epochs + other.epochs,
+            ..self.merged(other)
+        }
+    }
+}
+
 impl fmt::Display for StateReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -148,6 +164,17 @@ mod tests {
         assert_eq!(m.epochs, 50, "epochs of a shared stream are not additive");
         assert_eq!(m.max_cell_writes, Some(7));
         assert_eq!(m.tracked_cells, Some(32));
+    }
+
+    #[test]
+    fn sharded_sums_epochs() {
+        let a = sample();
+        let mut b = sample();
+        b.epochs = 50;
+        let s = a.sharded(&b);
+        assert_eq!(s.epochs, 90, "disjoint substream epochs are additive");
+        assert_eq!(s.state_changes, 20);
+        assert_eq!(s.words_peak, 32, "shards coexist, so peaks add");
     }
 
     #[test]

@@ -1,8 +1,8 @@
-//! The [`StateTracker`] handle and its internal counters.
+//! The [`StateTracker`] handle dispatching to a pluggable [`TrackerBackend`].
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
 
+use crate::backend::{FullTracker, LeanTracker, TrackerBackend, TrackerKind};
 use crate::report::StateReport;
 
 /// A contiguous range of tracked memory addresses, returned by [`StateTracker::alloc`].
@@ -20,88 +20,38 @@ pub struct AddrRange {
 
 impl AddrRange {
     /// An empty range used by structures created without an owning tracker allocation.
+    /// Calling [`AddrRange::word`] on it is out of range for every index; callers
+    /// holding a possibly-empty range must check `len` first (see
+    /// [`crate::TrackedVec`]'s write path, the one such caller).
     pub const EMPTY: AddrRange = AddrRange { start: 0, len: 0 };
 
-    /// Address of the `i`-th word in this range (`i < len`).
+    /// Address of the `i`-th word in this range.  Out-of-range indices (`i ≥ len`,
+    /// including any index into [`AddrRange::EMPTY`]) are a caller bug and panic in
+    /// debug builds.
     pub fn word(&self, i: usize) -> usize {
-        debug_assert!(i < self.len.max(1));
-        self.start + i.min(self.len.saturating_sub(1))
-    }
-}
-
-#[derive(Debug, Default)]
-struct Inner {
-    /// Paper-definition state changes: number of epochs in which ≥ 1 word changed.
-    state_changes: u64,
-    /// Number of individual word writes that changed the stored value.
-    word_writes: u64,
-    /// Number of word writes whose new value equalled the old value.
-    redundant_writes: u64,
-    /// Number of word reads.
-    reads: u64,
-    /// Number of epochs started so far (one per stream update by convention).
-    epochs: u64,
-    /// Whether the current epoch has already been counted as a state change.
-    dirty: bool,
-    /// Whether any epoch has been opened yet.  Writes performed before the first epoch
-    /// (data-structure initialisation) are counted as word writes but not as state
-    /// changes, matching the paper's convention that state changes are counted per
-    /// stream update.
-    in_epoch: bool,
-    /// Currently allocated words.
-    words_current: usize,
-    /// Peak allocated words over the lifetime of the tracker.
-    words_peak: usize,
-    /// Per-address write counts (only when address tracking is enabled).
-    addr_writes: Option<Vec<u64>>,
-    /// Next free address for `alloc`.
-    next_addr: usize,
-}
-
-impl Inner {
-    fn charge_alloc(&mut self, words: usize) -> AddrRange {
-        let range = AddrRange {
-            start: self.next_addr,
-            len: words,
-        };
-        self.next_addr += words;
-        self.words_current += words;
-        self.words_peak = self.words_peak.max(self.words_current);
-        if let Some(aw) = &mut self.addr_writes {
-            aw.resize(self.next_addr, 0);
-        }
-        range
-    }
-
-    fn charge_dealloc(&mut self, words: usize) {
-        self.words_current = self.words_current.saturating_sub(words);
-    }
-
-    fn record_write(&mut self, addr: Option<usize>, changed: bool) {
-        if changed {
-            self.word_writes += 1;
-            if self.in_epoch && !self.dirty {
-                self.dirty = true;
-                self.state_changes += 1;
-            }
-            if let (Some(aw), Some(a)) = (&mut self.addr_writes, addr) {
-                if a >= aw.len() {
-                    aw.resize(a + 1, 0);
-                }
-                aw[a] += 1;
-            }
-        } else {
-            self.redundant_writes += 1;
-        }
+        debug_assert!(
+            i < self.len,
+            "AddrRange::word index {i} out of range for len {}",
+            self.len
+        );
+        self.start + i
     }
 }
 
 /// Shared handle recording all memory activity of one streaming algorithm.
 ///
-/// The handle is a thin reference-counted pointer, so tracked containers each hold a
-/// clone of it.  Tracking is single-threaded by design: a streaming algorithm's state
-/// change count is a sequential notion (one update at a time), and the paper's model is
-/// sequential.
+/// The handle is a thin reference-counted pointer to a [`TrackerBackend`], so tracked
+/// containers each hold a clone of it.  The backend decides what is counted:
+///
+/// * [`StateTracker::new`] (the default) — the exact-accounting [`FullTracker`];
+/// * [`StateTracker::with_address_tracking`] — exact accounting plus per-cell wear;
+/// * [`StateTracker::lean`] — the atomic [`LeanTracker`] (epochs, state changes, and
+///   space only) whose update path is a few relaxed atomic operations.
+///
+/// Every backend is internally synchronised, so the handle — and therefore every
+/// algorithm built on tracked containers — is `Send + Sync`.  The streaming model
+/// itself stays sequential per tracker: a state change is a per-update notion, and
+/// sharded runs give each shard its own tracker.
 ///
 /// # Epochs
 ///
@@ -110,107 +60,118 @@ impl Inner {
 /// of each stream update (the [`crate::traits::StreamAlgorithm::update`] default method
 /// does this for you); all writes until the next `begin_epoch` belong to that epoch, and
 /// the epoch contributes at most one state change.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct StateTracker {
-    inner: Rc<RefCell<Inner>>,
+    backend: Arc<dyn TrackerBackend>,
+}
+
+impl Default for StateTracker {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl StateTracker {
-    /// Creates a tracker with aggregate counters only.
+    /// Creates a tracker with the exact-accounting [`FullTracker`] backend.
     pub fn new() -> Self {
-        Self::default()
+        Self::of_kind(TrackerKind::Full)
     }
 
-    /// Creates a tracker that additionally records per-address write counts, enabling
-    /// wear analysis through [`crate::nvm::NvmReport`].
+    /// Creates an exact tracker that additionally records per-address write counts,
+    /// enabling wear analysis through [`crate::nvm::NvmReport`].
     ///
     /// Address tracking costs one `u64` per tracked word, so it is intended for
     /// moderate-size experiments (it is an analysis feature, not part of the algorithm).
     pub fn with_address_tracking() -> Self {
-        let t = Self::new();
-        t.inner.borrow_mut().addr_writes = Some(Vec::new());
-        t
+        Self::of_kind(TrackerKind::FullAddressTracked)
+    }
+
+    /// Creates a tracker with the near-zero-overhead [`LeanTracker`] backend: atomic
+    /// epoch/state-change/space counters only (see the backend docs for what is and is
+    /// not counted).
+    pub fn lean() -> Self {
+        Self::of_kind(TrackerKind::Lean)
+    }
+
+    /// Creates a tracker with the given backend kind — the hook `Params`-style
+    /// configuration uses to select a backend per algorithm without touching algorithm
+    /// code.
+    pub fn of_kind(kind: TrackerKind) -> Self {
+        match kind {
+            TrackerKind::Full => Self::from_backend(Arc::new(FullTracker::new())),
+            TrackerKind::FullAddressTracked => {
+                Self::from_backend(Arc::new(FullTracker::with_address_tracking()))
+            }
+            TrackerKind::Lean => Self::from_backend(Arc::new(LeanTracker::new())),
+        }
+    }
+
+    /// Wraps a caller-supplied backend (e.g. a custom instrumented implementation).
+    pub fn from_backend(backend: Arc<dyn TrackerBackend>) -> Self {
+        Self { backend }
+    }
+
+    /// The kind of backend this tracker dispatches to.
+    pub fn kind(&self) -> TrackerKind {
+        self.backend.kind()
     }
 
     /// Starts a new epoch (stream update).  At most one state change is counted per
     /// epoch regardless of how many words are modified within it.
     pub fn begin_epoch(&self) {
-        let mut inner = self.inner.borrow_mut();
-        inner.epochs += 1;
-        inner.dirty = false;
-        inner.in_epoch = true;
+        self.backend.begin_epoch()
     }
 
     /// Allocates `words` words of tracked memory and charges them to the space accounts.
     pub fn alloc(&self, words: usize) -> AddrRange {
-        self.inner.borrow_mut().charge_alloc(words)
+        self.backend.alloc(words)
     }
 
     /// Releases `words` words of tracked memory (peak usage is unaffected).
     pub fn dealloc(&self, words: usize) {
-        self.inner.borrow_mut().charge_dealloc(words)
+        self.backend.dealloc(words)
     }
 
     /// Records a write to one word.  `changed` must be `true` iff the stored value
     /// actually differs from the previous value; only changed writes can trigger a state
     /// change.  `addr` feeds per-cell wear accounting when enabled.
     pub fn record_write(&self, addr: Option<usize>, changed: bool) {
-        self.inner.borrow_mut().record_write(addr, changed)
+        self.backend.record_write(addr, changed)
     }
 
     /// Records `n` word reads.
     pub fn record_reads(&self, n: u64) {
-        self.inner.borrow_mut().reads += n;
+        self.backend.record_reads(n)
     }
 
     /// Number of state changes so far (paper definition).
     pub fn state_changes(&self) -> u64 {
-        self.inner.borrow().state_changes
+        self.backend.state_changes()
     }
 
     /// Number of epochs (stream updates) started so far.
     pub fn epochs(&self) -> u64 {
-        self.inner.borrow().epochs
+        self.backend.epochs()
     }
 
     /// Current number of allocated words.
     pub fn words_current(&self) -> usize {
-        self.inner.borrow().words_current
+        self.backend.words_current()
     }
 
     /// Peak number of allocated words.
     pub fn words_peak(&self) -> usize {
-        self.inner.borrow().words_peak
+        self.backend.words_peak()
     }
 
-    /// Produces an immutable snapshot of every counter.
+    /// Produces an immutable snapshot of every counter the backend maintains.
     pub fn snapshot(&self) -> StateReport {
-        let inner = self.inner.borrow();
-        let (max_cell_writes, tracked_cells, total_addr_writes) = match &inner.addr_writes {
-            Some(aw) => (
-                aw.iter().copied().max(),
-                Some(aw.len()),
-                Some(aw.iter().sum()),
-            ),
-            None => (None, None, None),
-        };
-        StateReport {
-            state_changes: inner.state_changes,
-            word_writes: inner.word_writes,
-            redundant_writes: inner.redundant_writes,
-            reads: inner.reads,
-            epochs: inner.epochs,
-            words_current: inner.words_current,
-            words_peak: inner.words_peak,
-            max_cell_writes,
-            tracked_cells,
-            total_addr_writes,
-        }
+        self.backend.snapshot()
     }
 
     /// Per-address write counts, if address tracking is enabled.
     pub fn address_writes(&self) -> Option<Vec<u64>> {
-        self.inner.borrow().addr_writes.clone()
+        self.backend.address_writes()
     }
 }
 
@@ -285,10 +246,56 @@ mod tests {
     }
 
     #[test]
-    fn addr_range_word_is_clamped() {
+    fn lean_tracker_counts_epochs_and_state_changes() {
+        let t = StateTracker::lean();
+        assert_eq!(t.kind(), TrackerKind::Lean);
+        let r = t.alloc(2);
+        t.record_write(Some(r.word(0)), true); // init, before any epoch
+        for _ in 0..5 {
+            t.begin_epoch();
+            t.record_write(Some(r.word(0)), true);
+            t.record_write(Some(r.word(1)), true);
+        }
+        t.begin_epoch();
+        t.record_write(None, false);
+        let snap = t.snapshot();
+        assert_eq!(snap.epochs, 6);
+        assert_eq!(snap.state_changes, 5);
+        assert_eq!(snap.words_peak, 2);
+        assert_eq!(
+            snap.word_writes, 0,
+            "lean backend does not count word writes"
+        );
+    }
+
+    #[test]
+    fn kind_round_trips_through_of_kind() {
+        for kind in [
+            TrackerKind::Full,
+            TrackerKind::FullAddressTracked,
+            TrackerKind::Lean,
+        ] {
+            assert_eq!(StateTracker::of_kind(kind).kind(), kind);
+        }
+    }
+
+    #[test]
+    fn addr_range_word_indexes_within_range() {
         let r = AddrRange { start: 7, len: 3 };
         assert_eq!(r.word(0), 7);
         assert_eq!(r.word(2), 9);
-        assert_eq!(AddrRange::EMPTY.word(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    #[cfg(debug_assertions)]
+    fn addr_range_word_out_of_range_panics_in_debug() {
+        let _ = AddrRange::EMPTY.word(0);
+    }
+
+    #[test]
+    fn trackers_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StateTracker>();
     }
 }

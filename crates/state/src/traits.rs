@@ -26,11 +26,23 @@ pub trait StreamAlgorithm {
         self.process_item(item);
     }
 
-    /// Processes an entire stream.
-    fn process_stream(&mut self, stream: &[u64]) {
-        for &item in stream {
-            self.update(item);
+    /// Processes a batch of stream updates, one accounting epoch per item.
+    ///
+    /// Semantically identical to calling [`StreamAlgorithm::update`] per item, but the
+    /// tracker handle is resolved once for the whole batch instead of once per item
+    /// (the `tracker()` accessor is a virtual call on trait objects), so batch callers
+    /// — `process_stream`, the sharded bench driver — pay the dispatch cost once.
+    fn process_batch(&mut self, items: &[u64]) {
+        let tracker = self.tracker().clone();
+        for &item in items {
+            tracker.begin_epoch();
+            self.process_item(item);
         }
+    }
+
+    /// Processes an entire stream (via [`StreamAlgorithm::process_batch`]).
+    fn process_stream(&mut self, stream: &[u64]) {
+        self.process_batch(stream);
     }
 
     /// Snapshot of the algorithm's state-change / space counters.
@@ -42,6 +54,36 @@ pub trait StreamAlgorithm {
     fn space_words(&self) -> usize {
         self.report().words_peak
     }
+}
+
+/// A summary that can absorb another summary of the same shape, enabling sharded
+/// (split → process per shard → merge) execution.
+///
+/// `merge_from` folds `other` into `self` so that the merged summary answers queries
+/// about the *concatenation* of the two processed streams:
+///
+/// * linear sketches (CountMin, CountSketch, AMS) built with identical dimensions and
+///   hash seeds merge *exactly* — the merged estimates equal those of an unsharded run;
+/// * counter summaries (Misra-Gries, SpaceSaving) merge with their usual additive error
+///   bounds (`±(m_a + m_b)/(k+1)` resp. `+(m_a + m_b)/k`);
+/// * exact structures (frequency vectors, exact counters) merge exactly.
+///
+/// # Accounting
+///
+/// A merge is post-stream work, not a stream update.  Implementations open **one**
+/// accounting epoch on the receiving tracker for the whole merge, so a merge costs at
+/// most one state change; reads of `other` are charged to the receiver.  The canonical
+/// way to combine the *reports* of sharded runs is
+/// [`StateReport::sharded`](crate::StateReport::sharded), which sums the per-shard
+/// epoch/state-change/space counters.
+pub trait Mergeable {
+    /// Merges `other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic when the two summaries are not merge-compatible (different
+    /// dimensions, capacities, or hash seeds).
+    fn merge_from(&mut self, other: &Self);
 }
 
 /// An algorithm that produces per-item frequency estimates, used for heavy hitters.
@@ -140,6 +182,18 @@ mod tests {
         assert_eq!(r.state_changes, 4);
         assert_eq!(*a.len.peek(), 4);
         assert_eq!(a.space_words(), 1);
+    }
+
+    #[test]
+    fn process_batch_matches_per_item_updates() {
+        let mut batched = LengthCounter::new();
+        batched.process_batch(&[1, 2, 3, 4, 5]);
+        let mut one_by_one = LengthCounter::new();
+        for item in [1, 2, 3, 4, 5] {
+            one_by_one.update(item);
+        }
+        assert_eq!(batched.report(), one_by_one.report());
+        assert_eq!(*batched.len.peek(), *one_by_one.len.peek());
     }
 
     #[test]

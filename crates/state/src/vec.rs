@@ -69,6 +69,9 @@ impl<T: PartialEq + Clone> TrackedVec<T> {
     /// Writes `value` into slot `i`; returns `true` if the slot changed.
     pub fn set(&mut self, i: usize, value: T) -> bool {
         let changed = self.data[i] != value;
+        // Push-based vectors hold `AddrRange::EMPTY` (no per-slot addresses were
+        // allocated), and `AddrRange::word` treats any index into an empty range as out
+        // of range — so the guard on `len` is load-bearing, not defensive.
         let addr = if self.addr.len == 0 {
             None
         } else {

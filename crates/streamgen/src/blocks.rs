@@ -81,10 +81,8 @@ pub fn counterexample_stream(q: usize) -> CounterexampleStream {
             }
             2 => {
                 // r occurrences of the heavy hitter, then light filler.
-                for _ in 0..r {
-                    stream.push(heavy_hitter);
-                    heavy_freq += 1;
-                }
+                stream.extend(std::iter::repeat_n(heavy_hitter, r));
+                heavy_freq += r as u64;
                 for _ in 0..(block_size - r) {
                     stream.push(next_light);
                     next_light += 1;

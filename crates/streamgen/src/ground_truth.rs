@@ -2,6 +2,8 @@
 
 use std::collections::HashMap;
 
+use fsc_state::Mergeable;
+
 /// The exact frequency vector `f ∈ R^n` defined by an insertion-only stream
 /// (`f_i` = number of occurrences of item `i`), together with exact functionals of it.
 #[derive(Debug, Clone, Default)]
@@ -114,6 +116,18 @@ impl FrequencyVector {
     }
 }
 
+impl Mergeable for FrequencyVector {
+    /// Exact merge: the frequency vector of a concatenated stream is the componentwise
+    /// sum of the shards' vectors.  Ground truth for sharded runs is therefore computed
+    /// per shard and merged, never recomputed from the full stream.
+    fn merge_from(&mut self, other: &Self) {
+        for (&item, &count) in &other.counts {
+            *self.counts.entry(item).or_insert(0) += count;
+        }
+        self.stream_len += other.stream_len;
+    }
+}
+
 /// Precision/recall of a reported heavy-hitter set against the exact one.
 ///
 /// `reported` and `exact` are item-id sets; order and estimated frequencies are ignored.
@@ -193,6 +207,21 @@ mod tests {
         assert_eq!(f.top_k(2), vec![(1, 4), (2, 2)]);
         assert_eq!(f.top_k(10).len(), 4);
         assert_eq!(f.top_k(0), vec![]);
+    }
+
+    #[test]
+    fn merged_shards_equal_the_unsharded_vector() {
+        let stream: Vec<u64> = vec![1, 2, 1, 3, 1, 2, 4, 1, 5, 5];
+        let (left, right) = stream.split_at(4);
+        let mut merged = FrequencyVector::from_stream(left);
+        merged.merge_from(&FrequencyVector::from_stream(right));
+        let whole = FrequencyVector::from_stream(&stream);
+        assert_eq!(merged.stream_len(), whole.stream_len());
+        assert_eq!(merged.support(), whole.support());
+        for item in merged.support() {
+            assert_eq!(merged.frequency(item), whole.frequency(item));
+        }
+        assert_eq!(merged.fp(2.0), whole.fp(2.0));
     }
 
     #[test]
