@@ -1,7 +1,7 @@
 //! The AMS (Alon-Matias-Szegedy) F₂ sketch [AMS99].
 
 use fsc_counters::hashing::PolyHash;
-use fsc_state::{Mergeable, MomentEstimator, StateTracker, StreamAlgorithm, TrackedVec};
+use fsc_state::{Mergeable, MomentEstimator, StateTracker, StreamAlgorithm, TrackedMatrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -15,11 +15,14 @@ use rand::SeedableRng;
 /// sampling).
 #[derive(Debug, Clone)]
 pub struct AmsSketch {
-    counters: TrackedVec<i64>,
+    /// `groups × per_group` signed counters in one contiguous [`TrackedMatrix`]
+    /// (row = group), with accounting identical to the former flat vector.
+    counters: TrackedMatrix<i64>,
     signs: Vec<PolyHash>,
     groups: usize,
     per_group: usize,
     seed: u64,
+    name: String,
     tracker: StateTracker,
 }
 
@@ -40,7 +43,7 @@ impl AmsSketch {
         assert!(groups >= 1 && per_group >= 1);
         let mut rng = StdRng::seed_from_u64(seed);
         let total = groups * per_group;
-        let counters = TrackedVec::filled(tracker, total, 0i64);
+        let counters = TrackedMatrix::filled(tracker, groups, per_group, 0i64);
         let signs = (0..total).map(|_| PolyHash::four_wise(&mut rng)).collect();
         Self {
             counters,
@@ -48,6 +51,7 @@ impl AmsSketch {
             groups,
             per_group,
             seed,
+            name: format!("AMS({groups}x{per_group})"),
             tracker: tracker.clone(),
         }
     }
@@ -68,14 +72,16 @@ impl AmsSketch {
 }
 
 impl StreamAlgorithm for AmsSketch {
-    fn name(&self) -> String {
-        format!("AMS({}x{})", self.groups, self.per_group)
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn process_item(&mut self, item: u64) {
+        let per_group = self.per_group;
         for (j, sign_hash) in self.signs.iter().enumerate() {
             let sign = sign_hash.hash_sign(item);
-            self.counters.update(j, |c| c + sign);
+            self.counters
+                .update(j / per_group, j % per_group, |c| c + sign);
         }
     }
 
@@ -96,9 +102,11 @@ impl Mergeable for AmsSketch {
         );
         self.tracker.begin_epoch();
         self.tracker.record_reads(other.counters.len() as u64);
+        let per_group = self.per_group;
         for (j, &v) in other.counters.iter_untracked().enumerate() {
             if v != 0 {
-                self.counters.update(j, |c| c + v);
+                self.counters
+                    .update(j / per_group, j % per_group, |c| c + v);
             }
         }
     }
@@ -114,7 +122,7 @@ impl MomentEstimator for AmsSketch {
         for g in 0..self.groups {
             let mean: f64 = (0..self.per_group)
                 .map(|j| {
-                    let z = *self.counters.peek(g * self.per_group + j) as f64;
+                    let z = *self.counters.peek(g, j) as f64;
                     z * z
                 })
                 .sum::<f64>()

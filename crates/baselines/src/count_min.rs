@@ -1,7 +1,7 @@
 //! The CountMin sketch [CM05].
 
 use fsc_counters::hashing::TabulationHash;
-use fsc_state::{FrequencyEstimator, Mergeable, StateTracker, StreamAlgorithm, TrackedVec};
+use fsc_state::{FrequencyEstimator, Mergeable, StateTracker, StreamAlgorithm, TrackedMatrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -10,12 +10,17 @@ use rand::SeedableRng;
 /// Estimates satisfy `f_i ≤ estimate(i) ≤ f_i + ε·m` with probability `1 − δ` for
 /// `width = ⌈e/ε⌉`, `depth = ⌈ln(1/δ)⌉`.  Every update increments `depth` counters, so
 /// the state-change count is `Θ(m)` (and the word-write count is `Θ(depth·m)`).
+///
+/// The `depth × width` counter table lives in one contiguous [`TrackedMatrix`], so an
+/// update touches one allocation instead of chasing `depth` boxed rows (accounting is
+/// cell-for-cell identical to the row-vector layout; see the matrix docs).
 #[derive(Debug, Clone)]
 pub struct CountMin {
-    rows: Vec<TrackedVec<u64>>,
+    table: TrackedMatrix<u64>,
     hashes: Vec<TabulationHash>,
     width: usize,
     seed: u64,
+    name: String,
     tracker: StateTracker,
 }
 
@@ -30,15 +35,14 @@ impl CountMin {
     pub fn with_tracker(tracker: &StateTracker, width: usize, depth: usize, seed: u64) -> Self {
         assert!(width >= 1 && depth >= 1);
         let mut rng = StdRng::seed_from_u64(seed);
-        let rows = (0..depth)
-            .map(|_| TrackedVec::filled(tracker, width, 0u64))
-            .collect();
+        let table = TrackedMatrix::filled(tracker, depth, width, 0u64);
         let hashes = (0..depth).map(|_| TabulationHash::new(&mut rng)).collect();
         Self {
-            rows,
+            table,
             hashes,
             width,
             seed,
+            name: format!("CountMin({depth}x{width})"),
             tracker: tracker.clone(),
         }
     }
@@ -58,19 +62,19 @@ impl CountMin {
 
     /// Sketch depth (number of rows).
     pub fn depth(&self) -> usize {
-        self.rows.len()
+        self.table.rows()
     }
 }
 
 impl StreamAlgorithm for CountMin {
-    fn name(&self) -> String {
-        format!("CountMin({}x{})", self.depth(), self.width)
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn process_item(&mut self, item: u64) {
-        for (row, hash) in self.rows.iter_mut().zip(&self.hashes) {
+        for (r, hash) in self.hashes.iter().enumerate() {
             let bucket = hash.hash_bucket(item, self.width);
-            row.update(bucket, |c| c + 1);
+            self.table.update(r, bucket, |c| c + 1);
         }
     }
 
@@ -85,19 +89,18 @@ impl Mergeable for CountMin {
     fn merge_from(&mut self, other: &Self) {
         assert!(
             self.width == other.width
-                && self.rows.len() == other.rows.len()
+                && self.table.rows() == other.table.rows()
                 && self.seed == other.seed,
             "CountMin shards must share width, depth, and hash seed"
         );
         // One accounting epoch for the whole merge; reads of the donor sketch are
         // charged to the receiver.
         self.tracker.begin_epoch();
-        self.tracker
-            .record_reads((self.width * self.rows.len()) as u64);
-        for (row, other_row) in self.rows.iter_mut().zip(&other.rows) {
-            for (i, &v) in other_row.iter_untracked().enumerate() {
+        self.tracker.record_reads(self.table.len() as u64);
+        for r in 0..self.table.rows() {
+            for (c, &v) in other.table.row_untracked(r).iter().enumerate() {
                 if v != 0 {
-                    row.update(i, |c| c + v);
+                    self.table.update(r, c, |x| x + v);
                 }
             }
         }
@@ -106,10 +109,10 @@ impl Mergeable for CountMin {
 
 impl FrequencyEstimator for CountMin {
     fn estimate(&self, item: u64) -> f64 {
-        self.rows
+        self.hashes
             .iter()
-            .zip(&self.hashes)
-            .map(|(row, hash)| *row.peek(hash.hash_bucket(item, self.width)))
+            .enumerate()
+            .map(|(r, hash)| *self.table.peek(r, hash.hash_bucket(item, self.width)))
             .min()
             .unwrap_or(0) as f64
     }

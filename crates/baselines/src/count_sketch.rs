@@ -1,7 +1,7 @@
 //! The CountSketch [CCF04].
 
 use fsc_counters::hashing::PolyHash;
-use fsc_state::{FrequencyEstimator, Mergeable, StateTracker, StreamAlgorithm, TrackedVec};
+use fsc_state::{FrequencyEstimator, Mergeable, StateTracker, StreamAlgorithm, TrackedMatrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -12,13 +12,17 @@ use rand::SeedableRng;
 /// `|estimate(i) − f_i| ≤ ε·‖f‖_2` for `width = O(1/ε²)`, making it the classic `L_2`
 /// heavy-hitters sketch — the row of Table 1 directly above the paper's contribution.
 /// Like CountMin it writes `depth` counters per update: `Θ(m)` state changes.
+///
+/// Counters live in one contiguous [`TrackedMatrix`] (one allocation for the whole
+/// sketch) with accounting identical to the former per-row vectors.
 #[derive(Debug, Clone)]
 pub struct CountSketch {
-    rows: Vec<TrackedVec<i64>>,
+    table: TrackedMatrix<i64>,
     bucket_hashes: Vec<PolyHash>,
     sign_hashes: Vec<PolyHash>,
     width: usize,
     seed: u64,
+    name: String,
     tracker: StateTracker,
 }
 
@@ -33,17 +37,16 @@ impl CountSketch {
     pub fn with_tracker(tracker: &StateTracker, width: usize, depth: usize, seed: u64) -> Self {
         assert!(width >= 1 && depth >= 1);
         let mut rng = StdRng::seed_from_u64(seed);
-        let rows = (0..depth)
-            .map(|_| TrackedVec::filled(tracker, width, 0i64))
-            .collect();
+        let table = TrackedMatrix::filled(tracker, depth, width, 0i64);
         let bucket_hashes = (0..depth).map(|_| PolyHash::two_wise(&mut rng)).collect();
         let sign_hashes = (0..depth).map(|_| PolyHash::four_wise(&mut rng)).collect();
         Self {
-            rows,
+            table,
             bucket_hashes,
             sign_hashes,
             width,
             seed,
+            name: format!("CountSketch({depth}x{width})"),
             tracker: tracker.clone(),
         }
     }
@@ -63,25 +66,22 @@ impl CountSketch {
 
     /// Sketch depth.
     pub fn depth(&self) -> usize {
-        self.rows.len()
+        self.table.rows()
     }
 }
 
 impl StreamAlgorithm for CountSketch {
-    fn name(&self) -> String {
-        format!("CountSketch({}x{})", self.depth(), self.width)
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn process_item(&mut self, item: u64) {
-        for ((row, bucket_hash), sign_hash) in self
-            .rows
-            .iter_mut()
-            .zip(&self.bucket_hashes)
-            .zip(&self.sign_hashes)
+        for (r, (bucket_hash, sign_hash)) in
+            self.bucket_hashes.iter().zip(&self.sign_hashes).enumerate()
         {
             let bucket = bucket_hash.hash_bucket(item, self.width);
             let sign = sign_hash.hash_sign(item);
-            row.update(bucket, |c| c + sign);
+            self.table.update(r, bucket, |c| c + sign);
         }
     }
 
@@ -96,17 +96,16 @@ impl Mergeable for CountSketch {
     fn merge_from(&mut self, other: &Self) {
         assert!(
             self.width == other.width
-                && self.rows.len() == other.rows.len()
+                && self.table.rows() == other.table.rows()
                 && self.seed == other.seed,
             "CountSketch shards must share width, depth, and hash seed"
         );
         self.tracker.begin_epoch();
-        self.tracker
-            .record_reads((self.width * self.rows.len()) as u64);
-        for (row, other_row) in self.rows.iter_mut().zip(&other.rows) {
-            for (i, &v) in other_row.iter_untracked().enumerate() {
+        self.tracker.record_reads(self.table.len() as u64);
+        for r in 0..self.table.rows() {
+            for (c, &v) in other.table.row_untracked(r).iter().enumerate() {
                 if v != 0 {
-                    row.update(i, |c| c + v);
+                    self.table.update(r, c, |x| x + v);
                 }
             }
         }
@@ -116,13 +115,13 @@ impl Mergeable for CountSketch {
 impl FrequencyEstimator for CountSketch {
     fn estimate(&self, item: u64) -> f64 {
         let mut estimates: Vec<f64> = self
-            .rows
+            .bucket_hashes
             .iter()
-            .zip(&self.bucket_hashes)
             .zip(&self.sign_hashes)
-            .map(|((row, bucket_hash), sign_hash)| {
+            .enumerate()
+            .map(|(r, (bucket_hash, sign_hash))| {
                 let bucket = bucket_hash.hash_bucket(item, self.width);
-                (sign_hash.hash_sign(item) * row.peek(bucket)) as f64
+                (sign_hash.hash_sign(item) * self.table.peek(r, bucket)) as f64
             })
             .collect();
         estimates.sort_by(f64::total_cmp);

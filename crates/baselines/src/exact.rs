@@ -1,8 +1,9 @@
 //! Exact counting with a full frequency table (the "no sketching" reference point).
 
+use fsc_counters::fastmap::FastTrackedMap;
 use fsc_state::{
     EntropyEstimator, FrequencyEstimator, Mergeable, MomentEstimator, StateTracker,
-    StreamAlgorithm, SupportRecovery, TrackedMap,
+    StreamAlgorithm, SupportRecovery,
 };
 
 /// Maintains the exact frequency of every distinct item in a tracked hash map.
@@ -12,7 +13,7 @@ use fsc_state::{
 /// (its estimates are exact) and the cost axis (its write count is the worst case).
 #[derive(Debug, Clone)]
 pub struct ExactCounting {
-    counts: TrackedMap<u64, u64>,
+    counts: FastTrackedMap<u64, u64>,
     tracker: StateTracker,
     /// Moment order reported through [`MomentEstimator`].
     p: f64,
@@ -29,7 +30,7 @@ impl ExactCounting {
     /// from [`StateTracker::lean`], which makes the counter `Send` for sharded runs).
     pub fn with_tracker(tracker: &StateTracker, p: f64) -> Self {
         Self {
-            counts: TrackedMap::new(tracker),
+            counts: FastTrackedMap::new(tracker),
             tracker: tracker.clone(),
             p,
         }
@@ -64,8 +65,8 @@ impl Mergeable for ExactCounting {
 }
 
 impl StreamAlgorithm for ExactCounting {
-    fn name(&self) -> String {
-        "ExactCounting".into()
+    fn name(&self) -> &str {
+        "ExactCounting"
     }
 
     fn process_item(&mut self, item: u64) {

@@ -1,6 +1,7 @@
 //! The Misra-Gries frequent-items summary [MG82].
 
-use fsc_state::{FrequencyEstimator, Mergeable, StateTracker, StreamAlgorithm, TrackedMap};
+use fsc_counters::fastmap::FastTrackedMap;
+use fsc_state::{FrequencyEstimator, Mergeable, StateTracker, StreamAlgorithm};
 
 /// The deterministic Misra-Gries summary with `k` counters.
 ///
@@ -10,8 +11,9 @@ use fsc_state::{FrequencyEstimator, Mergeable, StateTracker, StreamAlgorithm, Tr
 /// number of state changes is `Θ(m)` (Table 1), which is what the paper improves on.
 #[derive(Debug, Clone)]
 pub struct MisraGries {
-    counters: TrackedMap<u64, u64>,
+    counters: FastTrackedMap<u64, u64>,
     k: usize,
+    name: String,
     tracker: StateTracker,
 }
 
@@ -26,8 +28,9 @@ impl MisraGries {
     pub fn with_tracker(tracker: &StateTracker, k: usize) -> Self {
         assert!(k >= 1);
         Self {
-            counters: TrackedMap::new(tracker),
+            counters: FastTrackedMap::new(tracker),
             k,
+            name: format!("MisraGries(k={k})"),
             tracker: tracker.clone(),
         }
     }
@@ -45,8 +48,8 @@ impl MisraGries {
 }
 
 impl StreamAlgorithm for MisraGries {
-    fn name(&self) -> String {
-        format!("MisraGries(k={})", self.k)
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn process_item(&mut self, item: u64) {

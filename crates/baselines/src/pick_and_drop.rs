@@ -36,6 +36,7 @@ pub struct PickAndDrop {
     block_len: usize,
     pos_in_block: usize,
     rng: StdRng,
+    name: String,
     tracker: StateTracker,
 }
 
@@ -45,7 +46,7 @@ impl PickAndDrop {
         assert!(block_len >= 1 && rows >= 1);
         let tracker = StateTracker::new();
         let mut rng = StdRng::seed_from_u64(seed);
-        let rows = (0..rows)
+        let rows: Vec<Row> = (0..rows)
             .map(|_| Row {
                 candidate: TrackedCell::new(&tracker, (0, 0)),
                 pending: TrackedCell::new(&tracker, (0, 0)),
@@ -55,6 +56,7 @@ impl PickAndDrop {
             })
             .collect();
         Self {
+            name: format!("PickAndDrop(b={block_len},r={})", rows.len()),
             rows,
             block_len,
             pos_in_block: 0,
@@ -96,8 +98,8 @@ impl PickAndDrop {
 }
 
 impl StreamAlgorithm for PickAndDrop {
-    fn name(&self) -> String {
-        format!("PickAndDrop(b={},r={})", self.block_len, self.rows.len())
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn process_item(&mut self, item: u64) {

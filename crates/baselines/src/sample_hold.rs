@@ -1,6 +1,7 @@
 //! The classic Sample-and-Hold of Estan and Varghese [EV02].
 
-use fsc_state::{FrequencyEstimator, StateTracker, StreamAlgorithm, TrackedMap};
+use fsc_counters::fastmap::FastTrackedMap;
+use fsc_state::{FrequencyEstimator, StateTracker, StreamAlgorithm};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -16,9 +17,10 @@ use rand::{Rng, SeedableRng};
 /// Morris counters).
 #[derive(Debug, Clone)]
 pub struct SampleAndHoldClassic {
-    counters: TrackedMap<u64, u64>,
+    counters: FastTrackedMap<u64, u64>,
     sample_prob: f64,
     rng: StdRng,
+    name: String,
     tracker: StateTracker,
 }
 
@@ -28,9 +30,10 @@ impl SampleAndHoldClassic {
         assert!((0.0..=1.0).contains(&sample_prob));
         let tracker = StateTracker::new();
         Self {
-            counters: TrackedMap::new(&tracker),
+            counters: FastTrackedMap::new(&tracker),
             sample_prob,
             rng: StdRng::seed_from_u64(seed),
+            name: format!("SampleAndHold[EV02](p={sample_prob})"),
             tracker,
         }
     }
@@ -47,8 +50,8 @@ impl SampleAndHoldClassic {
 }
 
 impl StreamAlgorithm for SampleAndHoldClassic {
-    fn name(&self) -> String {
-        format!("SampleAndHold[EV02](p={})", self.sample_prob)
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn process_item(&mut self, item: u64) {

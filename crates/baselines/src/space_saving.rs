@@ -1,6 +1,7 @@
 //! The SpaceSaving summary [MAA05].
 
-use fsc_state::{FrequencyEstimator, Mergeable, StateTracker, StreamAlgorithm, TrackedMap};
+use fsc_counters::fastmap::FastTrackedMap;
+use fsc_state::{FrequencyEstimator, Mergeable, StateTracker, StreamAlgorithm};
 
 /// The SpaceSaving summary with `k` monitored items.
 ///
@@ -10,8 +11,9 @@ use fsc_state::{FrequencyEstimator, Mergeable, StateTracker, StreamAlgorithm, Tr
 /// writes on every single update, so its state-change count is `Θ(m)`.
 #[derive(Debug, Clone)]
 pub struct SpaceSaving {
-    counters: TrackedMap<u64, u64>,
+    counters: FastTrackedMap<u64, u64>,
     k: usize,
+    name: String,
     tracker: StateTracker,
 }
 
@@ -26,8 +28,9 @@ impl SpaceSaving {
     pub fn with_tracker(tracker: &StateTracker, k: usize) -> Self {
         assert!(k >= 1);
         Self {
-            counters: TrackedMap::new(tracker),
+            counters: FastTrackedMap::new(tracker),
             k,
+            name: format!("SpaceSaving(k={k})"),
             tracker: tracker.clone(),
         }
     }
@@ -52,8 +55,8 @@ impl SpaceSaving {
 }
 
 impl StreamAlgorithm for SpaceSaving {
-    fn name(&self) -> String {
-        format!("SpaceSaving(k={})", self.k)
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn process_item(&mut self, item: u64) {
@@ -114,7 +117,8 @@ impl Mergeable for SpaceSaving {
         }
         combined.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         combined.truncate(self.k);
-        let kept: std::collections::HashSet<u64> = combined.iter().map(|&(i, _)| i).collect();
+        let mut kept = fsc_counters::fastmap::fast_set::<u64>();
+        kept.extend(combined.iter().map(|&(i, _)| i));
         for key in self.counters.keys_untracked() {
             if !kept.contains(&key) {
                 self.counters.remove(&key);

@@ -4,8 +4,11 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fsc::{FewStateHeavyHitters, FpEstimator, Params, SampleAndHold};
 use fsc_baselines::{CountMin, CountSketch, MisraGries, SpaceSaving};
-use fsc_state::{StateTracker, StreamAlgorithm, TrackerKind};
+use fsc_counters::hashing::TabulationHash;
+use fsc_state::{StateTracker, StreamAlgorithm, TrackedVec, TrackerKind};
 use fsc_streamgen::zipf::zipf_stream;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 const N: usize = 1 << 12;
 const M: usize = 4 * N;
@@ -100,5 +103,94 @@ fn bench_tracker_backends(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_updates, bench_tracker_backends);
+/// The pre-PR CountMin storage layout: one boxed `TrackedVec` per sketch row, driven
+/// by per-item `update()` epochs.  Kept here (bench-only) as the reference point for
+/// the flat-matrix + batched-epoch hot path; accounting semantics are identical, so
+/// the measured gap is pure layout + epoch-machinery cost.
+struct LegacyRowsCountMin {
+    rows: Vec<TrackedVec<u64>>,
+    hashes: Vec<TabulationHash>,
+    width: usize,
+    tracker: StateTracker,
+}
+
+impl LegacyRowsCountMin {
+    fn new(width: usize, depth: usize, seed: u64) -> Self {
+        let tracker = StateTracker::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows = (0..depth)
+            .map(|_| TrackedVec::filled(&tracker, width, 0u64))
+            .collect();
+        let hashes = (0..depth).map(|_| TabulationHash::new(&mut rng)).collect();
+        Self {
+            rows,
+            hashes,
+            width,
+            tracker,
+        }
+    }
+}
+
+impl StreamAlgorithm for LegacyRowsCountMin {
+    fn name(&self) -> &str {
+        "LegacyRowsCountMin"
+    }
+
+    fn process_item(&mut self, item: u64) {
+        for (row, hash) in self.rows.iter_mut().zip(&self.hashes) {
+            let bucket = hash.hash_bucket(item, self.width);
+            row.update(bucket, |c| c + 1);
+        }
+    }
+
+    fn tracker(&self) -> &StateTracker {
+        &self.tracker
+    }
+}
+
+/// Old-vs-new CountMin hot path, isolating the two tentpole levers: contiguous flat
+/// storage (`TrackedMatrix`) vs per-row boxed vectors, and batched epoch spans
+/// (`process_batch`) vs per-item `update()`.  Measured ratios are recorded in
+/// EXPERIMENTS.md.
+fn bench_flat_vs_rows(c: &mut Criterion) {
+    let stream = zipf_stream(N, M, 1.1, 7);
+    let (width, depth) = (1 << 10, 4);
+    let mut group = c.benchmark_group("flat_vs_rows");
+    group.throughput(Throughput::Elements(M as u64));
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::new("CountMin", "rows_per_item"), |b| {
+        b.iter(|| {
+            let mut alg = LegacyRowsCountMin::new(width, depth, 1);
+            for &item in &stream {
+                alg.update(item);
+            }
+            alg.report().state_changes
+        })
+    });
+    group.bench_function(BenchmarkId::new("CountMin", "flat_per_item"), |b| {
+        b.iter(|| {
+            let mut alg = CountMin::new(width, depth, 1);
+            for &item in &stream {
+                alg.update(item);
+            }
+            alg.report().state_changes
+        })
+    });
+    group.bench_function(BenchmarkId::new("CountMin", "flat_batched"), |b| {
+        b.iter(|| {
+            let mut alg = CountMin::new(width, depth, 1);
+            alg.process_batch(&stream);
+            alg.report().state_changes
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_updates,
+    bench_tracker_backends,
+    bench_flat_vs_rows
+);
 criterion_main!(benches);

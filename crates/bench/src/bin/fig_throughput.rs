@@ -1,0 +1,67 @@
+//! T2 — update-throughput sweep; writes `BENCH_throughput.json` at the repo root.
+//!
+//! ```text
+//! cargo run -p fsc-bench --release --bin fig_throughput                 # full scale
+//! cargo run -p fsc-bench --release --bin fig_throughput -- --quick     # CI smoke
+//! ... fig_throughput -- --baseline-countmin 9205209                    # record speedup
+//! ... fig_throughput -- --out /tmp/bench.json                          # custom path
+//! ```
+//!
+//! `--baseline-countmin ITEMS_PER_SEC` embeds a pre-change headline measurement (taken
+//! with this same harness on the same host) so the JSON records the speedup of the
+//! CountMin full-tracker hot path against it.
+//!
+//! Only a **full-scale** run defaults to the committed repo-root
+//! `BENCH_throughput.json`; `--quick` defaults to a file in the system temp directory
+//! so a smoke run can never silently replace the recorded perf trajectory with
+//! reduced-scale noise (pass `--out` explicitly to override either default).
+
+use fsc_bench::{experiments, Scale};
+
+fn flag_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let baseline: Option<f64> = flag_value("--baseline-countmin").map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("error: --baseline-countmin expects a plain items/sec number, got {v:?}");
+            std::process::exit(2);
+        })
+    });
+    let out_path = flag_value("--out").unwrap_or_else(|| match scale {
+        // The committed perf-trajectory record is full-scale by definition.
+        Scale::Full => format!("{}/../../BENCH_throughput.json", env!("CARGO_MANIFEST_DIR")),
+        Scale::Quick => std::env::temp_dir()
+            .join("BENCH_throughput.quick.json")
+            .to_string_lossy()
+            .into_owned(),
+    });
+
+    let (table, report) = experiments::throughput::run(scale);
+    table.print();
+
+    let json = report.to_json(baseline);
+    std::fs::write(&out_path, &json).expect("write BENCH_throughput.json");
+    if let Some(head) = report.headline() {
+        println!(
+            "headline: {} on {} = {:.2} Mitems/s",
+            head.algorithm,
+            head.stream,
+            head.items_per_sec / 1e6
+        );
+        if let Some(base) = baseline {
+            println!(
+                "speedup vs pre-PR hot path: {:.2}x (baseline {:.2} Mitems/s)",
+                head.items_per_sec / base,
+                base / 1e6
+            );
+        }
+    }
+    println!("wrote {out_path}");
+}

@@ -74,7 +74,7 @@ pub fn run(scale: Scale) -> (Table, Vec<Row>) {
                 .map(|&i| (cs.estimate(i) - truth.frequency(i) as f64).abs() / (eps * norm))
                 .fold(0.0, f64::max);
             rows.push(Row {
-                name: cs.name(),
+                name: cs.name().to_string(),
                 p,
                 eps,
                 recall,
@@ -140,7 +140,7 @@ fn score<A: FrequencyEstimator>(
         .map(|&i| (alg.estimate(i) - truth.frequency(i) as f64).abs() / (eps * norm))
         .fold(0.0, f64::max);
     Row {
-        name: alg.name(),
+        name: alg.name().to_string(),
         p,
         eps,
         recall,

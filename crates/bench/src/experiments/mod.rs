@@ -11,3 +11,4 @@ pub mod p_small;
 pub mod scaling;
 pub mod sharding;
 pub mod table1;
+pub mod throughput;

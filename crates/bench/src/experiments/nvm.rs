@@ -45,13 +45,13 @@ pub fn run(scale: Scale) -> (Table, Vec<Row>) {
     let mut reports: Vec<(String, StateReport)> = Vec::new();
     let mut mg = MisraGries::for_epsilon(0.05);
     mg.process_stream(&stream);
-    reports.push((mg.name(), mg.report()));
+    reports.push((mg.name().to_string(), mg.report()));
     let mut ss = SpaceSaving::for_epsilon(0.05);
     ss.process_stream(&stream);
-    reports.push((ss.name(), ss.report()));
+    reports.push((ss.name().to_string(), ss.report()));
     let mut cm = CountMin::for_error(0.05, 0.05, 3);
     cm.process_stream(&stream);
-    reports.push((cm.name(), cm.report()));
+    reports.push((cm.name().to_string(), cm.report()));
 
     // The paper's algorithm with per-cell wear tracking enabled.
     let params = Params::new(2.0, 0.2, n, m).with_seed(5);

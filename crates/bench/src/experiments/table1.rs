@@ -208,7 +208,7 @@ fn score_candidates<A: FrequencyEstimator>(
 fn finish<A: StreamAlgorithm>(alg: &A, setting: &'static str, recall: f64) -> Row {
     let report = alg.report();
     Row {
-        name: alg.name(),
+        name: alg.name().to_string(),
         setting,
         state_changes: report.state_changes,
         change_fraction: report.change_fraction(),

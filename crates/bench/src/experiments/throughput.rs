@@ -1,0 +1,288 @@
+//! Experiment T2 — sustained single-thread update throughput (items/sec).
+//!
+//! The paper's thesis is that state changes — not instructions — are the scarce
+//! resource, which only holds water if the measurement substrate itself costs almost
+//! nothing.  This experiment times `process_stream` for every algorithm in the
+//! repository on three workloads (Zipf, uniform, and a synthetic netflow trace) and
+//! reports items/sec, so the performance trajectory of the hot path is recorded in a
+//! machine-readable `BENCH_throughput.json` at the repository root from this PR
+//! forward (see `fig_throughput`).
+//!
+//! Timing methodology: per (algorithm, stream) cell the stream is processed once as a
+//! warm-up and then `samples` more times on freshly constructed instances; the **best**
+//! wall-clock time is reported (minimum is the standard estimator for a deterministic
+//! workload on a noisy machine — all other samples are strictly noise-inflated).
+//! Construction is outside the timed region; `process_stream` (and therefore the
+//! batched epoch accounting path) is what is measured.
+
+use std::time::Instant;
+
+use fsc::sparse_recovery::FewStateSparseRecovery;
+use fsc::{FewStateHeavyHitters, FpEstimator, Params, SampleAndHold};
+use fsc_baselines::{
+    AmsSketch, CountMin, CountSketch, MisraGries, SampleAndHoldClassic, SpaceSaving,
+};
+use fsc_state::{StateTracker, StreamAlgorithm};
+use fsc_streamgen::netflow::{flow_trace, FlowTraceSpec};
+use fsc_streamgen::uniform::uniform_stream;
+use fsc_streamgen::zipf::zipf_stream;
+
+use crate::table::{f, Table};
+use crate::Scale;
+
+/// One measured (algorithm, stream) cell.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Algorithm name (as reported by [`StreamAlgorithm::name`]).
+    pub algorithm: String,
+    /// Tracker backend the instance ran with (`"full"` or `"lean"`).
+    pub tracker: &'static str,
+    /// Stream label.
+    pub stream: String,
+    /// Number of stream updates processed per run.
+    pub items: usize,
+    /// Best wall-clock seconds over the timed samples.
+    pub best_elapsed_s: f64,
+    /// `items / best_elapsed_s`.
+    pub items_per_sec: f64,
+    /// State changes recorded by the run (identical across samples — determinism).
+    pub state_changes: u64,
+}
+
+/// The full measurement set plus the metadata needed to reproduce it.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// `"Quick"` or `"Full"`.
+    pub scale: &'static str,
+    /// Timed samples per cell (after one warm-up).
+    pub samples: usize,
+    /// `(label, universe, length)` per stream.
+    pub streams: Vec<(String, usize, usize)>,
+    /// All measured cells.
+    pub rows: Vec<Row>,
+}
+
+impl Report {
+    /// The headline cell: CountMin on the Zipf stream under the exact-accounting
+    /// (full) tracker — the row the PR-over-PR perf trajectory is anchored to.
+    pub fn headline(&self) -> Option<&Row> {
+        self.rows.iter().find(|r| {
+            r.algorithm.starts_with("CountMin")
+                && r.tracker == "full"
+                && r.stream.starts_with("zipf")
+        })
+    }
+
+    /// Renders the report as pretty-printed JSON (hand-rolled: the workspace is
+    /// offline and carries no serde).  `baseline_countmin` is the pre-PR headline
+    /// items/sec measured by this same harness, used to record the speedup.
+    pub fn to_json(&self, baseline_countmin: Option<f64>) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"experiment\": \"throughput\",\n");
+        out.push_str(&format!("  \"scale\": \"{}\",\n", self.scale));
+        out.push_str(&format!("  \"samples\": {},\n", self.samples));
+        out.push_str("  \"unit\": \"items_per_sec\",\n");
+        out.push_str("  \"streams\": [\n");
+        for (i, (label, n, m)) in self.streams.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{label}\", \"universe\": {n}, \"length\": {m}}}{}\n",
+                if i + 1 < self.streams.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"algorithm\": \"{}\", \"tracker\": \"{}\", \"stream\": \"{}\", \
+                 \"items\": {}, \"best_elapsed_s\": {:.6}, \"items_per_sec\": {:.0}, \
+                 \"state_changes\": {}}}{}\n",
+                r.algorithm,
+                r.tracker,
+                r.stream,
+                r.items,
+                r.best_elapsed_s,
+                r.items_per_sec,
+                r.state_changes,
+                if i + 1 < self.rows.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]");
+        if let Some(head) = self.headline() {
+            out.push_str(",\n  \"headline\": {\n");
+            out.push_str(&format!(
+                "    \"algorithm\": \"{}\", \"stream\": \"{}\",\n",
+                head.algorithm, head.stream
+            ));
+            out.push_str(&format!("    \"items_per_sec\": {:.0}", head.items_per_sec));
+            if let Some(base) = baseline_countmin {
+                out.push_str(&format!(",\n    \"pre_pr_items_per_sec\": {base:.0}"));
+                if base > 0.0 {
+                    out.push_str(&format!(
+                        ",\n    \"speedup_vs_pre_pr\": {:.2}",
+                        head.items_per_sec / base
+                    ));
+                }
+            }
+            out.push_str("\n  }");
+        }
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+/// A named constructor for one algorithm instance (fresh per timed sample).
+type Case = (
+    &'static str,
+    Box<dyn Fn(usize, usize) -> Box<dyn StreamAlgorithm>>,
+);
+
+fn cases() -> Vec<Case> {
+    vec![
+        (
+            "full",
+            Box::new(|n, m| Box::new(SampleAndHold::standalone(&Params::new(2.0, 0.2, n, m)))),
+        ),
+        (
+            "full",
+            Box::new(|n, m| Box::new(FewStateHeavyHitters::new(Params::new(2.0, 0.25, n, m)))),
+        ),
+        (
+            "full",
+            Box::new(|n, m| Box::new(FpEstimator::new(Params::new(2.0, 0.3, n, m)))),
+        ),
+        (
+            "full",
+            Box::new(|_, _| Box::new(FewStateSparseRecovery::new(1 << 12))),
+        ),
+        (
+            "full",
+            Box::new(|_, _| Box::new(MisraGries::for_epsilon(0.05))),
+        ),
+        (
+            "full",
+            Box::new(|_, _| Box::new(SpaceSaving::for_epsilon(0.05))),
+        ),
+        (
+            "full",
+            Box::new(|_, _| Box::new(CountMin::new(1 << 10, 4, 1))),
+        ),
+        (
+            "lean",
+            Box::new(|_, _| Box::new(CountMin::with_tracker(&StateTracker::lean(), 1 << 10, 4, 1))),
+        ),
+        (
+            "full",
+            Box::new(|_, _| Box::new(CountSketch::new(1 << 10, 5, 2))),
+        ),
+        ("full", Box::new(|_, _| Box::new(AmsSketch::new(5, 48, 3)))),
+        (
+            "full",
+            Box::new(|_, _| Box::new(SampleAndHoldClassic::new(0.01, 4))),
+        ),
+    ]
+}
+
+/// Runs the throughput sweep and returns the printed table plus the raw report.
+pub fn run(scale: Scale) -> (Table, Report) {
+    let n = scale.pick(1 << 12, 1 << 14);
+    let m = scale.pick(1 << 14, 1 << 18);
+    let samples = scale.pick(2, 3);
+
+    let netflow = flow_trace(&FlowTraceSpec {
+        elephants: scale.pick(8, 32),
+        mice: (m / 4).max(64),
+        seed: 9,
+        ..FlowTraceSpec::default()
+    });
+    let streams: Vec<(String, usize, Vec<u64>)> = vec![
+        ("zipf-1.1".to_string(), n, zipf_stream(n, m, 1.1, 7)),
+        ("uniform".to_string(), n, uniform_stream(n, m, 8)),
+        ("netflow".to_string(), netflow.flows, netflow.packets),
+    ];
+
+    let mut report = Report {
+        scale: scale.pick("Quick", "Full"),
+        samples,
+        streams: streams
+            .iter()
+            .map(|(label, n, s)| (label.clone(), *n, s.len()))
+            .collect(),
+        rows: Vec::new(),
+    };
+
+    for (tracker, make) in cases() {
+        for (label, universe, stream) in &streams {
+            let mut best = f64::INFINITY;
+            let mut state_changes = 0;
+            let mut algorithm = String::new();
+            // One warm-up + `samples` timed runs, each on a fresh instance.
+            for sample in 0..=samples {
+                let mut alg = make(*universe, stream.len());
+                let start = Instant::now();
+                alg.process_stream(stream);
+                let elapsed = start.elapsed().as_secs_f64();
+                if sample > 0 {
+                    best = best.min(elapsed);
+                }
+                state_changes = alg.report().state_changes;
+                algorithm = alg.name().to_string();
+            }
+            report.rows.push(Row {
+                algorithm,
+                tracker,
+                stream: label.clone(),
+                items: stream.len(),
+                best_elapsed_s: best,
+                items_per_sec: stream.len() as f64 / best,
+                state_changes,
+            });
+        }
+    }
+
+    let mut table = Table::new(
+        &format!(
+            "Throughput — items/sec over {} timed samples (best), m = {m}",
+            samples
+        ),
+        &[
+            "algorithm",
+            "tracker",
+            "stream",
+            "items/sec",
+            "state changes",
+        ],
+    );
+    for r in &report.rows {
+        table.row(vec![
+            r.algorithm.clone(),
+            r.tracker.to_string(),
+            r.stream.clone(),
+            f(r.items_per_sec),
+            r.state_changes.to_string(),
+        ]);
+    }
+    (table, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_measures_every_cell() {
+        let (table, report) = run(Scale::Quick);
+        assert_eq!(report.rows.len(), 11 * 3);
+        assert_eq!(table.len(), report.rows.len());
+        for row in &report.rows {
+            assert!(row.items_per_sec > 0.0, "{}: no throughput", row.algorithm);
+            assert!(row.items > 0);
+        }
+        let head = report.headline().expect("CountMin/zipf headline row");
+        assert_eq!(head.tracker, "full");
+        let json = report.to_json(Some(head.items_per_sec / 2.0));
+        assert!(json.contains("\"speedup_vs_pre_pr\": 2.00"));
+        assert!(json.contains("\"experiment\": \"throughput\""));
+        // Determinism of the answers (not the timings): state changes recorded.
+        assert!(report.rows.iter().any(|r| r.state_changes > 0));
+    }
+}

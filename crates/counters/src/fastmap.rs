@@ -1,0 +1,240 @@
+//! Deterministic FxHash-style hashing for key-holding tables.
+//!
+//! The standard library's `HashMap` defaults to randomly seeded SipHash-1-3 — the
+//! right call for adversarial inputs, but several times more expensive per lookup than
+//! needed on the `u64`-keyed counter tables that sit on the per-update hot path
+//! (`SampleAndHold`'s reservoir mirror and Morris table, sparse recovery, the
+//! key-holding baselines).  This module provides the deterministic replacement:
+//!
+//! * [`FxHasher`] — the multiply-xor hash popularised by rustc's `FxHashMap`: one
+//!   rotate, one xor, and one multiply by a 64-bit constant per word of key.
+//! * [`FastState`] — a seedable `BuildHasher` producing [`FxHasher`]s.  Determinism
+//!   makes runs reproducible byte-for-byte across processes (SipHash's per-process
+//!   random keys never changed recorded *results* — nothing observable depends on
+//!   iteration order — but a deterministic hasher makes that property structural).
+//! * [`FastMap`] / [`FastSet`] — plain `std` collections over [`FastState`].
+//! * [`FastTrackedMap`] — [`fsc_state::TrackedMap`] over [`FastState`], the table type
+//!   the tracked algorithms use.
+//!
+//! FxHash is not DoS-resistant; these tables hold stream items in a benchmarking
+//! substrate, not attacker-controlled keys in a service.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasher, Hasher};
+
+/// The FxHash multiplier (a 64-bit truncation of π's hex expansion).
+const FX_K: u64 = 0x517c_c1b7_2722_0a95;
+
+/// Default seed of [`FastState`] (an arbitrary odd constant, fixed for determinism).
+const DEFAULT_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A streaming FxHash state: `state = (rotl(state, 5) ^ word) · K` per ingested word.
+#[derive(Debug, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline(always)]
+    fn ingest(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.ingest(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            // Length-prefix the tail so "ab" and "ab\0" ingest different words.
+            self.ingest(u64::from_le_bytes(tail) ^ ((rest.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.ingest(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.ingest(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.ingest(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.ingest(v);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.ingest(v as u64);
+        self.ingest((v >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.ingest(v as u64);
+    }
+}
+
+/// A seedable, deterministic `BuildHasher` over [`FxHasher`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FastState {
+    seed: u64,
+}
+
+impl FastState {
+    /// A build-hasher whose tables hash identically across processes for this seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// The seed in use.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+impl Default for FastState {
+    fn default() -> Self {
+        Self::with_seed(DEFAULT_SEED)
+    }
+}
+
+impl BuildHasher for FastState {
+    type Hasher = FxHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher { hash: self.seed }
+    }
+}
+
+/// A `std::collections::HashMap` keyed by the deterministic fast hasher.
+pub type FastMap<K, V> = HashMap<K, V, FastState>;
+
+/// A `std::collections::HashSet` keyed by the deterministic fast hasher.
+pub type FastSet<K> = HashSet<K, FastState>;
+
+/// A [`fsc_state::TrackedMap`] keyed by the deterministic fast hasher — the counter
+/// table the key-holding algorithms use on their hot paths.
+pub type FastTrackedMap<K, V> = fsc_state::TrackedMap<K, V, FastState>;
+
+/// Creates an empty [`FastMap`] with the default seed.
+pub fn fast_map<K, V>() -> FastMap<K, V> {
+    FastMap::with_hasher(FastState::default())
+}
+
+/// Creates an empty [`FastSet`] with the default seed.
+pub fn fast_set<K>() -> FastSet<K> {
+    FastSet::with_hasher(FastState::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(state: &FastState, value: &T) -> u64 {
+        state.hash_one(value)
+    }
+
+    #[test]
+    fn hashing_is_deterministic_and_seed_sensitive() {
+        let a = FastState::default();
+        let b = FastState::default();
+        let c = FastState::with_seed(42);
+        for x in [0u64, 1, 0xdead_beef, u64::MAX] {
+            assert_eq!(hash_of(&a, &x), hash_of(&b, &x));
+            assert_ne!(hash_of(&a, &x), hash_of(&c, &x), "seed must matter for {x}");
+        }
+        assert_eq!(c.seed(), 42);
+    }
+
+    #[test]
+    fn nearby_keys_spread_over_the_bucket_bits() {
+        // FxHash is not cryptographic, but sequential u64 keys (the common stream-item
+        // pattern) must not collide in the low bits hashbrown buckets on.  The final
+        // odd multiply makes the low 12 bits a bijection of the low 12 key bits, so
+        // 4096 sequential keys must produce (nearly) 4096 distinct bucket values.
+        let state = FastState::default();
+        let mut buckets = FastSet::with_hasher(FastState::default());
+        for x in 0..4096u64 {
+            buckets.insert(hash_of(&state, &x) & 0xFFF);
+        }
+        assert!(
+            buckets.len() >= 4000,
+            "bucket bits too clustered: {}",
+            buckets.len()
+        );
+    }
+
+    #[test]
+    fn byte_stream_tail_is_length_distinguished() {
+        let state = FastState::default();
+        let mut h1 = state.build_hasher();
+        h1.write(b"ab");
+        let mut h2 = state.build_hasher();
+        h2.write(b"ab\0");
+        assert_ne!(h1.finish(), h2.finish());
+        let mut h3 = state.build_hasher();
+        h3.write(b"12345678"); // exact chunk, no tail
+        let mut h4 = state.build_hasher();
+        h4.write(b"12345678\0");
+        assert_ne!(h3.finish(), h4.finish());
+    }
+
+    #[test]
+    fn fast_collections_behave_like_std_ones() {
+        let mut m: FastMap<u64, u64> = fast_map();
+        for x in 0..1000 {
+            m.insert(x, x * x);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&31], 961);
+        let mut s: FastSet<u64> = fast_set();
+        s.insert(7);
+        assert!(s.contains(&7));
+        assert!(!s.contains(&8));
+    }
+
+    #[test]
+    fn tracked_map_over_the_fast_hasher_accounts_identically() {
+        use fsc_state::StateTracker;
+        let t_fast = StateTracker::new();
+        let mut fast: FastTrackedMap<u64, u64> = FastTrackedMap::new(&t_fast);
+        let t_std = StateTracker::new();
+        let mut std_map: fsc_state::TrackedMap<u64, u64> = fsc_state::TrackedMap::new(&t_std);
+        for x in [3u64, 1, 4, 1, 5, 9, 2, 6] {
+            t_fast.begin_epoch();
+            t_std.begin_epoch();
+            if fast.peek(&x).is_some() {
+                fast.modify(&x, |v| v + 1);
+                std_map.modify(&x, |v| v + 1);
+            } else {
+                fast.insert(x, 1);
+                std_map.insert(x, 1);
+            }
+        }
+        assert_eq!(t_fast.snapshot(), t_std.snapshot());
+        assert_eq!(fast.len(), std_map.len());
+        assert_eq!(fast.peek(&1), std_map.peek(&1));
+    }
+}

@@ -16,7 +16,7 @@ use rand::{Rng, RngCore, SeedableRng};
 pub const MERSENNE_61: u64 = (1u64 << 61) - 1;
 
 /// Reduces a 128-bit product modulo 2^61 − 1.
-#[inline]
+#[inline(always)]
 fn mod_mersenne(x: u128) -> u64 {
     let lo = (x & MERSENNE_61 as u128) as u64;
     let hi = (x >> 61) as u64;
@@ -25,6 +25,124 @@ fn mod_mersenne(x: u128) -> u64 {
         r -= MERSENNE_61;
     }
     r
+}
+
+/// Maps a hash value occupying `bits` uniform bits onto `[0, buckets)` by
+/// multiply-shift: `⌊hash · buckets / 2^bits⌋`.
+///
+/// This is the bucket mapping shared by [`PolyHash::hash_bucket`] (61-bit hashes) and
+/// [`TabulationHash::hash_bucket`] (64-bit hashes); unlike `hash % buckets` it carries
+/// no modulo bias on a nearly-uniform input and compiles to one widening multiply.
+#[inline(always)]
+pub fn multiply_shift_bucket(hash: u64, buckets: usize, bits: u32) -> usize {
+    debug_assert!(buckets > 0);
+    debug_assert!(bits == 64 || hash < (1u64 << bits));
+    ((hash as u128 * buckets as u128) >> bits) as usize
+}
+
+/// Smallest hash in `[0, MERSENNE_61]` satisfying a predicate that is monotone
+/// non-decreasing in the hash — the shared boundary search behind
+/// [`SubsampleThreshold`] and [`GeometricLevels`].  ~61 predicate evaluations, done
+/// once per configuration, never per item.
+fn lowest_hash_where(pred: impl Fn(u64) -> bool) -> u64 {
+    let (mut lo, mut hi) = (0u64, MERSENNE_61);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if pred(mid) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    lo
+}
+
+/// A precomputed integer cutoff making `hash_unit(x) < rate` a single `u64` compare.
+///
+/// [`PolyHash::hash_unit`] divides the 61-bit hash by `2^61 − 1`; comparing that
+/// quotient against `rate` per item puts an f64 division on the subsampling hot path.
+/// The cutoff is the exact integer boundary of the same predicate: `keeps(h)` returns
+/// precisely `(h as f64 / MERSENNE_61 as f64) < rate` for **every** `h`, because it is
+/// found by binary search over the monotone f64 predicate itself (rounding included)
+/// rather than by multiplying `rate` back up.  See the equivalence tests.
+///
+/// This is the single-fixed-rate face of the mechanism; [`GeometricLevels`] is its
+/// multi-level sibling and the one on the `F_p` estimator's production hot path.
+/// Reach for `SubsampleThreshold` when a new algorithm tests one subsampling rate
+/// against many items (i.e. wherever [`PolyHash::subsamples`] would otherwise sit in
+/// a per-item loop).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubsampleThreshold {
+    cutoff: u64,
+}
+
+impl SubsampleThreshold {
+    /// Precomputes the cutoff for `rate`.
+    pub fn for_rate(rate: f64) -> Self {
+        // Smallest h in [0, MERSENNE_61] with (h as f64 / M as f64) >= rate; every
+        // hash below it — and only those — satisfies hash_unit < rate.
+        Self {
+            cutoff: lowest_hash_where(|h| (h as f64 / MERSENNE_61 as f64) >= rate),
+        }
+    }
+
+    /// Whether a [`PolyHash::hash_u64`] output survives subsampling at the
+    /// precomputed rate.
+    #[inline(always)]
+    pub fn keeps(&self, hash: u64) -> bool {
+        hash < self.cutoff
+    }
+
+    /// The integer cutoff (exposed for tests and diagnostics).
+    pub fn cutoff(&self) -> u64 {
+        self.cutoff
+    }
+}
+
+/// Precomputed cutoffs for the geometric subsampling levels `2^{-1}, 2^{-2}, …`:
+/// the deepest level an item reaches becomes one integer binary search instead of a
+/// division plus `log2` plus `floor` per item.
+///
+/// [`GeometricLevels::deepest`] reproduces the f64 computation
+/// `min(max_level, ⌊−log2(max(hash_unit(x), MIN_POSITIVE))⌋)` **exactly**, including
+/// any rounding quirks of the platform's `log2`, because each level boundary is found
+/// by binary search over that very f64 formula (which is monotone in the hash) rather
+/// than over an idealised `u ≤ 2^{-k}` predicate.
+#[derive(Debug, Clone)]
+pub struct GeometricLevels {
+    /// `bounds[k-1]` = smallest `h` whose f64-computed deepest level is `< k` —
+    /// strictly decreasing in `k`.
+    bounds: Vec<u64>,
+}
+
+impl GeometricLevels {
+    /// The f64 reference computation this table replaces (kept as the oracle for both
+    /// construction and the equivalence tests).
+    pub fn reference_deepest(hash: u64) -> usize {
+        let u = (hash as f64 / MERSENNE_61 as f64).max(f64::MIN_POSITIVE);
+        (-u.log2()).floor().max(0.0) as usize
+    }
+
+    /// Precomputes boundaries for levels `1..=max_level` (level 0 is "kept always").
+    pub fn new(max_level: usize) -> Self {
+        let bounds = (1..=max_level)
+            // Smallest h the f64 formula keeps out of level k.
+            .map(|k| lowest_hash_where(|h| Self::reference_deepest(h) < k))
+            .collect();
+        Self { bounds }
+    }
+
+    /// The deepest level in `0..=max_level` reached by a [`PolyHash::hash_u64`] output.
+    #[inline]
+    pub fn deepest(&self, hash: u64) -> usize {
+        // `bounds` is decreasing, so "hash below bound" holds on a prefix of levels.
+        self.bounds.partition_point(|&b| hash < b)
+    }
+
+    /// The deepest representable level.
+    pub fn max_level(&self) -> usize {
+        self.bounds.len()
+    }
 }
 
 /// k-wise independent hash function `h(x) = Σ a_i x^i mod (2^61 − 1)`.
@@ -67,6 +185,7 @@ impl PolyHash {
     }
 
     /// Hash of `x` as an element of `[0, 2^61 − 1)`.
+    #[inline]
     pub fn hash_u64(&self, x: u64) -> u64 {
         let x = x % MERSENNE_61;
         let mut acc: u64 = 0;
@@ -78,19 +197,21 @@ impl PolyHash {
     }
 
     /// Hash of `x` mapped to the unit interval `[0, 1)`.
+    #[inline]
     pub fn hash_unit(&self, x: u64) -> f64 {
         self.hash_u64(x) as f64 / MERSENNE_61 as f64
     }
 
-    /// Hash of `x` mapped to a bucket in `[0, buckets)`.
+    /// Hash of `x` mapped to a bucket in `[0, buckets)` (multiply-shift on the 61-bit
+    /// output; see [`multiply_shift_bucket`]).
+    #[inline]
     pub fn hash_bucket(&self, x: u64, buckets: usize) -> usize {
         assert!(buckets > 0);
-        // Multiply-shift style mapping avoids the modulo bias of `% buckets` on the
-        // nearly-uniform 61-bit output.
-        ((self.hash_u64(x) as u128 * buckets as u128) >> 61) as usize
+        multiply_shift_bucket(self.hash_u64(x), buckets, 61)
     }
 
     /// Hash of `x` mapped to a Rademacher sign `±1`.
+    #[inline]
     pub fn hash_sign(&self, x: u64) -> i64 {
         if self.hash_u64(x) & 1 == 0 {
             1
@@ -105,6 +226,12 @@ impl PolyHash {
     /// the same item are consistently kept or dropped — exactly what universe
     /// subsampling (Algorithm 3) requires — and nested rates produce nested subsets when
     /// the same hash function is reused with smaller rates.
+    ///
+    /// Hot loops that test one fixed rate against many items should precompute
+    /// [`SubsampleThreshold::for_rate`] once and call
+    /// `threshold.keeps(hash.hash_u64(x))` — one integer compare per item, equivalent
+    /// bit-for-bit to this method.
+    #[inline]
     pub fn subsamples(&self, x: u64, rate: f64) -> bool {
         self.hash_unit(x) < rate
     }
@@ -131,6 +258,7 @@ impl TabulationHash {
     }
 
     /// Hash of `x` as a full 64-bit value.
+    #[inline]
     pub fn hash_u64(&self, x: u64) -> u64 {
         let mut acc = 0u64;
         for (i, table) in self.tables.iter().enumerate() {
@@ -140,13 +268,16 @@ impl TabulationHash {
         acc
     }
 
-    /// Hash of `x` mapped to a bucket in `[0, buckets)`.
+    /// Hash of `x` mapped to a bucket in `[0, buckets)` (multiply-shift on the 64-bit
+    /// output; see [`multiply_shift_bucket`]).
+    #[inline]
     pub fn hash_bucket(&self, x: u64, buckets: usize) -> usize {
         assert!(buckets > 0);
-        ((self.hash_u64(x) as u128 * buckets as u128) >> 64) as usize
+        multiply_shift_bucket(self.hash_u64(x), buckets, 64)
     }
 
     /// Hash of `x` mapped to a Rademacher sign `±1`.
+    #[inline]
     pub fn hash_sign(&self, x: u64) -> i64 {
         if self.hash_u64(x).count_ones().is_multiple_of(2) {
             1
@@ -228,6 +359,111 @@ mod tests {
             let expected = ((a as u128 * b as u128) % MERSENNE_61 as u128) as u64;
             assert_eq!(mod_mersenne(a as u128 * b as u128), expected);
         }
+    }
+
+    #[test]
+    fn multiply_shift_bucket_matches_the_inline_expressions() {
+        // The two call sites it replaced: 61-bit (PolyHash) and 64-bit (Tabulation).
+        for hash in [0u64, 1, 12345, MERSENNE_61 - 1, u64::MAX] {
+            for buckets in [1usize, 2, 7, 28, 1024] {
+                if hash < MERSENNE_61 {
+                    assert_eq!(
+                        multiply_shift_bucket(hash, buckets, 61),
+                        ((hash as u128 * buckets as u128) >> 61) as usize
+                    );
+                    assert!(multiply_shift_bucket(hash, buckets, 61) < buckets);
+                }
+                assert_eq!(
+                    multiply_shift_bucket(hash, buckets, 64),
+                    ((hash as u128 * buckets as u128) >> 64) as usize
+                );
+                assert!(multiply_shift_bucket(hash, buckets, 64) < buckets);
+            }
+        }
+    }
+
+    /// Rates the recorded experiments actually use: the per-update sampling
+    /// probabilities of `Params::sample_prob` at the table sizes, the geometric
+    /// universe-subsampling rates, plus awkward boundary values.
+    fn recorded_rates() -> Vec<f64> {
+        let mut rates = vec![0.0, 1.0, 1.5, 0.1, 0.05, 0.25, 0.5, 1e-9, 0.6339];
+        for k in 1..=24 {
+            rates.push(2f64.powi(-k));
+        }
+        rates
+    }
+
+    #[test]
+    fn subsample_threshold_is_equivalent_to_the_f64_comparison() {
+        // Proof of equivalence: the cutoff is the binary-searched boundary of the f64
+        // predicate, so hashes at and adjacent to it must agree, as must a dense
+        // sample of the whole range and real hash outputs.
+        let h = PolyHash::from_seed(2, 5);
+        for rate in recorded_rates() {
+            let t = SubsampleThreshold::for_rate(rate);
+            // Probes stay within the hash domain [0, MERSENNE_61): for rates ≥ 1 the
+            // cutoff saturates at MERSENNE_61, one past the largest possible hash.
+            for probe in [
+                t.cutoff().saturating_sub(2),
+                t.cutoff().saturating_sub(1),
+                t.cutoff().min(MERSENNE_61 - 1),
+                (t.cutoff() + 1).min(MERSENNE_61 - 1),
+                0,
+                MERSENNE_61 - 1,
+            ] {
+                assert_eq!(
+                    t.keeps(probe),
+                    ((probe as f64 / MERSENNE_61 as f64) < rate),
+                    "rate {rate}, hash {probe}"
+                );
+            }
+            for x in 0..2_000u64 {
+                let hash = h.hash_u64(x * 0x9E37_79B9 + 1);
+                assert_eq!(
+                    t.keeps(hash),
+                    h.subsamples(x * 0x9E37_79B9 + 1, rate),
+                    "rate {rate}, item hash {hash}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn geometric_levels_are_equivalent_to_the_f64_computation() {
+        // The level counts the Fp estimator instantiates at the recorded experiment
+        // sizes (universe_levels() for m = 2^12 .. 2^20).
+        for max_level in [12usize, 14, 18, 20] {
+            let levels = GeometricLevels::new(max_level);
+            assert_eq!(levels.max_level(), max_level);
+            // Boundary probes around every precomputed bound...
+            for k in 1..=max_level {
+                let b = levels.bounds[k - 1];
+                for probe in [b.saturating_sub(1), b, (b + 1).min(MERSENNE_61 - 1)] {
+                    assert_eq!(
+                        levels.deepest(probe),
+                        GeometricLevels::reference_deepest(probe).min(max_level),
+                        "max_level {max_level}, boundary probe {probe}"
+                    );
+                }
+            }
+            // ... plus real hash outputs.
+            let h = PolyHash::from_seed(2, 77);
+            for x in 0..4_000u64 {
+                let hash = h.hash_u64(x);
+                assert_eq!(
+                    levels.deepest(hash),
+                    GeometricLevels::reference_deepest(hash).min(max_level),
+                    "max_level {max_level}, x {x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn geometric_level_zero_hash_reaches_the_deepest_level() {
+        let levels = GeometricLevels::new(19);
+        assert_eq!(levels.deepest(0), 19, "h = 0 is kept everywhere");
+        assert_eq!(levels.deepest(MERSENNE_61 - 1), 0);
     }
 
     #[test]

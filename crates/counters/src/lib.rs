@@ -11,6 +11,8 @@
 //! * [`hashing`] — limited-independence hash families (polynomial hashing over a
 //!   Mersenne prime, and tabulation hashing) used for subsampling stream positions,
 //!   subsampling the universe, and the CountSketch / AMS baselines.
+//! * [`fastmap`] — a seeded, deterministic FxHash-style hasher plus map/set aliases,
+//!   replacing SipHash on the key-holding hot paths.
 //! * [`stable`] — p-stable variate generation (Definition 3.1 / \[Nol03\]) with
 //!   limited-independence seeds, used by the `p < 1` moment estimator of Theorem 3.2.
 
@@ -19,6 +21,7 @@
 
 mod accumulator;
 mod exact;
+pub mod fastmap;
 pub mod hashing;
 mod morris;
 pub mod stable;

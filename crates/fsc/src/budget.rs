@@ -17,12 +17,14 @@ pub struct BudgetedAlgorithm<A: StreamAlgorithm> {
     inner: A,
     budget: u64,
     dropped_updates: u64,
+    name: String,
 }
 
 impl<A: StreamAlgorithm> BudgetedAlgorithm<A> {
     /// Wraps `inner`, allowing it at most `budget` state changes.
     pub fn new(inner: A, budget: u64) -> Self {
         Self {
+            name: format!("Budgeted[{budget}]({})", inner.name()),
             inner,
             budget,
             dropped_updates: 0,
@@ -51,8 +53,8 @@ impl<A: StreamAlgorithm> BudgetedAlgorithm<A> {
 }
 
 impl<A: StreamAlgorithm> StreamAlgorithm for BudgetedAlgorithm<A> {
-    fn name(&self) -> String {
-        format!("Budgeted[{}]({})", self.budget, self.inner.name())
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn process_item(&mut self, item: u64) {

@@ -47,8 +47,8 @@ impl EntropyFewState {
 }
 
 impl StreamAlgorithm for EntropyFewState {
-    fn name(&self) -> String {
-        "EntropyFewState".into()
+    fn name(&self) -> &str {
+        "EntropyFewState"
     }
 
     fn process_item(&mut self, item: u64) {

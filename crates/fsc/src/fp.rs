@@ -25,7 +25,7 @@
 //!   level structure already provides the moment reduction that Algorithm 2's stream
 //!   subsampling supplies (set [`Params::reps`] higher for more robustness).
 
-use fsc_counters::hashing::PolyHash;
+use fsc_counters::hashing::{GeometricLevels, PolyHash};
 use fsc_state::{FrequencyEstimator, MomentEstimator, StateTracker, StreamAlgorithm};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -44,8 +44,13 @@ pub struct FpEstimator {
     /// probability `2^{-ℓ}` under hash `r`.
     instances: Vec<Vec<SampleAndHold>>,
     levels: usize,
+    /// Precomputed integer cutoffs mapping a universe-subsampling hash to the deepest
+    /// level it reaches — bit-identical to the former per-item
+    /// `⌊−log2(hash_unit)⌋` computation (see [`GeometricLevels`]).
+    level_cutoffs: GeometricLevels,
     /// Random level-set boundary shift `λ ∈ [1/2, 1]`.
     lambda: f64,
+    name: String,
 }
 
 impl FpEstimator {
@@ -74,11 +79,13 @@ impl FpEstimator {
         }
         let lambda = 0.5 + 0.5 * rng.gen::<f64>();
         Self {
+            name: format!("FpEstimator(p={}, eps={})", params.p, params.eps),
             params,
             tracker: tracker.clone(),
             hashes,
             instances,
             levels,
+            level_cutoffs: GeometricLevels::new(levels - 1),
             lambda,
         }
     }
@@ -247,15 +254,17 @@ impl Summary {
 }
 
 impl StreamAlgorithm for FpEstimator {
-    fn name(&self) -> String {
-        format!("FpEstimator(p={}, eps={})", self.params.p, self.params.eps)
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn process_item(&mut self, item: u64) {
         for (row, hash) in self.instances.iter_mut().zip(&self.hashes) {
             self.tracker.record_reads(1);
-            let u = hash.hash_unit(item).max(f64::MIN_POSITIVE);
-            let deepest = ((-u.log2()).floor().max(0.0) as usize).min(self.levels - 1);
+            // One integer compare chain instead of an f64 division + log2 per item;
+            // equivalent bit-for-bit to ⌊−log2(max(hash_unit, MIN_POSITIVE))⌋ clamped
+            // to the level range (the hashing tests pin the equivalence).
+            let deepest = self.level_cutoffs.deepest(hash.hash_u64(item));
             for inst in row.iter_mut().take(deepest + 1) {
                 inst.process_item(item);
             }

@@ -32,6 +32,7 @@ pub struct FpSmallEstimator {
     minus: Vec<GeometricAccumulator>,
     /// Empirical median of `|D_p|` used to normalise the median estimator.
     scale: f64,
+    name: String,
 }
 
 impl FpSmallEstimator {
@@ -58,6 +59,7 @@ impl FpSmallEstimator {
             .collect();
         let scale = median_of_abs(p, 50_000, &mut rng);
         Self {
+            name: format!("FpSmallEstimator(p={p}, eps={eps})"),
             p,
             eps,
             tracker: tracker.clone(),
@@ -93,8 +95,8 @@ impl FpSmallEstimator {
 }
 
 impl StreamAlgorithm for FpSmallEstimator {
-    fn name(&self) -> String {
-        format!("FpSmallEstimator(p={}, eps={})", self.p, self.eps)
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn process_item(&mut self, item: u64) {

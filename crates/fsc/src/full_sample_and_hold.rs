@@ -34,6 +34,7 @@ pub struct FullSampleAndHold {
     /// `instances[r][x]` processes the substream kept with probability `2^{-x}`.
     instances: Vec<Vec<SampleAndHold>>,
     levels: usize,
+    name: String,
 }
 
 impl FullSampleAndHold {
@@ -52,6 +53,10 @@ impl FullSampleAndHold {
             instances.push(row);
         }
         Self {
+            name: format!(
+                "FullSampleAndHold(p={}, eps={}, R={}, Y={levels})",
+                params.p, params.eps, reps
+            ),
             params: params.clone(),
             tracker: tracker.clone(),
             rng,
@@ -91,14 +96,8 @@ impl FullSampleAndHold {
 }
 
 impl StreamAlgorithm for FullSampleAndHold {
-    fn name(&self) -> String {
-        format!(
-            "FullSampleAndHold(p={}, eps={}, R={}, Y={})",
-            self.params.p,
-            self.params.eps,
-            self.reps(),
-            self.levels
-        )
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn process_item(&mut self, item: u64) {

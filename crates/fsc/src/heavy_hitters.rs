@@ -22,6 +22,7 @@ use crate::params::Params;
 pub struct FewStateHeavyHitters {
     inner: FullSampleAndHold,
     params: Params,
+    name: String,
 }
 
 impl FewStateHeavyHitters {
@@ -29,6 +30,7 @@ impl FewStateHeavyHitters {
     pub fn new(params: Params) -> Self {
         Self {
             inner: FullSampleAndHold::standalone(&params),
+            name: format!("FewStateHeavyHitters(p={}, eps={})", params.p, params.eps),
             params,
         }
     }
@@ -72,11 +74,8 @@ impl FewStateHeavyHitters {
 }
 
 impl StreamAlgorithm for FewStateHeavyHitters {
-    fn name(&self) -> String {
-        format!(
-            "FewStateHeavyHitters(p={}, eps={})",
-            self.params.p, self.params.eps
-        )
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn process_item(&mut self, item: u64) {

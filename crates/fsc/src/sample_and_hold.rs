@@ -21,8 +21,7 @@
 //! * the stream position used for age bucketing is the update index supplied by the
 //!   harness (the paper likewise indexes updates by `t` without charging for a clock).
 
-use std::collections::HashMap;
-
+use fsc_counters::fastmap::{fast_map, FastMap};
 use fsc_counters::{Counter, MorrisCounter};
 use fsc_state::{FrequencyEstimator, StateTracker, StreamAlgorithm, TrackedVec};
 use rand::rngs::StdRng;
@@ -50,15 +49,17 @@ pub struct SampleAndHold {
     rng: StdRng,
     reservoir: TrackedVec<u64>,
     /// Untracked mirror of the reservoir contents for O(1) membership tests
-    /// (membership checks are charged as reads; the mirror is a performance aid only).
-    reservoir_members: HashMap<u64, usize>,
+    /// (membership checks are charged as reads; the mirror is a performance aid only,
+    /// so it uses the deterministic fast hasher rather than SipHash).
+    reservoir_members: FastMap<u64, usize>,
     /// Slots that have never been written; preferred over random eviction so that a
     /// lightly-loaded reservoir retains every sampled item (practical deviation noted
     /// in the module docs — the paper always evicts a uniformly random slot).
     free_slots: Vec<usize>,
-    counters: HashMap<u64, HeldCounter>,
+    counters: FastMap<u64, HeldCounter>,
     counter_budget: usize,
     sample_prob: f64,
+    name: String,
 }
 
 /// Sentinel marking an empty reservoir slot.
@@ -80,13 +81,14 @@ impl SampleAndHold {
         let sample_prob = params.sample_prob(substream_len_hint);
         let reservoir = TrackedVec::filled(tracker, kappa, EMPTY_SLOT);
         Self {
+            name: format!("SampleAndHold(p={}, eps={})", params.p, params.eps),
             params: params.clone(),
             tracker: tracker.clone(),
             rng,
             reservoir,
-            reservoir_members: HashMap::new(),
+            reservoir_members: fast_map(),
             free_slots: (0..kappa).rev().collect(),
-            counters: HashMap::new(),
+            counters: fast_map(),
             counter_budget,
             sample_prob,
         }
@@ -150,7 +152,7 @@ impl SampleAndHold {
         let now = self.now();
         self.tracker.record_reads(self.counters.len() as u64);
 
-        let mut buckets: HashMap<u32, Vec<(u64, f64)>> = HashMap::new();
+        let mut buckets: FastMap<u32, Vec<(u64, f64)>> = fast_map();
         for (&item, held) in &self.counters {
             let age = now.saturating_sub(held.created_at) + 1;
             let z = 63 - age.leading_zeros(); // floor(log2(age))
@@ -202,11 +204,8 @@ impl SampleAndHold {
 }
 
 impl StreamAlgorithm for SampleAndHold {
-    fn name(&self) -> String {
-        format!(
-            "SampleAndHold(p={}, eps={})",
-            self.params.p, self.params.eps
-        )
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn process_item(&mut self, item: u64) {

@@ -8,15 +8,17 @@
 //! state changes on a stream of arbitrary length `m`, the natural analogue of the
 //! paper's separation between reads (cheap, every update) and writes (rare).
 
-use fsc_state::{StateTracker, StreamAlgorithm, SupportRecovery, TrackedMap};
+use fsc_counters::fastmap::FastTrackedMap;
+use fsc_state::{StateTracker, StreamAlgorithm, SupportRecovery};
 
 /// Exact support recovery for `k`-sparse streams using `O(k)` words and `k` state
 /// changes.
 #[derive(Debug, Clone)]
 pub struct FewStateSparseRecovery {
-    seen: TrackedMap<u64, ()>,
+    seen: FastTrackedMap<u64, ()>,
     sparsity: usize,
     overflowed: bool,
+    name: String,
     tracker: StateTracker,
 }
 
@@ -31,9 +33,10 @@ impl FewStateSparseRecovery {
     pub fn with_tracker(sparsity: usize, tracker: &StateTracker) -> Self {
         assert!(sparsity >= 1);
         Self {
-            seen: TrackedMap::new(tracker),
+            seen: FastTrackedMap::new(tracker),
             sparsity,
             overflowed: false,
+            name: format!("FewStateSparseRecovery(k={sparsity})"),
             tracker: tracker.clone(),
         }
     }
@@ -56,8 +59,8 @@ impl FewStateSparseRecovery {
 }
 
 impl StreamAlgorithm for FewStateSparseRecovery {
-    fn name(&self) -> String {
-        format!("FewStateSparseRecovery(k={})", self.sparsity)
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn process_item(&mut self, item: u64) {

@@ -8,26 +8,43 @@
 //!   optional per-address wear counts.  Counter semantics are identical to the original
 //!   single-threaded tracker, so all recorded experiment tables reproduce bit-for-bit.
 //! * [`LeanTracker`] — atomic epoch/state-change counters plus space accounting only.
-//!   Its update path is a handful of relaxed atomic operations; it does **not** count
-//!   word writes, redundant writes, reads, or per-cell wear (those fields of its
-//!   [`StateReport`] are zero/`None`).  Use it when only answers and the state-change
-//!   count are needed — e.g. sharded or throughput-critical runs.
+//!   It does **not** count word writes, redundant writes, reads, or per-cell wear
+//!   (those fields of its [`StateReport`] are zero/`None`).  Use it when only answers
+//!   and the state-change count are needed — e.g. sharded or throughput-critical runs.
 //!
-//! Both backends are lock-free on their hot paths (relaxed atomics; [`FullTracker`]
-//! takes a mutex only for the optional per-address wear table) and `Send + Sync`, so
-//! every algorithm built on the tracked substrate can be moved to a worker thread
-//! regardless of which backend it was constructed with.  Epoch bookkeeping remains a
-//! sequential per-tracker notion — a state change is defined per stream update — and
-//! sharded runs give each shard its own tracker, so the atomics are never contended in
-//! practice; they exist to make the handles shareable, not to merge concurrent streams
-//! into one tracker.
+//! # Hot-path cost model
+//!
+//! Epoch bookkeeping is a sequential per-tracker notion — a state change is defined per
+//! stream update, and sharded runs give each shard its own tracker — so the update path
+//! deliberately uses **relaxed load + store** sequences instead of atomic
+//! read-modify-write instructions: on one thread they are equivalent, and a plain store
+//! retires in a cycle where a `lock xadd` costs tens.  The atomics exist to make the
+//! handles `Send + Sync` (shareable), not to merge concurrent streams into one tracker;
+//! counters incremented from several threads at once may drop increments, which is
+//! outside the accounting contract (each tracker is driven by one stream at a time).
+//! Allocation (cold path) keeps its RMW operations so concurrent `alloc` from clones
+//! stays address-disjoint.
+//!
+//! Epochs follow the same philosophy in batched form: [`TrackerBackend::begin_epochs`]
+//! reserves a span of epoch ids up front and [`TrackerBackend::enter_epoch`] activates
+//! each id with a single relaxed store, so `process_batch` performs O(1) atomic RMWs
+//! per batch (in these backends: zero) instead of one-plus per item.
 
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use crate::report::StateReport;
 use crate::tracker::AddrRange;
+
+/// Bumps a sequentially-driven counter with a relaxed load + store pair.
+///
+/// Equivalent to `fetch_add` for the single-driver contract described in the module
+/// docs, but compiles to plain loads/stores on the hot path.
+#[inline(always)]
+fn bump(counter: &AtomicU64, n: u64) {
+    counter.store(counter.load(Ordering::Relaxed) + n, Ordering::Relaxed);
+}
 
 /// Which backend a [`crate::StateTracker`] was constructed with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -49,6 +66,26 @@ pub trait TrackerBackend: fmt::Debug + Send + Sync {
     /// Starts a new epoch (stream update).  At most one state change is counted per
     /// epoch regardless of how many words are modified within it.
     fn begin_epoch(&self);
+    /// Reserves a span of `n` consecutive epochs and returns the id of the first.
+    ///
+    /// The caller must activate each epoch in turn with [`TrackerBackend::enter_epoch`]
+    /// (ids `first..first + n`), exactly one activation per stream update, before
+    /// reserving another span or calling [`TrackerBackend::begin_epoch`].  The epoch
+    /// count observed through [`TrackerBackend::epochs`] advances per *activation*, so
+    /// mid-batch readers (e.g. age-bucketed maintenance) see the same values as with
+    /// per-item [`TrackerBackend::begin_epoch`] calls.  The default implementation
+    /// supports backends that only implement `begin_epoch`.
+    fn begin_epochs(&self, n: u64) -> u64 {
+        let _ = n;
+        self.epochs() + 1
+    }
+    /// Makes reserved epoch `id` the current epoch (see
+    /// [`TrackerBackend::begin_epochs`]).  The default implementation falls back to
+    /// [`TrackerBackend::begin_epoch`] for backends without span support.
+    fn enter_epoch(&self, id: u64) {
+        let _ = id;
+        self.begin_epoch();
+    }
     /// Allocates `words` words of tracked memory and charges the space accounts.
     fn alloc(&self, words: usize) -> AddrRange;
     /// Releases `words` words of tracked memory (peak usage is unaffected).
@@ -75,6 +112,61 @@ pub trait TrackerBackend: fmt::Debug + Send + Sync {
 }
 
 // ---------------------------------------------------------------------------
+// Shared epoch machinery.
+// ---------------------------------------------------------------------------
+
+/// The epoch state shared by both backends: the id of the current epoch (0 = no epoch
+/// opened yet, i.e. data-structure initialisation) and the id of the last epoch that
+/// was counted as a state change.
+///
+/// Writes performed before the first epoch are counted as word writes but not as state
+/// changes, matching the paper's convention that state changes are counted per stream
+/// update.
+#[derive(Debug, Default)]
+struct EpochState {
+    /// Id of the currently active epoch; equals the number of epochs entered so far.
+    current: AtomicU64,
+    /// Id of the last epoch already counted as a state change (0 = none).
+    last_change: AtomicU64,
+}
+
+impl EpochState {
+    #[inline(always)]
+    fn begin(&self) {
+        self.enter(self.current.load(Ordering::Relaxed) + 1);
+    }
+
+    #[inline(always)]
+    fn reserve(&self, _n: u64) -> u64 {
+        self.current.load(Ordering::Relaxed) + 1
+    }
+
+    #[inline(always)]
+    fn enter(&self, id: u64) {
+        self.current.store(id, Ordering::Relaxed);
+    }
+
+    #[inline(always)]
+    fn epochs(&self) -> u64 {
+        self.current.load(Ordering::Relaxed)
+    }
+
+    /// Returns `true` iff a changed write in the current epoch is that epoch's first —
+    /// i.e. the write that makes the epoch a state change.  Pre-epoch writes (id 0)
+    /// never count.
+    #[inline(always)]
+    fn claims_state_change(&self) -> bool {
+        let e = self.current.load(Ordering::Relaxed);
+        if e != 0 && self.last_change.load(Ordering::Relaxed) != e {
+            self.last_change.store(e, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // FullTracker — exact accounting (the original tracker semantics).
 // ---------------------------------------------------------------------------
 
@@ -95,15 +187,8 @@ pub struct FullTracker {
     redundant_writes: AtomicU64,
     /// Number of word reads.
     reads: AtomicU64,
-    /// Number of epochs started so far (one per stream update by convention).
-    epochs: AtomicU64,
-    /// Whether the current epoch has already been counted as a state change.
-    dirty: AtomicBool,
-    /// Whether any epoch has been opened yet.  Writes performed before the first epoch
-    /// (data-structure initialisation) are counted as word writes but not as state
-    /// changes, matching the paper's convention that state changes are counted per
-    /// stream update.
-    in_epoch: AtomicBool,
+    /// Current/last-state-change epoch ids (one epoch per stream update).
+    epoch: EpochState,
     /// Currently allocated words.
     words_current: AtomicUsize,
     /// Peak allocated words over the lifetime of the tracker.
@@ -142,10 +227,19 @@ impl FullTracker {
 }
 
 impl TrackerBackend for FullTracker {
+    #[inline]
     fn begin_epoch(&self) {
-        self.epochs.fetch_add(1, Ordering::Relaxed);
-        self.dirty.store(false, Ordering::Relaxed);
-        self.in_epoch.store(true, Ordering::Relaxed);
+        self.epoch.begin();
+    }
+
+    #[inline]
+    fn begin_epochs(&self, n: u64) -> u64 {
+        self.epoch.reserve(n)
+    }
+
+    #[inline]
+    fn enter_epoch(&self, id: u64) {
+        self.epoch.enter(id);
     }
 
     fn alloc(&self, words: usize) -> AddrRange {
@@ -170,16 +264,12 @@ impl TrackerBackend for FullTracker {
             });
     }
 
+    #[inline]
     fn record_write(&self, addr: Option<usize>, changed: bool) {
         if changed {
-            self.word_writes.fetch_add(1, Ordering::Relaxed);
-            // The plain load screens out the common already-dirty case cheaply; the
-            // swap is what actually claims the epoch's single state change.
-            if self.in_epoch.load(Ordering::Relaxed)
-                && !self.dirty.load(Ordering::Relaxed)
-                && !self.dirty.swap(true, Ordering::Relaxed)
-            {
-                self.state_changes.fetch_add(1, Ordering::Relaxed);
+            bump(&self.word_writes, 1);
+            if self.epoch.claims_state_change() {
+                bump(&self.state_changes, 1);
             }
             if self.address_tracked {
                 if let Some(a) = addr {
@@ -191,12 +281,13 @@ impl TrackerBackend for FullTracker {
                 }
             }
         } else {
-            self.redundant_writes.fetch_add(1, Ordering::Relaxed);
+            bump(&self.redundant_writes, 1);
         }
     }
 
+    #[inline]
     fn record_reads(&self, n: u64) {
-        self.reads.fetch_add(n, Ordering::Relaxed);
+        bump(&self.reads, n);
     }
 
     fn state_changes(&self) -> u64 {
@@ -204,7 +295,7 @@ impl TrackerBackend for FullTracker {
     }
 
     fn epochs(&self) -> u64 {
-        self.epochs.load(Ordering::Relaxed)
+        self.epoch.epochs()
     }
 
     fn words_current(&self) -> usize {
@@ -271,10 +362,8 @@ impl TrackerBackend for FullTracker {
 /// wear — those report as zero/`None`.
 #[derive(Debug, Default)]
 pub struct LeanTracker {
-    epochs: AtomicU64,
+    epoch: EpochState,
     state_changes: AtomicU64,
-    dirty: AtomicBool,
-    in_epoch: AtomicBool,
     next_addr: AtomicUsize,
     words_current: AtomicUsize,
     words_peak: AtomicUsize,
@@ -288,10 +377,19 @@ impl LeanTracker {
 }
 
 impl TrackerBackend for LeanTracker {
+    #[inline]
     fn begin_epoch(&self) {
-        self.epochs.fetch_add(1, Ordering::Relaxed);
-        self.dirty.store(false, Ordering::Relaxed);
-        self.in_epoch.store(true, Ordering::Relaxed);
+        self.epoch.begin();
+    }
+
+    #[inline]
+    fn begin_epochs(&self, n: u64) -> u64 {
+        self.epoch.reserve(n)
+    }
+
+    #[inline]
+    fn enter_epoch(&self, id: u64) {
+        self.epoch.enter(id);
     }
 
     fn alloc(&self, words: usize) -> AddrRange {
@@ -309,16 +407,14 @@ impl TrackerBackend for LeanTracker {
             });
     }
 
+    #[inline]
     fn record_write(&self, _addr: Option<usize>, changed: bool) {
-        if changed
-            && self.in_epoch.load(Ordering::Relaxed)
-            && !self.dirty.load(Ordering::Relaxed)
-            && !self.dirty.swap(true, Ordering::Relaxed)
-        {
-            self.state_changes.fetch_add(1, Ordering::Relaxed);
+        if changed && self.epoch.claims_state_change() {
+            bump(&self.state_changes, 1);
         }
     }
 
+    #[inline]
     fn record_reads(&self, _n: u64) {}
 
     fn state_changes(&self) -> u64 {
@@ -326,7 +422,7 @@ impl TrackerBackend for LeanTracker {
     }
 
     fn epochs(&self) -> u64 {
-        self.epochs.load(Ordering::Relaxed)
+        self.epoch.epochs()
     }
 
     fn words_current(&self) -> usize {
@@ -376,6 +472,23 @@ mod tests {
         backend.snapshot()
     }
 
+    /// Same stimulus as `exercise`, but through the batched epoch-span API.
+    fn exercise_batched(backend: &dyn TrackerBackend) -> StateReport {
+        let r = backend.alloc(4);
+        backend.record_write(Some(r.word(0)), true);
+        let first = backend.begin_epochs(4);
+        for (i, changed) in [true, true, true, false].iter().enumerate() {
+            backend.enter_epoch(first + i as u64);
+            backend.record_write(Some(r.word(0)), *changed);
+            if *changed {
+                backend.record_write(Some(r.word(1)), true);
+            }
+        }
+        backend.record_reads(7);
+        backend.dealloc(2);
+        backend.snapshot()
+    }
+
     #[test]
     fn full_and_lean_agree_on_epochs_state_changes_and_space() {
         let full = exercise(&FullTracker::new());
@@ -386,6 +499,84 @@ mod tests {
         assert_eq!(lean.state_changes, full.state_changes);
         assert_eq!(lean.words_current, full.words_current);
         assert_eq!(lean.words_peak, full.words_peak);
+    }
+
+    #[test]
+    fn batched_epoch_spans_match_per_item_epochs() {
+        let per_item = exercise(&FullTracker::new());
+        let batched = exercise_batched(&FullTracker::new());
+        assert_eq!(batched, per_item);
+        let lean_batched = exercise_batched(&LeanTracker::new());
+        assert_eq!(lean_batched.epochs, per_item.epochs);
+        assert_eq!(lean_batched.state_changes, per_item.state_changes);
+    }
+
+    #[test]
+    fn epochs_are_visible_per_activation_not_per_reservation() {
+        // Mid-batch observers (e.g. SampleAndHold's age-bucketed maintenance polls
+        // `epochs()` as its clock) must see the per-item epoch, not the end of the
+        // reserved span.
+        let t = FullTracker::new();
+        let first = t.begin_epochs(100);
+        assert_eq!(first, 1);
+        assert_eq!(t.epochs(), 0, "reservation alone opens nothing");
+        t.enter_epoch(first);
+        assert_eq!(t.epochs(), 1);
+        t.enter_epoch(first + 1);
+        assert_eq!(t.epochs(), 2);
+        // A later span continues where the activations left off.
+        assert_eq!(t.begin_epochs(5), 3);
+    }
+
+    #[test]
+    fn default_span_impl_falls_back_to_begin_epoch() {
+        /// A minimal backend that only implements the mandatory methods.
+        #[derive(Debug, Default)]
+        struct Minimal {
+            epochs: AtomicU64,
+        }
+        impl TrackerBackend for Minimal {
+            fn begin_epoch(&self) {
+                self.epochs.fetch_add(1, Ordering::Relaxed);
+            }
+            fn alloc(&self, words: usize) -> AddrRange {
+                AddrRange {
+                    start: 0,
+                    len: words,
+                }
+            }
+            fn dealloc(&self, _words: usize) {}
+            fn record_write(&self, _addr: Option<usize>, _changed: bool) {}
+            fn record_reads(&self, _n: u64) {}
+            fn state_changes(&self) -> u64 {
+                0
+            }
+            fn epochs(&self) -> u64 {
+                self.epochs.load(Ordering::Relaxed)
+            }
+            fn words_current(&self) -> usize {
+                0
+            }
+            fn words_peak(&self) -> usize {
+                0
+            }
+            fn snapshot(&self) -> StateReport {
+                StateReport::default()
+            }
+            fn address_writes(&self) -> Option<Vec<u64>> {
+                None
+            }
+            fn kind(&self) -> TrackerKind {
+                TrackerKind::Full
+            }
+        }
+        let m = Minimal::default();
+        let first = m.begin_epochs(3);
+        assert_eq!(first, 1);
+        for id in first..first + 3 {
+            m.enter_epoch(id);
+        }
+        assert_eq!(m.epochs(), 3, "fallback advances per enter_epoch");
     }
 
     #[test]

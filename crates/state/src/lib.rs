@@ -16,9 +16,9 @@
 //!   words).  The handle dispatches to a pluggable [`backend`]: the exact-accounting
 //!   [`FullTracker`] (default) or the atomic, `Send + Sync` [`LeanTracker`] that counts
 //!   only epochs, state changes, and space.
-//! * [`TrackedCell`], [`TrackedVec`], [`TrackedMap`] — drop-in storage primitives that
-//!   report every mutation to their tracker and only count a *state change* when the
-//!   stored value actually differs.
+//! * [`TrackedCell`], [`TrackedVec`], [`TrackedMatrix`], [`TrackedMap`] — drop-in
+//!   storage primitives that report every mutation to their tracker and only count a
+//!   *state change* when the stored value actually differs.
 //! * [`nvm`] — an asymmetric-memory (NVM / NAND flash) cost model that converts a
 //!   [`StateReport`] into simulated write energy, latency, and per-cell wear, following
 //!   the motivation of Section 1.1 of the paper.
@@ -54,6 +54,7 @@
 pub mod backend;
 mod cell;
 mod map;
+mod matrix;
 pub mod nvm;
 mod report;
 mod tracker;
@@ -63,6 +64,7 @@ mod vec;
 pub use backend::{FullTracker, LeanTracker, TrackerBackend, TrackerKind};
 pub use cell::TrackedCell;
 pub use map::TrackedMap;
+pub use matrix::TrackedMatrix;
 pub use nvm::{NvmCostModel, NvmReport};
 pub use report::StateReport;
 pub use tracker::{AddrRange, StateTracker};

@@ -1,7 +1,7 @@
 //! A tracked associative map for counter tables keyed by stream items.
 
 use std::collections::HashMap;
-use std::hash::Hash;
+use std::hash::{BuildHasher, Hash};
 
 use crate::tracker::StateTracker;
 use crate::words_of;
@@ -14,20 +14,34 @@ use crate::words_of;
 /// [`StateTracker`]; writes that leave the stored value unchanged are redundant and do
 /// not count as state changes.
 ///
+/// The hasher is a type parameter (defaulting to the standard library's SipHash
+/// `RandomState`): key-holding hot paths hash the key on every update, and the
+/// DoS-resistant default costs several times more than a deterministic multiply-xor
+/// hash.  The `fsc-counters::fastmap` module provides the fast seeded hasher the
+/// algorithms plug in here; nothing observable depends on iteration order, so the
+/// choice of hasher never changes a recorded experiment.
+///
 /// Space accounting charges `words_of::<K>() + words_of::<V>() + 1` words per entry
 /// (key, value, and one word of table overhead).
 #[derive(Debug, Clone)]
-pub struct TrackedMap<K, V> {
-    data: HashMap<K, V>,
+pub struct TrackedMap<K, V, S = std::collections::hash_map::RandomState> {
+    data: HashMap<K, V, S>,
     tracker: StateTracker,
     entry_words: usize,
 }
 
-impl<K: Eq + Hash + Clone, V: PartialEq + Clone> TrackedMap<K, V> {
-    /// Creates an empty tracked map.
+impl<K: Eq + Hash + Clone, V: PartialEq + Clone, S: BuildHasher + Default> TrackedMap<K, V, S> {
+    /// Creates an empty tracked map with a default-constructed hasher.
     pub fn new(tracker: &StateTracker) -> Self {
+        Self::with_hasher(tracker, S::default())
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: PartialEq + Clone, S: BuildHasher> TrackedMap<K, V, S> {
+    /// Creates an empty tracked map using `hasher` for key hashing.
+    pub fn with_hasher(tracker: &StateTracker, hasher: S) -> Self {
         Self {
-            data: HashMap::new(),
+            data: HashMap::with_hasher(hasher),
             tracker: tracker.clone(),
             entry_words: words_of::<K>() + words_of::<V>() + 1,
         }

@@ -122,6 +122,23 @@ impl StateTracker {
         self.backend.begin_epoch()
     }
 
+    /// Reserves a span of `n` consecutive epochs and returns the id of the first; the
+    /// batch loop then activates each id in turn with [`StateTracker::enter_epoch`].
+    ///
+    /// This is the batch-amortised face of [`StateTracker::begin_epoch`]: the backends
+    /// implement the pair so that a whole batch costs O(1) atomic read-modify-writes
+    /// while [`StateTracker::epochs`] still advances per activated epoch (mid-batch
+    /// observers such as age-bucketed maintenance see per-item time).
+    pub fn begin_epochs(&self, n: u64) -> u64 {
+        self.backend.begin_epochs(n)
+    }
+
+    /// Activates reserved epoch `id` (see [`StateTracker::begin_epochs`]).
+    #[inline]
+    pub fn enter_epoch(&self, id: u64) {
+        self.backend.enter_epoch(id)
+    }
+
     /// Allocates `words` words of tracked memory and charges them to the space accounts.
     pub fn alloc(&self, words: usize) -> AddrRange {
         self.backend.alloc(words)

@@ -8,7 +8,11 @@ use crate::tracker::StateTracker;
 /// A one-pass insertion-only streaming algorithm over a universe `[n]` of `u64` items.
 pub trait StreamAlgorithm {
     /// Human-readable algorithm name (used in benchmark tables).
-    fn name(&self) -> String;
+    ///
+    /// Returned as a borrowed string: implementations cache the rendered name at
+    /// construction time (or return a static string) instead of `format!`-ing a fresh
+    /// `String` on every call, since reporting loops call this once per table row.
+    fn name(&self) -> &str;
 
     /// Processes one stream update.  Implementations must perform all of their memory
     /// activity through tracked containers attached to [`StreamAlgorithm::tracker`].
@@ -29,13 +33,17 @@ pub trait StreamAlgorithm {
     /// Processes a batch of stream updates, one accounting epoch per item.
     ///
     /// Semantically identical to calling [`StreamAlgorithm::update`] per item, but the
-    /// tracker handle is resolved once for the whole batch instead of once per item
-    /// (the `tracker()` accessor is a virtual call on trait objects), so batch callers
-    /// — `process_stream`, the sharded bench driver — pay the dispatch cost once.
+    /// tracker handle is resolved once for the whole batch (the `tracker()` accessor is
+    /// a virtual call on trait objects) and the accounting epochs are opened as one
+    /// reserved span ([`StateTracker::begin_epochs`]): the whole batch costs O(1)
+    /// atomic read-modify-writes, with each per-item boundary a single relaxed store
+    /// ([`StateTracker::enter_epoch`]).  `StateTracker::epochs` still advances per
+    /// item, so mid-batch readers observe exactly what the per-item path produces.
     fn process_batch(&mut self, items: &[u64]) {
         let tracker = self.tracker().clone();
-        for &item in items {
-            tracker.begin_epoch();
+        let first = tracker.begin_epochs(items.len() as u64);
+        for (i, &item) in items.iter().enumerate() {
+            tracker.enter_epoch(first + i as u64);
             self.process_item(item);
         }
     }
@@ -151,8 +159,8 @@ mod tests {
     }
 
     impl StreamAlgorithm for LengthCounter {
-        fn name(&self) -> String {
-            "length-counter".into()
+        fn name(&self) -> &str {
+            "length-counter"
         }
         fn process_item(&mut self, _item: u64) {
             self.len.modify(|v| v + 1);

@@ -23,11 +23,11 @@ fn main() {
 
     let mut mg = MisraGries::for_epsilon(0.05);
     mg.process_stream(&stream);
-    reports.push((mg.name(), mg.report()));
+    reports.push((mg.name().to_string(), mg.report()));
 
     let mut cm = CountMin::for_error(0.05, 0.05, 1);
     cm.process_stream(&stream);
-    reports.push((cm.name(), cm.report()));
+    reports.push((cm.name().to_string(), cm.report()));
 
     // Enable per-cell wear tracking for the paper's algorithm so the hottest-cell wear
     // can be reported.

@@ -1,0 +1,40 @@
+//! Golden-snapshot regression test for the Table 1 oracle.
+//!
+//! `table1 --quick` is the bit-identity oracle every hot-path optimisation must
+//! preserve (PR 2 and PR 3 were both verified against it).  This test pins the
+//! rendered table byte-for-byte against `tests/golden/table1_quick.md`, so future perf
+//! work cannot silently drift the recorded numbers: any change to hashing seeds, rng
+//! consumption order, epoch accounting, or storage layout that alters a single cell
+//! fails here with a readable diff.
+//!
+//! To re-bless after an *intentional* change (one that is supposed to alter recorded
+//! results, e.g. a new default parameterisation), regenerate the file with
+//! `cargo run -p fsc-bench --release --bin table1 -- --quick > tests/golden/table1_quick.md`
+//! and say so in the PR description.
+
+use fsc_bench::experiments::table1;
+use fsc_bench::Scale;
+
+const GOLDEN: &str = include_str!("golden/table1_quick.md");
+
+#[test]
+fn table1_quick_output_is_byte_identical_to_the_golden_snapshot() {
+    let (table, rows) = table1::run(Scale::Quick);
+    // The golden file is the captured stdout of the `table1 --quick` binary, which
+    // prints `render()` through `println!` (one trailing newline added).
+    let rendered = format!("{}\n", table.render());
+    assert_eq!(rows.len(), 6, "Table 1 must keep all six rows");
+    if rendered != GOLDEN {
+        // assert_eq! on multi-kilobyte strings produces an unreadable blob; diff the
+        // lines instead so the drifted cell is visible immediately.
+        for (i, (got, want)) in rendered.lines().zip(GOLDEN.lines()).enumerate() {
+            assert_eq!(got, want, "first drift on line {}", i + 1);
+        }
+        assert_eq!(
+            rendered.lines().count(),
+            GOLDEN.lines().count(),
+            "line count drifted"
+        );
+        panic!("table1 --quick output drifted from tests/golden/table1_quick.md");
+    }
+}
