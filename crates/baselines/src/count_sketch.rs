@@ -1,6 +1,6 @@
 //! The CountSketch [CCF04].
 
-use fsc_counters::hashing::PolyHash;
+use fsc_counters::hashing::{multiply_shift_bucket, FoldedItem, FourWise, PolyHash};
 use fsc_state::{FrequencyEstimator, Mergeable, StateTracker, StreamAlgorithm, TrackedMatrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -19,7 +19,9 @@ use rand::SeedableRng;
 pub struct CountSketch {
     table: TrackedMatrix<i64>,
     bucket_hashes: Vec<PolyHash>,
-    sign_hashes: Vec<PolyHash>,
+    /// 4-wise sign functions in power form (same draws as the former `Vec<PolyHash>`,
+    /// converted for the folded fast path; hash values unchanged).
+    sign_hashes: Vec<FourWise>,
     width: usize,
     seed: u64,
     name: String,
@@ -39,7 +41,9 @@ impl CountSketch {
         let mut rng = StdRng::seed_from_u64(seed);
         let table = TrackedMatrix::filled(tracker, depth, width, 0i64);
         let bucket_hashes = (0..depth).map(|_| PolyHash::two_wise(&mut rng)).collect();
-        let sign_hashes = (0..depth).map(|_| PolyHash::four_wise(&mut rng)).collect();
+        let sign_hashes = (0..depth)
+            .map(|_| FourWise::from_poly(&PolyHash::four_wise(&mut rng)))
+            .collect();
         Self {
             table,
             bucket_hashes,
@@ -76,17 +80,51 @@ impl StreamAlgorithm for CountSketch {
     }
 
     fn process_item(&mut self, item: u64) {
+        let folded = FoldedItem::new(item);
         for (r, (bucket_hash, sign_hash)) in
             self.bucket_hashes.iter().zip(&self.sign_hashes).enumerate()
         {
-            let bucket = bucket_hash.hash_bucket(item, self.width);
-            let sign = sign_hash.hash_sign(item);
+            let bucket =
+                multiply_shift_bucket(bucket_hash.hash_u64_folded(folded.x), self.width, 61);
+            let sign = sign_hash.sign_folded(&folded);
             self.table.update(r, bucket, |c| c + sign);
         }
     }
 
     fn tracker(&self) -> &StateTracker {
         &self.tracker
+    }
+
+    /// Hash-hoisted batch kernel (see [`CountMin`](crate::CountMin) for the shape):
+    /// the item is folded once, all row buckets and signs are evaluated into small
+    /// buffers, the signed counters are bumped directly, and the tracker is charged
+    /// in bulk.  A ±1 increment always changes an `i64` cell, so the bulk charge
+    /// equals the per-cell accounting exactly.
+    fn process_batch(&mut self, items: &[u64]) {
+        let tracker = self.tracker.clone();
+        let first = tracker.begin_epochs(items.len() as u64);
+        let depth = self.table.rows();
+        let width = self.width;
+        let mut addrs = vec![0usize; depth];
+        let mut deltas = vec![(0usize, 0i64); depth];
+        for (i, &item) in items.iter().enumerate() {
+            tracker.enter_epoch(first + i as u64);
+            let folded = FoldedItem::new(item);
+            for (r, (bucket_hash, sign_hash)) in
+                self.bucket_hashes.iter().zip(&self.sign_hashes).enumerate()
+            {
+                let bucket =
+                    multiply_shift_bucket(bucket_hash.hash_u64_folded(folded.x), width, 61);
+                addrs[r] = self.table.addr_of(r, bucket);
+                deltas[r] = (r * width + bucket, sign_hash.sign_folded(&folded));
+            }
+            let data = self.table.as_mut_slice_untracked();
+            for &(cell, sign) in &deltas {
+                data[cell] += sign;
+            }
+            tracker.record_reads(depth as u64);
+            tracker.record_changed_at(&addrs);
+        }
     }
 }
 
@@ -121,7 +159,7 @@ impl FrequencyEstimator for CountSketch {
             .enumerate()
             .map(|(r, (bucket_hash, sign_hash))| {
                 let bucket = bucket_hash.hash_bucket(item, self.width);
-                (sign_hash.hash_sign(item) * self.table.peek(r, bucket)) as f64
+                (sign_hash.sign(item) * self.table.peek(r, bucket)) as f64
             })
             .collect();
         estimates.sort_by(f64::total_cmp);

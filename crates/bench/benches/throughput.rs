@@ -187,10 +187,105 @@ fn bench_flat_vs_rows(c: &mut Criterion) {
     group.finish();
 }
 
+/// Batch kernels vs the per-item path, per algorithm: the same instance
+/// configuration driven once with a per-item `update` loop and once through
+/// `process_batch` (one batch = the whole stream, as `process_stream` dispatches).
+/// Measured ratios are recorded in EXPERIMENTS.md — including the honest reading
+/// that algorithms whose per-update work is irreducible (e.g. SampleAndHold's
+/// tracked writes) gain little from batching alone, while the AMS sign-memoizing
+/// kernel gains an order of magnitude on repeating streams.
+fn bench_batch_kernels(c: &mut Criterion) {
+    let stream = zipf_stream(N, M, 1.1, 7);
+    let mut group = c.benchmark_group("batch_kernels");
+    group.throughput(Throughput::Elements(M as u64));
+    group.sample_size(10);
+
+    fn drive<A: StreamAlgorithm>(mode: &str, mut alg: A, stream: &[u64]) -> u64 {
+        match mode {
+            "item" => {
+                for &x in stream {
+                    alg.update(x);
+                }
+            }
+            _ => alg.process_batch(stream),
+        }
+        alg.report().state_changes
+    }
+
+    for mode in ["item", "batch"] {
+        group.bench_function(BenchmarkId::new("AMS", mode), |b| {
+            b.iter(|| drive(mode, fsc_baselines::AmsSketch::new(5, 48, 3), &stream))
+        });
+        group.bench_function(BenchmarkId::new("CountMin", mode), |b| {
+            b.iter(|| drive(mode, CountMin::new(1 << 10, 4, 1), &stream))
+        });
+        group.bench_function(BenchmarkId::new("CountSketch", mode), |b| {
+            b.iter(|| drive(mode, CountSketch::new(1 << 10, 5, 2), &stream))
+        });
+        group.bench_function(BenchmarkId::new("SampleAndHold", mode), |b| {
+            b.iter(|| {
+                drive(
+                    mode,
+                    SampleAndHold::standalone(&Params::new(2.0, 0.2, N, M)),
+                    &stream,
+                )
+            })
+        });
+        group.bench_function(BenchmarkId::new("FewStateHeavyHitters", mode), |b| {
+            b.iter(|| {
+                drive(
+                    mode,
+                    FewStateHeavyHitters::new(Params::new(2.0, 0.25, N, M)),
+                    &stream,
+                )
+            })
+        });
+        group.bench_function(BenchmarkId::new("FpEstimator", mode), |b| {
+            b.iter(|| drive(mode, FpEstimator::new(Params::new(2.0, 0.3, N, M)), &stream))
+        });
+        group.bench_function(BenchmarkId::new("SparseRecovery", mode), |b| {
+            b.iter(|| {
+                drive(
+                    mode,
+                    fsc::sparse_recovery::FewStateSparseRecovery::new(1 << 12),
+                    &stream,
+                )
+            })
+        });
+    }
+
+    // Run-length pre-pass on a bursty (sorted) stream: the opt-in fast path for
+    // count-increment algorithms, vs the same stream item by item.
+    let sorted = {
+        let mut s = stream.clone();
+        s.sort_unstable();
+        s
+    };
+    let runs = fsc_streamgen::run_length_encode(&sorted);
+    group.bench_function(BenchmarkId::new("CountMin", "rle_item"), |b| {
+        b.iter(|| {
+            let mut alg = CountMin::new(1 << 10, 4, 1);
+            for &x in &sorted {
+                alg.update(x);
+            }
+            alg.report().state_changes
+        })
+    });
+    group.bench_function(BenchmarkId::new("CountMin", "rle_runs"), |b| {
+        b.iter(|| {
+            let mut alg = CountMin::new(1 << 10, 4, 1);
+            alg.process_runs(&runs);
+            alg.report().state_changes
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_updates,
     bench_tracker_backends,
-    bench_flat_vs_rows
+    bench_flat_vs_rows,
+    bench_batch_kernels
 );
 criterion_main!(benches);

@@ -3,20 +3,36 @@
 //! ```text
 //! cargo run -p fsc-bench --release --bin fig_throughput                 # full scale
 //! cargo run -p fsc-bench --release --bin fig_throughput -- --quick     # CI smoke
+//! ... fig_throughput -- --mode batch|item|both                         # update path(s)
+//! ... fig_throughput -- --label "PR 4 batch kernels"                   # trajectory label
 //! ... fig_throughput -- --baseline-countmin 9205209                    # record speedup
 //! ... fig_throughput -- --out /tmp/bench.json                          # custom path
 //! ```
 //!
-//! `--baseline-countmin ITEMS_PER_SEC` embeds a pre-change headline measurement (taken
-//! with this same harness on the same host) so the JSON records the speedup of the
-//! CountMin full-tracker hot path against it.
+//! `--mode both` (the default) measures every algorithm through both the batch
+//! kernels (`process_stream`) and the per-item `update` loop, and **fails the run**
+//! if any cell's state-change count differs between the two — a batch kernel that
+//! silently diverges from the per-item path fails CI, not a later experiment.  The
+//! emitted JSON is also schema-checked after writing.
+//!
+//! The JSON carries a `trajectory` array recording one dated entry per recording:
+//! existing entries are carried forward verbatim and this run's entry is appended,
+//! so the perf history across PRs stays machine-readable.  A pre-trajectory record
+//! (the PR 3 format) is seeded into the history from its own rows before appending.
+//!
+//! `--baseline-countmin ITEMS_PER_SEC` embeds a pre-change headline measurement
+//! (taken with this same harness on the same host) so the JSON records the speedup
+//! of the CountMin full-tracker hot path against it.
 //!
 //! Only a **full-scale** run defaults to the committed repo-root
 //! `BENCH_throughput.json`; `--quick` defaults to a file in the system temp directory
 //! so a smoke run can never silently replace the recorded perf trajectory with
 //! reduced-scale noise (pass `--out` explicitly to override either default).
 
-use fsc_bench::{experiments, Scale};
+use fsc_bench::experiments::throughput::{
+    self, divergence_check, extract_cell, schema_check, trajectory_inner, Mode,
+};
+use fsc_bench::Scale;
 
 fn flag_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -26,8 +42,60 @@ fn flag_value(name: &str) -> Option<String> {
         .cloned()
 }
 
+/// Today's date as `YYYY-MM-DD` (UTC), from the system clock — no external crate.
+/// Uses the standard civil-from-days algorithm.
+fn today() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let days = (secs / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Seeds a trajectory from a pre-trajectory (PR 3 format) record's own rows, so the
+/// old headline numbers stay machine-readable instead of being overwritten.
+fn seed_entry_from_legacy(old: &str) -> Option<String> {
+    let cell = |alg: &str| {
+        extract_cell(old, alg, "full", "zipf")
+            .map(|v| format!("{v:.0}"))
+            .unwrap_or_else(|| "null".to_string())
+    };
+    // Only synthesize when the legacy record actually has rows to read.
+    extract_cell(old, "CountMin", "full", "zipf")?;
+    Some(format!(
+        "{{\"date\": \"pre-existing\", \"label\": \"PR 3 recording (pre batch kernels)\", \
+         \"scale\": \"Full\", \"stream\": \"zipf-1.1\", \"mode\": \"batch\", \
+         \"countmin\": {}, \"ams\": {}, \"few_state_heavy_hitters\": {}, \
+         \"fp_estimator\": {}, \"sample_and_hold\": {}}}",
+        cell("CountMin"),
+        cell("AMS"),
+        cell("FewStateHeavyHitters"),
+        cell("FpEstimator"),
+        cell("SampleAndHold(")
+    ))
+}
+
 fn main() {
     let scale = Scale::from_args();
+    let mode = match flag_value("--mode") {
+        Some(v) => Mode::parse(&v).unwrap_or_else(|| {
+            eprintln!("error: --mode expects batch|item|both, got {v:?}");
+            std::process::exit(2);
+        }),
+        None => Mode::Both,
+    };
+    let label = flag_value("--label").unwrap_or_else(|| "unlabelled recording".to_string());
     let baseline: Option<f64> = flag_value("--baseline-countmin").map(|v| {
         v.parse().unwrap_or_else(|_| {
             eprintln!("error: --baseline-countmin expects a plain items/sec number, got {v:?}");
@@ -43,16 +111,37 @@ fn main() {
             .into_owned(),
     });
 
-    let (table, report) = experiments::throughput::run(scale);
+    let (table, report) = throughput::run(scale, mode);
     table.print();
 
-    let json = report.to_json(baseline);
+    if mode == Mode::Both {
+        if let Err(err) = divergence_check(&report) {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+        println!("divergence check: batch and per-item state changes agree on every cell");
+    }
+
+    // Carry the existing trajectory forward (or seed one from a legacy record), then
+    // append this run's entry.
+    let old = std::fs::read_to_string(&out_path).unwrap_or_default();
+    let mut trajectory = trajectory_inner(&old)
+        .or_else(|| seed_entry_from_legacy(&old).map(|e| vec![e]))
+        .unwrap_or_default();
+    trajectory.push(report.trajectory_entry(&today(), &label));
+
+    let json = report.to_json(baseline, &trajectory);
+    if let Err(err) = schema_check(&json, mode) {
+        eprintln!("error: {err}");
+        std::process::exit(1);
+    }
     std::fs::write(&out_path, &json).expect("write BENCH_throughput.json");
     if let Some(head) = report.headline() {
         println!(
-            "headline: {} on {} = {:.2} Mitems/s",
+            "headline: {} on {} ({}) = {:.2} Mitems/s",
             head.algorithm,
             head.stream,
+            head.mode,
             head.items_per_sec / 1e6
         );
         if let Some(base) = baseline {
@@ -63,5 +152,6 @@ fn main() {
             );
         }
     }
+    println!("trajectory: {} entr(y/ies) recorded", trajectory.len());
     println!("wrote {out_path}");
 }

@@ -16,15 +16,25 @@ use rand::{Rng, RngCore, SeedableRng};
 pub const MERSENNE_61: u64 = (1u64 << 61) - 1;
 
 /// Reduces a 128-bit product modulo 2^61 − 1.
+///
+/// Branchless: the folded sum `lo + hi` is strictly below `2·(2^61 − 1)` for every
+/// product of operands below the modulus, so a single masked subtraction fully
+/// reduces it (the conditional is a flag-to-mask sequence, not a branch — one less
+/// mispredict source inside the sign-evaluation kernels).
 #[inline(always)]
 fn mod_mersenne(x: u128) -> u64 {
     let lo = (x & MERSENNE_61 as u128) as u64;
     let hi = (x >> 61) as u64;
-    let mut r = lo + hi;
-    if r >= MERSENNE_61 {
-        r -= MERSENNE_61;
-    }
-    r
+    let r = lo + hi;
+    r - (MERSENNE_61 & ((r >= MERSENNE_61) as u64).wrapping_neg())
+}
+
+/// Folds a 128-bit value into `[0, 2^62)` without completing the reduction — the
+/// cheap half of [`mod_mersenne`], used where several partial residues are summed
+/// before one final reduction (see [`FourWise::hash_folded`]).
+#[inline(always)]
+fn fold_mersenne(x: u128) -> u64 {
+    (x & MERSENNE_61 as u128) as u64 + (x >> 61) as u64
 }
 
 /// Maps a hash value occupying `bits` uniform bits onto `[0, buckets)` by
@@ -145,6 +155,153 @@ impl GeometricLevels {
     }
 }
 
+/// An item folded for repeated polynomial hashing: `x mod (2^61 − 1)` together with
+/// its square and cube residues.
+///
+/// Algorithms that evaluate *many* polynomial hashes of the *same* item per update
+/// (an AMS sketch evaluates one 4-wise sign per counter; CountSketch one bucket and
+/// one sign per row) fold the item **once** and reuse the powers, instead of paying
+/// the `x mod M` fold and the serial Horner chain inside every evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct FoldedItem {
+    /// `x mod (2^61 − 1)`.
+    pub x: u64,
+    /// `x² mod (2^61 − 1)`.
+    pub x2: u64,
+    /// `x³ mod (2^61 − 1)`.
+    pub x3: u64,
+}
+
+impl FoldedItem {
+    /// Folds `x` and precomputes its square and cube residues (three multiplies,
+    /// once per item instead of per hash evaluation).
+    #[inline(always)]
+    pub fn new(x: u64) -> Self {
+        let x = x % MERSENNE_61;
+        let x2 = mod_mersenne(x as u128 * x as u128);
+        let x3 = mod_mersenne(x2 as u128 * x as u128);
+        Self { x, x2, x3 }
+    }
+}
+
+/// A 4-wise independent hash in power form: `h(x) = a₀ + a₁x + a₂x² + a₃x³ mod
+/// (2^61 − 1)`, evaluated from a [`FoldedItem`]'s precomputed powers.
+///
+/// Bit-identical to [`PolyHash::hash_u64`] on the same coefficients (the unit tests
+/// pin this), but the three coefficient multiplies are **independent** rather than a
+/// serial Horner chain — they pipeline within one evaluation and across the
+/// coefficient array of a whole sketch row, which is what makes the AMS batch kernel
+/// fast.  The three partial residues are folded to `< 2^62` and summed (the total
+/// stays below `2^64`), then one final fold-and-subtract produces the canonical
+/// representative in `[0, 2^61 − 1)` — the same value the fully-reducing Horner
+/// evaluation computes, because both are the unique representative of the same
+/// residue class.
+#[derive(Debug, Clone, Copy)]
+pub struct FourWise {
+    /// Coefficients `[a₀, a₁, a₂, a₃]` (constant term first).
+    c: [u64; 4],
+}
+
+impl FourWise {
+    /// Converts a 4-wise [`PolyHash`] into power form (same hash values).
+    pub fn from_poly(h: &PolyHash) -> Self {
+        assert_eq!(h.independence(), 4, "FourWise requires a 4-wise PolyHash");
+        let c = h.coefficients();
+        Self {
+            c: [c[0], c[1], c[2], c[3]],
+        }
+    }
+
+    /// Hash of a folded item as an element of `[0, 2^61 − 1)` — equal to
+    /// [`PolyHash::hash_u64`] of the unfolded item.
+    #[inline(always)]
+    pub fn hash_folded(&self, f: &FoldedItem) -> u64 {
+        let s = self.c[0]
+            + fold_mersenne(self.c[1] as u128 * f.x as u128)
+            + fold_mersenne(self.c[2] as u128 * f.x2 as u128)
+            + fold_mersenne(self.c[3] as u128 * f.x3 as u128);
+        let r = (s & MERSENNE_61) + (s >> 61);
+        r - (MERSENNE_61 & ((r >= MERSENNE_61) as u64).wrapping_neg())
+    }
+
+    /// Rademacher sign `±1` of a folded item — equal to [`PolyHash::hash_sign`] of
+    /// the unfolded item (branchless: `1 − 2·(h & 1)`).
+    #[inline(always)]
+    pub fn sign_folded(&self, f: &FoldedItem) -> i64 {
+        1 - 2 * (self.hash_folded(f) & 1) as i64
+    }
+
+    /// Rademacher sign `±1` of an unfolded item (folds internally; use
+    /// [`FourWise::sign_folded`] when hashing the same item repeatedly).
+    #[inline]
+    pub fn sign(&self, x: u64) -> i64 {
+        self.sign_folded(&FoldedItem::new(x))
+    }
+}
+
+/// Precomputed cutoffs for the geometric levels of a **unit-interval draw**: the
+/// deepest level `⌊−log2(u)⌋` reached by `u ∈ (0, 1)` becomes one small binary
+/// search instead of an f64 `log2` + `floor` per draw.
+///
+/// This is the unit-interval sibling of [`GeometricLevels`] (which maps *hash*
+/// outputs to levels): `FullSampleAndHold` draws one uniform per (item, repetition)
+/// to pick the deepest stream-subsampling level, and that `log2` sat on its per-item
+/// hot path.  [`UnitLevels::deepest`] reproduces the f64 reference computation
+/// **exactly** — each boundary is found by binary search over the f64 bit patterns
+/// (order-isomorphic to the values for non-negative floats) of the very formula it
+/// replaces, rounding quirks included.
+#[derive(Debug, Clone)]
+pub struct UnitLevels {
+    /// `bounds[k-1]` = bits of the smallest `u` whose f64-computed deepest level is
+    /// `< k` — strictly decreasing in `k`.
+    bounds: Vec<u64>,
+}
+
+impl UnitLevels {
+    /// The f64 reference computation this table replaces (kept as the oracle for
+    /// both construction and the equivalence tests).
+    pub fn reference_deepest(u: f64) -> usize {
+        let u = u.max(f64::MIN_POSITIVE);
+        (-u.log2()).floor().max(0.0) as usize
+    }
+
+    /// Precomputes boundaries for levels `1..=max_level` (level 0 is "always").
+    pub fn new(max_level: usize) -> Self {
+        let one = 1.0f64.to_bits();
+        let bounds = (1..=max_level)
+            .map(|k| {
+                // Smallest positive-f64 bit pattern the reference keeps out of level
+                // k; bit patterns of non-negative floats sort like the floats.
+                let (mut lo, mut hi) = (0u64, one);
+                while lo < hi {
+                    let mid = lo + (hi - lo) / 2;
+                    if Self::reference_deepest(f64::from_bits(mid)) < k {
+                        hi = mid;
+                    } else {
+                        lo = mid + 1;
+                    }
+                }
+                lo
+            })
+            .collect();
+        Self { bounds }
+    }
+
+    /// The deepest level in `0..=max_level` reached by `u ∈ [0, 1)` — equal to
+    /// `reference_deepest(u).min(max_level)`.
+    #[inline]
+    pub fn deepest(&self, u: f64) -> usize {
+        debug_assert!((0.0..1.0).contains(&u));
+        let bits = u.to_bits();
+        self.bounds.partition_point(|&b| bits < b)
+    }
+
+    /// The deepest representable level.
+    pub fn max_level(&self) -> usize {
+        self.bounds.len()
+    }
+}
+
 /// k-wise independent hash function `h(x) = Σ a_i x^i mod (2^61 − 1)`.
 ///
 /// Evaluations are deterministic given the seed, so the function occupies only `k`
@@ -184,10 +341,25 @@ impl PolyHash {
         self.coefficients.len()
     }
 
+    /// The polynomial coefficients `[a₀, a₁, …]` (constant term first) — exposed so
+    /// batch kernels can re-shape the evaluation (see [`FourWise`]) without
+    /// re-drawing randomness.
+    pub fn coefficients(&self) -> &[u64] {
+        &self.coefficients
+    }
+
     /// Hash of `x` as an element of `[0, 2^61 − 1)`.
     #[inline]
     pub fn hash_u64(&self, x: u64) -> u64 {
-        let x = x % MERSENNE_61;
+        self.hash_u64_folded(x % MERSENNE_61)
+    }
+
+    /// Hash of an item already folded to `[0, 2^61 − 1)` — equal to
+    /// [`PolyHash::hash_u64`] of the unfolded item.  Hot loops that evaluate several
+    /// hash functions of the same item fold it once (`x % MERSENNE_61`) and call this.
+    #[inline]
+    pub fn hash_u64_folded(&self, x: u64) -> u64 {
+        debug_assert!(x < MERSENNE_61);
         let mut acc: u64 = 0;
         // Horner evaluation from the highest coefficient down.
         for &c in self.coefficients.iter().rev() {
@@ -464,6 +636,116 @@ mod tests {
         let levels = GeometricLevels::new(19);
         assert_eq!(levels.deepest(0), 19, "h = 0 is kept everywhere");
         assert_eq!(levels.deepest(MERSENNE_61 - 1), 0);
+    }
+
+    #[test]
+    fn four_wise_power_form_equals_horner_evaluation() {
+        // The batch kernels' sign evaluator must agree with PolyHash bit-for-bit on
+        // every input class: small, random, near the modulus, and above it (folded).
+        for seed in [0u64, 1, 7, 99, 0xDEAD] {
+            let poly = PolyHash::from_seed(4, seed);
+            let fw = FourWise::from_poly(&poly);
+            let probes = [
+                0u64,
+                1,
+                2,
+                MERSENNE_61 - 2,
+                MERSENNE_61 - 1,
+                MERSENNE_61,
+                MERSENNE_61 + 1,
+                u64::MAX,
+                u64::MAX - 1,
+            ];
+            for &x in &probes {
+                let f = FoldedItem::new(x);
+                assert_eq!(fw.hash_folded(&f), poly.hash_u64(x), "seed {seed}, x {x}");
+                assert_eq!(fw.sign_folded(&f), poly.hash_sign(x), "seed {seed}, x {x}");
+                assert_eq!(fw.sign(x), poly.hash_sign(x));
+            }
+            for i in 0..20_000u64 {
+                let x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(seed);
+                assert_eq!(
+                    fw.hash_folded(&FoldedItem::new(x)),
+                    poly.hash_u64(x),
+                    "seed {seed}, x {x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn folded_item_powers_are_the_reduced_powers() {
+        for x in [3u64, MERSENNE_61 - 1, MERSENNE_61 + 5, u64::MAX] {
+            let f = FoldedItem::new(x);
+            let xm = (x % MERSENNE_61) as u128;
+            assert_eq!(f.x as u128, xm);
+            assert_eq!(f.x2 as u128, xm * xm % MERSENNE_61 as u128);
+            assert_eq!(
+                f.x3 as u128,
+                (xm * xm % MERSENNE_61 as u128) * xm % MERSENNE_61 as u128
+            );
+        }
+    }
+
+    #[test]
+    fn folded_poly_hash_matches_the_unfolded_entry_point() {
+        let h = PolyHash::from_seed(2, 41);
+        for x in [0u64, 5, MERSENNE_61 - 1, MERSENNE_61 + 3, u64::MAX] {
+            assert_eq!(h.hash_u64_folded(x % MERSENNE_61), h.hash_u64(x));
+        }
+    }
+
+    #[test]
+    fn unit_levels_are_equivalent_to_the_f64_computation() {
+        // Level counts FullSampleAndHold instantiates at the recorded experiment
+        // sizes (stream_levels() − 1 for m = 2^12 .. 2^20).
+        for max_level in [11usize, 12, 18, 20] {
+            let levels = UnitLevels::new(max_level);
+            assert_eq!(levels.max_level(), max_level);
+            // Boundary probes around every precomputed bound...
+            for k in 1..=max_level {
+                let b = levels.bounds[k - 1];
+                for probe in [b.saturating_sub(1), b, b + 1] {
+                    let u = f64::from_bits(probe);
+                    if (0.0..1.0).contains(&u) {
+                        assert_eq!(
+                            levels.deepest(u),
+                            UnitLevels::reference_deepest(u).min(max_level),
+                            "max_level {max_level}, boundary bits {probe}"
+                        );
+                    }
+                }
+            }
+            // ... plus dense deterministic draws across the unit interval, biased
+            // toward small u (where the deep levels live).
+            for i in 1..4_000u64 {
+                for &u in &[
+                    i as f64 / 4_000.0,
+                    2f64.powi(-((i % 60) as i32)) * (1.0 + (i as f64 / 8_000.0)).min(1.999),
+                ] {
+                    let u = u.min(1.0 - f64::EPSILON);
+                    assert_eq!(
+                        levels.deepest(u),
+                        UnitLevels::reference_deepest(u).min(max_level),
+                        "max_level {max_level}, u {u}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unit_levels_handle_the_interval_endpoints() {
+        let levels = UnitLevels::new(16);
+        assert_eq!(levels.deepest(0.0), 16, "u = 0 reaches every level");
+        assert_eq!(levels.deepest(f64::MIN_POSITIVE), 16);
+        assert_eq!(levels.deepest(0.5), 1);
+        assert_eq!(levels.deepest(0.75), 0);
+        assert_eq!(
+            levels.deepest(1.0 - f64::EPSILON),
+            0,
+            "u just below 1 stays at level 0"
+        );
     }
 
     #[test]

@@ -22,6 +22,12 @@ use crate::Counter;
 pub struct MorrisCounter {
     register: TrackedCell<u64>,
     a: f64,
+    /// Cached `(1+a)^{-X}` for the current register `X`.  The acceptance probability
+    /// only changes when the register advances — `O((1/a)·log(a·n))` times over the
+    /// counter's whole life — so caching it keeps the f64 `powi` off the hot
+    /// increment path of held counters (the dominant path for heavy items in
+    /// `SampleAndHold`) without changing a single sampled decision.
+    accept_p: f64,
 }
 
 impl MorrisCounter {
@@ -31,6 +37,7 @@ impl MorrisCounter {
         Self {
             register: TrackedCell::new(tracker, 0),
             a,
+            accept_p: 1.0, // (1+a)^0
         }
     }
 
@@ -57,13 +64,23 @@ impl MorrisCounter {
     pub fn acceptance_probability(&self) -> f64 {
         (1.0 + self.a).powi(-(self.register() as i32))
     }
+
+    /// Sets the register directly, keeping the cached acceptance probability in sync
+    /// (test helper; production code only advances the register via `increment`).
+    #[cfg(test)]
+    fn force_register(&mut self, x: u64) {
+        self.register.modify(|_| x);
+        self.accept_p = self.acceptance_probability();
+    }
 }
 
 impl Counter for MorrisCounter {
     fn increment(&mut self, rng: &mut dyn RngCore) {
-        let accept_p = self.acceptance_probability();
-        if rng.gen::<f64>() < accept_p {
+        if rng.gen::<f64>() < self.accept_p {
             self.register.modify(|x| x + 1);
+            // Recompute the cache with the exact expression the uncached counter
+            // evaluated per increment, so every future decision is bit-identical.
+            self.accept_p = (1.0 + self.a).powi(-(self.register() as i32));
         } else {
             // The rejected increment still reads the register but never writes.
             let _ = self.register.read();
@@ -167,8 +184,8 @@ mod tests {
         let mut c = MorrisCounter::new(&tracker, 0.3);
         let mut last = c.estimate();
         assert_eq!(last, 0.0);
-        for _ in 0..20 {
-            c.register.modify(|x| x + 1);
+        for x in 1..=20 {
+            c.force_register(x);
             let e = c.estimate();
             assert!(e > last);
             last = e;
@@ -180,8 +197,10 @@ mod tests {
         let tracker = StateTracker::new();
         let mut c = MorrisCounter::new(&tracker, 1.0);
         assert_eq!(c.acceptance_probability(), 1.0);
-        c.register.modify(|_| 3);
+        c.force_register(3);
         assert!((c.acceptance_probability() - 0.125).abs() < 1e-12);
+        // The cached fast-path probability must track the accessor exactly.
+        assert_eq!(c.accept_p.to_bits(), c.acceptance_probability().to_bits());
     }
 
     #[test]

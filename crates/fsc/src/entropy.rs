@@ -58,6 +58,12 @@ impl StreamAlgorithm for EntropyFewState {
     fn tracker(&self) -> &StateTracker {
         self.inner.tracker()
     }
+
+    /// Delegates to the inner [`FpEstimator`] batch kernel (same tracker, so the
+    /// epoch span it opens is this algorithm's span).
+    fn process_batch(&mut self, items: &[u64]) {
+        self.inner.process_batch(items);
+    }
 }
 
 impl EntropyEstimator for EntropyFewState {

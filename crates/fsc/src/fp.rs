@@ -25,13 +25,13 @@
 //!   level structure already provides the moment reduction that Algorithm 2's stream
 //!   subsampling supplies (set [`Params::reps`] higher for more robustness).
 
-use fsc_counters::hashing::{GeometricLevels, PolyHash};
+use fsc_counters::hashing::{GeometricLevels, PolyHash, MERSENNE_61};
 use fsc_state::{FrequencyEstimator, MomentEstimator, StateTracker, StreamAlgorithm};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::params::Params;
-use crate::sample_and_hold::SampleAndHold;
+use crate::sample_and_hold::{process_batch_leveled, SampleAndHold};
 
 /// Algorithm 3: universe-subsampled `SampleAndHold` summaries plus level-set estimation.
 #[derive(Debug)]
@@ -273,6 +273,32 @@ impl StreamAlgorithm for FpEstimator {
 
     fn tracker(&self) -> &StateTracker {
         &self.tracker
+    }
+
+    /// Blocked batch kernel (the shared `process_batch_leveled` harness): per
+    /// block, the universe-subsampling levels of every `(item, repetition)` pair are
+    /// precomputed in one tight pass — the item folded once and reused across the
+    /// repetitions' hashes, with the per-repetition read charge accumulated — then
+    /// the updates dispatch into the per-level `SampleAndHold` copies.  The
+    /// subsampling decision is a pure function of the item, so precomputing it
+    /// reorders nothing (pinned by the batch-law tests).
+    fn process_batch(&mut self, items: &[u64]) {
+        let Self {
+            instances,
+            hashes,
+            level_cutoffs,
+            tracker,
+            ..
+        } = self;
+        process_batch_leveled(tracker, instances, items, |block, deepest, reads| {
+            for &item in block {
+                let folded = item % MERSENNE_61;
+                for hash in hashes.iter() {
+                    *reads += 1;
+                    deepest.push(level_cutoffs.deepest(hash.hash_u64_folded(folded)) as u16);
+                }
+            }
+        });
     }
 }
 

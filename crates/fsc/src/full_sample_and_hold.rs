@@ -14,12 +14,13 @@
 //! floor (`MIN_LEVEL_COUNT`), which suppresses the variance of multiplying a count of
 //! one or two by a large factor; level `x = 0` (the full stream) always participates.
 
+use fsc_counters::hashing::UnitLevels;
 use fsc_state::{FrequencyEstimator, StateTracker, StreamAlgorithm};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::params::Params;
-use crate::sample_and_hold::SampleAndHold;
+use crate::sample_and_hold::{process_batch_leveled, SampleAndHold};
 
 /// Minimum raw median count a subsampled level must reach before its rescaled estimate
 /// is trusted (level 0 is always trusted).
@@ -34,6 +35,9 @@ pub struct FullSampleAndHold {
     /// `instances[r][x]` processes the substream kept with probability `2^{-x}`.
     instances: Vec<Vec<SampleAndHold>>,
     levels: usize,
+    /// Precomputed cutoffs turning a uniform draw into its deepest nested level —
+    /// bit-identical to the former per-update `⌊−log2(u)⌋` (see [`UnitLevels`]).
+    level_cutoffs: UnitLevels,
     name: String,
 }
 
@@ -62,6 +66,7 @@ impl FullSampleAndHold {
             rng,
             instances,
             levels,
+            level_cutoffs: UnitLevels::new(levels - 1),
         }
     }
 
@@ -102,10 +107,11 @@ impl StreamAlgorithm for FullSampleAndHold {
 
     fn process_item(&mut self, item: u64) {
         for row in &mut self.instances {
-            // One uniform draw determines the deepest nested level this update reaches.
+            // One uniform draw determines the deepest nested level this update
+            // reaches; the precomputed cutoffs reproduce ⌊−log2(u)⌋ clamped to the
+            // level range bit-for-bit (pinned by the hashing equivalence tests).
             let u: f64 = self.rng.gen::<f64>().max(f64::MIN_POSITIVE);
-            let deepest = (-u.log2()).floor().max(0.0) as usize;
-            let deepest = deepest.min(self.levels - 1);
+            let deepest = self.level_cutoffs.deepest(u);
             for level_row in row.iter_mut().take(deepest + 1) {
                 level_row.process_item(item);
             }
@@ -114,6 +120,30 @@ impl StreamAlgorithm for FullSampleAndHold {
 
     fn tracker(&self) -> &StateTracker {
         &self.tracker
+    }
+
+    /// Blocked batch kernel (the shared `process_batch_leveled` harness): per
+    /// block, all level draws are made up front — same rng, same
+    /// `(item, repetition)` order as the per-item path, so the random sequence is
+    /// untouched — then the updates dispatch into the per-level `SampleAndHold`
+    /// copies with read charges accumulated and flushed once per batch.
+    fn process_batch(&mut self, items: &[u64]) {
+        let Self {
+            instances,
+            rng,
+            level_cutoffs,
+            tracker,
+            ..
+        } = self;
+        let reps = instances.len();
+        process_batch_leveled(tracker, instances, items, |block, deepest, _reads| {
+            for _ in block {
+                for _ in 0..reps {
+                    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                    deepest.push(level_cutoffs.deepest(u) as u16);
+                }
+            }
+        });
     }
 }
 

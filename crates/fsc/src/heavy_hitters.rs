@@ -85,6 +85,12 @@ impl StreamAlgorithm for FewStateHeavyHitters {
     fn tracker(&self) -> &StateTracker {
         self.inner.tracker()
     }
+
+    /// Delegates to the inner [`FullSampleAndHold`] batch kernel (same tracker, so
+    /// the epoch span it opens is this algorithm's span).
+    fn process_batch(&mut self, items: &[u64]) {
+        self.inner.process_batch(items);
+    }
 }
 
 impl FrequencyEstimator for FewStateHeavyHitters {

@@ -36,6 +36,22 @@ struct HeldCounter {
     created_at: u64,
 }
 
+/// The merged per-item slot: an item known to the summary is in the reservoir
+/// (`reservoir_slots > 0`), holds a Morris counter (`held`), or both.
+///
+/// Keeping one table instead of a counter map plus a reservoir mirror halves the
+/// hash probes of the dominant "unknown item" path (one miss instead of two) — the
+/// single most important cost inside `FullSampleAndHold` and `FpEstimator`, which
+/// run `O(log)` copies of this algorithm per update.  The table is untracked
+/// (a performance aid, like the mirror it replaces); the tracked read charges still
+/// follow the per-item path's logical probes of the counter table and reservoir.
+#[derive(Debug, Clone, Default)]
+struct ItemSlot {
+    held: Option<HeldCounter>,
+    /// Number of reservoir slots currently holding this item.
+    reservoir_slots: u32,
+}
+
 /// Words charged for the key and creation-time metadata of a held counter
 /// (the Morris register charges its own word).
 const HELD_METADATA_WORDS: usize = 2;
@@ -48,15 +64,17 @@ pub struct SampleAndHold {
     tracker: StateTracker,
     rng: StdRng,
     reservoir: TrackedVec<u64>,
-    /// Untracked mirror of the reservoir contents for O(1) membership tests
-    /// (membership checks are charged as reads; the mirror is a performance aid only,
-    /// so it uses the deterministic fast hasher rather than SipHash).
-    reservoir_members: FastMap<u64, usize>,
+    /// Untracked merged view of the summary keyed by item: reservoir membership
+    /// counts and held Morris counters in one probe (see [`ItemSlot`]).  Invariant:
+    /// an entry exists iff it is held or occupies ≥ 1 reservoir slot.
+    items: FastMap<u64, ItemSlot>,
+    /// Number of entries currently holding a Morris counter (`items` entries with
+    /// `held.is_some()`), maintained incrementally.
+    held_len: usize,
     /// Slots that have never been written; preferred over random eviction so that a
     /// lightly-loaded reservoir retains every sampled item (practical deviation noted
     /// in the module docs — the paper always evicts a uniformly random slot).
     free_slots: Vec<usize>,
-    counters: FastMap<u64, HeldCounter>,
     counter_budget: usize,
     sample_prob: f64,
     name: String,
@@ -64,6 +82,51 @@ pub struct SampleAndHold {
 
 /// Sentinel marking an empty reservoir slot.
 const EMPTY_SLOT: u64 = u64::MAX;
+
+/// Items per block of the leveled-ensemble batch kernels: large enough to amortise
+/// the per-block bookkeeping, small enough that the level scratch stays
+/// cache-resident.
+pub(crate) const BATCH_BLOCK: usize = 1024;
+
+/// The shared blocked batch kernel of the leveled ensembles (`FullSampleAndHold`'s
+/// stream-subsampling levels, `FpEstimator`'s universe-subsampling levels).
+///
+/// Per block, `fill_levels` precomputes the deepest level of every
+/// `(item, repetition)` pair — in `(item, repetition)` order, so an ensemble whose
+/// level decision consumes its own rng draws them in exactly the per-item sequence —
+/// then the updates dispatch into the per-level `SampleAndHold` copies inside
+/// per-item epochs, with all logical read charges accumulated (both the ensemble's
+/// own, via the accumulator handed to `fill_levels`, and the copies') and flushed
+/// with one tracker call per batch.  Each copy still sees its substream in stream
+/// order, so every observable matches the per-item path — the batch-law tests pin
+/// this for both ensembles.
+pub(crate) fn process_batch_leveled(
+    tracker: &StateTracker,
+    instances: &mut [Vec<SampleAndHold>],
+    items: &[u64],
+    mut fill_levels: impl FnMut(&[u64], &mut Vec<u16>, &mut u64),
+) {
+    let first = tracker.begin_epochs(items.len() as u64);
+    let reps = instances.len();
+    let mut reads = 0u64;
+    let mut deepest: Vec<u16> = Vec::with_capacity(BATCH_BLOCK.min(items.len()) * reps);
+    let mut offset = 0u64;
+    for block in items.chunks(BATCH_BLOCK) {
+        deepest.clear();
+        fill_levels(block, &mut deepest, &mut reads);
+        for (i, &item) in block.iter().enumerate() {
+            tracker.enter_epoch(first + offset + i as u64);
+            for (r, row) in instances.iter_mut().enumerate() {
+                let d = deepest[i * reps + r] as usize;
+                for inst in row.iter_mut().take(d + 1) {
+                    inst.process_item_inner(item, &mut reads);
+                }
+            }
+        }
+        offset += block.len() as u64;
+    }
+    tracker.record_reads(reads);
+}
 
 impl SampleAndHold {
     /// Creates an instance that shares `tracker` with an enclosing algorithm and is
@@ -86,9 +149,9 @@ impl SampleAndHold {
             tracker: tracker.clone(),
             rng,
             reservoir,
-            reservoir_members: fast_map(),
+            items: fast_map(),
+            held_len: 0,
             free_slots: (0..kappa).rev().collect(),
-            counters: fast_map(),
             counter_budget,
             sample_prob,
         }
@@ -120,7 +183,12 @@ impl SampleAndHold {
 
     /// Number of currently held counters.
     pub fn held_counters(&self) -> usize {
-        self.counters.len()
+        self.held_len
+    }
+
+    /// Whether `item` currently holds a Morris counter (untracked; tests/reporting).
+    pub fn holds_counter(&self, item: u64) -> bool {
+        self.items.get(&item).is_some_and(|s| s.held.is_some())
     }
 
     fn now(&self) -> u64 {
@@ -133,14 +201,10 @@ impl SampleAndHold {
         morris.increment(&mut self.rng);
         self.tracker.alloc(HELD_METADATA_WORDS);
         self.tracker.record_write(None, true);
-        self.counters.insert(
-            item,
-            HeldCounter {
-                morris,
-                created_at: self.now(),
-            },
-        );
-        if self.counters.len() > self.counter_budget {
+        let created_at = self.now();
+        self.items.entry(item).or_default().held = Some(HeldCounter { morris, created_at });
+        self.held_len += 1;
+        if self.held_len > self.counter_budget {
             self.maintain();
         }
     }
@@ -150,16 +214,18 @@ impl SampleAndHold {
     /// counts and drop the rest.
     fn maintain(&mut self) {
         let now = self.now();
-        self.tracker.record_reads(self.counters.len() as u64);
+        self.tracker.record_reads(self.held_len as u64);
 
         let mut buckets: FastMap<u32, Vec<(u64, f64)>> = fast_map();
-        for (&item, held) in &self.counters {
-            let age = now.saturating_sub(held.created_at) + 1;
-            let z = 63 - age.leading_zeros(); // floor(log2(age))
-            buckets
-                .entry(z)
-                .or_default()
-                .push((item, held.morris.estimate()));
+        for (&item, slot) in &self.items {
+            if let Some(held) = &slot.held {
+                let age = now.saturating_sub(held.created_at) + 1;
+                let z = 63 - age.leading_zeros(); // floor(log2(age))
+                buckets
+                    .entry(z)
+                    .or_default()
+                    .push((item, held.morris.estimate()));
+            }
         }
 
         let mut to_remove: Vec<u64> = Vec::new();
@@ -172,9 +238,53 @@ impl SampleAndHold {
         }
         for item in to_remove {
             // The Morris register's word is released when the counter drops.
-            self.counters.remove(&item);
+            let slot = self
+                .items
+                .get_mut(&item)
+                .expect("held item is in the table");
+            slot.held = None;
+            self.held_len -= 1;
+            if slot.reservoir_slots == 0 {
+                self.items.remove(&item);
+            }
             self.tracker.dealloc(HELD_METADATA_WORDS);
             self.tracker.record_write(None, true);
+        }
+    }
+
+    /// The per-update body, with read charges accumulated into `reads` instead of
+    /// being dispatched to the tracker one at a time.
+    ///
+    /// [`StreamAlgorithm::process_item`] flushes after one item; the batch kernels of
+    /// this type and of the enclosing ensembles (`FullSampleAndHold`, `FpEstimator`)
+    /// flush once per batch.  Only the read *total* is deferred — writes, epochs, and
+    /// state-change claims go to the tracker at their natural points, so the
+    /// accounting is observably identical (reads are a single aggregate counter).
+    #[inline]
+    pub(crate) fn process_item_inner(&mut self, item: u64, reads: &mut u64) {
+        // One physical probe of the merged table resolves both logical lookups of
+        // the algorithm; the read charges still follow the logical path (counter
+        // table, then — for unheld items — the reservoir).
+        *reads += 1;
+        match self.items.get_mut(&item) {
+            // 1. Already held: update its Morris counter (a state change only when
+            //    the probabilistic register advances).
+            Some(slot) if slot.held.is_some() => {
+                let held = slot.held.as_mut().expect("checked above");
+                held.morris.increment(&mut self.rng);
+            }
+            // 2. In the reservoir: start holding a counter for it.
+            Some(_) => {
+                *reads += 1;
+                self.hold_counter(item);
+            }
+            // 3. Otherwise: sample it into the reservoir with probability ϱ.
+            None => {
+                *reads += 1;
+                if self.rng.gen::<f64>() < self.sample_prob {
+                    self.sample_into_reservoir(item);
+                }
+            }
         }
     }
 
@@ -186,20 +296,24 @@ impl SampleAndHold {
         let old = *self.reservoir.peek(slot);
         if self.reservoir.set(slot, item) {
             if old != EMPTY_SLOT {
-                if let Some(count) = self.reservoir_members.get_mut(&old) {
-                    *count -= 1;
-                    if *count == 0 {
-                        self.reservoir_members.remove(&old);
+                if let Some(entry) = self.items.get_mut(&old) {
+                    entry.reservoir_slots -= 1;
+                    if entry.reservoir_slots == 0 && entry.held.is_none() {
+                        self.items.remove(&old);
                     }
                 }
             }
-            *self.reservoir_members.entry(item).or_insert(0) += 1;
+            self.items.entry(item).or_default().reservoir_slots += 1;
         }
     }
 
     /// Items currently held in the reservoir (without counters).
     pub fn reservoir_items(&self) -> Vec<u64> {
-        self.reservoir_members.keys().copied().collect()
+        self.items
+            .iter()
+            .filter(|(_, s)| s.reservoir_slots > 0)
+            .map(|(&i, _)| i)
+            .collect()
     }
 }
 
@@ -209,29 +323,27 @@ impl StreamAlgorithm for SampleAndHold {
     }
 
     fn process_item(&mut self, item: u64) {
-        // 1. Already held: update its Morris counter (a state change only when the
-        //    probabilistic register advances).
-        self.tracker.record_reads(1);
-        if let Some(held) = self.counters.get_mut(&item) {
-            held.morris.increment(&mut self.rng);
-            return;
-        }
-
-        // 2. In the reservoir: start holding a counter for it.
-        self.tracker.record_reads(1);
-        if self.reservoir_members.contains_key(&item) {
-            self.hold_counter(item);
-            return;
-        }
-
-        // 3. Otherwise: sample it into the reservoir with probability ϱ.
-        if self.rng.gen::<f64>() < self.sample_prob {
-            self.sample_into_reservoir(item);
-        }
+        let mut reads = 0;
+        self.process_item_inner(item, &mut reads);
+        self.tracker.record_reads(reads);
     }
 
     fn tracker(&self) -> &StateTracker {
         &self.tracker
+    }
+
+    /// Batch kernel: the tracker handle is resolved once, the epoch span is hoisted,
+    /// and the per-update read charges (1–2 per item) are accumulated and flushed
+    /// with a single tracker call for the whole batch.
+    fn process_batch(&mut self, items: &[u64]) {
+        let tracker = self.tracker.clone();
+        let first = tracker.begin_epochs(items.len() as u64);
+        let mut reads = 0;
+        for (i, &item) in items.iter().enumerate() {
+            tracker.enter_epoch(first + i as u64);
+            self.process_item_inner(item, &mut reads);
+        }
+        tracker.record_reads(reads);
     }
 }
 
@@ -241,20 +353,20 @@ impl FrequencyEstimator for SampleAndHold {
     /// exceed the true frequency by more than the Morris approximation error — the
     /// one-sidedness `FullSampleAndHold` relies on.
     fn estimate(&self, item: u64) -> f64 {
-        if let Some(held) = self.counters.get(&item) {
-            1.0 + held.morris.estimate()
-        } else if self.reservoir_members.contains_key(&item) {
-            1.0
-        } else {
-            0.0
+        match self.items.get(&item) {
+            Some(slot) => match &slot.held {
+                Some(held) => 1.0 + held.morris.estimate(),
+                None => 1.0, // reservoir-only: the sampled occurrence itself
+            },
+            None => 0.0,
         }
     }
 
     fn tracked_items(&self) -> Vec<u64> {
-        let mut items: Vec<u64> = self.counters.keys().copied().collect();
-        items.extend(self.reservoir_members.keys().copied());
+        // Table invariant: every entry is held and/or in the reservoir, so the key
+        // set is exactly the union the two former tables produced.
+        let mut items: Vec<u64> = self.items.keys().copied().collect();
         items.sort_unstable();
-        items.dedup();
         items
     }
 }
@@ -369,7 +481,7 @@ mod tests {
         let reservoir_only: Vec<u64> = alg
             .reservoir_items()
             .into_iter()
-            .filter(|i| !alg.counters.contains_key(i))
+            .filter(|&i| !alg.holds_counter(i))
             .collect();
         for item in reservoir_only {
             assert_eq!(alg.estimate(item), 1.0);

@@ -77,6 +77,30 @@ impl StreamAlgorithm for FewStateSparseRecovery {
     fn tracker(&self) -> &StateTracker {
         &self.tracker
     }
+
+    /// Batch kernel: the common case is one untracked membership probe per item; the
+    /// per-item read charges are accumulated and flushed with one tracker call per
+    /// batch, and writes (first occurrences only) keep their per-item epochs.  On a
+    /// `k`-sparse stream this leaves ~1 accounting call per batch instead of ~1 per
+    /// item, which matters for the fastest algorithm in the repository.
+    fn process_batch(&mut self, items: &[u64]) {
+        let tracker = self.tracker.clone();
+        let first = tracker.begin_epochs(items.len() as u64);
+        let mut reads = 0u64;
+        for (i, &item) in items.iter().enumerate() {
+            tracker.enter_epoch(first + i as u64);
+            reads += 1; // the contains_key probe of the per-item path
+            if self.seen.peek(&item).is_some() {
+                continue;
+            }
+            if self.seen.len() < self.sparsity {
+                self.seen.insert(item, ());
+            } else {
+                self.overflowed = true;
+            }
+        }
+        tracker.record_reads(reads);
+    }
 }
 
 impl SupportRecovery for FewStateSparseRecovery {

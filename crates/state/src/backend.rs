@@ -93,6 +93,54 @@ pub trait TrackerBackend: fmt::Debug + Send + Sync {
     /// Records a write to one word; `changed` must be `true` iff the stored value
     /// actually differs from the previous one.
     fn record_write(&self, addr: Option<usize>, changed: bool);
+    /// Records `n` changed writes at the consecutive addresses `start..start + n`
+    /// (`None` for anonymous words), all within the current epoch — the bulk
+    /// equivalent of `n` calls to [`TrackerBackend::record_write`] with
+    /// `changed = true`.  Used by batch kernels whose per-item writes land on a
+    /// contiguous address run (e.g. an AMS sketch touching every counter).
+    ///
+    /// The default implementation is the per-word loop; backends may override it with
+    /// a counter-equivalent constant-time version.
+    fn record_changed_run(&self, start: Option<usize>, n: u64) {
+        for i in 0..n {
+            self.record_write(start.map(|s| s + i as usize), true);
+        }
+    }
+    /// Records one changed write at each of `addrs`, all within the current epoch —
+    /// the bulk equivalent of per-address [`TrackerBackend::record_write`] calls with
+    /// `changed = true`.  Used by batch kernels with scattered per-item writes (e.g.
+    /// one counter per CountMin row).
+    fn record_changed_at(&self, addrs: &[usize]) {
+        for &a in addrs {
+            self.record_write(Some(a), true);
+        }
+    }
+    /// Activates each reserved epoch `first..first + n` in turn and records, within
+    /// each, `writes` changed word writes — at the addresses `addrs` when provided
+    /// (then `writes` must equal `addrs.len()`), anonymously otherwise.  This is the
+    /// bulk equivalent of the per-item loop
+    /// `for id in first..first + n { enter_epoch(id); for each write: record_write(_, true) }`
+    /// and is what lets a run-length kernel process a run of identical updates with
+    /// O(1) accounting calls.  The caller must have reserved the span via
+    /// [`TrackerBackend::begin_epochs`] and must not have entered any of its epochs.
+    fn record_run_epochs(&self, first: u64, n: u64, writes: u64, addrs: Option<&[usize]>) {
+        debug_assert!(addrs.is_none_or(|a| a.len() as u64 == writes));
+        for id in first..first + n {
+            self.enter_epoch(id);
+            match addrs {
+                Some(addrs) => {
+                    for &a in addrs {
+                        self.record_write(Some(a), true);
+                    }
+                }
+                None => {
+                    for _ in 0..writes {
+                        self.record_write(None, true);
+                    }
+                }
+            }
+        }
+    }
     /// Records `n` word reads (a no-op on backends that do not count reads).
     fn record_reads(&self, n: u64);
     /// Number of state changes so far (paper definition).
@@ -163,6 +211,17 @@ impl EpochState {
         } else {
             false
         }
+    }
+
+    /// Enters the fresh epochs `first..first + n` (n ≥ 1) and marks every one of them
+    /// as claimed, leaving `current`/`last_change` exactly where the per-item loop
+    /// (enter, claim, enter, claim, …) would leave them.
+    #[inline(always)]
+    fn enter_claimed_run(&self, first: u64, n: u64) {
+        debug_assert!(first >= 1 && n >= 1);
+        let last = first + n - 1;
+        self.current.store(last, Ordering::Relaxed);
+        self.last_change.store(last, Ordering::Relaxed);
     }
 }
 
@@ -282,6 +341,76 @@ impl TrackerBackend for FullTracker {
             }
         } else {
             bump(&self.redundant_writes, 1);
+        }
+    }
+
+    #[inline]
+    fn record_changed_run(&self, start: Option<usize>, n: u64) {
+        if n == 0 {
+            return;
+        }
+        bump(&self.word_writes, n);
+        if self.epoch.claims_state_change() {
+            bump(&self.state_changes, 1);
+        }
+        if self.address_tracked {
+            if let Some(start) = start {
+                let end = start + n as usize;
+                let mut wear = self.wear_table();
+                if end > wear.len() {
+                    wear.resize(end, 0);
+                }
+                for w in &mut wear[start..end] {
+                    *w += 1;
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn record_changed_at(&self, addrs: &[usize]) {
+        if addrs.is_empty() {
+            return;
+        }
+        bump(&self.word_writes, addrs.len() as u64);
+        if self.epoch.claims_state_change() {
+            bump(&self.state_changes, 1);
+        }
+        if self.address_tracked {
+            let mut wear = self.wear_table();
+            for &a in addrs {
+                if a >= wear.len() {
+                    wear.resize(a + 1, 0);
+                }
+                wear[a] += 1;
+            }
+        }
+    }
+
+    #[inline]
+    fn record_run_epochs(&self, first: u64, n: u64, writes: u64, addrs: Option<&[usize]>) {
+        debug_assert!(addrs.is_none_or(|a| a.len() as u64 == writes));
+        if n == 0 {
+            return;
+        }
+        if writes == 0 {
+            // Entering epochs without writes changes no counter except the clock.
+            self.epoch.enter(first + n - 1);
+            return;
+        }
+        self.epoch.enter_claimed_run(first, n);
+        bump(&self.state_changes, n);
+        bump(&self.word_writes, n * writes);
+        if self.address_tracked {
+            if let Some(addrs) = addrs {
+                let mut wear = self.wear_table();
+                for &a in addrs {
+                    if a >= wear.len() {
+                        wear.resize(a + 1, 0);
+                    }
+                    wear[a] += n;
+                }
+            }
         }
     }
 
@@ -412,6 +541,34 @@ impl TrackerBackend for LeanTracker {
         if changed && self.epoch.claims_state_change() {
             bump(&self.state_changes, 1);
         }
+    }
+
+    #[inline]
+    fn record_changed_run(&self, _start: Option<usize>, n: u64) {
+        if n > 0 && self.epoch.claims_state_change() {
+            bump(&self.state_changes, 1);
+        }
+    }
+
+    #[inline]
+    fn record_changed_at(&self, addrs: &[usize]) {
+        if !addrs.is_empty() && self.epoch.claims_state_change() {
+            bump(&self.state_changes, 1);
+        }
+    }
+
+    #[inline]
+    fn record_run_epochs(&self, first: u64, n: u64, writes: u64, addrs: Option<&[usize]>) {
+        debug_assert!(addrs.is_none_or(|a| a.len() as u64 == writes));
+        if n == 0 {
+            return;
+        }
+        if writes == 0 {
+            self.epoch.enter(first + n - 1);
+            return;
+        }
+        self.epoch.enter_claimed_run(first, n);
+        bump(&self.state_changes, n);
     }
 
     #[inline]
@@ -577,6 +734,148 @@ mod tests {
             m.enter_epoch(id);
         }
         assert_eq!(m.epochs(), 3, "fallback advances per enter_epoch");
+    }
+
+    /// Per-item stimulus whose bulk equivalents the batch kernels use: a contiguous
+    /// write run, a scattered write set, and a run of identical epochs.
+    fn exercise_bulk_per_item(backend: &dyn TrackerBackend) -> StateReport {
+        let r = backend.alloc(8);
+        // Epoch 1: a contiguous run of 4 changed writes (the AMS kernel shape).
+        backend.begin_epoch();
+        for i in 0..4 {
+            backend.record_write(Some(r.word(i)), true);
+        }
+        // Epoch 2: scattered changed writes (the CountMin kernel shape).
+        backend.begin_epoch();
+        for a in [6usize, 1, 3] {
+            backend.record_write(Some(r.word(a)), true);
+        }
+        // Epochs 3..8: a run of 5 identical epochs with 2 writes each (the
+        // run-length kernel shape), followed by one write-free epoch.
+        let first = backend.begin_epochs(6);
+        for id in first..first + 5 {
+            backend.enter_epoch(id);
+            backend.record_write(Some(r.word(2)), true);
+            backend.record_write(Some(r.word(5)), true);
+        }
+        backend.enter_epoch(first + 5);
+        backend.record_reads(3);
+        backend.snapshot()
+    }
+
+    /// The same stimulus through the bulk accounting API.
+    fn exercise_bulk(backend: &dyn TrackerBackend) -> StateReport {
+        let r = backend.alloc(8);
+        backend.begin_epoch();
+        backend.record_changed_run(Some(r.word(0)), 4);
+        backend.begin_epoch();
+        backend.record_changed_at(&[r.word(6), r.word(1), r.word(3)]);
+        let first = backend.begin_epochs(6);
+        backend.record_run_epochs(first, 5, 2, Some(&[r.word(2), r.word(5)]));
+        backend.record_run_epochs(first + 5, 1, 0, None);
+        backend.record_reads(3);
+        backend.snapshot()
+    }
+
+    #[test]
+    fn bulk_accounting_is_equivalent_to_the_per_item_loop() {
+        for (bulk, item) in [
+            (
+                exercise_bulk(&FullTracker::new()),
+                exercise_bulk_per_item(&FullTracker::new()),
+            ),
+            (
+                exercise_bulk(&FullTracker::with_address_tracking()),
+                exercise_bulk_per_item(&FullTracker::with_address_tracking()),
+            ),
+            (
+                exercise_bulk(&LeanTracker::new()),
+                exercise_bulk_per_item(&LeanTracker::new()),
+            ),
+        ] {
+            assert_eq!(bulk, item);
+        }
+        // Wear tables, not just their aggregates.
+        let bulk = FullTracker::with_address_tracking();
+        let item = FullTracker::with_address_tracking();
+        let _ = exercise_bulk(&bulk);
+        let _ = exercise_bulk_per_item(&item);
+        assert_eq!(bulk.address_writes(), item.address_writes());
+        // Word 2: one write from the epoch-1 contiguous run plus 5 from the epoch run.
+        assert_eq!(bulk.address_writes().unwrap()[2], 6, "run wear accumulates");
+    }
+
+    #[test]
+    fn bulk_default_impls_match_the_overrides() {
+        // The default (per-word loop) implementations must leave identical counters,
+        // so third-party backends inherit correct semantics.  Exercise them through a
+        // backend that only gets the defaults by calling them explicitly on a shim
+        // that forwards the mandatory methods to a FullTracker.
+        #[derive(Debug)]
+        struct Forwarder(FullTracker);
+        impl TrackerBackend for Forwarder {
+            fn begin_epoch(&self) {
+                self.0.begin_epoch()
+            }
+            fn begin_epochs(&self, n: u64) -> u64 {
+                self.0.begin_epochs(n)
+            }
+            fn enter_epoch(&self, id: u64) {
+                self.0.enter_epoch(id)
+            }
+            fn alloc(&self, words: usize) -> AddrRange {
+                self.0.alloc(words)
+            }
+            fn dealloc(&self, words: usize) {
+                self.0.dealloc(words)
+            }
+            fn record_write(&self, addr: Option<usize>, changed: bool) {
+                self.0.record_write(addr, changed)
+            }
+            // record_changed_run / record_changed_at / record_run_epochs: defaults.
+            fn record_reads(&self, n: u64) {
+                self.0.record_reads(n)
+            }
+            fn state_changes(&self) -> u64 {
+                self.0.state_changes()
+            }
+            fn epochs(&self) -> u64 {
+                self.0.epochs()
+            }
+            fn words_current(&self) -> usize {
+                self.0.words_current()
+            }
+            fn words_peak(&self) -> usize {
+                self.0.words_peak()
+            }
+            fn snapshot(&self) -> StateReport {
+                self.0.snapshot()
+            }
+            fn address_writes(&self) -> Option<Vec<u64>> {
+                self.0.address_writes()
+            }
+            fn kind(&self) -> TrackerKind {
+                self.0.kind()
+            }
+        }
+        let defaults = Forwarder(FullTracker::with_address_tracking());
+        let overrides = FullTracker::with_address_tracking();
+        assert_eq!(exercise_bulk(&defaults), exercise_bulk(&overrides));
+        assert_eq!(defaults.address_writes(), overrides.address_writes());
+    }
+
+    #[test]
+    fn empty_bulk_calls_are_no_ops() {
+        let t = FullTracker::new();
+        t.begin_epoch();
+        t.record_changed_run(Some(0), 0);
+        t.record_changed_at(&[]);
+        let first = t.begin_epochs(0);
+        t.record_run_epochs(first, 0, 3, None);
+        let snap = t.snapshot();
+        assert_eq!(snap.state_changes, 0);
+        assert_eq!(snap.word_writes, 0);
+        assert_eq!(snap.epochs, 1);
     }
 
     #[test]

@@ -37,6 +37,7 @@ impl<T: PartialEq> TrackedCell<T> {
     }
 
     /// Reads the value (charged as one read per word).
+    #[inline]
     pub fn read(&self) -> &T {
         self.tracker.record_reads(self.words as u64);
         &self.value
@@ -44,11 +45,13 @@ impl<T: PartialEq> TrackedCell<T> {
 
     /// Reads the value without charging a read.  Used by reporting / debugging code that
     /// is not part of the streaming algorithm itself.
+    #[inline]
     pub fn peek(&self) -> &T {
         &self.value
     }
 
     /// Writes `value` into the cell.  Returns `true` if the stored value changed.
+    #[inline]
     pub fn write(&mut self, value: T) -> bool {
         let changed = self.value != value;
         self.tracker.record_write(Some(self.addr.word(0)), changed);
@@ -60,6 +63,7 @@ impl<T: PartialEq> TrackedCell<T> {
 
     /// Applies `f` to the current value and writes the result back, charging one read
     /// and (if the result differs) one write.  Returns `true` if the value changed.
+    #[inline]
     pub fn modify(&mut self, f: impl FnOnce(&T) -> T) -> bool {
         let new = f(self.read());
         self.write(new)

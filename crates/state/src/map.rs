@@ -48,6 +48,7 @@ impl<K: Eq + Hash + Clone, V: PartialEq + Clone, S: BuildHasher> TrackedMap<K, V
     }
 
     /// Number of entries.
+    #[inline]
     pub fn len(&self) -> usize {
         self.data.len()
     }
@@ -58,12 +59,14 @@ impl<K: Eq + Hash + Clone, V: PartialEq + Clone, S: BuildHasher> TrackedMap<K, V
     }
 
     /// Looks up `key` (charged as one read).
+    #[inline]
     pub fn get(&self, key: &K) -> Option<&V> {
         self.tracker.record_reads(1);
         self.data.get(key)
     }
 
     /// Membership test (charged as one read).
+    #[inline]
     pub fn contains_key(&self, key: &K) -> bool {
         self.tracker.record_reads(1);
         self.data.contains_key(key)
@@ -72,6 +75,7 @@ impl<K: Eq + Hash + Clone, V: PartialEq + Clone, S: BuildHasher> TrackedMap<K, V
     /// Inserts or overwrites `key → value`.  Returns the previous value, if any.
     /// A brand-new entry or a changed value counts as a write; re-inserting an identical
     /// value is redundant.
+    #[inline]
     pub fn insert(&mut self, key: K, value: V) -> Option<V> {
         match self.data.get(&key) {
             Some(old) if *old == value => {
@@ -102,6 +106,7 @@ impl<K: Eq + Hash + Clone, V: PartialEq + Clone, S: BuildHasher> TrackedMap<K, V
 
     /// Applies `f` to the value stored under `key`, writing back the result.
     /// Returns `true` if the key existed and the value changed.
+    #[inline]
     pub fn modify(&mut self, key: &K, f: impl FnOnce(&V) -> V) -> bool {
         self.tracker.record_reads(1);
         let new = match self.data.get(key) {
@@ -135,8 +140,20 @@ impl<K: Eq + Hash + Clone, V: PartialEq + Clone, S: BuildHasher> TrackedMap<K, V
 
     /// Looks up `key` without charging a read (reporting / merge bookkeeping only; the
     /// tracked analogue is [`TrackedMap::get`]).
+    #[inline]
     pub fn peek(&self, key: &K) -> Option<&V> {
         self.data.get(key)
+    }
+
+    /// Mutable lookup without any accounting — the data path of run-length batch
+    /// kernels, which fold a run of identical updates into one stored mutation and
+    /// charge the tracker in bulk.  The caller **must** charge the exact equivalent of
+    /// the per-item [`TrackedMap::contains_key`]/[`TrackedMap::modify`] calls it skips
+    /// (reads via [`StateTracker::record_reads`], epochs and writes via
+    /// [`StateTracker::record_run_epochs`]); the batch-law tests pin that equivalence.
+    #[inline]
+    pub fn get_mut_untracked(&mut self, key: &K) -> Option<&mut V> {
+        self.data.get_mut(key)
     }
 
     /// Untracked iteration (reporting / extraction only).

@@ -113,10 +113,39 @@ impl<T: PartialEq + Clone> TrackedMatrix<T> {
         self.set(r, c, new)
     }
 
+    /// Tracked address of cell `(r, c)` (the address charged per word by
+    /// [`TrackedMatrix::set`]/[`TrackedMatrix::update`]) — what a batch kernel passes
+    /// to the bulk write-accounting calls on the tracker.
+    #[inline(always)]
+    pub fn addr_of(&self, r: usize, c: usize) -> usize {
+        self.addr.word(self.index(r, c) * self.elem_words)
+    }
+
+    /// Number of tracked words per element (1 for `u64`/`i64` cells).
+    #[inline(always)]
+    pub fn elem_words(&self) -> usize {
+        self.elem_words
+    }
+
     /// Untracked view of row `r` (reporting / merge bookkeeping only).
     pub fn row_untracked(&self, r: usize) -> &[T] {
         let start = r * self.width;
         &self.data[start..start + self.width]
+    }
+
+    /// Untracked mutable view of all cells in row-major order — the data path of the
+    /// specialized batch kernels.
+    ///
+    /// Mutations through this slice bypass per-cell accounting entirely: the caller
+    /// **must** charge the tracker with the exact equivalent of the per-cell calls it
+    /// skipped ([`StateTracker::record_reads`] plus
+    /// [`StateTracker::record_changed_run`]/[`StateTracker::record_changed_at`] with
+    /// the addresses from [`TrackedMatrix::addr_of`]), or recorded experiments
+    /// diverge from the per-item path.  The batch-law tests pin that equivalence for
+    /// every kernel in the repository.
+    #[inline(always)]
+    pub fn as_mut_slice_untracked(&mut self) -> &mut [T] {
+        &mut self.data
     }
 
     /// Untracked iteration over all cells in row-major order.
@@ -195,6 +224,30 @@ mod tests {
         assert_eq!(t.snapshot().reads - init_reads, 2);
         assert_eq!(m.iter_untracked().count(), 4);
         assert_eq!(m.row_untracked(1).len(), 2);
+    }
+
+    #[test]
+    fn addr_of_matches_the_addresses_charged_by_per_cell_writes() {
+        // A kernel that mutates via the untracked slice and charges the tracker with
+        // addr_of-addressed bulk writes must leave the same wear table as per-cell
+        // update() calls.
+        let t_cell = StateTracker::with_address_tracking();
+        let mut cell = TrackedMatrix::filled(&t_cell, 2, 3, 0u64);
+        let t_bulk = StateTracker::with_address_tracking();
+        let mut bulk = TrackedMatrix::filled(&t_bulk, 2, 3, 0u64);
+        for (r, c) in [(0, 2), (1, 0), (1, 2)] {
+            t_cell.begin_epoch();
+            cell.update(r, c, |v| v + 1);
+            t_bulk.begin_epoch();
+            t_bulk.record_reads(1);
+            let addr = bulk.addr_of(r, c);
+            bulk.as_mut_slice_untracked()[r * 3 + c] += 1;
+            t_bulk.record_changed_at(&[addr]);
+        }
+        assert_eq!(t_bulk.address_writes(), t_cell.address_writes());
+        assert_eq!(t_bulk.snapshot(), t_cell.snapshot());
+        assert_eq!(bulk.peek(1, 2), cell.peek(1, 2));
+        assert_eq!(bulk.elem_words(), 1);
     }
 
     #[test]

@@ -156,6 +156,30 @@ impl StateTracker {
         self.backend.record_write(addr, changed)
     }
 
+    /// Records `n` changed writes at the consecutive addresses `start..start + n`
+    /// within the current epoch — the bulk face of [`StateTracker::record_write`] used
+    /// by batch kernels whose writes land on a contiguous run (see
+    /// [`crate::backend::TrackerBackend::record_changed_run`]).
+    #[inline]
+    pub fn record_changed_run(&self, start: Option<usize>, n: u64) {
+        self.backend.record_changed_run(start, n)
+    }
+
+    /// Records one changed write at each of `addrs` within the current epoch (see
+    /// [`crate::backend::TrackerBackend::record_changed_at`]).
+    #[inline]
+    pub fn record_changed_at(&self, addrs: &[usize]) {
+        self.backend.record_changed_at(addrs)
+    }
+
+    /// Activates the reserved epochs `first..first + n` and records `writes` changed
+    /// word writes in each — the bulk accounting call behind run-length kernels (see
+    /// [`crate::backend::TrackerBackend::record_run_epochs`] for the exact contract).
+    #[inline]
+    pub fn record_run_epochs(&self, first: u64, n: u64, writes: u64, addrs: Option<&[usize]>) {
+        self.backend.record_run_epochs(first, n, writes, addrs)
+    }
+
     /// Records `n` word reads.
     pub fn record_reads(&self, n: u64) {
         self.backend.record_reads(n)

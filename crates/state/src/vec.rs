@@ -46,6 +46,7 @@ impl<T: PartialEq + Clone> TrackedVec<T> {
     }
 
     /// Number of elements.
+    #[inline]
     pub fn len(&self) -> usize {
         self.data.len()
     }
@@ -56,17 +57,20 @@ impl<T: PartialEq + Clone> TrackedVec<T> {
     }
 
     /// Reads element `i` (charged as one read).
+    #[inline]
     pub fn get(&self, i: usize) -> &T {
         self.tracker.record_reads(self.elem_words as u64);
         &self.data[i]
     }
 
     /// Reads element `i` without charging (for reporting code only).
+    #[inline]
     pub fn peek(&self, i: usize) -> &T {
         &self.data[i]
     }
 
     /// Writes `value` into slot `i`; returns `true` if the slot changed.
+    #[inline]
     pub fn set(&mut self, i: usize, value: T) -> bool {
         let changed = self.data[i] != value;
         // Push-based vectors hold `AddrRange::EMPTY` (no per-slot addresses were
@@ -86,6 +90,7 @@ impl<T: PartialEq + Clone> TrackedVec<T> {
 
     /// Applies `f` to element `i` and writes the result back (one read, one write).
     /// Returns `true` if the element changed.
+    #[inline]
     pub fn update(&mut self, i: usize, f: impl FnOnce(&T) -> T) -> bool {
         let new = f(self.get(i));
         self.set(i, new)

@@ -43,30 +43,61 @@ pub fn shuffle(stream: &mut [u64], seed: u64) {
 
 /// Interleaves two streams by alternating elements (the shorter stream is exhausted
 /// first, then the remainder of the longer one is appended).
+///
+/// The output is built in one exact-capacity allocation: the alternating prefix is
+/// written pairwise and the longer stream's tail is appended with one `extend_from_slice`,
+/// so no push ever grows the buffer.
 pub fn interleave(a: &[u64], b: &[u64]) -> Vec<u64> {
     let mut out = Vec::with_capacity(a.len() + b.len());
-    let mut ia = a.iter();
-    let mut ib = b.iter();
-    loop {
-        match (ia.next(), ib.next()) {
-            (Some(&x), Some(&y)) => {
-                out.push(x);
-                out.push(y);
-            }
-            (Some(&x), None) => {
-                out.push(x);
-                out.extend(ia.copied());
-                break;
-            }
-            (None, Some(&y)) => {
-                out.push(y);
-                out.extend(ib.copied());
-                break;
-            }
-            (None, None) => break,
+    let common = a.len().min(b.len());
+    for (&x, &y) in a[..common].iter().zip(&b[..common]) {
+        out.push(x);
+        out.push(y);
+    }
+    out.extend_from_slice(&a[common..]);
+    out.extend_from_slice(&b[common..]);
+    out
+}
+
+/// Run-length encodes a stream: maximal runs of consecutive equal items become one
+/// `(item, count)` pair, in order.  Decoding reproduces the stream exactly, so
+/// feeding the pairs to [`StreamAlgorithm::process_runs`] is equivalent to processing
+/// the stream item by item — the opt-in fast path for sorted or heavily bursty
+/// streams (e.g. [`uniform::grouped_stream`], packet traces with flow locality).
+///
+/// [`StreamAlgorithm::process_runs`]: fsc_state::StreamAlgorithm::process_runs
+pub fn run_length_encode(stream: &[u64]) -> Vec<(u64, u64)> {
+    let mut runs: Vec<(u64, u64)> = Vec::new();
+    for &item in stream {
+        match runs.last_mut() {
+            Some((last, count)) if *last == item => *count += 1,
+            _ => runs.push((item, 1)),
         }
     }
-    out
+    runs
+}
+
+/// Iterator form of [`run_length_encode`]: yields `(item, run)` pairs lazily without
+/// materialising the encoded vector (for pre-pass pipelines over large streams).
+pub fn runs(stream: &[u64]) -> Runs<'_> {
+    Runs { rest: stream }
+}
+
+/// Lazy maximal-run iterator over a stream (see [`runs`]).
+#[derive(Debug, Clone)]
+pub struct Runs<'a> {
+    rest: &'a [u64],
+}
+
+impl Iterator for Runs<'_> {
+    type Item = (u64, u64);
+
+    fn next(&mut self) -> Option<(u64, u64)> {
+        let (&item, _) = self.rest.split_first()?;
+        let len = self.rest.iter().take_while(|&&x| x == item).count();
+        self.rest = &self.rest[len..];
+        Some((item, len as u64))
+    }
 }
 
 #[cfg(test)]
@@ -94,9 +125,39 @@ mod tests {
         let b = vec![2, 2, 2, 2, 2];
         let out = interleave(&a, &b);
         assert_eq!(out.len(), 8);
+        assert_eq!(out.capacity(), 8, "exact-capacity reservation");
         assert_eq!(out.iter().filter(|&&x| x == 1).count(), 3);
-        assert_eq!(out[..2], [1, 2]);
+        assert_eq!(out, vec![1, 2, 1, 2, 1, 2, 2, 2]);
         assert_eq!(interleave(&[], &[7]), vec![7]);
         assert_eq!(interleave(&[7], &[]), vec![7]);
+        // The longer-a case appends a's tail after the alternating prefix.
+        assert_eq!(interleave(&[1, 1, 1], &[2]), vec![1, 2, 1, 1]);
+    }
+
+    #[test]
+    fn run_length_encoding_round_trips() {
+        let stream = [5u64, 5, 5, 2, 9, 9, 5, 5];
+        let encoded = run_length_encode(&stream);
+        assert_eq!(encoded, vec![(5, 3), (2, 1), (9, 2), (5, 2)]);
+        let decoded: Vec<u64> = encoded
+            .iter()
+            .flat_map(|&(item, count)| std::iter::repeat_n(item, count as usize))
+            .collect();
+        assert_eq!(decoded, stream);
+        assert_eq!(runs(&stream).collect::<Vec<_>>(), encoded);
+        assert!(run_length_encode(&[]).is_empty());
+        assert_eq!(runs(&[]).next(), None);
+        assert_eq!(run_length_encode(&[3]), vec![(3, 1)]);
+    }
+
+    #[test]
+    fn runs_iterator_matches_encoding_on_generated_streams() {
+        let stream = crate::uniform::grouped_stream(37, 11);
+        assert_eq!(
+            runs(&stream).collect::<Vec<_>>(),
+            run_length_encode(&stream)
+        );
+        assert_eq!(runs(&stream).count(), 37);
+        assert!(runs(&stream).all(|(_, c)| c == 11));
     }
 }

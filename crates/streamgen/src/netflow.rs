@@ -68,15 +68,22 @@ pub fn flow_trace(spec: &FlowTraceSpec) -> FlowTrace {
         })
         .collect();
 
-    let mut packets = Vec::new();
+    // Draw every flow size first (same rng call sequence as the former interleaved
+    // fill), so the packet buffer can be reserved at its exact final length instead
+    // of growing through the doubling reallocations a multi-hundred-thousand-packet
+    // trace used to trigger.
+    let mouse_sizes: Vec<u64> = (0..spec.mice)
+        .map(|_| rng.gen_range(1..=spec.mouse_max_packets))
+        .collect();
+    let total: u64 = elephant_sizes.iter().sum::<u64>() + mouse_sizes.iter().sum::<u64>();
+    let mut packets = Vec::with_capacity(total as usize);
     for (flow, &size) in elephant_sizes.iter().enumerate() {
         for _ in 0..size {
             packets.push(flow as u64);
         }
     }
-    for mouse in 0..spec.mice {
+    for (mouse, &size) in mouse_sizes.iter().enumerate() {
         let flow = (spec.elephants + mouse) as u64;
-        let size = rng.gen_range(1..=spec.mouse_max_packets);
         for _ in 0..size {
             packets.push(flow);
         }

@@ -39,6 +39,7 @@ impl Zipf {
     }
 
     /// Samples one item (item `0` is the most popular rank).
+    #[inline]
     pub fn sample(&self, rng: &mut impl Rng) -> u64 {
         let u: f64 = rng.gen();
         // Binary search for the first CDF entry ≥ u.

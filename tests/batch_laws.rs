@@ -1,0 +1,317 @@
+//! Batch laws: the specialized `process_batch` kernels (and the run-length
+//! `process_run` kernels) must be **observably identical** to driving the same
+//! algorithm with per-item `update` calls — same answers, same [`StateReport`]
+//! (epochs, state changes, word writes, redundant writes, reads, space), and same
+//! per-address wear tables — for every batch split and every seed.
+//!
+//! Every production `StreamAlgorithm` implementation in the workspace is covered
+//! (the only other impl, the bench-only `LegacyRowsCountMin` reference in
+//! `fsc-bench`, uses the default batch path by construction).  Algorithms whose
+//! constructors accept a tracker run under `StateTracker::with_address_tracking`,
+//! so the comparison pins the full wear table, not just aggregate counters.
+
+use few_state_changes::algorithms::sparse_recovery::FewStateSparseRecovery;
+use few_state_changes::algorithms::{
+    EntropyFewState, FewStateHeavyHitters, FpEstimator, FpSmallEstimator, FullSampleAndHold,
+    Params, SampleAndHold,
+};
+use few_state_changes::baselines::{
+    AmsSketch, CountMin, CountSketch, ExactCounting, MisraGries, PickAndDrop, SampleAndHoldClassic,
+    SpaceSaving,
+};
+use few_state_changes::state::{
+    EntropyEstimator, FrequencyEstimator, MomentEstimator, StateTracker, StreamAlgorithm,
+    SupportRecovery, TrackerKind,
+};
+use few_state_changes::streamgen::{run_length_encode, zipf::zipf_stream};
+
+use proptest::prelude::*;
+
+/// Drives one instance per item and a twin in batches cut at `cuts` (empty batches
+/// included), then asserts report, wear-table, and answer-digest equality.
+fn check_batch_law<A: StreamAlgorithm>(
+    make: impl Fn(&StateTracker) -> A,
+    digest: impl Fn(&A) -> Vec<u64>,
+    stream: &[u64],
+    cuts: &[usize],
+) {
+    let t_item = StateTracker::with_address_tracking();
+    let mut per_item = make(&t_item);
+    for &x in stream {
+        per_item.update(x);
+    }
+
+    let t_batch = StateTracker::with_address_tracking();
+    let mut batched = make(&t_batch);
+    let mut sorted: Vec<usize> = cuts.iter().map(|&c| c.min(stream.len())).collect();
+    sorted.sort_unstable();
+    let mut prev = 0usize;
+    for &c in &sorted {
+        batched.process_batch(&stream[prev..c.max(prev)]);
+        prev = prev.max(c);
+    }
+    batched.process_batch(&stream[prev..]);
+
+    let name = per_item.name().to_string();
+    assert_eq!(
+        batched.report(),
+        per_item.report(),
+        "{name}: batched report diverged"
+    );
+    assert_eq!(
+        batched.tracker().address_writes(),
+        per_item.tracker().address_writes(),
+        "{name}: batched wear table diverged"
+    );
+    assert_eq!(
+        digest(&batched),
+        digest(&per_item),
+        "{name}: batched answers diverged"
+    );
+}
+
+/// Per-item `update` vs run-length `process_runs` over the same stream.
+fn check_run_law<A: StreamAlgorithm>(
+    make: impl Fn(&StateTracker) -> A,
+    digest: impl Fn(&A) -> Vec<u64>,
+    stream: &[u64],
+) {
+    let t_item = StateTracker::with_address_tracking();
+    let mut per_item = make(&t_item);
+    for &x in stream {
+        per_item.update(x);
+    }
+    let t_runs = StateTracker::with_address_tracking();
+    let mut run_based = make(&t_runs);
+    run_based.process_runs(&run_length_encode(stream));
+
+    let name = per_item.name().to_string();
+    assert_eq!(
+        run_based.report(),
+        per_item.report(),
+        "{name}: run-length report diverged"
+    );
+    assert_eq!(
+        run_based.tracker().address_writes(),
+        per_item.tracker().address_writes(),
+        "{name}: run-length wear table diverged"
+    );
+    assert_eq!(
+        digest(&run_based),
+        digest(&per_item),
+        "{name}: run-length answers diverged"
+    );
+}
+
+fn frequency_digest<A: FrequencyEstimator>(alg: &A) -> Vec<u64> {
+    let mut items = alg.tracked_items();
+    items.sort_unstable();
+    let mut out = items.clone();
+    out.extend(items.iter().map(|&i| alg.estimate(i).to_bits()));
+    out.extend((0u64..64).map(|i| alg.estimate(i).to_bits()));
+    out
+}
+
+/// Expands a stream into a bursty one (runs of length 1..=4 per item) so the
+/// run-length kernels exercise both their bulk and their fallback paths.
+fn burstify(stream: &[u64]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(stream.len() * 2);
+    for (i, &x) in stream.iter().enumerate() {
+        for _ in 0..1 + (x as usize + i) % 4 {
+            out.push(x);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Baseline sketches and summaries: batch kernels (specialized for AMS,
+    /// CountMin, CountSketch; default path for the others) ≡ per-item updates.
+    #[test]
+    fn baseline_kernels_obey_the_batch_law(
+        seed in 0u64..1_000,
+        len in 1usize..400,
+        cuts in proptest::collection::vec(0usize..400, 0..5),
+    ) {
+        let stream = zipf_stream(256, len, 1.1, seed);
+
+        check_batch_law(
+            |t| AmsSketch::with_tracker(t, 3, 16, seed),
+            |a| vec![a.estimate_moment().to_bits()],
+            &stream,
+            &cuts,
+        );
+        check_batch_law(
+            |t| CountMin::with_tracker(t, 64, 4, seed),
+            frequency_digest,
+            &stream,
+            &cuts,
+        );
+        check_batch_law(
+            |t| CountSketch::with_tracker(t, 64, 3, seed),
+            frequency_digest,
+            &stream,
+            &cuts,
+        );
+        check_batch_law(
+            |t| MisraGries::with_tracker(t, 8),
+            frequency_digest,
+            &stream,
+            &cuts,
+        );
+        check_batch_law(
+            |t| SpaceSaving::with_tracker(t, 8),
+            frequency_digest,
+            &stream,
+            &cuts,
+        );
+        check_batch_law(
+            |t| ExactCounting::with_tracker(t, 2.0),
+            |a| {
+                let mut d = frequency_digest(a);
+                d.push(a.estimate_moment().to_bits());
+                d.push(a.estimate_entropy().to_bits());
+                d
+            },
+            &stream,
+            &cuts,
+        );
+        check_batch_law(
+            |_| SampleAndHoldClassic::new(0.08, seed),
+            frequency_digest,
+            &stream,
+            &cuts,
+        );
+        check_batch_law(
+            |_| PickAndDrop::new(16, 3, seed),
+            |a| a.candidates().into_iter().flat_map(|(i, c)| [i, c]).collect(),
+            &stream,
+            &cuts,
+        );
+        check_batch_law(
+            |t| FewStateSparseRecovery::with_tracker(48, t),
+            |a| {
+                let mut d = a.recovered_support();
+                d.push(a.overflowed() as u64);
+                d
+            },
+            &stream,
+            &cuts,
+        );
+    }
+
+    /// The paper's algorithms: the read-accumulating, level-precomputing batch
+    /// kernels ≡ per-item updates (answers, reports, wear, and the shared-rng
+    /// sequences they must not perturb).
+    #[test]
+    fn fsc_kernels_obey_the_batch_law(
+        seed in 0u64..1_000,
+        len in 64usize..512,
+        cuts in proptest::collection::vec(0usize..512, 0..5),
+    ) {
+        let n = 256;
+        let stream = zipf_stream(n, len, 1.2, seed);
+        let params = Params::new(2.0, 0.3, n, stream.len()).with_seed(seed);
+
+        check_batch_law(
+            |t| SampleAndHold::new(&params, stream.len(), t, seed),
+            frequency_digest,
+            &stream,
+            &cuts,
+        );
+        check_batch_law(
+            |t| FullSampleAndHold::new(&params, t, seed),
+            frequency_digest,
+            &stream,
+            &cuts,
+        );
+        check_batch_law(
+            |_| {
+                FewStateHeavyHitters::new(
+                    params.clone().with_tracker(TrackerKind::FullAddressTracked),
+                )
+            },
+            |a| {
+                let mut d = frequency_digest(a);
+                d.push(a.rough_fp().to_bits());
+                d
+            },
+            &stream,
+            &cuts,
+        );
+        check_batch_law(
+            |t| FpEstimator::with_tracker(params.clone(), t),
+            |a| vec![a.estimate_moment().to_bits()],
+            &stream,
+            &cuts,
+        );
+        check_batch_law(
+            |t| FpSmallEstimator::with_tracker(0.5, 0.4, seed, t),
+            |a| vec![a.estimate_moment().to_bits()],
+            &stream,
+            &cuts,
+        );
+        check_batch_law(
+            |_| EntropyFewState::new(0.3, n, stream.len(), seed),
+            |a| vec![a.estimate_entropy().to_bits()],
+            &stream,
+            &cuts,
+        );
+    }
+
+    /// Run-length kernels (ExactCounting, MisraGries, SpaceSaving, CountMin) ≡
+    /// per-item updates on bursty streams, including the fallback paths (absent
+    /// items, full tables, the Misra-Gries decrement branch).
+    #[test]
+    fn run_kernels_obey_the_run_law(
+        seed in 0u64..1_000,
+        len in 1usize..200,
+    ) {
+        let stream = burstify(&zipf_stream(64, len, 1.0, seed));
+
+        check_run_law(
+            |t| ExactCounting::with_tracker(t, 2.0),
+            frequency_digest,
+            &stream,
+        );
+        check_run_law(|t| MisraGries::with_tracker(t, 6), frequency_digest, &stream);
+        check_run_law(|t| SpaceSaving::with_tracker(t, 6), frequency_digest, &stream);
+        check_run_law(
+            |t| CountMin::with_tracker(t, 32, 4, seed),
+            frequency_digest,
+            &stream,
+        );
+    }
+}
+
+/// Degenerate inputs: empty streams, empty batches, and single-item runs must all
+/// agree with the per-item path (and with each other).
+#[test]
+fn batch_law_handles_degenerate_inputs() {
+    check_batch_law(
+        |t| CountMin::with_tracker(t, 16, 2, 1),
+        frequency_digest,
+        &[],
+        &[0, 0, 3],
+    );
+    check_batch_law(
+        |t| AmsSketch::with_tracker(t, 2, 8, 2),
+        |a| vec![a.estimate_moment().to_bits()],
+        &[7],
+        &[0, 1, 1],
+    );
+    check_run_law(
+        |t| SpaceSaving::with_tracker(t, 4),
+        frequency_digest,
+        &[9, 9, 9, 9],
+    );
+    // process_runs with explicit zero-length runs is a no-op.
+    let t = StateTracker::new();
+    let mut alg = ExactCounting::with_tracker(&t, 1.0);
+    alg.process_runs(&[(5, 0), (6, 2), (7, 0)]);
+    assert_eq!(alg.report().epochs, 2);
+    assert_eq!(alg.estimate(6), 2.0);
+    assert_eq!(alg.estimate(5), 0.0);
+}
