@@ -2,9 +2,16 @@
 
 use fsc_counters::fastmap::{fast_map, FastMap};
 use fsc_counters::hashing::{FoldedItem, FourWise, PolyHash};
-use fsc_state::{Mergeable, MomentEstimator, StateTracker, StreamAlgorithm, TrackedMatrix};
+use fsc_state::snapshot::TrackerState;
+use fsc_state::{
+    impl_queryable, Mergeable, MomentEstimator, Snapshot, SnapshotError, SnapshotReader,
+    SnapshotWriter, StateTracker, StreamAlgorithm, TrackedMatrix,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Stable checkpoint-header id of [`AmsSketch`].
+const SNAPSHOT_ID: &str = "ams";
 
 /// Memory budget of the per-batch sign-pattern memo in [`AmsSketch`]'s batch kernel:
 /// packed minus-sign bit vectors are cached for at most this many bytes' worth of
@@ -207,6 +214,50 @@ impl Mergeable for AmsSketch {
                     .update(j / per_group, j % per_group, |c| c + v);
             }
         }
+    }
+}
+
+impl_queryable!(AmsSketch: [moment]);
+
+impl Snapshot for AmsSketch {
+    fn snapshot_id(&self) -> &'static str {
+        SNAPSHOT_ID
+    }
+
+    /// Layout: tracker state, `groups`, `per_group`, sign seed, then the counters in
+    /// counter order (sign functions re-derive from the seed).
+    fn checkpoint(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new(SNAPSHOT_ID);
+        self.tracker.export_state().write_to(&mut w);
+        w.usize(self.groups);
+        w.usize(self.per_group);
+        w.u64(self.seed);
+        for &v in self.counters.iter_untracked() {
+            w.i64(v);
+        }
+        w.finish()
+    }
+
+    fn restore(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = SnapshotReader::open(bytes, SNAPSHOT_ID)?;
+        let state = TrackerState::read_from(&mut r)?;
+        let groups = r.usize()?;
+        let per_group = r.usize()?;
+        let seed = r.u64()?;
+        let plausible = groups
+            .checked_mul(per_group)
+            .is_some_and(|c| c >= 1 && r.remaining() >= c.saturating_mul(8));
+        if !plausible {
+            return Err(SnapshotError::Corrupt("ams dimensions"));
+        }
+        let tracker = StateTracker::of_kind(state.kind);
+        let mut alg = AmsSketch::with_tracker(&tracker, groups, per_group, seed);
+        for cell in alg.counters.as_mut_slice_untracked() {
+            *cell = r.i64()?;
+        }
+        tracker.import_state(&state);
+        r.finish()?;
+        Ok(alg)
     }
 }
 

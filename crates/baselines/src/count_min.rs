@@ -1,9 +1,16 @@
 //! The CountMin sketch [CM05].
 
 use fsc_counters::hashing::TabulationHash;
-use fsc_state::{FrequencyEstimator, Mergeable, StateTracker, StreamAlgorithm, TrackedMatrix};
+use fsc_state::snapshot::TrackerState;
+use fsc_state::{
+    impl_queryable, FrequencyEstimator, Mergeable, Snapshot, SnapshotError, SnapshotReader,
+    SnapshotWriter, StateTracker, StreamAlgorithm, TrackedMatrix,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Stable checkpoint-header id of [`CountMin`].
+const SNAPSHOT_ID: &str = "count_min";
 
 /// A CountMin sketch with `depth` rows of `width` counters.
 ///
@@ -160,6 +167,51 @@ impl Mergeable for CountMin {
                 }
             }
         }
+    }
+}
+
+impl_queryable!(CountMin: [frequency]);
+
+impl Snapshot for CountMin {
+    fn snapshot_id(&self) -> &'static str {
+        SNAPSHOT_ID
+    }
+
+    /// Layout: tracker state, `width`, `depth`, hash `seed`, then the counter table in
+    /// row-major order.  The hash functions are not serialized — they are a
+    /// deterministic function of the seed and are re-derived on restore.
+    fn checkpoint(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new(SNAPSHOT_ID);
+        self.tracker.export_state().write_to(&mut w);
+        w.usize(self.width);
+        w.usize(self.table.rows());
+        w.u64(self.seed);
+        for &v in self.table.iter_untracked() {
+            w.u64(v);
+        }
+        w.finish()
+    }
+
+    fn restore(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = SnapshotReader::open(bytes, SNAPSHOT_ID)?;
+        let state = TrackerState::read_from(&mut r)?;
+        let width = r.usize()?;
+        let depth = r.usize()?;
+        let seed = r.u64()?;
+        let plausible = width
+            .checked_mul(depth)
+            .is_some_and(|c| c >= 1 && r.remaining() >= c.saturating_mul(8));
+        if !plausible {
+            return Err(SnapshotError::Corrupt("count_min dimensions"));
+        }
+        let tracker = StateTracker::of_kind(state.kind);
+        let mut alg = CountMin::with_tracker(&tracker, width, depth, seed);
+        for cell in alg.table.as_mut_slice_untracked() {
+            *cell = r.u64()?;
+        }
+        tracker.import_state(&state);
+        r.finish()?;
+        Ok(alg)
     }
 }
 

@@ -1,9 +1,16 @@
 //! The CountSketch [CCF04].
 
 use fsc_counters::hashing::{multiply_shift_bucket, FoldedItem, FourWise, PolyHash};
-use fsc_state::{FrequencyEstimator, Mergeable, StateTracker, StreamAlgorithm, TrackedMatrix};
+use fsc_state::snapshot::TrackerState;
+use fsc_state::{
+    impl_queryable, FrequencyEstimator, Mergeable, Snapshot, SnapshotError, SnapshotReader,
+    SnapshotWriter, StateTracker, StreamAlgorithm, TrackedMatrix,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Stable checkpoint-header id of [`CountSketch`].
+const SNAPSHOT_ID: &str = "count_sketch";
 
 /// A CountSketch with `depth` rows of `width` signed counters.
 ///
@@ -147,6 +154,50 @@ impl Mergeable for CountSketch {
                 }
             }
         }
+    }
+}
+
+impl_queryable!(CountSketch: [frequency]);
+
+impl Snapshot for CountSketch {
+    fn snapshot_id(&self) -> &'static str {
+        SNAPSHOT_ID
+    }
+
+    /// Layout mirrors [`CountMin`](crate::CountMin): tracker state, dimensions, hash
+    /// seed, then the signed counter table (hash functions re-derive from the seed).
+    fn checkpoint(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new(SNAPSHOT_ID);
+        self.tracker.export_state().write_to(&mut w);
+        w.usize(self.width);
+        w.usize(self.table.rows());
+        w.u64(self.seed);
+        for &v in self.table.iter_untracked() {
+            w.i64(v);
+        }
+        w.finish()
+    }
+
+    fn restore(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = SnapshotReader::open(bytes, SNAPSHOT_ID)?;
+        let state = TrackerState::read_from(&mut r)?;
+        let width = r.usize()?;
+        let depth = r.usize()?;
+        let seed = r.u64()?;
+        let plausible = width
+            .checked_mul(depth)
+            .is_some_and(|c| c >= 1 && r.remaining() >= c.saturating_mul(8));
+        if !plausible {
+            return Err(SnapshotError::Corrupt("count_sketch dimensions"));
+        }
+        let tracker = StateTracker::of_kind(state.kind);
+        let mut alg = CountSketch::with_tracker(&tracker, width, depth, seed);
+        for cell in alg.table.as_mut_slice_untracked() {
+            *cell = r.i64()?;
+        }
+        tracker.import_state(&state);
+        r.finish()?;
+        Ok(alg)
     }
 }
 

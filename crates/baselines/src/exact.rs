@@ -1,10 +1,14 @@
 //! Exact counting with a full frequency table (the "no sketching" reference point).
 
 use fsc_counters::fastmap::FastTrackedMap;
+use fsc_state::snapshot::TrackerState;
 use fsc_state::{
-    EntropyEstimator, FrequencyEstimator, Mergeable, MomentEstimator, StateTracker,
-    StreamAlgorithm, SupportRecovery,
+    impl_queryable, EntropyEstimator, FrequencyEstimator, Mergeable, MomentEstimator, Snapshot,
+    SnapshotError, SnapshotReader, SnapshotWriter, StateTracker, StreamAlgorithm, SupportRecovery,
 };
+
+/// Stable checkpoint-header id of [`ExactCounting`].
+const SNAPSHOT_ID: &str = "exact_counting";
 
 /// Maintains the exact frequency of every distinct item in a tracked hash map.
 ///
@@ -46,6 +50,21 @@ impl ExactCounting {
     /// [`Mergeable::merge_from`] folds in another shard's table.
     pub fn stream_len(&self) -> u64 {
         self.counts.iter_untracked().map(|(_, &c)| c).sum()
+    }
+
+    /// Counts in sorted-key order.  Floating-point reductions over the table
+    /// (moments, entropy) sum in this order so their results are a function of the
+    /// table *contents* alone — hash-map iteration order is an implementation detail
+    /// that checkpoint/restore does not preserve, and f64 addition is not
+    /// order-invariant at the last bit.
+    fn sorted_counts(&self) -> Vec<u64> {
+        let mut entries: Vec<(u64, u64)> = self
+            .counts
+            .iter_untracked()
+            .map(|(&k, &v)| (k, v))
+            .collect();
+        entries.sort_unstable();
+        entries.into_iter().map(|(_, c)| c).collect()
     }
 }
 
@@ -116,9 +135,9 @@ impl MomentEstimator for ExactCounting {
     }
 
     fn estimate_moment(&self) -> f64 {
-        self.counts
-            .iter_untracked()
-            .map(|(_, &c)| (c as f64).powf(self.p))
+        self.sorted_counts()
+            .into_iter()
+            .map(|c| (c as f64).powf(self.p))
             .sum()
     }
 }
@@ -129,13 +148,43 @@ impl EntropyEstimator for ExactCounting {
         if m == 0.0 {
             return 0.0;
         }
-        self.counts
-            .iter_untracked()
-            .map(|(_, &c)| {
+        self.sorted_counts()
+            .into_iter()
+            .map(|c| {
                 let q = c as f64 / m;
                 -q * q.log2()
             })
             .sum()
+    }
+}
+
+impl_queryable!(ExactCounting: [frequency, moment, entropy, support]);
+
+impl Snapshot for ExactCounting {
+    fn snapshot_id(&self) -> &'static str {
+        SNAPSHOT_ID
+    }
+
+    /// Layout: tracker state, moment order `p`, then the frequency table in
+    /// sorted-key order.
+    fn checkpoint(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new(SNAPSHOT_ID);
+        self.tracker.export_state().write_to(&mut w);
+        w.f64(self.p);
+        crate::write_counter_table(&mut w, &self.counts);
+        w.finish()
+    }
+
+    fn restore(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = SnapshotReader::open(bytes, SNAPSHOT_ID)?;
+        let state = TrackerState::read_from(&mut r)?;
+        let p = r.f64()?;
+        let tracker = StateTracker::of_kind(state.kind);
+        let mut alg = ExactCounting::with_tracker(&tracker, p);
+        crate::read_counter_table(&mut r, &mut alg.counts)?;
+        tracker.import_state(&state);
+        r.finish()?;
+        Ok(alg)
     }
 }
 

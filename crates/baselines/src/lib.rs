@@ -39,6 +39,38 @@ pub use pick_and_drop::PickAndDrop;
 pub use sample_hold::SampleAndHoldClassic;
 pub use space_saving::SpaceSaving;
 
+/// Serializes a `u64 → u64` counter table in sorted-key order (deterministic bytes:
+/// two observably identical summaries produce identical checkpoints even though hash
+/// map iteration order is an implementation detail).
+pub(crate) fn write_counter_table(
+    w: &mut fsc_state::SnapshotWriter,
+    counters: &fsc_counters::fastmap::FastTrackedMap<u64, u64>,
+) {
+    let mut entries: Vec<(u64, u64)> = counters.iter_untracked().map(|(&k, &v)| (k, v)).collect();
+    entries.sort_unstable();
+    w.usize(entries.len());
+    for (key, count) in entries {
+        w.u64(key);
+        w.u64(count);
+    }
+}
+
+/// Restores a counter table serialized by [`write_counter_table`] into a freshly
+/// constructed (empty) map, without accounting — the caller finishes with
+/// [`fsc_state::StateTracker::import_state`].
+pub(crate) fn read_counter_table(
+    r: &mut fsc_state::SnapshotReader<'_>,
+    counters: &mut fsc_counters::fastmap::FastTrackedMap<u64, u64>,
+) -> Result<(), fsc_state::SnapshotError> {
+    let len = r.len_prefix(16)?;
+    for _ in 0..len {
+        let key = r.u64()?;
+        let count = r.u64()?;
+        counters.insert_untracked(key, count);
+    }
+    Ok(())
+}
+
 /// The shared bulk step of the run-length (`process_run`) kernels of the
 /// count-increment summaries (ExactCounting, Misra-Gries, SpaceSaving): folds
 /// `remaining` occurrences of an `item` that is **already present** in `counters`

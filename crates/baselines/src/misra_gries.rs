@@ -1,7 +1,14 @@
 //! The Misra-Gries frequent-items summary [MG82].
 
 use fsc_counters::fastmap::FastTrackedMap;
-use fsc_state::{FrequencyEstimator, Mergeable, StateTracker, StreamAlgorithm};
+use fsc_state::snapshot::TrackerState;
+use fsc_state::{
+    impl_queryable, FrequencyEstimator, Mergeable, Snapshot, SnapshotError, SnapshotReader,
+    SnapshotWriter, StateTracker, StreamAlgorithm,
+};
+
+/// Stable checkpoint-header id of [`MisraGries`].
+const SNAPSHOT_ID: &str = "misra_gries";
 
 /// The deterministic Misra-Gries summary with `k` counters.
 ///
@@ -127,6 +134,41 @@ impl Mergeable for MisraGries {
             }
             self.counters.retain(|_, &c| c > 0);
         }
+    }
+}
+
+impl_queryable!(MisraGries: [frequency]);
+
+impl Snapshot for MisraGries {
+    fn snapshot_id(&self) -> &'static str {
+        SNAPSHOT_ID
+    }
+
+    /// Layout: tracker state, `k`, then the counter table in sorted-key order.
+    fn checkpoint(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new(SNAPSHOT_ID);
+        self.tracker.export_state().write_to(&mut w);
+        w.usize(self.k);
+        crate::write_counter_table(&mut w, &self.counters);
+        w.finish()
+    }
+
+    fn restore(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = SnapshotReader::open(bytes, SNAPSHOT_ID)?;
+        let state = TrackerState::read_from(&mut r)?;
+        let k = r.usize()?;
+        if k == 0 {
+            return Err(SnapshotError::Corrupt("misra_gries capacity"));
+        }
+        let tracker = StateTracker::of_kind(state.kind);
+        let mut alg = MisraGries::with_tracker(&tracker, k);
+        crate::read_counter_table(&mut r, &mut alg.counters)?;
+        if alg.counters.len() > k {
+            return Err(SnapshotError::Corrupt("misra_gries table exceeds capacity"));
+        }
+        tracker.import_state(&state);
+        r.finish()?;
+        Ok(alg)
     }
 }
 

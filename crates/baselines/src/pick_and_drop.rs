@@ -12,9 +12,16 @@
 //! replacement by local-count comparison, several independent rows) without the full
 //! parameter schedule of [BO13], which is all that is needed to exhibit the phenomenon.
 
-use fsc_state::{FrequencyEstimator, StateTracker, StreamAlgorithm, TrackedCell};
+use fsc_state::snapshot::TrackerState;
+use fsc_state::{
+    impl_queryable, FrequencyEstimator, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter,
+    StateTracker, StreamAlgorithm, TrackedCell,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Stable checkpoint-header id of [`PickAndDrop`].
+const SNAPSHOT_ID: &str = "pick_and_drop";
 
 #[derive(Debug, Clone)]
 struct Row {
@@ -43,8 +50,14 @@ pub struct PickAndDrop {
 impl PickAndDrop {
     /// Creates a sampler with `rows ≥ 1` rows and blocks of `block_len ≥ 1` updates.
     pub fn new(block_len: usize, rows: usize, seed: u64) -> Self {
+        Self::with_tracker(&StateTracker::new(), block_len, rows, seed)
+    }
+
+    /// Creates a sampler attached to a caller-supplied tracker (e.g. an
+    /// address-tracked one for wear analysis).
+    pub fn with_tracker(tracker: &StateTracker, block_len: usize, rows: usize, seed: u64) -> Self {
         assert!(block_len >= 1 && rows >= 1);
-        let tracker = StateTracker::new();
+        let tracker = tracker.clone();
         let mut rng = StdRng::seed_from_u64(seed);
         let rows: Vec<Row> = (0..rows)
             .map(|_| Row {
@@ -127,6 +140,75 @@ impl StreamAlgorithm for PickAndDrop {
 
     fn tracker(&self) -> &StateTracker {
         &self.tracker
+    }
+}
+
+impl_queryable!(PickAndDrop: [frequency]);
+
+impl Snapshot for PickAndDrop {
+    fn snapshot_id(&self) -> &'static str {
+        SNAPSHOT_ID
+    }
+
+    /// Layout: tracker state, `block_len`, row count, `pos_in_block`, the live rng
+    /// state, then per row: pick offset, flags, and the candidate/pending cells.
+    fn checkpoint(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new(SNAPSHOT_ID);
+        self.tracker.export_state().write_to(&mut w);
+        w.usize(self.block_len);
+        w.usize(self.rows.len());
+        w.usize(self.pos_in_block);
+        for word in self.rng.state() {
+            w.u64(word);
+        }
+        for row in &self.rows {
+            w.usize(row.pick_offset);
+            w.bool(row.has_candidate);
+            w.bool(row.has_pending);
+            let (item, count) = *row.candidate.peek();
+            w.u64(item);
+            w.u64(count);
+            let (item, count) = *row.pending.peek();
+            w.u64(item);
+            w.u64(count);
+        }
+        w.finish()
+    }
+
+    fn restore(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = SnapshotReader::open(bytes, SNAPSHOT_ID)?;
+        let state = TrackerState::read_from(&mut r)?;
+        let block_len = r.usize()?;
+        let row_count = r.usize()?;
+        let pos_in_block = r.usize()?;
+        // Fixed tail: the rng state (4 × 8 bytes); per row: offset (8) + 2 flags (2)
+        // + two cells (32).
+        if block_len == 0 || row_count == 0 || r.remaining() < 32 + row_count.saturating_mul(42) {
+            return Err(SnapshotError::Corrupt("pick_and_drop structure"));
+        }
+        let rng_state = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+        let tracker = StateTracker::of_kind(state.kind);
+        // Cells are rebuilt in construction order, so their tracked addresses match
+        // the originals; the seed is irrelevant because offsets and rng state are
+        // overwritten below.
+        let mut alg = PickAndDrop::with_tracker(&tracker, block_len, row_count, 0);
+        alg.pos_in_block = pos_in_block;
+        alg.rng = StdRng::from_state(rng_state);
+        for row in &mut alg.rows {
+            row.pick_offset = r.usize()?;
+            if row.pick_offset >= block_len {
+                return Err(SnapshotError::Corrupt("pick offset out of range"));
+            }
+            row.has_candidate = r.bool()?;
+            row.has_pending = r.bool()?;
+            let candidate = (r.u64()?, r.u64()?);
+            row.candidate.set_untracked(candidate);
+            let pending = (r.u64()?, r.u64()?);
+            row.pending.set_untracked(pending);
+        }
+        tracker.import_state(&state);
+        r.finish()?;
+        Ok(alg)
     }
 }
 

@@ -1,9 +1,16 @@
 //! The classic Sample-and-Hold of Estan and Varghese [EV02].
 
 use fsc_counters::fastmap::FastTrackedMap;
-use fsc_state::{FrequencyEstimator, StateTracker, StreamAlgorithm};
+use fsc_state::snapshot::TrackerState;
+use fsc_state::{
+    impl_queryable, FrequencyEstimator, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter,
+    StateTracker, StreamAlgorithm,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Stable checkpoint-header id of [`SampleAndHoldClassic`].
+const SNAPSHOT_ID: &str = "sample_and_hold_classic";
 
 /// Classic Sample-and-Hold: each packet is sampled with a fixed probability; once an
 /// item is sampled, an exact counter is created and incremented on *every* subsequent
@@ -27,14 +34,19 @@ pub struct SampleAndHoldClassic {
 impl SampleAndHoldClassic {
     /// Creates an instance sampling each packet with probability `sample_prob`.
     pub fn new(sample_prob: f64, seed: u64) -> Self {
+        Self::with_tracker(&StateTracker::new(), sample_prob, seed)
+    }
+
+    /// Creates an instance attached to a caller-supplied tracker (e.g. an
+    /// address-tracked one for wear analysis, or a lean one for sharded runs).
+    pub fn with_tracker(tracker: &StateTracker, sample_prob: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&sample_prob));
-        let tracker = StateTracker::new();
         Self {
-            counters: FastTrackedMap::new(&tracker),
+            counters: FastTrackedMap::new(tracker),
             sample_prob,
             rng: StdRng::seed_from_u64(seed),
             name: format!("SampleAndHold[EV02](p={sample_prob})"),
-            tracker,
+            tracker: tracker.clone(),
         }
     }
 
@@ -64,6 +76,44 @@ impl StreamAlgorithm for SampleAndHoldClassic {
 
     fn tracker(&self) -> &StateTracker {
         &self.tracker
+    }
+}
+
+impl_queryable!(SampleAndHoldClassic: [frequency]);
+
+impl Snapshot for SampleAndHoldClassic {
+    fn snapshot_id(&self) -> &'static str {
+        SNAPSHOT_ID
+    }
+
+    /// Layout: tracker state, `sample_prob`, the live rng state (sampling decisions
+    /// after a restore continue the exact sequence), then the held-counter table.
+    fn checkpoint(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new(SNAPSHOT_ID);
+        self.tracker.export_state().write_to(&mut w);
+        w.f64(self.sample_prob);
+        for word in self.rng.state() {
+            w.u64(word);
+        }
+        crate::write_counter_table(&mut w, &self.counters);
+        w.finish()
+    }
+
+    fn restore(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = SnapshotReader::open(bytes, SNAPSHOT_ID)?;
+        let state = TrackerState::read_from(&mut r)?;
+        let sample_prob = r.f64()?;
+        if !(0.0..=1.0).contains(&sample_prob) {
+            return Err(SnapshotError::Corrupt("sample probability out of range"));
+        }
+        let rng_state = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+        let tracker = StateTracker::of_kind(state.kind);
+        let mut alg = SampleAndHoldClassic::with_tracker(&tracker, sample_prob, 0);
+        alg.rng = StdRng::from_state(rng_state);
+        crate::read_counter_table(&mut r, &mut alg.counters)?;
+        tracker.import_state(&state);
+        r.finish()?;
+        Ok(alg)
     }
 }
 

@@ -1,7 +1,14 @@
 //! The SpaceSaving summary [MAA05].
 
 use fsc_counters::fastmap::FastTrackedMap;
-use fsc_state::{FrequencyEstimator, Mergeable, StateTracker, StreamAlgorithm};
+use fsc_state::snapshot::TrackerState;
+use fsc_state::{
+    impl_queryable, FrequencyEstimator, Mergeable, Snapshot, SnapshotError, SnapshotReader,
+    SnapshotWriter, StateTracker, StreamAlgorithm,
+};
+
+/// Stable checkpoint-header id of [`SpaceSaving`].
+const SNAPSHOT_ID: &str = "space_saving";
 
 /// The SpaceSaving summary with `k` monitored items.
 ///
@@ -152,6 +159,43 @@ impl Mergeable for SpaceSaving {
         for (item, count) in combined {
             self.counters.insert(item, count);
         }
+    }
+}
+
+impl_queryable!(SpaceSaving: [frequency]);
+
+impl Snapshot for SpaceSaving {
+    fn snapshot_id(&self) -> &'static str {
+        SNAPSHOT_ID
+    }
+
+    /// Layout: tracker state, `k`, then the monitored table in sorted-key order.
+    fn checkpoint(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new(SNAPSHOT_ID);
+        self.tracker.export_state().write_to(&mut w);
+        w.usize(self.k);
+        crate::write_counter_table(&mut w, &self.counters);
+        w.finish()
+    }
+
+    fn restore(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = SnapshotReader::open(bytes, SNAPSHOT_ID)?;
+        let state = TrackerState::read_from(&mut r)?;
+        let k = r.usize()?;
+        if k == 0 {
+            return Err(SnapshotError::Corrupt("space_saving capacity"));
+        }
+        let tracker = StateTracker::of_kind(state.kind);
+        let mut alg = SpaceSaving::with_tracker(&tracker, k);
+        crate::read_counter_table(&mut r, &mut alg.counters)?;
+        if alg.counters.len() > k {
+            return Err(SnapshotError::Corrupt(
+                "space_saving table exceeds capacity",
+            ));
+        }
+        tracker.import_state(&state);
+        r.finish()?;
+        Ok(alg)
     }
 }
 

@@ -1,0 +1,61 @@
+//! F12 — sharded engine vs single shard across config-driven scenarios, with
+//! mid-stream checkpoint/failover; writes `BENCH_engine.json`.
+//!
+//! ```text
+//! cargo run -p fsc-bench --release --bin fig_engine             # full scale
+//! cargo run -p fsc-bench --release --bin fig_engine -- --quick  # CI self-check
+//! ... fig_engine -- --out /tmp/engine.json                      # custom path
+//! ```
+//!
+//! The binary **fails** (non-zero exit) if any cell violates the engine's laws —
+//! a mid-stream failover that does not reproduce the pre-crash engine, an
+//! exact-merge union that diverges from the single-shard reference, or a scenario
+//! that never exercised the checkpoint path — and schema-checks the emitted JSON.
+//! CI runs `--quick`, so a regression in the snapshot/merge layers fails the build
+//! here rather than in a downstream consumer.
+//!
+//! Like `fig_throughput`, only a full-scale run defaults to the committed repo-root
+//! record; `--quick` defaults to a temp file so a smoke run cannot replace the
+//! recorded results with reduced-scale numbers.
+
+use fsc_bench::experiments::engine::{equivalence_check, run, schema_check, to_json};
+use fsc_bench::Scale;
+
+fn flag_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let out_path = flag_value("--out").unwrap_or_else(|| match scale {
+        Scale::Full => format!("{}/../../BENCH_engine.json", env!("CARGO_MANIFEST_DIR")),
+        Scale::Quick => std::env::temp_dir()
+            .join("BENCH_engine.quick.json")
+            .to_string_lossy()
+            .into_owned(),
+    });
+
+    let (table, rows) = run(scale);
+    table.print();
+
+    if let Err(err) = equivalence_check(&rows) {
+        eprintln!("error: {err}");
+        std::process::exit(1);
+    }
+    println!(
+        "equivalence check: every failover reproduced its engine and every exact-merge \
+         union matched the single shard"
+    );
+
+    let json = to_json(scale, &rows);
+    if let Err(err) = schema_check(&json) {
+        eprintln!("error: {err}");
+        std::process::exit(1);
+    }
+    std::fs::write(&out_path, &json).expect("write BENCH_engine.json");
+    println!("wrote {out_path}");
+}

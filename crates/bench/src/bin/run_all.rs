@@ -58,6 +58,7 @@ fn main() {
                 .render()
         }),
         Box::new(move || experiments::sharding::run(scale).0.render()),
+        Box::new(move || experiments::engine::run(scale).0.render()),
     ];
 
     // Print progressively: finished cells are buffered only until every earlier cell

@@ -1,0 +1,399 @@
+//! Experiment F12 — the sharded, checkpointable engine under config-driven
+//! scenarios.
+//!
+//! For every engine-capable registry entry and every scenario in the matrix, two
+//! engines ingest the same synthesized stream: a 4-shard engine and a single-shard
+//! reference.  At the scenario's checkpoint cadence the sharded engine is
+//! checkpointed and a **fresh** engine (simulated crash: new process, constructor
+//! state only) is restored from the bytes and takes over the ingest — so every run
+//! exercises the snapshot law mid-stream, not just at the end.  At the end the
+//! merged shard union is compared against the single-shard reference through the
+//! typed [`Query`] API: exact-merge summaries must agree bit-for-bit, bounded-merge
+//! summaries within their additive bound.
+//!
+//! The scenario matrix is a list of [`Scenario`] *config literals* (steady Zipf,
+//! drifting hot set, flash-crowd bursts, fully sorted, uniform) — adding a workload
+//! is editing that list, not writing a binary.
+
+use fsc_engine::{EngineConfig, Routing, Scenario, Segment, Workload};
+use fsc_state::{Answer, Query};
+
+use crate::registry::{engine_specs, AlgorithmSpec, MakeCtx, Merge};
+use crate::table::{f, Table};
+use crate::Scale;
+
+/// Number of shards the sharded engine runs.
+pub const SHARDS: usize = 4;
+
+/// One measured (algorithm, scenario) cell.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Summary name (shard 0's `StreamAlgorithm::name`).
+    pub algorithm: String,
+    /// Registry id of the summary.
+    pub id: &'static str,
+    /// Scenario name.
+    pub scenario: String,
+    /// Updates ingested.
+    pub updates: usize,
+    /// Combined state changes across shards.
+    pub state_changes: u64,
+    /// Checkpoints taken (and failover-restored) during the run.
+    pub checkpoints: usize,
+    /// Size of the last engine checkpoint, in bytes.
+    pub checkpoint_bytes: usize,
+    /// Whether every mid-stream failover restore reproduced the pre-crash reports.
+    pub restore_ok: bool,
+    /// Largest |sharded − single| difference over the probe queries.
+    pub max_query_diff: f64,
+    /// Merge semantics of the summary (exact unions must have zero diff).
+    pub merge: Merge,
+}
+
+/// The scenario matrix: one engine workload per traffic shape the streamgen layer
+/// can synthesize.  Each entry is a plain config literal.
+pub fn scenarios(scale: Scale) -> Vec<Scenario> {
+    let n = scale.pick(1 << 10, 1 << 14);
+    let m = scale.pick(6_000, 120_000);
+    let cadence = Some(m / 3);
+    let batch = 1_024;
+    let seg = |workload, updates| Segment { workload, updates };
+    vec![
+        Scenario {
+            name: "steady-zipf".into(),
+            universe: n,
+            seed: 41,
+            segments: vec![seg(Workload::Zipf { theta: 1.1 }, m)],
+            checkpoint_every: cadence,
+            batch,
+        },
+        Scenario {
+            name: "drifting-hot-set".into(),
+            universe: n,
+            seed: 42,
+            segments: vec![
+                seg(
+                    Workload::Drift {
+                        theta: 1.2,
+                        step: (n / 3) as u64,
+                    },
+                    m / 3,
+                ),
+                seg(
+                    Workload::Drift {
+                        theta: 1.2,
+                        step: (n / 3) as u64,
+                    },
+                    m / 3,
+                ),
+                seg(
+                    Workload::Drift {
+                        theta: 1.2,
+                        step: (n / 3) as u64,
+                    },
+                    m - 2 * (m / 3),
+                ),
+            ],
+            checkpoint_every: cadence,
+            batch,
+        },
+        Scenario {
+            name: "flash-crowd-bursts".into(),
+            universe: n,
+            seed: 43,
+            segments: vec![
+                seg(Workload::Zipf { theta: 1.0 }, m / 2),
+                seg(
+                    Workload::Bursty {
+                        theta: 1.3,
+                        burst: 32,
+                    },
+                    m - m / 2,
+                ),
+            ],
+            checkpoint_every: cadence,
+            batch,
+        },
+        Scenario {
+            name: "sorted-adversarial".into(),
+            universe: n,
+            seed: 44,
+            segments: vec![seg(Workload::Sorted { theta: 1.0 }, m)],
+            checkpoint_every: cadence,
+            batch,
+        },
+        Scenario {
+            name: "uniform".into(),
+            universe: n,
+            seed: 45,
+            segments: vec![seg(Workload::Uniform, m)],
+            checkpoint_every: cadence,
+            batch,
+        },
+    ]
+}
+
+/// Probe queries compared between the sharded union and the single-shard
+/// reference: point estimates over the densest items plus the moment estimate.
+fn probes(universe: usize) -> Vec<Query> {
+    let mut out: Vec<Query> = (0..64.min(universe as u64)).map(Query::Point).collect();
+    out.push(Query::Moment);
+    out.push(Query::Entropy);
+    out
+}
+
+fn answer_diff(a: &Answer, b: &Answer) -> Option<f64> {
+    match (a, b) {
+        (Answer::Unsupported, Answer::Unsupported) => None,
+        (Answer::Scalar(x), Answer::Scalar(y)) => Some((x - y).abs()),
+        _ => Some(f64::INFINITY),
+    }
+}
+
+/// Runs one (spec, scenario) cell.
+fn run_cell(spec: &AlgorithmSpec, scenario: &Scenario) -> Row {
+    let factory = spec.engine.expect("engine-capable spec");
+    let ctx = MakeCtx::new(scenario.universe, scenario.total_updates());
+    let config = EngineConfig {
+        shards: SHARDS,
+        routing: Routing::RoundRobin,
+        ..EngineConfig::default()
+    };
+    let mut engine = factory(&ctx, config);
+    let mut single = factory(
+        &ctx,
+        EngineConfig {
+            shards: 1,
+            ..config
+        },
+    );
+
+    let stream = scenario.stream();
+    let mut checkpoints = 0usize;
+    let mut checkpoint_bytes = 0usize;
+    let mut restore_ok = true;
+    let mut since_checkpoint = 0usize;
+    for batch in stream.chunks(scenario.batch.max(1)) {
+        engine.ingest(batch);
+        single.ingest(batch);
+        since_checkpoint += batch.len();
+        if let Some(cadence) = scenario.checkpoint_every {
+            if since_checkpoint >= cadence {
+                since_checkpoint = 0;
+                // Checkpoint, simulate a crash, and fail over onto a fresh engine.
+                let bytes = engine.checkpoint();
+                checkpoint_bytes = bytes.len();
+                checkpoints += 1;
+                let before = engine.report();
+                let mut fresh = factory(&ctx, config);
+                restore_ok &= fresh.restore_from(&bytes).is_ok();
+                restore_ok &= fresh.report() == before;
+                restore_ok &= fresh.checkpoint() == bytes;
+                engine = fresh;
+            }
+        }
+    }
+
+    let probes = probes(scenario.universe);
+    // One merged view per engine for the whole probe set (query_many), not one
+    // restore-and-merge pass per probe.
+    let sharded_answers = engine.query_many(&probes).expect("merged view");
+    let reference_answers = single.query_many(&probes).expect("merged view");
+    let mut max_query_diff = 0.0f64;
+    for (sharded, reference) in sharded_answers.iter().zip(&reference_answers) {
+        if let Some(diff) = answer_diff(sharded, reference) {
+            max_query_diff = max_query_diff.max(diff);
+        }
+    }
+
+    Row {
+        algorithm: engine.algorithm(),
+        id: spec.id,
+        scenario: scenario.name.clone(),
+        updates: stream.len(),
+        state_changes: engine.report().state_changes,
+        checkpoints,
+        checkpoint_bytes,
+        restore_ok,
+        max_query_diff,
+        merge: spec.merge,
+    }
+}
+
+/// Runs the full (engine-capable algorithms × scenarios) matrix.
+pub fn run(scale: Scale) -> (Table, Vec<Row>) {
+    let scenario_list = scenarios(scale);
+    let mut rows = Vec::new();
+    for spec in engine_specs() {
+        for scenario in &scenario_list {
+            rows.push(run_cell(&spec, scenario));
+        }
+    }
+
+    let mut table = Table::new(
+        &format!(
+            "F12 — sharded engine ({SHARDS} shards) vs single shard across scenarios, \
+             with mid-stream checkpoint/failover"
+        ),
+        &[
+            "algorithm",
+            "scenario",
+            "updates",
+            "state changes",
+            "checkpoints",
+            "ckpt bytes",
+            "restore ok",
+            "max |Δquery|",
+        ],
+    );
+    for r in &rows {
+        table.row(vec![
+            r.algorithm.clone(),
+            r.scenario.clone(),
+            r.updates.to_string(),
+            r.state_changes.to_string(),
+            r.checkpoints.to_string(),
+            r.checkpoint_bytes.to_string(),
+            r.restore_ok.to_string(),
+            f(r.max_query_diff),
+        ]);
+    }
+    (table, rows)
+}
+
+/// Fails if any cell violated the engine's two laws: every mid-stream failover must
+/// reproduce the pre-crash engine, and exact-merge unions must answer identically
+/// to the single-shard reference.  `fig_engine` (and CI through it) runs this after
+/// every sweep.
+pub fn equivalence_check(rows: &[Row]) -> Result<(), String> {
+    for r in rows {
+        if !r.restore_ok {
+            return Err(format!(
+                "{} on {}: checkpoint/failover did not reproduce the engine",
+                r.algorithm, r.scenario
+            ));
+        }
+        if r.merge == Merge::Exact && r.max_query_diff != 0.0 {
+            return Err(format!(
+                "{} on {}: exact-merge union diverged from the single shard by {}",
+                r.algorithm, r.scenario, r.max_query_diff
+            ));
+        }
+        if r.checkpoints == 0 {
+            return Err(format!(
+                "{} on {}: scenario took no checkpoints — the failover path went untested",
+                r.algorithm, r.scenario
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Renders the rows as the `BENCH_engine.json` record (hand-rolled, like the
+/// throughput record: the workspace is offline and carries no serde).
+pub fn to_json(scale: Scale, rows: &[Row]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"engine\",\n");
+    out.push_str(&format!(
+        "  \"scale\": \"{}\",\n",
+        scale.pick("Quick", "Full")
+    ));
+    out.push_str(&format!("  \"shards\": {SHARDS},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"algorithm\": \"{}\", \"id\": \"{}\", \"scenario\": \"{}\", \
+             \"updates\": {}, \"state_changes\": {}, \"checkpoints\": {}, \
+             \"checkpoint_bytes\": {}, \"restore_ok\": {}, \"max_query_diff\": {:.6}, \
+             \"merge\": \"{:?}\"}}{}\n",
+            r.algorithm,
+            r.id,
+            r.scenario,
+            r.updates,
+            r.state_changes,
+            r.checkpoints,
+            r.checkpoint_bytes,
+            r.restore_ok,
+            r.max_query_diff,
+            r.merge,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Structural check of the emitted JSON (mirrors the throughput schema check: a
+/// malformed record fails CI instead of silently rotting).
+pub fn schema_check(json: &str) -> Result<(), String> {
+    for key in [
+        "\"experiment\": \"engine\"",
+        "\"scale\":",
+        "\"shards\":",
+        "\"rows\":",
+        "\"restore_ok\": true",
+        "\"checkpoint_bytes\":",
+        "\"max_query_diff\":",
+    ] {
+        if !json.contains(key) {
+            return Err(format!("BENCH_engine.json is missing {key}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_matrix_covers_every_engine_spec_and_scenario_and_holds_the_laws() {
+        let (table, rows) = run(Scale::Quick);
+        assert_eq!(
+            rows.len(),
+            engine_specs().len() * scenarios(Scale::Quick).len()
+        );
+        assert_eq!(table.len(), rows.len());
+        equivalence_check(&rows).expect("engine laws must hold");
+        for r in &rows {
+            assert!(
+                r.checkpoints >= 1,
+                "{}: no checkpoint exercised",
+                r.algorithm
+            );
+            assert!(r.checkpoint_bytes > 0);
+            assert_eq!(r.updates, scenarios(Scale::Quick)[0].total_updates());
+            if r.merge == Merge::Exact {
+                assert_eq!(r.max_query_diff, 0.0, "{}", r.algorithm);
+            }
+        }
+        let json = to_json(Scale::Quick, &rows);
+        schema_check(&json).expect("schema");
+    }
+
+    #[test]
+    fn equivalence_check_flags_violations() {
+        let row = |restore_ok, diff, merge, checkpoints| Row {
+            algorithm: "X".into(),
+            id: "x",
+            scenario: "s".into(),
+            updates: 1,
+            state_changes: 1,
+            checkpoints,
+            checkpoint_bytes: 1,
+            restore_ok,
+            max_query_diff: diff,
+            merge,
+        };
+        assert!(equivalence_check(&[row(true, 0.0, Merge::Exact, 1)]).is_ok());
+        assert!(equivalence_check(&[row(false, 0.0, Merge::Exact, 1)]).is_err());
+        assert!(equivalence_check(&[row(true, 0.5, Merge::Exact, 1)]).is_err());
+        assert!(equivalence_check(&[row(true, 0.5, Merge::Bounded, 1)]).is_ok());
+        assert!(equivalence_check(&[row(true, 0.0, Merge::Exact, 0)]).is_err());
+    }
+
+    #[test]
+    fn schema_check_rejects_incomplete_json() {
+        assert!(schema_check("{}").is_err());
+    }
+}

@@ -2,6 +2,7 @@
 
 pub mod accuracy;
 pub mod counterexample;
+pub mod engine;
 pub mod entropy;
 pub mod heavy_hitters;
 pub mod lower_bound;

@@ -27,16 +27,12 @@
 
 use std::time::Instant;
 
-use fsc::sparse_recovery::FewStateSparseRecovery;
-use fsc::{FewStateHeavyHitters, FpEstimator, Params, SampleAndHold};
-use fsc_baselines::{
-    AmsSketch, CountMin, CountSketch, MisraGries, SampleAndHoldClassic, SpaceSaving,
-};
-use fsc_state::{StateTracker, StreamAlgorithm};
+use fsc_state::TrackerKind;
 use fsc_streamgen::netflow::{flow_trace, FlowTraceSpec};
 use fsc_streamgen::uniform::uniform_stream;
 use fsc_streamgen::zipf::zipf_stream;
 
+use crate::registry::{spec, MakeCtx};
 use crate::table::{f, Table};
 use crate::Scale;
 
@@ -74,7 +70,7 @@ impl Mode {
 /// One measured (algorithm, stream, mode) cell.
 #[derive(Debug, Clone)]
 pub struct Row {
-    /// Algorithm name (as reported by [`StreamAlgorithm::name`]).
+    /// Algorithm name (as reported by [`fsc_state::StreamAlgorithm::name`]).
     pub algorithm: String,
     /// Tracker backend the instance ran with (`"full"` or `"lean"`).
     pub tracker: &'static str,
@@ -342,56 +338,30 @@ pub fn extract_cell(old_json: &str, algorithm: &str, tracker: &str, stream: &str
     None
 }
 
-/// A named constructor for one algorithm instance (fresh per timed sample).
-type Case = (
-    &'static str,
-    Box<dyn Fn(usize, usize) -> Box<dyn StreamAlgorithm>>,
-);
+/// The measured cases, as `(registry id, tracker backend)` pairs — the constructor
+/// bodies live in [`crate::registry`] (shared with the engine experiment and every
+/// fig binary), so this experiment only names *which* entries it times and under
+/// which backend.  Order and parameters reproduce the recorded
+/// `BENCH_throughput.json` rows exactly.
+const CASES: &[(&str, TrackerKind)] = &[
+    ("sample_and_hold", TrackerKind::Full),
+    ("few_state_heavy_hitters", TrackerKind::Full),
+    ("fp_estimator", TrackerKind::Full),
+    ("sparse_recovery", TrackerKind::Full),
+    ("misra_gries", TrackerKind::Full),
+    ("space_saving", TrackerKind::Full),
+    ("count_min", TrackerKind::Full),
+    ("count_min", TrackerKind::Lean),
+    ("count_sketch", TrackerKind::Full),
+    ("ams", TrackerKind::Full),
+    ("sample_and_hold_classic", TrackerKind::Full),
+];
 
-fn cases() -> Vec<Case> {
-    vec![
-        (
-            "full",
-            Box::new(|n, m| Box::new(SampleAndHold::standalone(&Params::new(2.0, 0.2, n, m)))),
-        ),
-        (
-            "full",
-            Box::new(|n, m| Box::new(FewStateHeavyHitters::new(Params::new(2.0, 0.25, n, m)))),
-        ),
-        (
-            "full",
-            Box::new(|n, m| Box::new(FpEstimator::new(Params::new(2.0, 0.3, n, m)))),
-        ),
-        (
-            "full",
-            Box::new(|_, _| Box::new(FewStateSparseRecovery::new(1 << 12))),
-        ),
-        (
-            "full",
-            Box::new(|_, _| Box::new(MisraGries::for_epsilon(0.05))),
-        ),
-        (
-            "full",
-            Box::new(|_, _| Box::new(SpaceSaving::for_epsilon(0.05))),
-        ),
-        (
-            "full",
-            Box::new(|_, _| Box::new(CountMin::new(1 << 10, 4, 1))),
-        ),
-        (
-            "lean",
-            Box::new(|_, _| Box::new(CountMin::with_tracker(&StateTracker::lean(), 1 << 10, 4, 1))),
-        ),
-        (
-            "full",
-            Box::new(|_, _| Box::new(CountSketch::new(1 << 10, 5, 2))),
-        ),
-        ("full", Box::new(|_, _| Box::new(AmsSketch::new(5, 48, 3)))),
-        (
-            "full",
-            Box::new(|_, _| Box::new(SampleAndHoldClassic::new(0.01, 4))),
-        ),
-    ]
+fn tracker_label(kind: TrackerKind) -> &'static str {
+    match kind {
+        TrackerKind::Full | TrackerKind::FullAddressTracked => "full",
+        TrackerKind::Lean => "lean",
+    }
 }
 
 /// Runs the throughput sweep over the requested mode(s) and returns the printed
@@ -423,7 +393,11 @@ pub fn run(scale: Scale, mode: Mode) -> (Table, Report) {
         rows: Vec::new(),
     };
 
-    for (tracker, make) in cases() {
+    for &(id, kind) in CASES {
+        let make = spec(id)
+            .unwrap_or_else(|| panic!("unknown registry id {id}"))
+            .make;
+        let tracker = tracker_label(kind);
         for (label, universe, stream) in &streams {
             for run_mode in ["batch", "item"] {
                 if !mode.includes(run_mode) {
@@ -434,7 +408,8 @@ pub fn run(scale: Scale, mode: Mode) -> (Table, Report) {
                 let mut algorithm = String::new();
                 // One warm-up + `samples` timed runs, each on a fresh instance.
                 for sample in 0..=samples {
-                    let mut alg = make(*universe, stream.len());
+                    let ctx = MakeCtx::new(*universe, stream.len()).with_tracker(kind);
+                    let mut alg = make(&ctx);
                     let start = Instant::now();
                     match run_mode {
                         "item" => {

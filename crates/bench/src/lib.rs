@@ -15,6 +15,7 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod registry;
 pub mod sharded;
 pub mod table;
 

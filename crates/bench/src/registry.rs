@@ -1,0 +1,416 @@
+//! The shared algorithm registry: one constructor table for every production
+//! summary, consumed by the throughput sweep, the engine experiment, and the fig
+//! binaries.
+//!
+//! Before this module, each experiment carried its own
+//! `Box<dyn Fn(...) -> Box<dyn StreamAlgorithm>>` constructor list (e.g. the former
+//! `cases()` table in `experiments/throughput.rs`) and answer extraction required
+//! knowing the concrete type.  The registry replaces both: every entry exposes
+//!
+//! * [`AlgorithmSpec::make`] — a constructor returning `Box<dyn Queryable>`, so
+//!   callers ingest through [`StreamAlgorithm`](fsc_state::StreamAlgorithm)
+//!   (supertrait) and extract answers through the enum-based
+//!   [`Query`](fsc_state::Query)/[`Answer`](fsc_state::Answer) API with **no
+//!   downcasts**;
+//! * [`AlgorithmSpec::engine`] — for [`Mergeable`](fsc_state::Mergeable) summaries,
+//!   a factory building a sharded, checkpointable [`fsc_engine::Engine`] behind the
+//!   object-safe [`DynEngine`] face.
+//!
+//! Construction parameters are the benchmark defaults recorded in
+//! `BENCH_throughput.json` (identical to the former per-experiment tables, so the
+//! recorded throughput rows reproduce).  Each constructor is deterministic: fixed
+//! hash/sampling seeds, structure sized from the [`MakeCtx`] universe/stream hints.
+
+use fsc::sparse_recovery::FewStateSparseRecovery;
+use fsc::{
+    EntropyFewState, FewStateHeavyHitters, FpEstimator, FpSmallEstimator, FullSampleAndHold,
+    Params, SampleAndHold,
+};
+use fsc_baselines::{
+    AmsSketch, CountMin, CountSketch, ExactCounting, MisraGries, PickAndDrop, SampleAndHoldClassic,
+    SpaceSaving,
+};
+use fsc_engine::{DynEngine, Engine, EngineConfig};
+use fsc_state::{Queryable, StateTracker, TrackerKind};
+
+/// Construction context: the workload hints and tracker backend a constructor sizes
+/// its instance for.
+#[derive(Debug, Clone, Copy)]
+pub struct MakeCtx {
+    /// Universe size hint `n`.
+    pub universe: usize,
+    /// Stream length hint `m`.
+    pub stream_len: usize,
+    /// Tracker backend kind the instance's own tracker is created with.
+    pub tracker: TrackerKind,
+}
+
+impl MakeCtx {
+    /// A context over the default exact-accounting tracker.
+    pub fn new(universe: usize, stream_len: usize) -> Self {
+        Self {
+            universe,
+            stream_len,
+            tracker: TrackerKind::Full,
+        }
+    }
+
+    /// Same hints, different tracker backend.
+    pub fn with_tracker(mut self, tracker: TrackerKind) -> Self {
+        self.tracker = tracker;
+        self
+    }
+
+    fn tracker(&self) -> StateTracker {
+        StateTracker::of_kind(self.tracker)
+    }
+}
+
+/// How a summary's [`Mergeable`](fsc_state::Mergeable) union relates to an
+/// unsharded run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Merge {
+    /// Linear/exact structures: the sharded union answers identically to a
+    /// single-shard run (given shared seeds).
+    Exact,
+    /// Counter summaries: the union answers within the algorithm's additive bound.
+    Bounded,
+    /// No merge support; the summary cannot back a multi-shard engine.
+    None,
+}
+
+/// Constructor signature of [`AlgorithmSpec::make`].
+pub type MakeFn = fn(&MakeCtx) -> Box<dyn Queryable>;
+
+/// Engine-factory signature of [`AlgorithmSpec::engine`].
+pub type MakeEngineFn = fn(&MakeCtx, EngineConfig) -> Box<dyn DynEngine>;
+
+/// One registry entry (plain function pointers: `Copy`, `'static`, no allocation).
+#[derive(Clone, Copy)]
+pub struct AlgorithmSpec {
+    /// Stable id, matching the algorithm's checkpoint-header id where one exists.
+    pub id: &'static str,
+    /// Constructs a fresh instance behind the query layer.
+    pub make: MakeFn,
+    /// Constructs a sharded engine over the summary (mergeable summaries only).
+    pub engine: Option<MakeEngineFn>,
+    /// Merge semantics of the summary's shard union.
+    pub merge: Merge,
+}
+
+impl std::fmt::Debug for AlgorithmSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AlgorithmSpec")
+            .field("id", &self.id)
+            .field("merge", &self.merge)
+            .field("engine", &self.engine.is_some())
+            .finish()
+    }
+}
+
+// --- constructors (benchmark defaults; keep in sync with BENCH_throughput.json) ----
+
+fn make_sample_and_hold(ctx: &MakeCtx) -> Box<dyn Queryable> {
+    Box::new(SampleAndHold::standalone(
+        &Params::new(2.0, 0.2, ctx.universe, ctx.stream_len).with_tracker(ctx.tracker),
+    ))
+}
+
+fn make_few_state_heavy_hitters(ctx: &MakeCtx) -> Box<dyn Queryable> {
+    Box::new(FewStateHeavyHitters::new(
+        Params::new(2.0, 0.25, ctx.universe, ctx.stream_len).with_tracker(ctx.tracker),
+    ))
+}
+
+fn make_fp_estimator(ctx: &MakeCtx) -> Box<dyn Queryable> {
+    Box::new(FpEstimator::new(
+        Params::new(2.0, 0.3, ctx.universe, ctx.stream_len).with_tracker(ctx.tracker),
+    ))
+}
+
+fn make_full_sample_and_hold(ctx: &MakeCtx) -> Box<dyn Queryable> {
+    Box::new(FullSampleAndHold::standalone(
+        &Params::new(2.0, 0.3, ctx.universe, ctx.stream_len).with_tracker(ctx.tracker),
+    ))
+}
+
+fn make_entropy(ctx: &MakeCtx) -> Box<dyn Queryable> {
+    // EntropyFewState derives its Params internally (Full tracker).
+    Box::new(EntropyFewState::new(0.3, ctx.universe, ctx.stream_len, 9))
+}
+
+fn make_fp_small(ctx: &MakeCtx) -> Box<dyn Queryable> {
+    Box::new(FpSmallEstimator::with_tracker(0.5, 0.4, 6, &ctx.tracker()))
+}
+
+fn make_sparse_recovery(ctx: &MakeCtx) -> Box<dyn Queryable> {
+    Box::new(FewStateSparseRecovery::with_tracker(
+        1 << 12,
+        &ctx.tracker(),
+    ))
+}
+
+fn make_misra_gries(ctx: &MakeCtx) -> Box<dyn Queryable> {
+    Box::new(MisraGries::with_tracker(&ctx.tracker(), 20))
+}
+
+fn make_space_saving(ctx: &MakeCtx) -> Box<dyn Queryable> {
+    Box::new(SpaceSaving::with_tracker(&ctx.tracker(), 20))
+}
+
+fn make_count_min(ctx: &MakeCtx) -> Box<dyn Queryable> {
+    Box::new(CountMin::with_tracker(&ctx.tracker(), 1 << 10, 4, 1))
+}
+
+fn make_count_sketch(ctx: &MakeCtx) -> Box<dyn Queryable> {
+    Box::new(CountSketch::with_tracker(&ctx.tracker(), 1 << 10, 5, 2))
+}
+
+fn make_ams(ctx: &MakeCtx) -> Box<dyn Queryable> {
+    Box::new(AmsSketch::with_tracker(&ctx.tracker(), 5, 48, 3))
+}
+
+fn make_exact_counting(ctx: &MakeCtx) -> Box<dyn Queryable> {
+    Box::new(ExactCounting::with_tracker(&ctx.tracker(), 2.0))
+}
+
+fn make_sample_and_hold_classic(ctx: &MakeCtx) -> Box<dyn Queryable> {
+    Box::new(SampleAndHoldClassic::with_tracker(&ctx.tracker(), 0.01, 4))
+}
+
+fn make_pick_and_drop(ctx: &MakeCtx) -> Box<dyn Queryable> {
+    Box::new(PickAndDrop::with_tracker(&ctx.tracker(), 16, 3, 5))
+}
+
+// --- engine factories (mergeable summaries; shards share seeds so linear sketches
+// merge exactly) ---------------------------------------------------------------
+
+fn engine_count_min(_ctx: &MakeCtx, config: EngineConfig) -> Box<dyn DynEngine> {
+    Box::new(Engine::new(config, |_| {
+        CountMin::with_tracker(&StateTracker::of_kind(config.tracker), 1 << 10, 4, 1)
+    }))
+}
+
+fn engine_count_sketch(_ctx: &MakeCtx, config: EngineConfig) -> Box<dyn DynEngine> {
+    Box::new(Engine::new(config, |_| {
+        CountSketch::with_tracker(&StateTracker::of_kind(config.tracker), 1 << 10, 5, 2)
+    }))
+}
+
+fn engine_ams(_ctx: &MakeCtx, config: EngineConfig) -> Box<dyn DynEngine> {
+    Box::new(Engine::new(config, |_| {
+        AmsSketch::with_tracker(&StateTracker::of_kind(config.tracker), 5, 48, 3)
+    }))
+}
+
+fn engine_misra_gries(_ctx: &MakeCtx, config: EngineConfig) -> Box<dyn DynEngine> {
+    Box::new(Engine::new(config, |_| {
+        MisraGries::with_tracker(&StateTracker::of_kind(config.tracker), 20)
+    }))
+}
+
+fn engine_space_saving(_ctx: &MakeCtx, config: EngineConfig) -> Box<dyn DynEngine> {
+    Box::new(Engine::new(config, |_| {
+        SpaceSaving::with_tracker(&StateTracker::of_kind(config.tracker), 20)
+    }))
+}
+
+fn engine_exact_counting(_ctx: &MakeCtx, config: EngineConfig) -> Box<dyn DynEngine> {
+    Box::new(Engine::new(config, |_| {
+        ExactCounting::with_tracker(&StateTracker::of_kind(config.tracker), 2.0)
+    }))
+}
+
+/// Every production algorithm, in the canonical order (the paper's algorithms
+/// first, then the baselines — the same grouping `tests/batch_laws.rs` and
+/// `tests/snapshot_laws.rs` cover).
+pub fn registry() -> Vec<AlgorithmSpec> {
+    vec![
+        AlgorithmSpec {
+            id: "sample_and_hold",
+            make: make_sample_and_hold,
+            engine: None,
+            merge: Merge::None,
+        },
+        AlgorithmSpec {
+            id: "full_sample_and_hold",
+            make: make_full_sample_and_hold,
+            engine: None,
+            merge: Merge::None,
+        },
+        AlgorithmSpec {
+            id: "few_state_heavy_hitters",
+            make: make_few_state_heavy_hitters,
+            engine: None,
+            merge: Merge::None,
+        },
+        AlgorithmSpec {
+            id: "fp_estimator",
+            make: make_fp_estimator,
+            engine: None,
+            merge: Merge::None,
+        },
+        AlgorithmSpec {
+            id: "fp_small",
+            make: make_fp_small,
+            engine: None,
+            merge: Merge::None,
+        },
+        AlgorithmSpec {
+            id: "entropy_few_state",
+            make: make_entropy,
+            engine: None,
+            merge: Merge::None,
+        },
+        AlgorithmSpec {
+            id: "sparse_recovery",
+            make: make_sparse_recovery,
+            engine: None,
+            merge: Merge::None,
+        },
+        AlgorithmSpec {
+            id: "count_min",
+            make: make_count_min,
+            engine: Some(engine_count_min),
+            merge: Merge::Exact,
+        },
+        AlgorithmSpec {
+            id: "count_sketch",
+            make: make_count_sketch,
+            engine: Some(engine_count_sketch),
+            merge: Merge::Exact,
+        },
+        AlgorithmSpec {
+            id: "ams",
+            make: make_ams,
+            engine: Some(engine_ams),
+            merge: Merge::Exact,
+        },
+        AlgorithmSpec {
+            id: "exact_counting",
+            make: make_exact_counting,
+            engine: Some(engine_exact_counting),
+            merge: Merge::Exact,
+        },
+        AlgorithmSpec {
+            id: "misra_gries",
+            make: make_misra_gries,
+            engine: Some(engine_misra_gries),
+            merge: Merge::Bounded,
+        },
+        AlgorithmSpec {
+            id: "space_saving",
+            make: make_space_saving,
+            engine: Some(engine_space_saving),
+            merge: Merge::Bounded,
+        },
+        AlgorithmSpec {
+            id: "sample_and_hold_classic",
+            make: make_sample_and_hold_classic,
+            engine: None,
+            merge: Merge::None,
+        },
+        AlgorithmSpec {
+            id: "pick_and_drop",
+            make: make_pick_and_drop,
+            engine: None,
+            merge: Merge::None,
+        },
+    ]
+}
+
+/// Looks up one entry by id.
+pub fn spec(id: &str) -> Option<AlgorithmSpec> {
+    registry().into_iter().find(|s| s.id == id)
+}
+
+/// The engine-capable subset (entries with a shard-engine factory).
+pub fn engine_specs() -> Vec<AlgorithmSpec> {
+    registry()
+        .into_iter()
+        .filter(|s| s.engine.is_some())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsc_engine::Routing;
+    use fsc_state::{Answer, Query};
+    use fsc_streamgen::zipf::zipf_stream;
+
+    #[test]
+    fn every_spec_constructs_ingests_and_answers_without_downcasts() {
+        let ctx = MakeCtx::new(1 << 10, 1 << 12);
+        let stream = zipf_stream(ctx.universe, 2_000, 1.1, 7);
+        let queries = [
+            Query::Point(0),
+            Query::Moment,
+            Query::Entropy,
+            Query::Support,
+            Query::TrackedItems,
+        ];
+        for spec in registry() {
+            let mut alg = (spec.make)(&ctx);
+            alg.process_stream(&stream);
+            assert_eq!(alg.report().epochs, 2_000, "{}", spec.id);
+            let answered = queries.iter().filter(|q| alg.supports(q)).count();
+            assert!(answered >= 1, "{} answers no query at all", spec.id);
+            // Unsupported queries answer Unsupported, not panic.
+            for q in &queries {
+                let _ = alg.query(q);
+            }
+        }
+        assert_eq!(registry().len(), 15, "all production algorithms are listed");
+    }
+
+    #[test]
+    fn ids_are_unique_and_lookup_works() {
+        let specs = registry();
+        let mut ids: Vec<&str> = specs.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), specs.len(), "duplicate registry id");
+        assert!(spec("count_min").is_some());
+        assert!(spec("no_such_algorithm").is_none());
+        assert_eq!(engine_specs().len(), 6);
+    }
+
+    #[test]
+    fn engine_factories_reproduce_single_shard_answers_for_exact_merges() {
+        let ctx = MakeCtx::new(1 << 10, 1 << 12);
+        let stream = zipf_stream(ctx.universe, 3_000, 1.2, 11);
+        for spec in engine_specs() {
+            let factory = spec.engine.expect("engine-capable");
+            let config = EngineConfig {
+                shards: 3,
+                routing: Routing::RoundRobin,
+                ..EngineConfig::default()
+            };
+            let mut sharded = factory(&ctx, config);
+            let mut single = factory(
+                &ctx,
+                EngineConfig {
+                    shards: 1,
+                    ..config
+                },
+            );
+            sharded.ingest(&stream);
+            single.ingest(&stream);
+            if spec.merge == Merge::Exact {
+                for q in [Query::Point(0), Query::Point(1), Query::Moment] {
+                    let (a, b) = (sharded.query(&q).unwrap(), single.query(&q).unwrap());
+                    if a == Answer::Unsupported {
+                        continue;
+                    }
+                    assert_eq!(a, b, "{}: sharded union must be exact", spec.id);
+                }
+            }
+            // Checkpoint/restore works through the dyn face for every entry.
+            let bytes = sharded.checkpoint();
+            let mut fresh = factory(&ctx, config);
+            fresh.restore_from(&bytes).expect("restore");
+            assert_eq!(fresh.report(), sharded.report(), "{}", spec.id);
+        }
+    }
+}

@@ -52,6 +52,15 @@ impl GeometricAccumulator {
         self.value_of(self.register() as f64)
     }
 
+    /// Overwrites the register without any accounting — the restore path of
+    /// checkpointing.  The accumulator registers of a restored sketch are rebuilt by
+    /// construction (same tracked addresses) and then set here; the enclosing restore
+    /// finishes with [`StateTracker::import_state`], which replaces every counter the
+    /// rebuild charged.
+    pub fn set_register_untracked(&mut self, register: u64) {
+        self.register.set_untracked(register);
+    }
+
     /// Adds `amount ≥ 0` to the accumulated sum.  The register is advanced to the grid
     /// index of the new total with probabilistic rounding, so the expected represented
     /// value tracks the true sum up to the `(1+β)` grid granularity; the register (and

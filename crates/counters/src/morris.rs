@@ -65,6 +65,29 @@ impl MorrisCounter {
         (1.0 + self.a).powi(-(self.register() as i32))
     }
 
+    /// First tracked address of the register word (recorded by checkpoints; held
+    /// counters are allocated mid-stream, so their addresses are part of the
+    /// serialized state).
+    pub fn addr_start(&self) -> usize {
+        self.register.addr_start()
+    }
+
+    /// Rebuilds a counter at an explicit register value and tracked address without
+    /// any accounting — the restore path of checkpointing (see
+    /// [`fsc_state::TrackedCell::restore_at`]).  The cached acceptance probability is
+    /// recomputed with the exact expression `increment` maintains, so every future
+    /// decision is bit-identical to the checkpointed counter's.
+    pub fn restore_at(tracker: &StateTracker, a: f64, register: u64, addr_start: usize) -> Self {
+        assert!(a > 0.0 && a <= 1.0, "growth parameter must be in (0, 1]");
+        let mut counter = Self {
+            register: TrackedCell::restore_at(tracker, register, addr_start),
+            a,
+            accept_p: 1.0,
+        };
+        counter.accept_p = counter.acceptance_probability();
+        counter
+    }
+
     /// Sets the register directly, keeping the cached acceptance probability in sync
     /// (test helper; production code only advances the register via `increment`).
     #[cfg(test)]

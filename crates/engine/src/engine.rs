@@ -1,0 +1,509 @@
+//! The sharded engine: replica ownership, routing, merged queries, checkpoints.
+
+use fsc_state::snapshot::{SnapshotReader, SnapshotWriter, TrackerState};
+use fsc_state::{
+    Answer, Mergeable, Query, Queryable, Snapshot, SnapshotError, StateReport, StreamAlgorithm,
+    TrackerKind,
+};
+
+/// Checkpoint-header id of an engine checkpoint (shard checkpoints nest inside with
+/// their own algorithm ids).
+const SNAPSHOT_ID: &str = "fsc_engine";
+
+/// How ingested items are distributed across shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Routing {
+    /// Item `t` (global stream position) goes to shard `t mod S`.  Spreads load
+    /// evenly regardless of key skew; exact-merging sketches reproduce the
+    /// single-shard answers under any routing, so this is the default.
+    #[default]
+    RoundRobin,
+    /// Items route by a multiplicative hash of their identity, so all occurrences of
+    /// one item land on the same shard.  Counter summaries (Misra-Gries,
+    /// SpaceSaving) keep per-item counts exact-per-shard under this policy, at the
+    /// cost of load skew on heavy-hitter traffic.
+    ByItemHash,
+}
+
+impl Routing {
+    fn tag(self) -> u8 {
+        match self {
+            Routing::RoundRobin => 0,
+            Routing::ByItemHash => 1,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, SnapshotError> {
+        match tag {
+            0 => Ok(Routing::RoundRobin),
+            1 => Ok(Routing::ByItemHash),
+            _ => Err(SnapshotError::Corrupt("routing tag")),
+        }
+    }
+}
+
+/// Engine construction parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Number of shard replicas (≥ 1).
+    pub shards: usize,
+    /// Routing policy for ingested items.
+    pub routing: Routing,
+    /// Tracker backend kind each shard's summary is constructed with.
+    pub tracker: TrackerKind,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            routing: Routing::RoundRobin,
+            tracker: TrackerKind::Full,
+        }
+    }
+}
+
+/// The bound an engine places on its summary type: ingest
+/// ([`StreamAlgorithm`]), typed queries ([`Queryable`]), checkpoints
+/// ([`Snapshot`]), and shard union ([`Mergeable`]).
+///
+/// Blanket-implemented: any summary with the four capabilities is engine-ready.
+pub trait EngineAlgorithm: StreamAlgorithm + Queryable + Snapshot + Mergeable + Sized {}
+
+impl<T: StreamAlgorithm + Queryable + Snapshot + Mergeable + Sized> EngineAlgorithm for T {}
+
+/// A sharded, checkpointable serving engine over `S` replicas of one summary type.
+///
+/// See the [crate docs](crate) for the design and the laws it relies on.  The shard
+/// summaries must be merge-compatible — built by one constructor with shared
+/// dimensions and hash seeds — which [`Engine::new`]'s factory-closure construction
+/// makes the natural default.
+#[derive(Debug)]
+pub struct Engine<A: EngineAlgorithm> {
+    config: EngineConfig,
+    shards: Vec<A>,
+    /// Total items ingested (drives round-robin routing across batch boundaries).
+    ingested: u64,
+    /// Per-shard routing buffers, reused across batches.
+    buffers: Vec<Vec<u64>>,
+}
+
+/// Multiplicative item hash for [`Routing::ByItemHash`] (SplitMix64 finalizer — the
+/// route must be a stable pure function of the item, independent of shard count
+/// changes elsewhere).
+#[inline]
+fn route_hash(item: u64) -> u64 {
+    let mut x = item.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl<A: EngineAlgorithm> Engine<A> {
+    /// Builds an engine whose `config.shards` replicas are produced by `make`
+    /// (called with the shard index).  For exact sharded answers the factory must
+    /// produce merge-compatible summaries — in practice, ignore the index and build
+    /// identical instances (same dimensions and seeds) on fresh trackers of
+    /// `config.tracker` kind.
+    pub fn new(config: EngineConfig, mut make: impl FnMut(usize) -> A) -> Self {
+        assert!(config.shards >= 1, "an engine needs at least one shard");
+        let shards: Vec<A> = (0..config.shards).map(&mut make).collect();
+        let buffers = vec![Vec::new(); config.shards];
+        Self {
+            config,
+            shards,
+            ingested: 0,
+            buffers,
+        }
+    }
+
+    /// The engine's construction parameters.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total items ingested so far.
+    pub fn ingested(&self) -> u64 {
+        self.ingested
+    }
+
+    /// Read access to one shard's summary (reporting/tests).
+    pub fn shard(&self, index: usize) -> &A {
+        &self.shards[index]
+    }
+
+    /// Ingests a batch: items are routed to their shards and each shard processes
+    /// its sub-batch through the specialized batch kernels, in shard order (the
+    /// engine is sequential per instance; sharding buys mergeable state and
+    /// independent accounting, and `fsc-bench::sharded` shows the same shards
+    /// driven in parallel across threads).
+    pub fn ingest(&mut self, items: &[u64]) {
+        match self.config.routing {
+            Routing::RoundRobin => {
+                let shards = self.shards.len() as u64;
+                for (i, &item) in items.iter().enumerate() {
+                    let shard = ((self.ingested + i as u64) % shards) as usize;
+                    self.buffers[shard].push(item);
+                }
+            }
+            Routing::ByItemHash => {
+                let shards = self.shards.len() as u64;
+                for &item in items {
+                    let shard = (route_hash(item) % shards) as usize;
+                    self.buffers[shard].push(item);
+                }
+            }
+        }
+        self.ingested += items.len() as u64;
+        for (shard, buffer) in self.shards.iter_mut().zip(&mut self.buffers) {
+            if !buffer.is_empty() {
+                shard.process_batch(buffer);
+                buffer.clear();
+            }
+        }
+    }
+
+    /// Builds the merged serving view: shard 0 is cloned via a checkpoint round trip
+    /// (queries must not disturb shard state, and the snapshot law guarantees the
+    /// clone is observably identical), then every other shard is folded in with
+    /// [`Mergeable::merge_from`].
+    pub fn merged_summary(&self) -> Result<A, SnapshotError> {
+        let mut merged = A::restore(&self.shards[0].checkpoint())?;
+        for shard in &self.shards[1..] {
+            merged.merge_from(shard);
+        }
+        Ok(merged)
+    }
+
+    /// Answers a typed query from the merged view.
+    ///
+    /// Each call rebuilds the merged view; batch read-heavy probes through
+    /// [`Engine::query_many`] (or hold a [`Engine::merged_summary`]) to pay the
+    /// restore-and-merge cost once.
+    pub fn query(&self, query: &Query) -> Result<Answer, SnapshotError> {
+        Ok(self.merged_summary()?.query(query))
+    }
+
+    /// Answers a batch of queries from **one** merged view (one checkpoint restore
+    /// plus one merge pass, however many queries follow).
+    pub fn query_many(&self, queries: &[Query]) -> Result<Vec<Answer>, SnapshotError> {
+        let merged = self.merged_summary()?;
+        Ok(queries.iter().map(|q| merged.query(q)).collect())
+    }
+
+    /// Serializes the whole engine — config, ingest position, and one nested
+    /// checkpoint per shard — into a versioned byte string.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new(SNAPSHOT_ID);
+        w.usize(self.shards.len());
+        w.u8(self.config.routing.tag());
+        blank_tracker_state(self.config.tracker).write_to(&mut w);
+        w.u64(self.ingested);
+        for shard in &self.shards {
+            w.bytes(&shard.checkpoint());
+        }
+        w.finish()
+    }
+
+    /// Rebuilds an engine from [`Engine::checkpoint`] bytes.  By the snapshot law
+    /// the result is observably identical: same answers, same per-shard
+    /// [`StateReport`]s and wear tables, same behaviour on subsequently ingested
+    /// batches.
+    pub fn restore(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = SnapshotReader::open(bytes, SNAPSHOT_ID)?;
+        let shard_count = r.usize()?;
+        if shard_count == 0 || shard_count > 1 << 20 {
+            return Err(SnapshotError::Corrupt("shard count"));
+        }
+        let routing = Routing::from_tag(r.u8()?)?;
+        let tracker = TrackerState::read_from(&mut r)?.kind;
+        let ingested = r.u64()?;
+        let mut shards = Vec::with_capacity(shard_count);
+        for _ in 0..shard_count {
+            let shard_bytes = r.byte_slice()?;
+            shards.push(A::restore(shard_bytes)?);
+        }
+        r.finish()?;
+        Ok(Self {
+            config: EngineConfig {
+                shards: shard_count,
+                routing,
+                tracker,
+            },
+            buffers: vec![Vec::new(); shard_count],
+            shards,
+            ingested,
+        })
+    }
+
+    /// Combined accounting across shards ([`StateReport::sharded`] semantics: epochs,
+    /// state changes, writes, and space are additive over the disjoint substreams).
+    pub fn report(&self) -> StateReport {
+        self.shards
+            .iter()
+            .map(|s| s.report())
+            .reduce(|a, b| a.sharded(&b))
+            .expect("an engine has at least one shard")
+    }
+
+    /// Per-shard accounting reports.
+    pub fn shard_reports(&self) -> Vec<StateReport> {
+        self.shards.iter().map(|s| s.report()).collect()
+    }
+
+    /// Per-shard wear tables (present when shards run address-tracked trackers).
+    pub fn shard_wear(&self, index: usize) -> Option<Vec<u64>> {
+        self.shards[index].tracker().address_writes()
+    }
+}
+
+/// A zeroed tracker state of the given kind — the engine header only needs to carry
+/// the *kind* (each shard checkpoint embeds its own full state), but reusing
+/// [`TrackerState`]'s codec keeps the format single-sourced.
+fn blank_tracker_state(kind: TrackerKind) -> TrackerState {
+    TrackerState {
+        kind,
+        epochs: 0,
+        last_change_epoch: 0,
+        state_changes: 0,
+        word_writes: 0,
+        redundant_writes: 0,
+        reads: 0,
+        words_current: 0,
+        words_peak: 0,
+        next_addr: 0,
+        wear: if kind == TrackerKind::FullAddressTracked {
+            Some(Vec::new())
+        } else {
+            None
+        },
+    }
+}
+
+/// The object-safe face of [`Engine`], so registries and scenario runners can hold
+/// engines over different summary types uniformly (`Box<dyn DynEngine>`) without
+/// downcasting.
+pub trait DynEngine {
+    /// Name of the underlying summary (shard 0's [`StreamAlgorithm::name`]).
+    fn algorithm(&self) -> String;
+    /// Number of shards.
+    fn shards(&self) -> usize;
+    /// Total items ingested so far.
+    fn ingested(&self) -> u64;
+    /// Routes and ingests a batch (see [`Engine::ingest`]).
+    fn ingest(&mut self, items: &[u64]);
+    /// Answers a typed query from the merged shard union (see [`Engine::query`]).
+    fn query(&self, query: &Query) -> Result<Answer, SnapshotError>;
+    /// Answers a batch of queries from one merged view (see [`Engine::query_many`]).
+    fn query_many(&self, queries: &[Query]) -> Result<Vec<Answer>, SnapshotError>;
+    /// Serializes the engine (see [`Engine::checkpoint`]).
+    fn checkpoint(&self) -> Vec<u8>;
+    /// Replaces this engine's state with a restored checkpoint (the failover verb:
+    /// a fresh process constructs an engine and restores into it).
+    fn restore_from(&mut self, bytes: &[u8]) -> Result<(), SnapshotError>;
+    /// Combined accounting across shards (see [`Engine::report`]).
+    fn report(&self) -> StateReport;
+    /// Per-shard accounting reports.
+    fn shard_reports(&self) -> Vec<StateReport>;
+}
+
+impl<A: EngineAlgorithm> DynEngine for Engine<A> {
+    fn algorithm(&self) -> String {
+        self.shards[0].name().to_string()
+    }
+
+    fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn ingested(&self) -> u64 {
+        self.ingested
+    }
+
+    fn ingest(&mut self, items: &[u64]) {
+        Engine::ingest(self, items);
+    }
+
+    fn query(&self, query: &Query) -> Result<Answer, SnapshotError> {
+        Engine::query(self, query)
+    }
+
+    fn query_many(&self, queries: &[Query]) -> Result<Vec<Answer>, SnapshotError> {
+        Engine::query_many(self, queries)
+    }
+
+    fn checkpoint(&self) -> Vec<u8> {
+        Engine::checkpoint(self)
+    }
+
+    fn restore_from(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        *self = Engine::restore(bytes)?;
+        Ok(())
+    }
+
+    fn report(&self) -> StateReport {
+        Engine::report(self)
+    }
+
+    fn shard_reports(&self) -> Vec<StateReport> {
+        Engine::shard_reports(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsc_baselines::{CountMin, MisraGries};
+    use fsc_state::StateTracker;
+    use fsc_streamgen::zipf::zipf_stream;
+
+    fn count_min_engine(config: EngineConfig) -> Engine<CountMin> {
+        Engine::new(config, |_| {
+            CountMin::with_tracker(&StateTracker::of_kind(config.tracker), 128, 4, 77)
+        })
+    }
+
+    #[test]
+    fn sharded_engine_reproduces_single_shard_answers_exactly() {
+        let stream = zipf_stream(1 << 10, 6_000, 1.1, 3);
+        for routing in [Routing::RoundRobin, Routing::ByItemHash] {
+            let mut sharded = count_min_engine(EngineConfig {
+                shards: 4,
+                routing,
+                ..EngineConfig::default()
+            });
+            let mut single = count_min_engine(EngineConfig {
+                shards: 1,
+                routing,
+                ..EngineConfig::default()
+            });
+            for batch in stream.chunks(512) {
+                sharded.ingest(batch);
+                single.ingest(batch);
+            }
+            assert_eq!(sharded.ingested(), stream.len() as u64);
+            for item in 0..64u64 {
+                assert_eq!(
+                    sharded.query(&Query::Point(item)).unwrap(),
+                    single.query(&Query::Point(item)).unwrap(),
+                    "{routing:?}: item {item}"
+                );
+            }
+            // Epochs are additive over shards: together they saw the whole stream.
+            assert_eq!(sharded.report().epochs, stream.len() as u64);
+        }
+    }
+
+    #[test]
+    fn restore_of_checkpoint_is_observably_identical_and_continues_identically() {
+        let stream = zipf_stream(512, 4_000, 1.2, 9);
+        let (prefix, suffix) = stream.split_at(2_500);
+        let config = EngineConfig {
+            shards: 3,
+            tracker: TrackerKind::FullAddressTracked,
+            ..EngineConfig::default()
+        };
+        let mut engine = count_min_engine(config);
+        let mut uninterrupted = count_min_engine(config);
+        engine.ingest(prefix);
+        uninterrupted.ingest(prefix);
+
+        let bytes = engine.checkpoint();
+        let mut restored = Engine::<CountMin>::restore(&bytes).expect("restore");
+        assert_eq!(restored.shards(), 3);
+        assert_eq!(restored.ingested(), engine.ingested());
+        assert_eq!(restored.shard_reports(), engine.shard_reports());
+        for i in 0..3 {
+            assert_eq!(restored.shard_wear(i), engine.shard_wear(i), "shard {i}");
+        }
+        assert_eq!(restored.checkpoint(), bytes, "re-checkpoint determinism");
+
+        // The restored engine continues bit-identically to the uninterrupted one.
+        restored.ingest(suffix);
+        uninterrupted.ingest(suffix);
+        assert_eq!(restored.shard_reports(), uninterrupted.shard_reports());
+        assert_eq!(restored.checkpoint(), uninterrupted.checkpoint());
+        for item in 0..32u64 {
+            assert_eq!(
+                restored.query(&Query::Point(item)).unwrap(),
+                uninterrupted.query(&Query::Point(item)).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn queries_do_not_disturb_shard_state() {
+        let stream = zipf_stream(256, 1_000, 1.0, 5);
+        let mut engine = count_min_engine(EngineConfig::default());
+        engine.ingest(&stream);
+        let before = engine.checkpoint();
+        let _ = engine.query(&Query::Point(1)).unwrap();
+        let _ = engine
+            .query(&Query::HeavyHitters { threshold: 10.0 })
+            .unwrap();
+        assert_eq!(engine.checkpoint(), before);
+    }
+
+    #[test]
+    fn dyn_engine_round_trips_through_the_object_safe_face() {
+        let mut engine: Box<dyn DynEngine> = Box::new(count_min_engine(EngineConfig::default()));
+        engine.ingest(&zipf_stream(128, 500, 1.1, 2));
+        assert!(engine.algorithm().contains("CountMin"));
+        assert_eq!(engine.shards(), 4);
+        let bytes = engine.checkpoint();
+        let mut fresh: Box<dyn DynEngine> = Box::new(count_min_engine(EngineConfig::default()));
+        fresh.restore_from(&bytes).expect("failover restore");
+        assert_eq!(fresh.ingested(), 500);
+        assert_eq!(fresh.report(), engine.report());
+        assert_eq!(
+            fresh.query(&Query::Point(3)).unwrap(),
+            engine.query(&Query::Point(3)).unwrap()
+        );
+    }
+
+    #[test]
+    fn bounded_merge_summaries_serve_union_answers() {
+        let stream = zipf_stream(256, 3_000, 1.3, 11);
+        let mut engine = Engine::new(
+            EngineConfig {
+                shards: 2,
+                routing: Routing::ByItemHash,
+                ..EngineConfig::default()
+            },
+            |_| MisraGries::with_tracker(&StateTracker::new(), 32),
+        );
+        engine.ingest(&stream);
+        // Under item-hash routing every occurrence of an item is on one shard, so
+        // the union's top item estimate matches a serial Misra-Gries within the
+        // merge bound; qualitatively, the heaviest item must be reported.
+        let answer = engine
+            .query(&Query::HeavyHitters { threshold: 50.0 })
+            .unwrap();
+        let hh = answer.item_weights().expect("heavy hitter answer");
+        assert!(!hh.is_empty(), "top items survive the union");
+    }
+
+    #[test]
+    fn corrupt_engine_checkpoints_error_not_panic() {
+        let mut engine = count_min_engine(EngineConfig::default());
+        engine.ingest(&zipf_stream(64, 300, 1.1, 1));
+        let bytes = engine.checkpoint();
+        for cut in (0..bytes.len()).step_by(3) {
+            assert!(Engine::<CountMin>::restore(&bytes[..cut]).is_err());
+        }
+        let mut bad = bytes.clone();
+        bad[0] ^= 1;
+        assert!(matches!(
+            Engine::<CountMin>::restore(&bad),
+            Err(SnapshotError::BadMagic)
+        ));
+        // A shard checkpoint of the wrong algorithm type is rejected by the nested
+        // header validation.
+        assert!(Engine::<MisraGries>::restore(&bytes).is_err());
+    }
+}

@@ -1,0 +1,37 @@
+//! # fsc-engine — a checkpointable, sharded streaming engine
+//!
+//! The long-lived serving layer over the repository's summaries: an [`Engine`] owns
+//! `S` replicas ("shards") of one summary type, routes every ingested batch across
+//! them, serves queries from their [`Mergeable`](fsc_state::Mergeable) union, and
+//! persists/recovers itself through the versioned checkpoints of the
+//! [`Snapshot`](fsc_state::Snapshot) layer.
+//!
+//! The design leans on the three laws the algorithm layer already guarantees:
+//!
+//! * **Batch law** — shard ingest goes through the specialized `process_batch`
+//!   kernels, observably identical to per-item updates;
+//! * **Merge law** — linear sketches with shared seeds merge *exactly*, so a sharded
+//!   engine answers queries identically to a single-shard run over the concatenated
+//!   stream (counter summaries merge within their usual additive bounds);
+//! * **Snapshot law** — `restore(checkpoint(e))` is observably identical to `e`
+//!   (answers, per-shard [`StateReport`](fsc_state::StateReport), per-address wear),
+//!   so a crash between checkpoints loses only the updates since the last one.
+//!
+//! Queries never disturb shard state: the merged view is built by restoring shard
+//! 0's checkpoint (exercising the snapshot law on every query) and folding the
+//! remaining shards in with `merge_from`.
+//!
+//! [`scenario`] adds the config-driven workload layer: a [`Scenario`] is a literal
+//! description (segments of Zipf/uniform/sorted/bursty/drifting traffic, a checkpoint
+//! cadence) that synthesizes its stream from `fsc-streamgen`, so a new workload is a
+//! config value, not a new binary.  The `fsc-bench` experiment F12 (`fig_engine`)
+//! drives engines from the shared algorithm registry through these scenarios.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod engine;
+pub mod scenario;
+
+pub use engine::{DynEngine, Engine, EngineConfig, Routing};
+pub use scenario::{Scenario, Segment, Workload};

@@ -17,10 +17,17 @@
 //! numerically delicate Chebyshev-node interpolation of the original reduction while
 //! exercising exactly the same subroutine; the substitution is recorded in `DESIGN.md`.
 
-use fsc_state::{EntropyEstimator, StateTracker, StreamAlgorithm};
+use fsc_state::snapshot::TrackerState;
+use fsc_state::{
+    impl_queryable, EntropyEstimator, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter,
+    StateTracker, StreamAlgorithm,
+};
 
 use crate::fp::FpEstimator;
 use crate::params::Params;
+
+/// Stable checkpoint-header id of [`EntropyFewState`].
+const SNAPSHOT_ID: &str = "entropy_few_state";
 
 /// Entropy estimator built on the few-state-changes moment estimator.
 #[derive(Debug)]
@@ -63,6 +70,38 @@ impl StreamAlgorithm for EntropyFewState {
     /// epoch span it opens is this algorithm's span).
     fn process_batch(&mut self, items: &[u64]) {
         self.inner.process_batch(items);
+    }
+}
+
+impl_queryable!(EntropyFewState: [entropy]);
+
+impl Snapshot for EntropyFewState {
+    fn snapshot_id(&self) -> &'static str {
+        SNAPSHOT_ID
+    }
+
+    /// Layout: tracker state, the inner estimator's parameter set (which pins the
+    /// classification exponent `p` slightly above 1), then its dynamic state.
+    fn checkpoint(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new(SNAPSHOT_ID);
+        self.tracker().export_state().write_to(&mut w);
+        self.inner.params().write_snapshot(&mut w);
+        self.inner.write_dynamic_state(&mut w);
+        w.finish()
+    }
+
+    fn restore(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = SnapshotReader::open(bytes, SNAPSHOT_ID)?;
+        let state = TrackerState::read_from(&mut r)?;
+        let params = Params::read_snapshot(&mut r)?.with_tracker(state.kind);
+        let tracker = StateTracker::of_kind(state.kind);
+        let mut alg = EntropyFewState {
+            inner: FpEstimator::with_tracker(params, &tracker),
+        };
+        alg.inner.read_dynamic_state(&mut r)?;
+        tracker.import_state(&state);
+        r.finish()?;
+        Ok(alg)
     }
 }
 

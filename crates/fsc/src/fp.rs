@@ -26,12 +26,19 @@
 //!   subsampling supplies (set [`Params::reps`] higher for more robustness).
 
 use fsc_counters::hashing::{GeometricLevels, PolyHash, MERSENNE_61};
-use fsc_state::{FrequencyEstimator, MomentEstimator, StateTracker, StreamAlgorithm};
+use fsc_state::snapshot::TrackerState;
+use fsc_state::{
+    impl_queryable, FrequencyEstimator, MomentEstimator, Snapshot, SnapshotError, SnapshotReader,
+    SnapshotWriter, StateTracker, StreamAlgorithm,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::params::Params;
 use crate::sample_and_hold::{process_batch_leveled, SampleAndHold};
+
+/// Stable checkpoint-header id of [`FpEstimator`].
+const SNAPSHOT_ID: &str = "fp_estimator";
 
 /// Algorithm 3: universe-subsampled `SampleAndHold` summaries plus level-set estimation.
 #[derive(Debug)]
@@ -103,6 +110,38 @@ impl FpEstimator {
     /// The randomized level-set boundary shift `λ`.
     pub fn lambda(&self) -> f64 {
         self.lambda
+    }
+
+    /// Serializes the post-construction state: every copy's dynamic state in
+    /// `(repetition, level)` order.  The subsampling hashes, `λ`, and the level
+    /// structure are deterministic functions of the parameters and re-derive on
+    /// restore; the estimator itself holds no rng after construction.
+    pub(crate) fn write_dynamic_state(&self, w: &mut SnapshotWriter) {
+        for row in &self.instances {
+            for inst in row {
+                inst.write_dynamic_state(w);
+            }
+        }
+    }
+
+    /// Restores the state serialized by [`FpEstimator::write_dynamic_state`] into a
+    /// freshly constructed estimator built from the same parameters.
+    pub(crate) fn read_dynamic_state(
+        &mut self,
+        r: &mut SnapshotReader<'_>,
+    ) -> Result<(), SnapshotError> {
+        for row in &mut self.instances {
+            for inst in row {
+                inst.read_dynamic_state(r)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The parameter set the estimator was built from (used by the entropy wrapper's
+    /// checkpoint).
+    pub(crate) fn params(&self) -> &Params {
+        &self.params
     }
 
     /// Per-(repetition, level) sorted `f̂^p` values together with prefix sums of
@@ -299,6 +338,37 @@ impl StreamAlgorithm for FpEstimator {
                 }
             }
         });
+    }
+}
+
+impl_queryable!(FpEstimator: [moment]);
+
+impl Snapshot for FpEstimator {
+    fn snapshot_id(&self) -> &'static str {
+        SNAPSHOT_ID
+    }
+
+    /// Layout: tracker state, the parameter set, then the per-copy dynamic state.
+    /// Defined for instances that own their tracker ([`FpEstimator::new`]); the
+    /// entropy wrapper checkpoints through its own implementation.
+    fn checkpoint(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new(SNAPSHOT_ID);
+        self.tracker.export_state().write_to(&mut w);
+        self.params.write_snapshot(&mut w);
+        self.write_dynamic_state(&mut w);
+        w.finish()
+    }
+
+    fn restore(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = SnapshotReader::open(bytes, SNAPSHOT_ID)?;
+        let state = TrackerState::read_from(&mut r)?;
+        let params = Params::read_snapshot(&mut r)?.with_tracker(state.kind);
+        let tracker = StateTracker::of_kind(state.kind);
+        let mut alg = FpEstimator::with_tracker(params, &tracker);
+        alg.read_dynamic_state(&mut r)?;
+        tracker.import_state(&state);
+        r.finish()?;
+        Ok(alg)
     }
 }
 

@@ -16,15 +16,26 @@
 
 use fsc_counters::stable::{median_of_abs, StableMatrix};
 use fsc_counters::GeometricAccumulator;
-use fsc_state::{MomentEstimator, StateTracker, StreamAlgorithm};
+use fsc_state::snapshot::TrackerState;
+use fsc_state::{
+    impl_queryable, MomentEstimator, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter,
+    StateTracker, StreamAlgorithm,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Stable checkpoint-header id of [`FpSmallEstimator`].
+const SNAPSHOT_ID: &str = "fp_small";
 
 /// p-stable sketch with approximate (few-state-change) accumulators, for `p ∈ (0, 1]`.
 #[derive(Debug)]
 pub struct FpSmallEstimator {
     p: f64,
     eps: f64,
+    /// Construction seed (the p-stable matrix and the normalisation scale are
+    /// deterministic functions of it, which is what lets checkpoints re-derive them
+    /// instead of storing `O(k·independence)` coefficients).
+    seed: u64,
     tracker: StateTracker,
     rng: StdRng,
     matrix: StableMatrix,
@@ -62,6 +73,7 @@ impl FpSmallEstimator {
             name: format!("FpSmallEstimator(p={p}, eps={eps})"),
             p,
             eps,
+            seed,
             tracker: tracker.clone(),
             rng,
             matrix,
@@ -113,6 +125,58 @@ impl StreamAlgorithm for FpSmallEstimator {
 
     fn tracker(&self) -> &StateTracker {
         &self.tracker
+    }
+}
+
+impl_queryable!(FpSmallEstimator: [moment]);
+
+impl Snapshot for FpSmallEstimator {
+    fn snapshot_id(&self) -> &'static str {
+        SNAPSHOT_ID
+    }
+
+    /// Layout: tracker state, `p`, `ε`, the construction seed (matrix + scale
+    /// re-derive from it), the live rng state, then the accumulator registers
+    /// (positive parts, then negative parts).
+    fn checkpoint(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new(SNAPSHOT_ID);
+        self.tracker.export_state().write_to(&mut w);
+        w.f64(self.p);
+        w.f64(self.eps);
+        w.u64(self.seed);
+        for word in self.rng.state() {
+            w.u64(word);
+        }
+        w.usize(self.plus.len());
+        for acc in self.plus.iter().chain(&self.minus) {
+            w.u64(acc.register());
+        }
+        w.finish()
+    }
+
+    fn restore(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = SnapshotReader::open(bytes, SNAPSHOT_ID)?;
+        let state = TrackerState::read_from(&mut r)?;
+        let p = r.f64()?;
+        let eps = r.f64()?;
+        if !(p.is_finite() && p > 0.0 && p <= 1.0 && eps > 0.0 && eps < 1.0) {
+            return Err(SnapshotError::Corrupt("fp_small parameter range"));
+        }
+        let seed = r.u64()?;
+        let rng_state = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+        let rows = r.usize()?;
+        let tracker = StateTracker::of_kind(state.kind);
+        let mut alg = FpSmallEstimator::with_tracker(p, eps, seed, &tracker);
+        if rows != alg.plus.len() {
+            return Err(SnapshotError::Corrupt("fp_small row count mismatch"));
+        }
+        alg.rng = StdRng::from_state(rng_state);
+        for acc in alg.plus.iter_mut().chain(&mut alg.minus) {
+            acc.set_register_untracked(r.u64()?);
+        }
+        tracker.import_state(&state);
+        r.finish()?;
+        Ok(alg)
     }
 }
 

@@ -15,12 +15,19 @@
 //! one or two by a large factor; level `x = 0` (the full stream) always participates.
 
 use fsc_counters::hashing::UnitLevels;
-use fsc_state::{FrequencyEstimator, StateTracker, StreamAlgorithm};
+use fsc_state::snapshot::TrackerState;
+use fsc_state::{
+    impl_queryable, FrequencyEstimator, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter,
+    StateTracker, StreamAlgorithm,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::params::Params;
 use crate::sample_and_hold::{process_batch_leveled, SampleAndHold};
+
+/// Stable checkpoint-header id of [`FullSampleAndHold`].
+const SNAPSHOT_ID: &str = "full_sample_and_hold";
 
 /// Minimum raw median count a subsampled level must reach before its rescaled estimate
 /// is trusted (level 0 is always trusted).
@@ -88,6 +95,36 @@ impl FullSampleAndHold {
         self.instances.len()
     }
 
+    /// Serializes the post-construction state: the ensemble's own rng plus every
+    /// copy's dynamic state, in `(repetition, level)` order.  Structure (level count,
+    /// per-copy sizing) re-derives from the parameters on restore.
+    pub(crate) fn write_dynamic_state(&self, w: &mut SnapshotWriter) {
+        for word in self.rng.state() {
+            w.u64(word);
+        }
+        for row in &self.instances {
+            for inst in row {
+                inst.write_dynamic_state(w);
+            }
+        }
+    }
+
+    /// Restores the state serialized by [`FullSampleAndHold::write_dynamic_state`]
+    /// into a freshly constructed ensemble (same parameters and construction seed, so
+    /// the copies' tracked containers sit at the same addresses).
+    pub(crate) fn read_dynamic_state(
+        &mut self,
+        r: &mut SnapshotReader<'_>,
+    ) -> Result<(), SnapshotError> {
+        self.rng = StdRng::from_state([r.u64()?, r.u64()?, r.u64()?, r.u64()?]);
+        for row in &mut self.instances {
+            for inst in row {
+                inst.read_dynamic_state(r)?;
+            }
+        }
+        Ok(())
+    }
+
     /// Median estimate across repetitions of the raw (unrescaled) count at level `x`.
     fn level_median(&self, item: u64, x: usize) -> f64 {
         let mut estimates: Vec<f64> = self
@@ -144,6 +181,38 @@ impl StreamAlgorithm for FullSampleAndHold {
                 }
             }
         });
+    }
+}
+
+impl_queryable!(FullSampleAndHold: [frequency]);
+
+impl Snapshot for FullSampleAndHold {
+    fn snapshot_id(&self) -> &'static str {
+        SNAPSHOT_ID
+    }
+
+    /// Layout: tracker state, the parameter set, then the ensemble dynamic state.
+    /// Defined for standalone-constructed instances (construction seed =
+    /// [`Params::seed`], own tracker), as produced by
+    /// [`FullSampleAndHold::standalone`].
+    fn checkpoint(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new(SNAPSHOT_ID);
+        self.tracker.export_state().write_to(&mut w);
+        self.params.write_snapshot(&mut w);
+        self.write_dynamic_state(&mut w);
+        w.finish()
+    }
+
+    fn restore(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = SnapshotReader::open(bytes, SNAPSHOT_ID)?;
+        let state = TrackerState::read_from(&mut r)?;
+        let params = Params::read_snapshot(&mut r)?.with_tracker(state.kind);
+        let tracker = StateTracker::of_kind(state.kind);
+        let mut alg = FullSampleAndHold::new(&params, &tracker, params.seed);
+        alg.read_dynamic_state(&mut r)?;
+        tracker.import_state(&state);
+        r.finish()?;
+        Ok(alg)
     }
 }
 

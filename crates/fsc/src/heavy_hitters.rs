@@ -1,9 +1,16 @@
 //! `L_p` heavy hitters with few state changes (Theorem 1.1).
 
-use fsc_state::{FrequencyEstimator, StateTracker, StreamAlgorithm};
+use fsc_state::snapshot::TrackerState;
+use fsc_state::{
+    impl_queryable, FrequencyEstimator, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter,
+    StateTracker, StreamAlgorithm,
+};
 
 use crate::full_sample_and_hold::FullSampleAndHold;
 use crate::params::Params;
+
+/// Stable checkpoint-header id of [`FewStateHeavyHitters`].
+const SNAPSHOT_ID: &str = "few_state_heavy_hitters";
 
 /// The paper's `L_p` heavy-hitter algorithm: `FullSampleAndHold` plus thresholding.
 ///
@@ -90,6 +97,36 @@ impl StreamAlgorithm for FewStateHeavyHitters {
     /// the epoch span it opens is this algorithm's span).
     fn process_batch(&mut self, items: &[u64]) {
         self.inner.process_batch(items);
+    }
+}
+
+impl_queryable!(FewStateHeavyHitters: [frequency]);
+
+impl Snapshot for FewStateHeavyHitters {
+    fn snapshot_id(&self) -> &'static str {
+        SNAPSHOT_ID
+    }
+
+    /// Layout: tracker state, the parameter set, then the inner
+    /// [`FullSampleAndHold`] ensemble's dynamic state (the wrapper itself is
+    /// stateless beyond its parameters).
+    fn checkpoint(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new(SNAPSHOT_ID);
+        self.tracker().export_state().write_to(&mut w);
+        self.params.write_snapshot(&mut w);
+        self.inner.write_dynamic_state(&mut w);
+        w.finish()
+    }
+
+    fn restore(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = SnapshotReader::open(bytes, SNAPSHOT_ID)?;
+        let state = TrackerState::read_from(&mut r)?;
+        let params = Params::read_snapshot(&mut r)?.with_tracker(state.kind);
+        let mut alg = FewStateHeavyHitters::new(params);
+        alg.inner.read_dynamic_state(&mut r)?;
+        alg.tracker().import_state(&state);
+        r.finish()?;
+        Ok(alg)
     }
 }
 

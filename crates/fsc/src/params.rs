@@ -11,7 +11,7 @@
 //!
 //! Every derived quantity is documented with the paper expression it instantiates.
 
-use fsc_state::{StateTracker, TrackerKind};
+use fsc_state::{SnapshotError, SnapshotReader, SnapshotWriter, StateTracker, TrackerKind};
 
 /// Constant-factor profile.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,6 +108,75 @@ impl Params {
     /// pure `Params` concern and algorithm update paths stay backend-agnostic.
     pub fn make_tracker(&self) -> StateTracker {
         StateTracker::of_kind(self.tracker)
+    }
+
+    /// Serializes every field into a checkpoint (used by the `Snapshot`
+    /// implementations of the parameterized algorithms; the constructors are
+    /// deterministic functions of a `Params`, so serializing it is what lets restore
+    /// re-derive hash functions, level structure, and budgets instead of storing them).
+    pub(crate) fn write_snapshot(&self, w: &mut SnapshotWriter) {
+        w.f64(self.p);
+        w.f64(self.eps);
+        w.f64(self.delta);
+        w.usize(self.universe);
+        w.usize(self.stream_len_hint);
+        w.usize(self.reps);
+        w.u8(match self.profile {
+            Profile::Practical => 0,
+            Profile::PaperFaithful => 1,
+        });
+        w.u64(self.seed);
+        // Serialized for Params-codec completeness; restore paths normalise it to the
+        // checkpoint's TrackerState kind (standalone construction keeps them equal).
+        w.u8(self.tracker.tag());
+    }
+
+    /// Restores a parameter set written by [`Params::write_snapshot`], re-validating
+    /// the invariants the constructor asserts (so corrupt bytes surface as a typed
+    /// error instead of a panic inside a derived-quantity computation).
+    pub(crate) fn read_snapshot(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let p = r.f64()?;
+        let eps = r.f64()?;
+        let delta = r.f64()?;
+        let universe = r.usize()?;
+        let stream_len_hint = r.usize()?;
+        let reps = r.usize()?;
+        let profile = match r.u8()? {
+            0 => Profile::Practical,
+            1 => Profile::PaperFaithful,
+            _ => return Err(SnapshotError::Corrupt("profile tag")),
+        };
+        let seed = r.u64()?;
+        let tracker =
+            TrackerKind::from_tag(r.u8()?).ok_or(SnapshotError::Corrupt("tracker kind tag"))?;
+        let valid = p.is_finite()
+            && p >= 1.0
+            && eps > 0.0
+            && eps < 1.0
+            && delta > 0.0
+            && delta < 1.0
+            && universe > 0
+            && stream_len_hint > 0
+            && reps >= 1
+            // Structure sizes derive from these; keep corrupt bytes from requesting
+            // absurd allocations during the deterministic reconstruction.
+            && universe <= 1 << 48
+            && stream_len_hint <= 1 << 48
+            && reps <= 1 << 10;
+        if !valid {
+            return Err(SnapshotError::Corrupt("parameter range"));
+        }
+        Ok(Self {
+            p,
+            eps,
+            delta,
+            universe,
+            stream_len_hint,
+            reps,
+            profile,
+            seed,
+            tracker,
+        })
     }
 
     /// `ln(nm + 2)`, the log factor every bound is expressed in.

@@ -23,11 +23,18 @@
 
 use fsc_counters::fastmap::{fast_map, FastMap};
 use fsc_counters::{Counter, MorrisCounter};
-use fsc_state::{FrequencyEstimator, StateTracker, StreamAlgorithm, TrackedVec};
+use fsc_state::snapshot::TrackerState;
+use fsc_state::{
+    impl_queryable, FrequencyEstimator, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter,
+    StateTracker, StreamAlgorithm, TrackedVec,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::params::Params;
+
+/// Stable checkpoint-header id of [`SampleAndHold`].
+const SNAPSHOT_ID: &str = "sample_and_hold";
 
 /// A held per-item counter: the Morris register plus its creation time.
 #[derive(Debug, Clone)]
@@ -307,6 +314,117 @@ impl SampleAndHold {
         }
     }
 
+    /// Serializes the dynamic (post-construction) state: the live rng, the derived
+    /// budgets, the reservoir contents, the free-slot stack, and the merged item
+    /// table including each held Morris counter's register, creation time, and
+    /// tracked register address (held counters are allocated mid-stream, so their
+    /// addresses cannot be re-derived by reconstruction — recording them is what
+    /// keeps post-restore wear landing on the same cells as the original).
+    ///
+    /// Configuration-derived structure (reservoir size, hash functions) is *not*
+    /// serialized: the caller rebuilds the instance with its deterministic
+    /// constructor first, then overwrites this dynamic state, then imports the
+    /// tracker state — see the ensemble `Snapshot` implementations.
+    pub(crate) fn write_dynamic_state(&self, w: &mut SnapshotWriter) {
+        for word in self.rng.state() {
+            w.u64(word);
+        }
+        w.f64(self.sample_prob);
+        w.usize(self.counter_budget);
+        w.usize(self.free_slots.len());
+        for &slot in &self.free_slots {
+            w.usize(slot);
+        }
+        w.usize(self.reservoir.len());
+        for &slot in self.reservoir.iter_untracked() {
+            w.u64(slot);
+        }
+        let mut entries: Vec<(&u64, &ItemSlot)> = self.items.iter().collect();
+        entries.sort_unstable_by_key(|(&k, _)| k);
+        w.usize(entries.len());
+        for (&item, slot) in entries {
+            w.u64(item);
+            w.u32(slot.reservoir_slots);
+            match &slot.held {
+                Some(held) => {
+                    w.bool(true);
+                    w.u64(held.created_at);
+                    w.u64(held.morris.register());
+                    w.usize(held.morris.addr_start());
+                }
+                None => w.bool(false),
+            }
+        }
+    }
+
+    /// Restores the dynamic state serialized by
+    /// [`SampleAndHold::write_dynamic_state`] into a freshly constructed instance
+    /// (same parameters, same tracker construction order).  The caller finishes with
+    /// [`StateTracker::import_state`].
+    pub(crate) fn read_dynamic_state(
+        &mut self,
+        r: &mut SnapshotReader<'_>,
+    ) -> Result<(), SnapshotError> {
+        self.rng = StdRng::from_state([r.u64()?, r.u64()?, r.u64()?, r.u64()?]);
+        let sample_prob = r.f64()?;
+        if !(0.0..=1.0).contains(&sample_prob) {
+            return Err(SnapshotError::Corrupt("sample probability out of range"));
+        }
+        self.sample_prob = sample_prob;
+        self.counter_budget = r.usize()?;
+        let kappa = self.reservoir.len();
+        let free = r.len_prefix(8)?;
+        if free > kappa {
+            return Err(SnapshotError::Corrupt("free-slot stack exceeds reservoir"));
+        }
+        self.free_slots.clear();
+        for _ in 0..free {
+            let slot = r.usize()?;
+            if slot >= kappa {
+                return Err(SnapshotError::Corrupt("free slot out of range"));
+            }
+            self.free_slots.push(slot);
+        }
+        if r.len_prefix(8)? != kappa {
+            return Err(SnapshotError::Corrupt("reservoir size mismatch"));
+        }
+        for slot in self.reservoir.as_mut_slice_untracked() {
+            *slot = r.u64()?;
+        }
+        self.items.clear();
+        self.held_len = 0;
+        let growth = self.params.morris_growth();
+        // Minimum serialized entry: key (8) + slots (4) + held flag (1).
+        let entries = r.len_prefix(13)?;
+        for _ in 0..entries {
+            let item = r.u64()?;
+            let reservoir_slots = r.u32()?;
+            let held = if r.bool()? {
+                let created_at = r.u64()?;
+                let register = r.u64()?;
+                let addr_start = r.usize()?;
+                self.held_len += 1;
+                Some(HeldCounter {
+                    morris: MorrisCounter::restore_at(&self.tracker, growth, register, addr_start),
+                    created_at,
+                })
+            } else {
+                None
+            };
+            if held.is_none() && reservoir_slots == 0 {
+                return Err(SnapshotError::Corrupt("item slot neither held nor sampled"));
+            }
+            self.items.insert(
+                item,
+                ItemSlot {
+                    held,
+                    reservoir_slots,
+                },
+            );
+        }
+        Ok(())
+    }
+
     /// Items currently held in the reservoir (without counters).
     pub fn reservoir_items(&self) -> Vec<u64> {
         self.items
@@ -344,6 +462,41 @@ impl StreamAlgorithm for SampleAndHold {
             self.process_item_inner(item, &mut reads);
         }
         tracker.record_reads(reads);
+    }
+}
+
+impl_queryable!(SampleAndHold: [frequency]);
+
+impl Snapshot for SampleAndHold {
+    fn snapshot_id(&self) -> &'static str {
+        SNAPSHOT_ID
+    }
+
+    /// Layout: tracker state, the parameter set, then the dynamic state
+    /// (`write_dynamic_state`).
+    ///
+    /// Defined for standalone-constructed instances (the instance owns its tracker
+    /// and was sized from [`Params::stream_len_hint`], as [`SampleAndHold::standalone`]
+    /// does); copies embedded in an ensemble are checkpointed through the ensemble's
+    /// own `Snapshot` implementation.
+    fn checkpoint(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new(SNAPSHOT_ID);
+        self.tracker.export_state().write_to(&mut w);
+        self.params.write_snapshot(&mut w);
+        self.write_dynamic_state(&mut w);
+        w.finish()
+    }
+
+    fn restore(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = SnapshotReader::open(bytes, SNAPSHOT_ID)?;
+        let state = TrackerState::read_from(&mut r)?;
+        let params = Params::read_snapshot(&mut r)?.with_tracker(state.kind);
+        let tracker = StateTracker::of_kind(state.kind);
+        let mut alg = SampleAndHold::new(&params, params.stream_len_hint, &tracker, params.seed);
+        alg.read_dynamic_state(&mut r)?;
+        tracker.import_state(&state);
+        r.finish()?;
+        Ok(alg)
     }
 }
 

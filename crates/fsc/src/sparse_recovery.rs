@@ -9,7 +9,14 @@
 //! paper's separation between reads (cheap, every update) and writes (rare).
 
 use fsc_counters::fastmap::FastTrackedMap;
-use fsc_state::{StateTracker, StreamAlgorithm, SupportRecovery};
+use fsc_state::snapshot::TrackerState;
+use fsc_state::{
+    impl_queryable, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter, StateTracker,
+    StreamAlgorithm, SupportRecovery,
+};
+
+/// Stable checkpoint-header id of [`FewStateSparseRecovery`].
+const SNAPSHOT_ID: &str = "sparse_recovery";
 
 /// Exact support recovery for `k`-sparse streams using `O(k)` words and `k` state
 /// changes.
@@ -100,6 +107,52 @@ impl StreamAlgorithm for FewStateSparseRecovery {
             }
         }
         tracker.record_reads(reads);
+    }
+}
+
+impl_queryable!(FewStateSparseRecovery: [support]);
+
+impl Snapshot for FewStateSparseRecovery {
+    fn snapshot_id(&self) -> &'static str {
+        SNAPSHOT_ID
+    }
+
+    /// Layout: tracker state, `sparsity`, the overflow flag, then the recorded
+    /// support in sorted order.
+    fn checkpoint(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new(SNAPSHOT_ID);
+        self.tracker.export_state().write_to(&mut w);
+        w.usize(self.sparsity);
+        w.bool(self.overflowed);
+        let support = self.recovered_support();
+        w.usize(support.len());
+        for item in support {
+            w.u64(item);
+        }
+        w.finish()
+    }
+
+    fn restore(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = SnapshotReader::open(bytes, SNAPSHOT_ID)?;
+        let state = TrackerState::read_from(&mut r)?;
+        let sparsity = r.usize()?;
+        if sparsity == 0 {
+            return Err(SnapshotError::Corrupt("sparsity"));
+        }
+        let overflowed = r.bool()?;
+        let len = r.len_prefix(8)?;
+        if len > sparsity {
+            return Err(SnapshotError::Corrupt("support exceeds sparsity"));
+        }
+        let tracker = StateTracker::of_kind(state.kind);
+        let mut alg = FewStateSparseRecovery::with_tracker(sparsity, &tracker);
+        alg.overflowed = overflowed;
+        for _ in 0..len {
+            alg.seen.insert_untracked(r.u64()?, ());
+        }
+        tracker.import_state(&state);
+        r.finish()?;
+        Ok(alg)
     }
 }
 

@@ -12,6 +12,28 @@ pub struct StdRng {
     s: [u64; 4],
 }
 
+impl StdRng {
+    /// The raw xoshiro256++ state, for serialization (checkpoint/restore of
+    /// algorithms that carry an rng mid-stream).  Round-trips exactly through
+    /// [`StdRng::from_state`].
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a previously captured [`StdRng::state`], continuing
+    /// the exact output sequence the captured generator would have produced.
+    ///
+    /// The all-zero state is a fixed point of xoshiro and can never be produced by
+    /// [`StdRng::state`] (seeding re-expands it), so it is re-expanded here the same
+    /// way for safety.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        if s == [0, 0, 0, 0] {
+            return Self::from_seed([0u8; 32]);
+        }
+        Self { s }
+    }
+}
+
 impl RngCore for StdRng {
     fn next_u32(&mut self) -> u32 {
         (self.next_u64() >> 32) as u32

@@ -35,6 +35,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use crate::report::StateReport;
+use crate::snapshot::TrackerState;
 use crate::tracker::AddrRange;
 
 /// Bumps a sequentially-driven counter with a relaxed load + store pair.
@@ -56,6 +57,28 @@ pub enum TrackerKind {
     FullAddressTracked,
     /// Atomic epoch/state-change/space counters only; near-zero update cost.
     Lean,
+}
+
+impl TrackerKind {
+    /// The kind's checkpoint wire tag — the single source for every serializer that
+    /// stores a kind (a new kind gets a tag here, and every codec picks it up).
+    pub fn tag(self) -> u8 {
+        match self {
+            TrackerKind::Full => 0,
+            TrackerKind::FullAddressTracked => 1,
+            TrackerKind::Lean => 2,
+        }
+    }
+
+    /// Inverse of [`TrackerKind::tag`] (`None` for unknown tags — corrupt input).
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(TrackerKind::Full),
+            1 => Some(TrackerKind::FullAddressTracked),
+            2 => Some(TrackerKind::Lean),
+            _ => None,
+        }
+    }
 }
 
 /// The accounting interface a tracker handle dispatches to.
@@ -157,6 +180,17 @@ pub trait TrackerBackend: fmt::Debug + Send + Sync {
     fn address_writes(&self) -> Option<Vec<u64>>;
     /// The backend's kind tag.
     fn kind(&self) -> TrackerKind;
+    /// Exports the complete counter state for checkpointing (see
+    /// [`TrackerState`]): every aggregate counter, the epoch clock including the
+    /// last-state-change epoch, the address-allocation cursor, and the wear table
+    /// when present.  [`TrackerBackend::import_state`] on a freshly constructed
+    /// backend of the same kind must make it observably identical.
+    fn export_state(&self) -> TrackerState;
+    /// Overwrites the backend's counters with a previously exported state — the
+    /// restore half of checkpointing.  Called on a backend of the same kind as the
+    /// exporting one, after the restoring algorithm has rebuilt its containers (any
+    /// accounting those rebuilds charged is deliberately clobbered here).
+    fn import_state(&self, state: &TrackerState);
 }
 
 // ---------------------------------------------------------------------------
@@ -211,6 +245,20 @@ impl EpochState {
         } else {
             false
         }
+    }
+
+    /// Id of the last epoch counted as a state change (0 = none) — exported by
+    /// checkpoints so a restored tracker's next claim decision is identical.
+    #[inline(always)]
+    fn last_change(&self) -> u64 {
+        self.last_change.load(Ordering::Relaxed)
+    }
+
+    /// Overwrites the clock with checkpointed values (restore path).
+    #[inline(always)]
+    fn restore(&self, current: u64, last_change: u64) {
+        self.current.store(current, Ordering::Relaxed);
+        self.last_change.store(last_change, Ordering::Relaxed);
     }
 
     /// Enters the fresh epochs `first..first + n` (n ≥ 1) and marks every one of them
@@ -475,6 +523,40 @@ impl TrackerBackend for FullTracker {
             TrackerKind::Full
         }
     }
+
+    fn export_state(&self) -> TrackerState {
+        TrackerState {
+            kind: self.kind(),
+            epochs: self.epoch.epochs(),
+            last_change_epoch: self.epoch.last_change(),
+            state_changes: self.state_changes(),
+            word_writes: self.word_writes.load(Ordering::Relaxed),
+            redundant_writes: self.redundant_writes.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            words_current: self.words_current(),
+            words_peak: self.words_peak(),
+            next_addr: self.next_addr.load(Ordering::Relaxed),
+            wear: self.address_writes(),
+        }
+    }
+
+    fn import_state(&self, state: &TrackerState) {
+        debug_assert_eq!(state.kind, self.kind(), "import into a same-kind tracker");
+        self.epoch.restore(state.epochs, state.last_change_epoch);
+        self.state_changes
+            .store(state.state_changes, Ordering::Relaxed);
+        self.word_writes.store(state.word_writes, Ordering::Relaxed);
+        self.redundant_writes
+            .store(state.redundant_writes, Ordering::Relaxed);
+        self.reads.store(state.reads, Ordering::Relaxed);
+        self.words_current
+            .store(state.words_current, Ordering::Relaxed);
+        self.words_peak.store(state.words_peak, Ordering::Relaxed);
+        self.next_addr.store(state.next_addr, Ordering::Relaxed);
+        if self.address_tracked {
+            *self.wear_table() = state.wear.clone().unwrap_or_default();
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -607,6 +689,33 @@ impl TrackerBackend for LeanTracker {
     fn kind(&self) -> TrackerKind {
         TrackerKind::Lean
     }
+
+    fn export_state(&self) -> TrackerState {
+        TrackerState {
+            kind: TrackerKind::Lean,
+            epochs: self.epoch.epochs(),
+            last_change_epoch: self.epoch.last_change(),
+            state_changes: self.state_changes(),
+            word_writes: 0,
+            redundant_writes: 0,
+            reads: 0,
+            words_current: self.words_current(),
+            words_peak: self.words_peak(),
+            next_addr: self.next_addr.load(Ordering::Relaxed),
+            wear: None,
+        }
+    }
+
+    fn import_state(&self, state: &TrackerState) {
+        debug_assert_eq!(state.kind, TrackerKind::Lean, "import into a lean tracker");
+        self.epoch.restore(state.epochs, state.last_change_epoch);
+        self.state_changes
+            .store(state.state_changes, Ordering::Relaxed);
+        self.words_current
+            .store(state.words_current, Ordering::Relaxed);
+        self.words_peak.store(state.words_peak, Ordering::Relaxed);
+        self.next_addr.store(state.next_addr, Ordering::Relaxed);
+    }
 }
 
 #[cfg(test)]
@@ -725,6 +834,24 @@ mod tests {
             }
             fn kind(&self) -> TrackerKind {
                 TrackerKind::Full
+            }
+            fn export_state(&self) -> TrackerState {
+                TrackerState {
+                    kind: self.kind(),
+                    epochs: self.epochs(),
+                    last_change_epoch: 0,
+                    state_changes: 0,
+                    word_writes: 0,
+                    redundant_writes: 0,
+                    reads: 0,
+                    words_current: 0,
+                    words_peak: 0,
+                    next_addr: 0,
+                    wear: None,
+                }
+            }
+            fn import_state(&self, state: &TrackerState) {
+                self.epochs.store(state.epochs, Ordering::Relaxed);
             }
         }
         let m = Minimal::default();
@@ -856,6 +983,12 @@ mod tests {
             }
             fn kind(&self) -> TrackerKind {
                 self.0.kind()
+            }
+            fn export_state(&self) -> TrackerState {
+                self.0.export_state()
+            }
+            fn import_state(&self, state: &TrackerState) {
+                self.0.import_state(state)
             }
         }
         let defaults = Forwarder(FullTracker::with_address_tracking());

@@ -57,6 +57,7 @@ mod map;
 mod matrix;
 pub mod nvm;
 mod report;
+pub mod snapshot;
 mod tracker;
 pub mod traits;
 mod vec;
@@ -67,10 +68,11 @@ pub use map::TrackedMap;
 pub use matrix::TrackedMatrix;
 pub use nvm::{NvmCostModel, NvmReport};
 pub use report::StateReport;
+pub use snapshot::{SnapshotError, SnapshotReader, SnapshotWriter, TrackerState};
 pub use tracker::{AddrRange, StateTracker};
 pub use traits::{
-    EntropyEstimator, FrequencyEstimator, Mergeable, MomentEstimator, StreamAlgorithm,
-    SupportRecovery,
+    Answer, EntropyEstimator, FrequencyEstimator, Mergeable, MomentEstimator, Query, Queryable,
+    Snapshot, StreamAlgorithm, SupportRecovery,
 };
 pub use vec::TrackedVec;
 

@@ -156,6 +156,16 @@ impl<K: Eq + Hash + Clone, V: PartialEq + Clone, S: BuildHasher> TrackedMap<K, V
         self.data.get_mut(key)
     }
 
+    /// Inserts `key → value` without any accounting (no allocation charge, no write) —
+    /// the restore path of checkpointing, which rebuilds a freshly constructed map's
+    /// entries and then replaces every tracker counter via
+    /// [`crate::StateTracker::import_state`].  Entry space still counts toward the
+    /// tracked-words invariants through that import, and later tracked `remove`/
+    /// `retain` calls release it exactly as on the original instance.
+    pub fn insert_untracked(&mut self, key: K, value: V) {
+        self.data.insert(key, value);
+    }
+
     /// Untracked iteration (reporting / extraction only).
     pub fn iter_untracked(&self) -> std::collections::hash_map::Iter<'_, K, V> {
         self.data.iter()

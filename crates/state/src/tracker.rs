@@ -214,6 +214,21 @@ impl StateTracker {
     pub fn address_writes(&self) -> Option<Vec<u64>> {
         self.backend.address_writes()
     }
+
+    /// Exports the complete counter state for checkpointing (see
+    /// [`crate::snapshot::TrackerState`]).
+    pub fn export_state(&self) -> crate::snapshot::TrackerState {
+        self.backend.export_state()
+    }
+
+    /// Overwrites every counter with a previously exported state — the final step of
+    /// an algorithm restore, after its containers have been rebuilt (any accounting
+    /// the rebuild charged is clobbered by this call, which is what makes
+    /// `restore(checkpoint(a))` reproduce the original [`crate::StateReport`] and
+    /// wear table exactly).
+    pub fn import_state(&self, state: &crate::snapshot::TrackerState) {
+        self.backend.import_state(state)
+    }
 }
 
 #[cfg(test)]

@@ -135,6 +135,203 @@ pub trait Mergeable {
     fn merge_from(&mut self, other: &Self);
 }
 
+/// A typed question asked of a summary through the capability-agnostic
+/// [`Queryable`] layer.
+///
+/// The enum replaces per-type downcasts in harness and engine code: a caller holding
+/// a `dyn Queryable` (e.g. an engine shard from the `fsc-bench` registry) asks any of
+/// these and matches on the [`Answer`], instead of knowing the concrete summary type
+/// and its capability traits.  Algorithms answer the queries their capability traits
+/// support and return [`Answer::Unsupported`] for the rest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Query {
+    /// Estimated frequency of one item ([`FrequencyEstimator::estimate`]).
+    Point(u64),
+    /// All tracked items with estimate ≥ `threshold`, sorted by decreasing estimate
+    /// ([`FrequencyEstimator::heavy_hitters`]).
+    HeavyHitters {
+        /// Absolute frequency threshold.
+        threshold: f64,
+    },
+    /// The items the summary holds explicit information for
+    /// ([`FrequencyEstimator::tracked_items`]).
+    TrackedItems,
+    /// The frequency-moment estimate `F̂_p` ([`MomentEstimator::estimate_moment`]).
+    Moment,
+    /// The Shannon-entropy estimate in bits ([`EntropyEstimator::estimate_entropy`]).
+    Entropy,
+    /// The recovered support ([`SupportRecovery::recovered_support`]).
+    Support,
+}
+
+/// A typed answer to a [`Query`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Answer {
+    /// A scalar estimate (point frequency, moment, entropy).
+    Scalar(f64),
+    /// `(item, estimated frequency)` pairs (heavy hitters).
+    ItemWeights(Vec<(u64, f64)>),
+    /// A plain item list (tracked items, recovered support).
+    Items(Vec<u64>),
+    /// The summary does not support the asked query.
+    Unsupported,
+}
+
+impl Answer {
+    /// The scalar payload, if this is a scalar answer.
+    pub fn scalar(&self) -> Option<f64> {
+        match self {
+            Answer::Scalar(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The item list, if this is an item-list answer.
+    pub fn items(&self) -> Option<&[u64]> {
+        match self {
+            Answer::Items(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The weighted-item list, if this is a heavy-hitter answer.
+    pub fn item_weights(&self) -> Option<&[(u64, f64)]> {
+        match self {
+            Answer::ItemWeights(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// The uniform query layer over [`StreamAlgorithm`]: one enum-based entry point for
+/// every answer type the capability traits ([`FrequencyEstimator`],
+/// [`MomentEstimator`], [`EntropyEstimator`], [`SupportRecovery`]) expose.
+///
+/// Implementations delegate to whichever capability traits the type implements and
+/// return [`Answer::Unsupported`] otherwise — the [`crate::impl_queryable!`] macro
+/// generates exactly that from a capability list.  `Queryable` is object-safe, so a
+/// `Box<dyn Queryable>` is what constructor registries hand out: callers get ingest
+/// (via the [`StreamAlgorithm`] supertrait) and typed queries without a single
+/// downcast.
+pub trait Queryable: StreamAlgorithm {
+    /// Answers `query`, or [`Answer::Unsupported`] if the summary lacks the capability.
+    fn query(&self, query: &Query) -> Answer;
+
+    /// Whether the summary can answer `query` (default: probes [`Queryable::query`]).
+    fn supports(&self, query: &Query) -> bool {
+        !matches!(self.query(query), Answer::Unsupported)
+    }
+}
+
+/// A summary that can be checkpointed to a compact, versioned byte string and
+/// restored to an observably identical instance.
+///
+/// # The snapshot law
+///
+/// For every implementation, `restore(checkpoint(a))` must be **observably
+/// identical** to `a`: the same answers to every query, the same
+/// [`StateReport`], the same per-address wear table — and, because internal
+/// randomness and caches are part of the serialized state, identical behaviour on
+/// any stream processed *after* the restore.  `tests/snapshot_laws.rs` pins this for
+/// every production algorithm in the repository at random checkpoint positions.
+///
+/// # Format
+///
+/// Checkpoints use the versioned header and length-checked encoding of
+/// [`crate::snapshot`]: corrupt, truncated, foreign, or stale-version bytes are
+/// rejected with a typed [`SnapshotError`] — never a panic.  The tracker's complete
+/// counter state ([`crate::snapshot::TrackerState`]) is embedded, so restoring does
+/// not lose accounting history.
+///
+/// Checkpointing is defined for summaries that **own** their tracker (standalone
+/// construction).  A sub-summary sharing an enclosing algorithm's tracker is
+/// checkpointed through its enclosing algorithm.
+pub trait Snapshot: StreamAlgorithm {
+    /// Stable algorithm id written into the checkpoint header (e.g. `"count_min"`).
+    fn snapshot_id(&self) -> &'static str;
+
+    /// Serializes the complete summary — configuration, data, internal randomness,
+    /// and tracker accounting — into a versioned byte string.
+    fn checkpoint(&self) -> Vec<u8>;
+
+    /// Rebuilds a summary from [`Snapshot::checkpoint`] bytes.
+    fn restore(bytes: &[u8]) -> Result<Self, SnapshotError>
+    where
+        Self: Sized;
+}
+
+use crate::snapshot::SnapshotError;
+
+/// Generates a [`Queryable`] implementation from a capability list.
+///
+/// ```ignore
+/// impl_queryable!(CountMin: [frequency]);
+/// impl_queryable!(ExactCounting: [frequency, moment, entropy, support]);
+/// ```
+///
+/// Capabilities: `frequency` (answers [`Query::Point`], [`Query::HeavyHitters`], and
+/// [`Query::TrackedItems`] via [`FrequencyEstimator`]), `moment`
+/// ([`MomentEstimator`]), `entropy` ([`EntropyEstimator`]), `support`
+/// ([`SupportRecovery`]).  Queries outside the listed capabilities answer
+/// [`Answer::Unsupported`].
+#[macro_export]
+macro_rules! impl_queryable {
+    ($ty:ty : [$($cap:ident),* $(,)?]) => {
+        impl $crate::Queryable for $ty {
+            fn query(&self, query: &$crate::Query) -> $crate::Answer {
+                $(
+                    if let Some(answer) = $crate::impl_queryable!(@try $cap, self, query) {
+                        return answer;
+                    }
+                )*
+                let _ = query;
+                $crate::Answer::Unsupported
+            }
+        }
+    };
+    // Fully-qualified trait calls: several algorithms carry inherent methods with the
+    // same names (e.g. a no-argument `heavy_hitters`), which would otherwise shadow
+    // the capability-trait methods inside the expansion.
+    (@try frequency, $self:expr, $query:expr) => {
+        match *$query {
+            $crate::Query::Point(item) => Some($crate::Answer::Scalar(
+                $crate::FrequencyEstimator::estimate($self, item),
+            )),
+            $crate::Query::HeavyHitters { threshold } => Some($crate::Answer::ItemWeights(
+                $crate::FrequencyEstimator::heavy_hitters($self, threshold),
+            )),
+            $crate::Query::TrackedItems => Some($crate::Answer::Items(
+                $crate::FrequencyEstimator::tracked_items($self),
+            )),
+            _ => None,
+        }
+    };
+    (@try moment, $self:expr, $query:expr) => {
+        match *$query {
+            $crate::Query::Moment => Some($crate::Answer::Scalar(
+                $crate::MomentEstimator::estimate_moment($self),
+            )),
+            _ => None,
+        }
+    };
+    (@try entropy, $self:expr, $query:expr) => {
+        match *$query {
+            $crate::Query::Entropy => Some($crate::Answer::Scalar(
+                $crate::EntropyEstimator::estimate_entropy($self),
+            )),
+            _ => None,
+        }
+    };
+    (@try support, $self:expr, $query:expr) => {
+        match *$query {
+            $crate::Query::Support => Some($crate::Answer::Items(
+                $crate::SupportRecovery::recovered_support($self),
+            )),
+            _ => None,
+        }
+    };
+}
+
 /// An algorithm that produces per-item frequency estimates, used for heavy hitters.
 pub trait FrequencyEstimator: StreamAlgorithm {
     /// Estimated frequency of `item` (0.0 if the item is unknown to the summary).
@@ -220,6 +417,8 @@ mod tests {
         }
     }
 
+    crate::impl_queryable!(LengthCounter: [frequency]);
+
     #[test]
     fn update_opens_one_epoch_per_item() {
         let mut a = LengthCounter::new();
@@ -255,6 +454,70 @@ mod tests {
         }
         assert_eq!(run_based.report(), one_by_one.report());
         assert_eq!(*run_based.len.peek(), *one_by_one.len.peek());
+    }
+
+    #[test]
+    fn queryable_macro_answers_listed_capabilities_and_rejects_the_rest() {
+        let mut a = LengthCounter::new();
+        a.process_stream(&[1, 2, 3]);
+        // Trait-object use: ingest + typed queries without a downcast.
+        let dynamic: &dyn Queryable = &a;
+        assert_eq!(dynamic.query(&Query::Point(7)), Answer::Scalar(3.0));
+        assert_eq!(dynamic.query(&Query::TrackedItems), Answer::Items(vec![0]));
+        assert_eq!(
+            dynamic.query(&Query::HeavyHitters { threshold: 1.0 }),
+            Answer::ItemWeights(vec![(0, 3.0)])
+        );
+        assert_eq!(dynamic.query(&Query::Moment), Answer::Unsupported);
+        assert_eq!(dynamic.query(&Query::Entropy), Answer::Unsupported);
+        assert_eq!(dynamic.query(&Query::Support), Answer::Unsupported);
+        assert!(dynamic.supports(&Query::Point(0)));
+        assert!(!dynamic.supports(&Query::Moment));
+        // Answer accessors.
+        assert_eq!(Answer::Scalar(2.0).scalar(), Some(2.0));
+        assert_eq!(Answer::Items(vec![1]).items(), Some(&[1u64][..]));
+        assert!(Answer::Unsupported.scalar().is_none());
+        assert!(Answer::Scalar(0.0).items().is_none());
+        assert!(Answer::ItemWeights(vec![]).item_weights().is_some());
+    }
+
+    #[test]
+    fn tracker_state_export_import_reproduces_report_wear_and_clock() {
+        for kind in [
+            crate::TrackerKind::Full,
+            crate::TrackerKind::FullAddressTracked,
+            crate::TrackerKind::Lean,
+        ] {
+            let original = StateTracker::of_kind(kind);
+            let range = original.alloc(4);
+            original.record_write(Some(range.word(0)), true);
+            for i in 0..5u64 {
+                original.begin_epoch();
+                original.record_write(Some(range.word((i % 4) as usize)), i % 2 == 0);
+            }
+            original.record_reads(9);
+            original.dealloc(1);
+
+            let state = original.export_state();
+            let restored = StateTracker::of_kind(kind);
+            // The restore path allocates during container rebuilds; import clobbers it.
+            restored.alloc(2);
+            restored.record_write(None, true);
+            restored.import_state(&state);
+
+            assert_eq!(restored.snapshot(), original.snapshot());
+            assert_eq!(restored.address_writes(), original.address_writes());
+            assert_eq!(restored.export_state(), state);
+            // The clock continues identically: the next epoch claims a state change
+            // on both (or neither).
+            original.begin_epoch();
+            original.record_write(Some(range.word(1)), true);
+            restored.begin_epoch();
+            restored.record_write(Some(range.word(1)), true);
+            assert_eq!(restored.snapshot(), original.snapshot());
+            // And post-import allocations continue from the same cursor.
+            assert_eq!(restored.alloc(3), original.alloc(3));
+        }
     }
 
     #[test]

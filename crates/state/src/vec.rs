@@ -118,6 +118,15 @@ impl<T: PartialEq + Clone> TrackedVec<T> {
         self.data.iter()
     }
 
+    /// Untracked mutable view of the contents — the restore path of checkpointing
+    /// (mirrors [`crate::TrackedMatrix::as_mut_slice_untracked`]).  Mutations through
+    /// this slice bypass all accounting; restores follow them with
+    /// [`crate::StateTracker::import_state`], which replaces every counter with the
+    /// checkpointed values.
+    pub fn as_mut_slice_untracked(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
     /// Untracked snapshot of the contents.
     pub fn to_vec_untracked(&self) -> Vec<T> {
         self.data.clone()

@@ -8,13 +8,17 @@
 //! * [`streamgen`] — synthetic workloads and exact ground truth (`fsc-streamgen`).
 //! * [`baselines`] — classic write-heavy streaming algorithms (`fsc-baselines`).
 //! * [`algorithms`] — the paper's write-frugal algorithms (`fsc`).
+//! * [`engine`] — the checkpointable, sharded serving engine and config-driven
+//!   workload scenarios (`fsc-engine`).
 //!
-//! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` for the system
-//! inventory and experiment index.
+//! See `examples/quickstart.rs` for a five-minute tour,
+//! `examples/checkpoint_failover.rs` for the engine's crash-recovery walkthrough,
+//! and `DESIGN.md` for the system inventory and experiment index.
 
 pub use fsc as algorithms;
 pub use fsc_baselines as baselines;
 pub use fsc_counters as counters;
+pub use fsc_engine as engine;
 pub use fsc_state as state;
 pub use fsc_streamgen as streamgen;
 
