@@ -1,5 +1,6 @@
 //! F12 — sharded engine vs single shard across config-driven scenarios, with
-//! mid-stream checkpoint/failover; writes `BENCH_engine.json`.
+//! mid-stream checkpoint/failover and the checkpoint-bytes-vs-stream-length
+//! curves; writes `BENCH_engine.json`.
 //!
 //! ```text
 //! cargo run -p fsc-bench --release --bin fig_engine             # full scale
@@ -8,17 +9,23 @@
 //! ```
 //!
 //! The binary **fails** (non-zero exit) if any cell violates the engine's laws —
-//! a mid-stream failover that does not reproduce the pre-crash engine, an
+//! a mid-stream failover that does not reproduce the pre-crash engine (delta-mode
+//! scenarios fail over from the chain tip and replay every retained epoch), an
 //! exact-merge union that diverges from the single-shard reference, or a scenario
-//! that never exercised the checkpoint path — and schema-checks the emitted JSON.
-//! CI runs `--quick`, so a regression in the snapshot/merge layers fails the build
-//! here rather than in a downstream consumer.
+//! that never exercised the checkpoint path — or if the standalone delta-curve
+//! sweep stops telling the paper's story: at least one few-state-change algorithm
+//! must persist measurably sublinearly and clearly beat the write-heaviest
+//! baseline.  The emitted JSON is schema-checked.  CI runs `--quick`, so a
+//! regression in the snapshot/delta/merge layers fails the build here rather than
+//! in a downstream consumer.
 //!
 //! Like `fig_throughput`, only a full-scale run defaults to the committed repo-root
 //! record; `--quick` defaults to a temp file so a smoke run cannot replace the
 //! recorded results with reduced-scale numbers.
 
-use fsc_bench::experiments::engine::{equivalence_check, run, schema_check, to_json};
+use fsc_bench::experiments::engine::{
+    curves_check, curves_table, delta_curves, equivalence_check, run, schema_check, to_json,
+};
 use fsc_bench::Scale;
 
 fn flag_value(name: &str) -> Option<String> {
@@ -47,11 +54,22 @@ fn main() {
         std::process::exit(1);
     }
     println!(
-        "equivalence check: every failover reproduced its engine and every exact-merge \
-         union matched the single shard"
+        "equivalence check: every failover reproduced its engine (delta chains included) \
+         and every exact-merge union matched the single shard"
     );
 
-    let json = to_json(scale, &rows);
+    let curves = delta_curves(scale);
+    curves_table(&curves).print();
+    if let Err(err) = curves_check(&curves) {
+        eprintln!("error: {err}");
+        std::process::exit(1);
+    }
+    println!(
+        "curves check: few-state-change algorithms persist sublinearly and beat the \
+         write-heavy baselines on checkpoint bytes"
+    );
+
+    let json = to_json(scale, &rows, &curves);
     if let Err(err) = schema_check(&json) {
         eprintln!("error: {err}");
         std::process::exit(1);

@@ -31,7 +31,7 @@ use fsc_baselines::{
     SpaceSaving,
 };
 use fsc_engine::{DynEngine, Engine, EngineConfig};
-use fsc_state::{Queryable, StateTracker, TrackerKind};
+use fsc_state::{Queryable, Snapshot, StateTracker, TrackerKind};
 
 /// Construction context: the workload hints and tracker backend a constructor sizes
 /// its instance for.
@@ -82,6 +82,12 @@ pub enum Merge {
 /// Constructor signature of [`AlgorithmSpec::make`].
 pub type MakeFn = fn(&MakeCtx) -> Box<dyn Queryable>;
 
+/// Constructor signature of [`AlgorithmSpec::snapshot`] — the same instance behind
+/// the persistence face ([`Snapshot`] is object-safe apart from `restore`, which is
+/// `Sized`-gated), so experiments can drive `checkpoint`/`checkpoint_delta` across
+/// the whole registry without downcasts.
+pub type MakeSnapshotFn = fn(&MakeCtx) -> Box<dyn Snapshot>;
+
 /// Engine-factory signature of [`AlgorithmSpec::engine`].
 pub type MakeEngineFn = fn(&MakeCtx, EngineConfig) -> Box<dyn DynEngine>;
 
@@ -92,6 +98,9 @@ pub struct AlgorithmSpec {
     pub id: &'static str,
     /// Constructs a fresh instance behind the query layer.
     pub make: MakeFn,
+    /// Constructs the same instance behind the persistence layer (every production
+    /// summary owns its tracker when built standalone, so all entries checkpoint).
+    pub snapshot: MakeSnapshotFn,
     /// Constructs a sharded engine over the summary (mergeable summaries only).
     pub engine: Option<MakeEngineFn>,
     /// Merge semantics of the summary's shard union.
@@ -109,78 +118,98 @@ impl std::fmt::Debug for AlgorithmSpec {
 }
 
 // --- constructors (benchmark defaults; keep in sync with BENCH_throughput.json) ----
+//
+// Each algorithm is constructed in exactly one place; the macro boxes the same
+// expression behind both the query face (`make_*`) and the persistence face
+// (`snapshot_*`), so the two registry columns can never drift apart.
 
-fn make_sample_and_hold(ctx: &MakeCtx) -> Box<dyn Queryable> {
-    Box::new(SampleAndHold::standalone(
+macro_rules! constructors {
+    ($make:ident, $snapshot:ident, |$ctx:ident| $body:expr) => {
+        fn $make($ctx: &MakeCtx) -> Box<dyn Queryable> {
+            Box::new($body)
+        }
+        fn $snapshot($ctx: &MakeCtx) -> Box<dyn Snapshot> {
+            Box::new($body)
+        }
+    };
+}
+
+constructors!(make_sample_and_hold, snapshot_sample_and_hold, |ctx| {
+    SampleAndHold::standalone(
         &Params::new(2.0, 0.2, ctx.universe, ctx.stream_len).with_tracker(ctx.tracker),
-    ))
-}
+    )
+});
 
-fn make_few_state_heavy_hitters(ctx: &MakeCtx) -> Box<dyn Queryable> {
-    Box::new(FewStateHeavyHitters::new(
-        Params::new(2.0, 0.25, ctx.universe, ctx.stream_len).with_tracker(ctx.tracker),
-    ))
-}
+constructors!(
+    make_few_state_heavy_hitters,
+    snapshot_few_state_heavy_hitters,
+    |ctx| {
+        FewStateHeavyHitters::new(
+            Params::new(2.0, 0.25, ctx.universe, ctx.stream_len).with_tracker(ctx.tracker),
+        )
+    }
+);
 
-fn make_fp_estimator(ctx: &MakeCtx) -> Box<dyn Queryable> {
-    Box::new(FpEstimator::new(
-        Params::new(2.0, 0.3, ctx.universe, ctx.stream_len).with_tracker(ctx.tracker),
-    ))
-}
+constructors!(make_fp_estimator, snapshot_fp_estimator, |ctx| {
+    FpEstimator::new(Params::new(2.0, 0.3, ctx.universe, ctx.stream_len).with_tracker(ctx.tracker))
+});
 
-fn make_full_sample_and_hold(ctx: &MakeCtx) -> Box<dyn Queryable> {
-    Box::new(FullSampleAndHold::standalone(
-        &Params::new(2.0, 0.3, ctx.universe, ctx.stream_len).with_tracker(ctx.tracker),
-    ))
-}
+constructors!(
+    make_full_sample_and_hold,
+    snapshot_full_sample_and_hold,
+    |ctx| {
+        FullSampleAndHold::standalone(
+            &Params::new(2.0, 0.3, ctx.universe, ctx.stream_len).with_tracker(ctx.tracker),
+        )
+    }
+);
 
-fn make_entropy(ctx: &MakeCtx) -> Box<dyn Queryable> {
+constructors!(make_entropy, snapshot_entropy, |ctx| {
     // EntropyFewState derives its Params internally (Full tracker).
-    Box::new(EntropyFewState::new(0.3, ctx.universe, ctx.stream_len, 9))
-}
+    EntropyFewState::new(0.3, ctx.universe, ctx.stream_len, 9)
+});
 
-fn make_fp_small(ctx: &MakeCtx) -> Box<dyn Queryable> {
-    Box::new(FpSmallEstimator::with_tracker(0.5, 0.4, 6, &ctx.tracker()))
-}
+constructors!(make_fp_small, snapshot_fp_small, |ctx| {
+    FpSmallEstimator::with_tracker(0.5, 0.4, 6, &ctx.tracker())
+});
 
-fn make_sparse_recovery(ctx: &MakeCtx) -> Box<dyn Queryable> {
-    Box::new(FewStateSparseRecovery::with_tracker(
-        1 << 12,
-        &ctx.tracker(),
-    ))
-}
+constructors!(make_sparse_recovery, snapshot_sparse_recovery, |ctx| {
+    FewStateSparseRecovery::with_tracker(1 << 12, &ctx.tracker())
+});
 
-fn make_misra_gries(ctx: &MakeCtx) -> Box<dyn Queryable> {
-    Box::new(MisraGries::with_tracker(&ctx.tracker(), 20))
-}
+constructors!(make_misra_gries, snapshot_misra_gries, |ctx| {
+    MisraGries::with_tracker(&ctx.tracker(), 20)
+});
 
-fn make_space_saving(ctx: &MakeCtx) -> Box<dyn Queryable> {
-    Box::new(SpaceSaving::with_tracker(&ctx.tracker(), 20))
-}
+constructors!(make_space_saving, snapshot_space_saving, |ctx| {
+    SpaceSaving::with_tracker(&ctx.tracker(), 20)
+});
 
-fn make_count_min(ctx: &MakeCtx) -> Box<dyn Queryable> {
-    Box::new(CountMin::with_tracker(&ctx.tracker(), 1 << 10, 4, 1))
-}
+constructors!(make_count_min, snapshot_count_min, |ctx| {
+    CountMin::with_tracker(&ctx.tracker(), 1 << 10, 4, 1)
+});
 
-fn make_count_sketch(ctx: &MakeCtx) -> Box<dyn Queryable> {
-    Box::new(CountSketch::with_tracker(&ctx.tracker(), 1 << 10, 5, 2))
-}
+constructors!(make_count_sketch, snapshot_count_sketch, |ctx| {
+    CountSketch::with_tracker(&ctx.tracker(), 1 << 10, 5, 2)
+});
 
-fn make_ams(ctx: &MakeCtx) -> Box<dyn Queryable> {
-    Box::new(AmsSketch::with_tracker(&ctx.tracker(), 5, 48, 3))
-}
+constructors!(make_ams, snapshot_ams, |ctx| {
+    AmsSketch::with_tracker(&ctx.tracker(), 5, 48, 3)
+});
 
-fn make_exact_counting(ctx: &MakeCtx) -> Box<dyn Queryable> {
-    Box::new(ExactCounting::with_tracker(&ctx.tracker(), 2.0))
-}
+constructors!(make_exact_counting, snapshot_exact_counting, |ctx| {
+    ExactCounting::with_tracker(&ctx.tracker(), 2.0)
+});
 
-fn make_sample_and_hold_classic(ctx: &MakeCtx) -> Box<dyn Queryable> {
-    Box::new(SampleAndHoldClassic::with_tracker(&ctx.tracker(), 0.01, 4))
-}
+constructors!(
+    make_sample_and_hold_classic,
+    snapshot_sample_and_hold_classic,
+    |ctx| SampleAndHoldClassic::with_tracker(&ctx.tracker(), 0.01, 4)
+);
 
-fn make_pick_and_drop(ctx: &MakeCtx) -> Box<dyn Queryable> {
-    Box::new(PickAndDrop::with_tracker(&ctx.tracker(), 16, 3, 5))
-}
+constructors!(make_pick_and_drop, snapshot_pick_and_drop, |ctx| {
+    PickAndDrop::with_tracker(&ctx.tracker(), 16, 3, 5)
+});
 
 // --- engine factories (mergeable summaries; shards share seeds so linear sketches
 // merge exactly) ---------------------------------------------------------------
@@ -229,90 +258,105 @@ pub fn registry() -> Vec<AlgorithmSpec> {
         AlgorithmSpec {
             id: "sample_and_hold",
             make: make_sample_and_hold,
+            snapshot: snapshot_sample_and_hold,
             engine: None,
             merge: Merge::None,
         },
         AlgorithmSpec {
             id: "full_sample_and_hold",
             make: make_full_sample_and_hold,
+            snapshot: snapshot_full_sample_and_hold,
             engine: None,
             merge: Merge::None,
         },
         AlgorithmSpec {
             id: "few_state_heavy_hitters",
             make: make_few_state_heavy_hitters,
+            snapshot: snapshot_few_state_heavy_hitters,
             engine: None,
             merge: Merge::None,
         },
         AlgorithmSpec {
             id: "fp_estimator",
             make: make_fp_estimator,
+            snapshot: snapshot_fp_estimator,
             engine: None,
             merge: Merge::None,
         },
         AlgorithmSpec {
             id: "fp_small",
             make: make_fp_small,
+            snapshot: snapshot_fp_small,
             engine: None,
             merge: Merge::None,
         },
         AlgorithmSpec {
             id: "entropy_few_state",
             make: make_entropy,
+            snapshot: snapshot_entropy,
             engine: None,
             merge: Merge::None,
         },
         AlgorithmSpec {
             id: "sparse_recovery",
             make: make_sparse_recovery,
+            snapshot: snapshot_sparse_recovery,
             engine: None,
             merge: Merge::None,
         },
         AlgorithmSpec {
             id: "count_min",
             make: make_count_min,
+            snapshot: snapshot_count_min,
             engine: Some(engine_count_min),
             merge: Merge::Exact,
         },
         AlgorithmSpec {
             id: "count_sketch",
             make: make_count_sketch,
+            snapshot: snapshot_count_sketch,
             engine: Some(engine_count_sketch),
             merge: Merge::Exact,
         },
         AlgorithmSpec {
             id: "ams",
             make: make_ams,
+            snapshot: snapshot_ams,
             engine: Some(engine_ams),
             merge: Merge::Exact,
         },
         AlgorithmSpec {
             id: "exact_counting",
             make: make_exact_counting,
+            snapshot: snapshot_exact_counting,
             engine: Some(engine_exact_counting),
             merge: Merge::Exact,
         },
         AlgorithmSpec {
             id: "misra_gries",
             make: make_misra_gries,
+            snapshot: snapshot_misra_gries,
             engine: Some(engine_misra_gries),
             merge: Merge::Bounded,
         },
         AlgorithmSpec {
             id: "space_saving",
             make: make_space_saving,
+            snapshot: snapshot_space_saving,
             engine: Some(engine_space_saving),
             merge: Merge::Bounded,
         },
         AlgorithmSpec {
             id: "sample_and_hold_classic",
             make: make_sample_and_hold_classic,
+            snapshot: snapshot_sample_and_hold_classic,
             engine: None,
             merge: Merge::None,
         },
         AlgorithmSpec {
             id: "pick_and_drop",
             make: make_pick_and_drop,
+            snapshot: snapshot_pick_and_drop,
             engine: None,
             merge: Merge::None,
         },

@@ -1,5 +1,6 @@
 //! The sharded engine: replica ownership, routing, merged queries, checkpoints.
 
+use fsc_state::delta::{encode_delta, BaseRef};
 use fsc_state::snapshot::{SnapshotReader, SnapshotWriter, TrackerState};
 use fsc_state::{
     Answer, Mergeable, Query, Queryable, Snapshot, SnapshotError, StateReport, StreamAlgorithm,
@@ -210,6 +211,29 @@ impl<A: EngineAlgorithm> Engine<A> {
         w.finish()
     }
 
+    /// Captures the current full checkpoint as a [`BaseRef`] for later
+    /// [`Engine::checkpoint_delta`] calls.  The engine's epoch clock is its ingest
+    /// position, so delta epochs line up with the stream positions a
+    /// [`crate::Scenario`] checkpoint cadence is expressed in.
+    pub fn base_ref(&self) -> BaseRef {
+        BaseRef::new(self.checkpoint(), self.ingested)
+    }
+
+    /// Serializes a **delta** checkpoint against a previously captured base: the
+    /// `FSCD` bytes transforming `since` into the current [`Engine::checkpoint`]
+    /// (see [`fsc_state::delta`]).  Because engine checkpoints nest one `FSCS`
+    /// checkpoint per shard at stable offsets, a few-state-change summary's shard
+    /// payloads diff in few words and the engine delta stays proportional to what
+    /// changed across all shards.
+    pub fn checkpoint_delta(&self, since: &BaseRef) -> Result<Vec<u8>, SnapshotError> {
+        encode_delta(
+            since.bytes(),
+            &self.checkpoint(),
+            since.epoch(),
+            self.ingested,
+        )
+    }
+
     /// Rebuilds an engine from [`Engine::checkpoint`] bytes.  By the snapshot law
     /// the result is observably identical: same answers, same per-shard
     /// [`StateReport`]s and wear tables, same behaviour on subsequently ingested
@@ -303,6 +327,11 @@ pub trait DynEngine {
     fn query_many(&self, queries: &[Query]) -> Result<Vec<Answer>, SnapshotError>;
     /// Serializes the engine (see [`Engine::checkpoint`]).
     fn checkpoint(&self) -> Vec<u8>;
+    /// Captures the current checkpoint as a delta base (see [`Engine::base_ref`]).
+    fn base_ref(&self) -> BaseRef;
+    /// Serializes a delta checkpoint against `since` (see
+    /// [`Engine::checkpoint_delta`]).
+    fn checkpoint_delta(&self, since: &BaseRef) -> Result<Vec<u8>, SnapshotError>;
     /// Replaces this engine's state with a restored checkpoint (the failover verb:
     /// a fresh process constructs an engine and restores into it).
     fn restore_from(&mut self, bytes: &[u8]) -> Result<(), SnapshotError>;
@@ -339,6 +368,14 @@ impl<A: EngineAlgorithm> DynEngine for Engine<A> {
 
     fn checkpoint(&self) -> Vec<u8> {
         Engine::checkpoint(self)
+    }
+
+    fn base_ref(&self) -> BaseRef {
+        Engine::base_ref(self)
+    }
+
+    fn checkpoint_delta(&self, since: &BaseRef) -> Result<Vec<u8>, SnapshotError> {
+        Engine::checkpoint_delta(self, since)
     }
 
     fn restore_from(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
@@ -486,6 +523,40 @@ mod tests {
             .unwrap();
         let hh = answer.item_weights().expect("heavy hitter answer");
         assert!(!hh.is_empty(), "top items survive the union");
+    }
+
+    #[test]
+    fn delta_checkpoints_reconstruct_the_full_checkpoint() {
+        use fsc_state::delta::{apply_delta, CheckpointChain};
+        let stream = zipf_stream(512, 4_000, 1.2, 17);
+        let mut engine = count_min_engine(EngineConfig::default());
+        engine.ingest(&stream[..1_000]);
+
+        // Point delta: base → later full checkpoint, byte-for-byte.
+        let base = engine.base_ref();
+        engine.ingest(&stream[1_000..2_000]);
+        let full = engine.checkpoint();
+        let delta = engine.checkpoint_delta(&base).unwrap();
+        assert_eq!(apply_delta(base.bytes(), &delta).unwrap(), full);
+
+        // Chain across further cadence points; tip restores a working engine.
+        let mut chain = CheckpointChain::new(full, engine.ingested()).unwrap();
+        assert_eq!(chain.algorithm(), SNAPSHOT_ID);
+        for end in [3_000, 4_000] {
+            engine.ingest(&stream[end - 1_000..end]);
+            chain
+                .record(&engine.checkpoint(), engine.ingested())
+                .unwrap();
+        }
+        let restored = Engine::<CountMin>::restore(chain.tip_bytes()).unwrap();
+        assert_eq!(restored.ingested(), 4_000);
+        assert_eq!(restored.shard_reports(), engine.shard_reports());
+
+        // Time travel: the engine as of ingest position 3_000.
+        let (bytes, at) = chain.bytes_at(3_500).unwrap();
+        assert_eq!(at, 3_000);
+        let past = Engine::<CountMin>::restore(&bytes).unwrap();
+        assert_eq!(past.ingested(), 3_000);
     }
 
     #[test]

@@ -21,6 +21,13 @@
 //! 0's checkpoint (exercising the snapshot law on every query) and folding the
 //! remaining shards in with `merge_from`.
 //!
+//! Checkpoints have two faces: [`Engine::checkpoint`] serializes everything, and
+//! [`Engine::checkpoint_delta`] emits only the `FSCD` bytes that changed since a
+//! captured [`BaseRef`](fsc_state::delta::BaseRef) — chained and time-travelled via
+//! [`CheckpointChain`](fsc_state::delta::CheckpointChain), with the cadence/mode
+//! selected per scenario through [`scenario::CheckpointMode`] (the delta-law tests
+//! pin that base + deltas reconstructs the full checkpoint byte-for-byte).
+//!
 //! [`scenario`] adds the config-driven workload layer: a [`Scenario`] is a literal
 //! description (segments of Zipf/uniform/sorted/bursty/drifting traffic, a checkpoint
 //! cadence) that synthesizes its stream from `fsc-streamgen`, so a new workload is a
@@ -33,5 +40,5 @@
 mod engine;
 pub mod scenario;
 
-pub use engine::{DynEngine, Engine, EngineConfig, Routing};
-pub use scenario::{Scenario, Segment, Workload};
+pub use engine::{DynEngine, Engine, EngineAlgorithm, EngineConfig, Routing};
+pub use scenario::{CheckpointMode, Scenario, Segment, Workload};

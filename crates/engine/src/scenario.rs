@@ -6,7 +6,7 @@
 //! to an experiment means writing a config value, not a new binary:
 //!
 //! ```
-//! use fsc_engine::{Scenario, Segment, Workload};
+//! use fsc_engine::{CheckpointMode, Scenario, Segment, Workload};
 //!
 //! let scenario = Scenario {
 //!     name: "drift-then-burst".into(),
@@ -18,6 +18,7 @@
 //!         Segment { workload: Workload::Bursty { theta: 1.2, burst: 32 }, updates: 5_000 },
 //!     ],
 //!     checkpoint_every: Some(8_192),
+//!     checkpoint_mode: CheckpointMode::Delta { compact_every: 4 },
 //!     batch: 1_024,
 //! };
 //! let stream = scenario.stream();
@@ -64,6 +65,25 @@ pub enum Workload {
     },
 }
 
+/// How a scenario's checkpoint cadence persists the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckpointMode {
+    /// Every cadence point serializes and persists the full engine checkpoint.
+    #[default]
+    Full,
+    /// Cadence points persist `FSCD` deltas into a
+    /// [`fsc_state::delta::CheckpointChain`]: the first checkpoint is the base, each
+    /// later one stores only the bytes that changed since the previous — the
+    /// persistence cost the paper argues should track *state changes*, not summary
+    /// size.
+    Delta {
+        /// Fold the chain into a fresh base after this many deltas (`0` = never):
+        /// bounds both replay length on failover and how far back time-travel
+        /// queries can reach.
+        compact_every: usize,
+    },
+}
+
 /// A contiguous stretch of one workload.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Segment {
@@ -88,6 +108,9 @@ pub struct Scenario {
     pub segments: Vec<Segment>,
     /// Checkpoint the engine every this many ingested updates (`None` = never).
     pub checkpoint_every: Option<usize>,
+    /// How cadence checkpoints are persisted: full serializations or deltas chained
+    /// off a base (see [`CheckpointMode`]).
+    pub checkpoint_mode: CheckpointMode,
     /// Ingest batch size the runner feeds the engine with.
     pub batch: usize,
 }
@@ -149,6 +172,7 @@ mod tests {
             seed: 3,
             segments,
             checkpoint_every: None,
+            checkpoint_mode: CheckpointMode::default(),
             batch: 16,
         }
     }

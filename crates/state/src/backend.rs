@@ -191,6 +191,31 @@ pub trait TrackerBackend: fmt::Debug + Send + Sync {
     /// exporting one, after the restoring algorithm has rebuilt its containers (any
     /// accounting those rebuilds charged is deliberately clobbered here).
     fn import_state(&self, state: &TrackerState);
+    /// The addresses whose stored value changed in any epoch **after** `epoch`, if
+    /// the backend can enumerate them *soundly* — the dirty-address journal behind
+    /// delta checkpointing (see [`crate::delta`]).
+    ///
+    /// `None` is the **conservative fallback** meaning "assume everything is dirty":
+    /// returned by backends without per-address accounting ([`LeanTracker`], plain
+    /// [`FullTracker`]), and by the address-tracked backend whenever an *anonymous*
+    /// write (`record_write(None, true)` — e.g. any [`crate::TrackedMap`] mutation)
+    /// happened after `epoch`, since such writes cannot be attributed to an address.
+    /// `Some(addrs)` is a completeness guarantee: every tracked word not listed holds
+    /// the same value it held at the end of epoch `epoch`.  A restored backend
+    /// ([`TrackerBackend::import_state`]) also answers `None` for any `epoch` before
+    /// its import point — the journal does not survive a checkpoint round trip.
+    fn dirty_since(&self, epoch: u64) -> Option<Vec<usize>> {
+        let _ = epoch;
+        None
+    }
+    /// Drains the journal: the addresses dirtied since the previous drain (or since
+    /// construction), advancing the drain mark to the current epoch.  Same `None`
+    /// semantics as [`TrackerBackend::dirty_since`]; a `None` drain also advances the
+    /// mark, since the caller's response to `None` (persist everything) covers all
+    /// history up to the current epoch.
+    fn drain_dirty(&self) -> Option<Vec<usize>> {
+        None
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -302,10 +327,39 @@ pub struct FullTracker {
     words_peak: AtomicUsize,
     /// Next free address for `alloc`.
     next_addr: AtomicUsize,
-    /// Per-address write counts; populated only when `address_tracked` is set.
-    addr_writes: Mutex<Vec<u64>>,
+    /// Per-address wear counts and dirty-journal stamps; populated only when
+    /// `address_tracked` is set.
+    addr_writes: Mutex<WearJournal>,
+    /// Epoch of the last *anonymous* changed write (`record_write(None, true)`), the
+    /// taint that forces [`TrackerBackend::dirty_since`] to its conservative `None`
+    /// answer; 0 = none.  Maintained only when `address_tracked` is set.
+    last_anon_change: AtomicU64,
+    /// Epoch up to which [`TrackerBackend::drain_dirty`] has already reported.
+    drain_mark: AtomicU64,
     /// Whether per-address wear accounting is enabled (fixed at construction).
     address_tracked: bool,
+}
+
+/// The per-address tables behind [`FullTracker`]'s wear lock: lifetime write counts
+/// (wear analysis) and the epoch of each address's last changed write (the dirty
+/// journal).  Both grow together and are updated under the one existing lock, so the
+/// journal costs no extra synchronisation on the tracked hot path.
+#[derive(Debug, Default)]
+struct WearJournal {
+    /// Lifetime changed-write count per address.
+    wear: Vec<u64>,
+    /// Epoch id of the last changed write per address (0 = only pre-epoch writes).
+    last_write_epoch: Vec<u64>,
+}
+
+impl WearJournal {
+    /// Grow-only resize keeping both tables the same length.
+    fn grow_to(&mut self, len: usize) {
+        if len > self.wear.len() {
+            self.wear.resize(len, 0);
+            self.last_write_epoch.resize(len, 0);
+        }
+    }
 }
 
 impl FullTracker {
@@ -325,11 +379,20 @@ impl FullTracker {
         }
     }
 
-    fn wear_table(&self) -> std::sync::MutexGuard<'_, Vec<u64>> {
+    fn wear_table(&self) -> std::sync::MutexGuard<'_, WearJournal> {
         match self.addr_writes.lock() {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),
         }
+    }
+
+    /// Stamps the anonymous-write taint with the current epoch (see
+    /// [`FullTracker::last_anon_change`]); epoch 0 (pre-epoch initialisation) is
+    /// stamped as 1 so a base captured before the write still sees the taint.
+    #[inline]
+    fn taint_anonymous(&self) {
+        let e = self.epoch.epochs().max(1);
+        self.last_anon_change.fetch_max(e, Ordering::Relaxed);
     }
 }
 
@@ -355,10 +418,8 @@ impl TrackerBackend for FullTracker {
         self.words_peak.fetch_max(current, Ordering::Relaxed);
         if self.address_tracked {
             // Grow-only: a concurrent alloc may already have extended the table past
-            // this range's end, and resize() would otherwise truncate its wear counts.
-            let mut wear = self.wear_table();
-            let target = (start + words).max(wear.len());
-            wear.resize(target, 0);
+            // this range's end, and resizing down would truncate its wear counts.
+            self.wear_table().grow_to(start + words);
         }
         AddrRange { start, len: words }
     }
@@ -379,12 +440,14 @@ impl TrackerBackend for FullTracker {
                 bump(&self.state_changes, 1);
             }
             if self.address_tracked {
-                if let Some(a) = addr {
-                    let mut wear = self.wear_table();
-                    if a >= wear.len() {
-                        wear.resize(a + 1, 0);
+                match addr {
+                    Some(a) => {
+                        let mut journal = self.wear_table();
+                        journal.grow_to(a + 1);
+                        journal.wear[a] += 1;
+                        journal.last_write_epoch[a] = self.epoch.epochs();
                     }
-                    wear[a] += 1;
+                    None => self.taint_anonymous(),
                 }
             }
         } else {
@@ -402,15 +465,20 @@ impl TrackerBackend for FullTracker {
             bump(&self.state_changes, 1);
         }
         if self.address_tracked {
-            if let Some(start) = start {
-                let end = start + n as usize;
-                let mut wear = self.wear_table();
-                if end > wear.len() {
-                    wear.resize(end, 0);
+            match start {
+                Some(start) => {
+                    let end = start + n as usize;
+                    let mut journal = self.wear_table();
+                    journal.grow_to(end);
+                    let epoch = self.epoch.epochs();
+                    for w in &mut journal.wear[start..end] {
+                        *w += 1;
+                    }
+                    for e in &mut journal.last_write_epoch[start..end] {
+                        *e = epoch;
+                    }
                 }
-                for w in &mut wear[start..end] {
-                    *w += 1;
-                }
+                None => self.taint_anonymous(),
             }
         }
     }
@@ -425,12 +493,12 @@ impl TrackerBackend for FullTracker {
             bump(&self.state_changes, 1);
         }
         if self.address_tracked {
-            let mut wear = self.wear_table();
+            let mut journal = self.wear_table();
+            let epoch = self.epoch.epochs();
             for &a in addrs {
-                if a >= wear.len() {
-                    wear.resize(a + 1, 0);
-                }
-                wear[a] += 1;
+                journal.grow_to(a + 1);
+                journal.wear[a] += 1;
+                journal.last_write_epoch[a] = epoch;
             }
         }
     }
@@ -450,14 +518,17 @@ impl TrackerBackend for FullTracker {
         bump(&self.state_changes, n);
         bump(&self.word_writes, n * writes);
         if self.address_tracked {
-            if let Some(addrs) = addrs {
-                let mut wear = self.wear_table();
-                for &a in addrs {
-                    if a >= wear.len() {
-                        wear.resize(a + 1, 0);
+            match addrs {
+                Some(addrs) => {
+                    let mut journal = self.wear_table();
+                    let epoch = self.epoch.epochs();
+                    for &a in addrs {
+                        journal.grow_to(a + 1);
+                        journal.wear[a] += n;
+                        journal.last_write_epoch[a] = epoch;
                     }
-                    wear[a] += n;
                 }
+                None => self.taint_anonymous(),
             }
         }
     }
@@ -485,11 +556,11 @@ impl TrackerBackend for FullTracker {
 
     fn snapshot(&self) -> StateReport {
         let (max_cell_writes, tracked_cells, total_addr_writes) = if self.address_tracked {
-            let wear = self.wear_table();
+            let journal = self.wear_table();
             (
-                wear.iter().copied().max(),
-                Some(wear.len()),
-                Some(wear.iter().sum()),
+                journal.wear.iter().copied().max(),
+                Some(journal.wear.len()),
+                Some(journal.wear.iter().sum()),
             )
         } else {
             (None, None, None)
@@ -510,7 +581,7 @@ impl TrackerBackend for FullTracker {
 
     fn address_writes(&self) -> Option<Vec<u64>> {
         if self.address_tracked {
-            Some(self.wear_table().clone())
+            Some(self.wear_table().wear.clone())
         } else {
             None
         }
@@ -554,8 +625,38 @@ impl TrackerBackend for FullTracker {
         self.words_peak.store(state.words_peak, Ordering::Relaxed);
         self.next_addr.store(state.next_addr, Ordering::Relaxed);
         if self.address_tracked {
-            *self.wear_table() = state.wear.clone().unwrap_or_default();
+            let wear = state.wear.clone().unwrap_or_default();
+            let mut journal = self.wear_table();
+            // The dirty journal is not serialized ([`TrackerState`] is format-stable),
+            // so a restored tracker re-stamps every address with the import epoch and
+            // taints anonymity: `dirty_since` answers conservatively for any epoch
+            // before the import point instead of under-reporting.
+            journal.last_write_epoch = vec![state.epochs; wear.len()];
+            journal.wear = wear;
+            self.last_anon_change.store(state.epochs, Ordering::Relaxed);
         }
+        self.drain_mark.store(0, Ordering::Relaxed);
+    }
+
+    fn dirty_since(&self, epoch: u64) -> Option<Vec<usize>> {
+        if !self.address_tracked || self.last_anon_change.load(Ordering::Relaxed) > epoch {
+            return None;
+        }
+        let journal = self.wear_table();
+        Some(
+            journal
+                .last_write_epoch
+                .iter()
+                .enumerate()
+                .filter(|&(_, &e)| e > epoch)
+                .map(|(a, _)| a)
+                .collect(),
+        )
+    }
+
+    fn drain_dirty(&self) -> Option<Vec<usize>> {
+        let mark = self.drain_mark.swap(self.epoch.epochs(), Ordering::Relaxed);
+        self.dirty_since(mark)
     }
 }
 
@@ -1061,6 +1162,88 @@ mod tests {
         assert_eq!(lean.words_current(), 2);
         lean.dealloc(100);
         assert_eq!(lean.words_current(), 0, "dealloc saturates at zero");
+    }
+
+    #[test]
+    fn dirty_journal_tracks_addressed_writes_per_epoch() {
+        let t = FullTracker::with_address_tracking();
+        let r = t.alloc(6);
+        t.record_write(Some(r.word(0)), true); // pre-epoch init: never dirty
+        t.begin_epoch(); // epoch 1
+        t.record_write(Some(r.word(1)), true);
+        t.begin_epoch(); // epoch 2
+        t.record_write(Some(r.word(2)), true);
+        t.record_write(Some(r.word(3)), false); // redundant: not dirty
+        t.begin_epoch(); // epoch 3
+        t.record_changed_at(&[r.word(1), r.word(4)]);
+
+        assert_eq!(t.dirty_since(3), Some(vec![]));
+        assert_eq!(t.dirty_since(2), Some(vec![1, 4]));
+        assert_eq!(t.dirty_since(1), Some(vec![1, 2, 4]));
+        assert_eq!(t.dirty_since(0), Some(vec![1, 2, 4]));
+
+        // Drain semantics: first drain reports everything since construction, the
+        // next only what happened after it.
+        assert_eq!(t.drain_dirty(), Some(vec![1, 2, 4]));
+        assert_eq!(t.drain_dirty(), Some(vec![]));
+        t.begin_epoch();
+        t.record_changed_run(Some(r.word(4)), 2);
+        assert_eq!(t.drain_dirty(), Some(vec![4, 5]));
+    }
+
+    #[test]
+    fn anonymous_writes_force_the_conservative_answer() {
+        let t = FullTracker::with_address_tracking();
+        let r = t.alloc(2);
+        t.begin_epoch();
+        t.record_write(Some(r.word(0)), true);
+        assert_eq!(t.dirty_since(0), Some(vec![0]));
+        t.begin_epoch(); // epoch 2
+        t.record_write(None, true); // a TrackedMap-style anonymous mutation
+        assert_eq!(t.dirty_since(1), None, "anon write after the base taints");
+        assert_eq!(
+            t.dirty_since(2),
+            Some(vec![]),
+            "a base at-or-after the taint is clean again"
+        );
+        // A None drain still advances the mark: the caller persisted everything.
+        assert_eq!(t.drain_dirty(), None);
+        assert_eq!(t.drain_dirty(), Some(vec![]));
+    }
+
+    #[test]
+    fn journal_answers_none_without_address_tracking() {
+        for backend in [
+            Box::new(FullTracker::new()) as Box<dyn TrackerBackend>,
+            Box::new(LeanTracker::new()),
+        ] {
+            backend.begin_epoch();
+            backend.record_write(Some(0), true);
+            assert_eq!(backend.dirty_since(0), None);
+            assert_eq!(backend.drain_dirty(), None);
+        }
+    }
+
+    #[test]
+    fn journal_is_conservative_after_import() {
+        let t = FullTracker::with_address_tracking();
+        let r = t.alloc(2);
+        for _ in 0..4 {
+            t.begin_epoch();
+            t.record_write(Some(r.word(0)), true);
+        }
+        let state = t.export_state();
+        let restored = FullTracker::with_address_tracking();
+        restored.import_state(&state);
+        assert_eq!(
+            restored.dirty_since(2),
+            None,
+            "pre-import history is unknown: answer conservatively"
+        );
+        assert_eq!(restored.dirty_since(4), Some(vec![]));
+        restored.begin_epoch(); // epoch 5
+        restored.record_write(Some(r.word(1)), true);
+        assert_eq!(restored.dirty_since(4), Some(vec![1]));
     }
 
     #[test]

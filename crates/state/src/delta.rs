@@ -1,0 +1,676 @@
+//! Delta checkpoints (`FSCD`) and time-travel chains over the `FSCS` format.
+//!
+//! The paper's thesis is that state changes are scarce — `Õ(n^{1−1/p})` for the
+//! moment and heavy-hitter summaries of Sections 3–4 — so the bytes that must be
+//! *persisted* per checkpoint should be proportional to what changed, not to the
+//! summary size.  A full [`Snapshot::checkpoint`]
+//! always serializes the whole summary; this module adds the incremental layer:
+//!
+//! * [`encode_delta`] / [`apply_delta`] — the `FSCD` wire format: a word-granular
+//!   binary diff between two full `FSCS` checkpoints of the same algorithm.  The
+//!   encoder compares the checkpoints as zero-padded 8-byte words and emits runs of
+//!   changed words; when the diff would exceed the full checkpoint it embeds the full
+//!   payload instead, so a delta is never more than a small header larger than the
+//!   checkpoint it replaces ([`DELTA_OVERHEAD`]).  A checksum of the reconstruction
+//!   target and the exact base length are stored, so applying a delta to the wrong
+//!   base fails with a typed [`SnapshotError::MissingBase`] — never silent corruption.
+//! * [`BaseRef`] — a captured full checkpoint plus its epoch, the "since" argument of
+//!   [`Snapshot::checkpoint_delta`].
+//! * [`CheckpointChain`] — a base plus ordered deltas: append with ordering
+//!   validation ([`SnapshotError::OutOfOrderDelta`]), reconstruct the tip, answer
+//!   time-travel queries with [`CheckpointChain::bytes_at`] /
+//!   [`CheckpointChain::restore_at`] (replay from the base up to the nearest
+//!   checkpoint at-or-before the asked epoch), and fold history into a fresh base
+//!   with [`CheckpointChain::compact`].
+//!
+//! # Why a byte diff and not an address diff
+//!
+//! Tracked addresses ([`crate::AddrRange`]) are abstract word indices with no stable
+//! mapping to checkpoint byte offsets: container layouts are algorithm-private, and
+//! [`crate::TrackedMap`] writes are anonymous (no address at all).  The per-backend
+//! dirty journal ([`crate::backend::TrackerBackend::dirty_since`]) therefore serves
+//! as a *conservative observability layer* — it tells persistence layers when nothing
+//! changed and bounds how much could have — while the delta encoding itself diffs the
+//! serialized state, which is correct for every algorithm unconditionally.  Because
+//! checkpoint encodings are deterministic and word-aligned (`SnapshotWriter` emits
+//! little-endian words), a summary with few state changes produces a byte diff whose
+//! size tracks the changed words, which is exactly the persistence-cost claim the
+//! `fig_engine` curves measure (EXPERIMENTS.md §checkpoint-bytes).
+
+use crate::snapshot::{SnapshotError, SnapshotReader, SNAPSHOT_VERSION};
+use crate::traits::Snapshot;
+
+/// Leading magic of every delta checkpoint (`FSCD` = Few-State-Changes Delta).
+pub const DELTA_MAGIC: [u8; 4] = *b"FSCD";
+
+/// Worst-case size overhead of a delta over the full checkpoint it encodes, in bytes
+/// (header, lengths, checksum, and the embedded-payload length prefix), excluding the
+/// algorithm-id string both formats carry.  The encoder falls back to embedding the
+/// full payload whenever the word diff would be larger, so
+/// `delta.len() ≤ full.len() + DELTA_OVERHEAD + algorithm_id.len()` always holds —
+/// the "delta bytes ≤ full checkpoint bytes" law up to this additive slack.
+pub const DELTA_OVERHEAD: usize = 4 + 2 + 8 + 8 * 5 + 1 + 8;
+
+/// FNV-1a over `bytes` — the integrity checksum stored in every delta, validating
+/// that applying it reproduced the exact full checkpoint it was encoded from.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The `i`-th 8-byte little-endian word of `bytes`, zero-padded past the end — the
+/// word view both diff sides are compared in (padding makes grow/shrink well-defined).
+fn padded_word(bytes: &[u8], i: usize) -> u64 {
+    let start = i * 8;
+    let mut buf = [0u8; 8];
+    if start < bytes.len() {
+        let end = (start + 8).min(bytes.len());
+        buf[..end - start].copy_from_slice(&bytes[start..end]);
+    }
+    u64::from_le_bytes(buf)
+}
+
+/// Parsed header of a delta checkpoint — everything needed to validate ordering and
+/// base identity before committing to an apply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaInfo {
+    /// Algorithm id shared with the base/target `FSCS` headers.
+    pub algorithm: String,
+    /// Epoch of the base checkpoint this delta was encoded against.
+    pub base_epoch: u64,
+    /// Epoch of the checkpoint this delta reconstructs.
+    pub epoch: u64,
+    /// Exact byte length the base must have.
+    pub base_len: usize,
+    /// Byte length of the reconstructed full checkpoint.
+    pub new_len: usize,
+}
+
+/// Sizes recorded when a delta is appended to a [`CheckpointChain`] — the raw
+/// material of the checkpoint-bytes-vs-stream-length curves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// Epoch of the checkpoint the delta reconstructs.
+    pub epoch: u64,
+    /// Size of the full checkpoint at that epoch.
+    pub full_bytes: usize,
+    /// Size of the emitted delta.
+    pub delta_bytes: usize,
+}
+
+/// A captured full checkpoint plus the epoch it was taken at: the `since` argument of
+/// [`Snapshot::checkpoint_delta`].
+#[derive(Debug, Clone)]
+pub struct BaseRef {
+    epoch: u64,
+    bytes: Vec<u8>,
+}
+
+impl BaseRef {
+    /// Captures `a`'s current full checkpoint and epoch clock.
+    pub fn capture<A: Snapshot + ?Sized>(a: &A) -> Self {
+        Self {
+            epoch: a.report().epochs,
+            bytes: a.checkpoint(),
+        }
+    }
+
+    /// Wraps previously captured checkpoint bytes taken at `epoch` (e.g. an engine
+    /// checkpoint, which is not a [`Snapshot`] implementor).
+    pub fn new(bytes: Vec<u8>, epoch: u64) -> Self {
+        Self { epoch, bytes }
+    }
+
+    /// The epoch the base was captured at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The captured full checkpoint.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+/// Encodes the `FSCD` delta transforming the full checkpoint `base` (taken at
+/// `base_epoch`) into the full checkpoint `new` (taken at `epoch`).
+///
+/// Both inputs must be valid `FSCS` checkpoints of the same algorithm; `epoch` must
+/// not precede `base_epoch`.  The payload is whichever is smaller of (a) run-length
+/// encoded changed 8-byte words and (b) the full `new` bytes embedded verbatim, so
+/// the result never exceeds `new.len() + DELTA_OVERHEAD + algorithm_id.len()`.
+pub fn encode_delta(
+    base: &[u8],
+    new: &[u8],
+    base_epoch: u64,
+    epoch: u64,
+) -> Result<Vec<u8>, SnapshotError> {
+    let algorithm = SnapshotReader::peek_algorithm(base)?;
+    let new_algorithm = SnapshotReader::peek_algorithm(new)?;
+    if algorithm != new_algorithm {
+        return Err(SnapshotError::WrongAlgorithm {
+            expected: algorithm,
+            found: new_algorithm,
+        });
+    }
+    if epoch < base_epoch {
+        return Err(SnapshotError::Corrupt("delta epoch precedes base epoch"));
+    }
+
+    // Changed-word runs over the zero-padded word views.
+    let words = base.len().div_ceil(8).max(new.len().div_ceil(8));
+    let mut runs: Vec<(usize, Vec<u64>)> = Vec::new();
+    let mut i = 0;
+    while i < words {
+        if padded_word(base, i) == padded_word(new, i) {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut changed = Vec::new();
+        while i < words && padded_word(base, i) != padded_word(new, i) {
+            changed.push(padded_word(new, i));
+            i += 1;
+        }
+        runs.push((start, changed));
+    }
+    let runs_bytes: usize = 8 + runs.iter().map(|(_, w)| 16 + 8 * w.len()).sum::<usize>();
+
+    let mut w = Vec::new();
+    w.extend_from_slice(&DELTA_MAGIC);
+    w.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    w.extend_from_slice(&(algorithm.len() as u64).to_le_bytes());
+    w.extend_from_slice(algorithm.as_bytes());
+    w.extend_from_slice(&base_epoch.to_le_bytes());
+    w.extend_from_slice(&epoch.to_le_bytes());
+    w.extend_from_slice(&(base.len() as u64).to_le_bytes());
+    w.extend_from_slice(&(new.len() as u64).to_le_bytes());
+    w.extend_from_slice(&fnv1a(new).to_le_bytes());
+    if runs_bytes < 8 + new.len() {
+        w.push(0); // mode: changed-word runs
+        w.extend_from_slice(&(runs.len() as u64).to_le_bytes());
+        for (start, words) in &runs {
+            w.extend_from_slice(&(*start as u64).to_le_bytes());
+            w.extend_from_slice(&(words.len() as u64).to_le_bytes());
+            for word in words {
+                w.extend_from_slice(&word.to_le_bytes());
+            }
+        }
+    } else {
+        w.push(1); // mode: full payload embedded verbatim
+        w.extend_from_slice(&(new.len() as u64).to_le_bytes());
+        w.extend_from_slice(new);
+    }
+    Ok(w)
+}
+
+/// Parses a delta's header without applying it (ordering/identity checks, labeling).
+pub fn peek_delta(delta: &[u8]) -> Result<DeltaInfo, SnapshotError> {
+    let mut r = SnapshotReader::raw(delta);
+    let (info, _) = read_delta_header(&mut r)?;
+    Ok(info)
+}
+
+/// Reads the `FSCD` header; returns the parsed info and the expected checksum,
+/// leaving the reader positioned at the mode tag.
+fn read_delta_header<'a>(r: &mut SnapshotReader<'a>) -> Result<(DeltaInfo, u64), SnapshotError> {
+    if r.take_bytes(4)? != DELTA_MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = r.u16()?;
+    if version != SNAPSHOT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion(version));
+    }
+    let algorithm = r.string()?;
+    let base_epoch = r.u64()?;
+    let epoch = r.u64()?;
+    if epoch < base_epoch {
+        return Err(SnapshotError::Corrupt("delta epoch precedes base epoch"));
+    }
+    let base_len = r.usize()?;
+    let new_len = r.usize()?;
+    let checksum = r.u64()?;
+    Ok((
+        DeltaInfo {
+            algorithm,
+            base_epoch,
+            epoch,
+            base_len,
+            new_len,
+        },
+        checksum,
+    ))
+}
+
+/// Applies an `FSCD` delta to the full checkpoint it was encoded against, returning
+/// the reconstructed full checkpoint.
+///
+/// Validation is total: a base belonging to a different algorithm fails with
+/// [`SnapshotError::WrongAlgorithm`]; a base of the wrong length — or one whose
+/// content leads to a checksum mismatch — fails with
+/// [`SnapshotError::MissingBase`]; truncated or malformed delta bytes fail with the
+/// usual typed errors.  On success the result is byte-identical to the `new`
+/// argument of the matching [`encode_delta`] call.
+pub fn apply_delta(base: &[u8], delta: &[u8]) -> Result<Vec<u8>, SnapshotError> {
+    let mut r = SnapshotReader::raw(delta);
+    let (info, checksum) = read_delta_header(&mut r)?;
+    let base_algorithm = SnapshotReader::peek_algorithm(base)?;
+    if base_algorithm != info.algorithm {
+        return Err(SnapshotError::WrongAlgorithm {
+            expected: info.algorithm,
+            found: base_algorithm,
+        });
+    }
+    if info.base_len != base.len() {
+        return Err(SnapshotError::MissingBase);
+    }
+    let mut out = match r.u8()? {
+        0 => {
+            let mut out = base.to_vec();
+            out.resize(info.new_len, 0);
+            let run_count = r.len_prefix(16)?;
+            let max_word = info.new_len.div_ceil(8);
+            for _ in 0..run_count {
+                let start = r.usize()?;
+                let len = r.len_prefix(8)?;
+                if start.checked_add(len).is_none_or(|end| end > max_word) {
+                    return Err(SnapshotError::Corrupt("delta run out of bounds"));
+                }
+                for i in 0..len {
+                    let word = r.u64()?.to_le_bytes();
+                    let at = (start + i) * 8;
+                    let end = (at + 8).min(info.new_len);
+                    out[at..end].copy_from_slice(&word[..end - at]);
+                }
+            }
+            out
+        }
+        1 => {
+            let payload = r.byte_slice()?;
+            if payload.len() != info.new_len {
+                return Err(SnapshotError::Corrupt("embedded payload length"));
+            }
+            payload.to_vec()
+        }
+        _ => return Err(SnapshotError::Corrupt("delta mode tag")),
+    };
+    r.finish()?;
+    out.truncate(info.new_len);
+    if fnv1a(&out) != checksum {
+        return Err(SnapshotError::MissingBase);
+    }
+    Ok(out)
+}
+
+/// A base checkpoint plus an ordered run of deltas — the durable form of an
+/// incrementally persisted summary, and the index time-travel queries run against.
+///
+/// The chain is byte-generic: it works for any `FSCS` checkpoint producer, including
+/// `fsc-engine` shard-set checkpoints (algorithm id `"fsc_engine"`), not just
+/// [`Snapshot`] implementors.  Appends validate algorithm identity, base length, and
+/// epoch ordering with typed errors, so a corrupted or reordered persistence log is
+/// rejected instead of reconstructing garbage.
+#[derive(Debug, Clone)]
+pub struct CheckpointChain {
+    algorithm: String,
+    base: Vec<u8>,
+    base_epoch: u64,
+    /// `(epoch, delta bytes)` in append order; epochs are non-decreasing.
+    deltas: Vec<(u64, Vec<u8>)>,
+    /// Reconstruction of the tip (cached so appends validate in O(delta)).
+    tip: Vec<u8>,
+    tip_epoch: u64,
+}
+
+impl CheckpointChain {
+    /// Starts a chain from a full checkpoint taken at `base_epoch`.
+    pub fn new(base: Vec<u8>, base_epoch: u64) -> Result<Self, SnapshotError> {
+        let algorithm = SnapshotReader::peek_algorithm(&base)?;
+        Ok(Self {
+            algorithm,
+            tip: base.clone(),
+            tip_epoch: base_epoch,
+            base,
+            base_epoch,
+            deltas: Vec::new(),
+        })
+    }
+
+    /// The algorithm id shared by the base and every delta.
+    pub fn algorithm(&self) -> &str {
+        &self.algorithm
+    }
+
+    /// Epoch of the chain's base checkpoint.
+    pub fn base_epoch(&self) -> u64 {
+        self.base_epoch
+    }
+
+    /// Epoch of the chain's tip (base epoch when no deltas are appended).
+    pub fn tip_epoch(&self) -> u64 {
+        self.tip_epoch
+    }
+
+    /// Number of deltas currently in the chain.
+    pub fn len(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// Whether the chain holds no deltas (tip == base).
+    pub fn is_empty(&self) -> bool {
+        self.deltas.is_empty()
+    }
+
+    /// Encodes `full` (the current full checkpoint, taken at `epoch`) as a delta
+    /// against the tip, appends it, and reports the sizes.  This is the persistence
+    /// write path: only the returned `delta_bytes` need to be made durable.
+    pub fn record(&mut self, full: &[u8], epoch: u64) -> Result<DeltaStats, SnapshotError> {
+        let delta = encode_delta(&self.tip, full, self.tip_epoch, epoch)?;
+        let stats = DeltaStats {
+            epoch,
+            full_bytes: full.len(),
+            delta_bytes: delta.len(),
+        };
+        self.append_delta(delta)?;
+        Ok(stats)
+    }
+
+    /// Appends a delta produced elsewhere (e.g. read back from a persistence log),
+    /// validating algorithm identity, ordering, and base identity before advancing
+    /// the tip.
+    pub fn append_delta(&mut self, delta: Vec<u8>) -> Result<(), SnapshotError> {
+        let info = peek_delta(&delta)?;
+        if info.algorithm != self.algorithm {
+            return Err(SnapshotError::WrongAlgorithm {
+                expected: self.algorithm.clone(),
+                found: info.algorithm,
+            });
+        }
+        if info.base_epoch != self.tip_epoch {
+            return Err(SnapshotError::OutOfOrderDelta {
+                expected: self.tip_epoch,
+                found: info.base_epoch,
+            });
+        }
+        self.tip = apply_delta(&self.tip, &delta)?;
+        self.tip_epoch = info.epoch;
+        self.deltas.push((info.epoch, delta));
+        Ok(())
+    }
+
+    /// The reconstructed full checkpoint at the tip of the chain.
+    pub fn tip_bytes(&self) -> &[u8] {
+        &self.tip
+    }
+
+    /// Restores a summary from the tip of the chain.
+    pub fn restore<A: Snapshot>(&self) -> Result<A, SnapshotError> {
+        A::restore(&self.tip)
+    }
+
+    /// Time travel: the full checkpoint as of `epoch` — the latest checkpoint in the
+    /// chain taken at-or-before `epoch`, reconstructed by replaying deltas from the
+    /// base.  Asking for an epoch before the base fails with
+    /// [`SnapshotError::MissingBase`] (that history was compacted away).  Returns the
+    /// bytes and the epoch of the checkpoint actually used.
+    pub fn bytes_at(&self, epoch: u64) -> Result<(Vec<u8>, u64), SnapshotError> {
+        if epoch < self.base_epoch {
+            return Err(SnapshotError::MissingBase);
+        }
+        let mut bytes = self.base.clone();
+        let mut at = self.base_epoch;
+        for (delta_epoch, delta) in &self.deltas {
+            if *delta_epoch > epoch {
+                break;
+            }
+            bytes = apply_delta(&bytes, delta)?;
+            at = *delta_epoch;
+        }
+        Ok((bytes, at))
+    }
+
+    /// Time travel: restores the summary as it was at `epoch` (see
+    /// [`CheckpointChain::bytes_at`] for nearest-checkpoint semantics).  Returns the
+    /// instance and the epoch of the checkpoint it was restored from.
+    pub fn restore_at<A: Snapshot>(&self, epoch: u64) -> Result<(A, u64), SnapshotError> {
+        let (bytes, at) = self.bytes_at(epoch)?;
+        Ok((A::restore(&bytes)?, at))
+    }
+
+    /// Folds the chain into a fresh base at the tip: the reconstruction and its epoch
+    /// become the new base and the deltas are dropped.  History before the tip is no
+    /// longer reachable ([`CheckpointChain::bytes_at`] of earlier epochs then fails),
+    /// which is the intended trade: a compacted chain costs one full checkpoint of
+    /// storage and zero replay work.
+    pub fn compact(&mut self) {
+        self.base = self.tip.clone();
+        self.base_epoch = self.tip_epoch;
+        self.deltas.clear();
+    }
+
+    /// Total bytes held in deltas (the incremental persistence cost since the base).
+    pub fn delta_bytes(&self) -> usize {
+        self.deltas.iter().map(|(_, d)| d.len()).sum()
+    }
+
+    /// Total bytes a durable copy of the chain occupies (base plus deltas).
+    pub fn total_bytes(&self) -> usize {
+        self.base.len() + self.delta_bytes()
+    }
+
+    /// The epochs at which checkpoints exist in the chain (base first).
+    pub fn epochs(&self) -> Vec<u64> {
+        let mut out = vec![self.base_epoch];
+        out.extend(self.deltas.iter().map(|(e, _)| *e));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::SnapshotWriter;
+
+    fn checkpoint_with(algorithm: &str, payload: &[u64]) -> Vec<u8> {
+        let mut w = SnapshotWriter::new(algorithm);
+        for &v in payload {
+            w.u64(v);
+        }
+        w.finish()
+    }
+
+    #[test]
+    fn delta_round_trips_sparse_changes() {
+        let payload: Vec<u64> = (0..64).collect();
+        let base = checkpoint_with("unit", &payload);
+        let mut new_payload = payload.clone();
+        new_payload[2] = 99;
+        new_payload[46] = 100;
+        let new = checkpoint_with("unit", &new_payload);
+
+        let delta = encode_delta(&base, &new, 10, 20).unwrap();
+        assert!(delta.len() < new.len(), "two changed words must diff small");
+        let info = peek_delta(&delta).unwrap();
+        assert_eq!(info.algorithm, "unit");
+        assert_eq!(info.base_epoch, 10);
+        assert_eq!(info.epoch, 20);
+        assert_eq!(apply_delta(&base, &delta).unwrap(), new);
+    }
+
+    #[test]
+    fn delta_handles_growth_shrink_and_unaligned_lengths() {
+        // Checkpoint lengths are not multiples of 8 (the id string unaligns them),
+        // so the padded-word view and clipping are load-bearing here.
+        let shapes: [(&[u64], &[u64]); 4] = [
+            (&[1, 2], &[1, 2, 3, 4]), // grow
+            (&[1, 2, 3, 4], &[9]),    // shrink
+            (&[], &[7]),              // from empty payload
+            (&[5, 5, 5], &[5, 5, 5]), // identical
+        ];
+        for (a, b) in shapes {
+            let base = checkpoint_with("odd", a);
+            let new = checkpoint_with("odd", b);
+            let delta = encode_delta(&base, &new, 0, 1).unwrap();
+            assert_eq!(apply_delta(&base, &delta).unwrap(), new);
+            assert!(delta.len() <= new.len() + DELTA_OVERHEAD + "odd".len());
+        }
+    }
+
+    #[test]
+    fn dense_changes_fall_back_to_embedded_payload() {
+        let base = checkpoint_with("unit", &(0..64).collect::<Vec<_>>());
+        let new = checkpoint_with("unit", &(100..164).collect::<Vec<_>>());
+        let delta = encode_delta(&base, &new, 0, 5).unwrap();
+        assert!(delta.len() <= new.len() + DELTA_OVERHEAD + "unit".len());
+        assert_eq!(apply_delta(&base, &delta).unwrap(), new);
+    }
+
+    #[test]
+    fn wrong_base_is_a_typed_missing_base_error() {
+        let base = checkpoint_with("unit", &[1, 2, 3]);
+        let new = checkpoint_with("unit", &[1, 9, 3]);
+        let delta = encode_delta(&base, &new, 0, 1).unwrap();
+        // Wrong length.
+        let short = checkpoint_with("unit", &[1, 2]);
+        assert_eq!(
+            apply_delta(&short, &delta).unwrap_err(),
+            SnapshotError::MissingBase
+        );
+        // Right length, wrong content: the checksum catches it.
+        let sibling = checkpoint_with("unit", &[8, 2, 3]);
+        assert_eq!(
+            apply_delta(&sibling, &delta).unwrap_err(),
+            SnapshotError::MissingBase
+        );
+    }
+
+    #[test]
+    fn mismatched_algorithms_are_rejected_at_encode_time() {
+        let a = checkpoint_with("alpha", &[1]);
+        let b = checkpoint_with("beta", &[1]);
+        assert!(matches!(
+            encode_delta(&a, &b, 0, 1),
+            Err(SnapshotError::WrongAlgorithm { .. })
+        ));
+    }
+
+    #[test]
+    fn backwards_epochs_are_rejected() {
+        let base = checkpoint_with("unit", &[1]);
+        let new = checkpoint_with("unit", &[2]);
+        assert!(matches!(
+            encode_delta(&base, &new, 5, 4),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn every_truncation_of_a_delta_errors_instead_of_panicking() {
+        let base = checkpoint_with("unit", &[1, 2, 3, 4]);
+        let new = checkpoint_with("unit", &[1, 9, 3, 8]);
+        let delta = encode_delta(&base, &new, 3, 7).unwrap();
+        for cut in 0..delta.len() {
+            assert!(
+                apply_delta(&base, &delta[..cut]).is_err(),
+                "truncation at {cut} unexpectedly applied"
+            );
+        }
+        // Flipped magic / future version.
+        let mut bad = delta.clone();
+        bad[0] ^= 0xFF;
+        assert_eq!(
+            apply_delta(&base, &bad).unwrap_err(),
+            SnapshotError::BadMagic
+        );
+        let mut future = delta.clone();
+        future[4] = 0xFE;
+        assert!(matches!(
+            apply_delta(&base, &future).unwrap_err(),
+            SnapshotError::UnsupportedVersion(_)
+        ));
+        // Trailing garbage.
+        let mut long = delta.clone();
+        long.push(0);
+        assert!(matches!(
+            apply_delta(&base, &long).unwrap_err(),
+            SnapshotError::TrailingBytes(1)
+        ));
+    }
+
+    #[test]
+    fn chain_replays_orders_and_time_travels() {
+        let v0 = checkpoint_with("unit", &[0, 0, 0, 0]);
+        let v1 = checkpoint_with("unit", &[1, 0, 0, 0]);
+        let v2 = checkpoint_with("unit", &[1, 2, 0, 0]);
+        let v3 = checkpoint_with("unit", &[1, 2, 3, 0]);
+
+        let mut chain = CheckpointChain::new(v0.clone(), 0).unwrap();
+        chain.record(&v1, 10).unwrap();
+        chain.record(&v2, 20).unwrap();
+        chain.record(&v3, 30).unwrap();
+        assert_eq!(chain.len(), 3);
+        assert_eq!(chain.tip_bytes(), &v3[..]);
+        assert_eq!(chain.tip_epoch(), 30);
+        assert_eq!(chain.epochs(), vec![0, 10, 20, 30]);
+
+        // Nearest-checkpoint-at-or-before semantics.
+        assert_eq!(chain.bytes_at(0).unwrap(), (v0.clone(), 0));
+        assert_eq!(chain.bytes_at(9).unwrap(), (v0.clone(), 0));
+        assert_eq!(chain.bytes_at(10).unwrap(), (v1.clone(), 10));
+        assert_eq!(chain.bytes_at(25).unwrap(), (v2.clone(), 20));
+        assert_eq!(chain.bytes_at(u64::MAX).unwrap(), (v3.clone(), 30));
+
+        // Out-of-order append: a delta based on an epoch that is not the tip.
+        let stale = encode_delta(&v1, &v2, 10, 20).unwrap();
+        assert_eq!(
+            chain.append_delta(stale).unwrap_err(),
+            SnapshotError::OutOfOrderDelta {
+                expected: 30,
+                found: 10
+            }
+        );
+
+        // Compaction folds to the tip and forgets earlier history.
+        chain.compact();
+        assert!(chain.is_empty());
+        assert_eq!(chain.base_epoch(), 30);
+        assert_eq!(chain.tip_bytes(), &v3[..]);
+        assert_eq!(chain.bytes_at(20).unwrap_err(), SnapshotError::MissingBase);
+        assert_eq!(chain.bytes_at(30).unwrap(), (v3, 30));
+    }
+
+    #[test]
+    fn chain_rejects_foreign_algorithms() {
+        let mut chain = CheckpointChain::new(checkpoint_with("alpha", &[1]), 0).unwrap();
+        assert_eq!(chain.algorithm(), "alpha");
+        let foreign = encode_delta(
+            &checkpoint_with("beta", &[1]),
+            &checkpoint_with("beta", &[2]),
+            0,
+            1,
+        )
+        .unwrap();
+        assert!(matches!(
+            chain.append_delta(foreign),
+            Err(SnapshotError::WrongAlgorithm { .. })
+        ));
+    }
+
+    #[test]
+    fn chain_accounts_delta_and_total_bytes() {
+        let v0 = checkpoint_with("unit", &[0; 32]);
+        let mut v1_payload = [0u64; 32];
+        v1_payload[7] = 1;
+        let v1 = checkpoint_with("unit", &v1_payload);
+        let mut chain = CheckpointChain::new(v0.clone(), 0).unwrap();
+        let stats = chain.record(&v1, 1).unwrap();
+        assert_eq!(stats.full_bytes, v1.len());
+        assert!(stats.delta_bytes < stats.full_bytes);
+        assert_eq!(chain.delta_bytes(), stats.delta_bytes);
+        assert_eq!(chain.total_bytes(), v0.len() + stats.delta_bytes);
+    }
+}

@@ -53,6 +53,7 @@
 
 pub mod backend;
 mod cell;
+pub mod delta;
 mod map;
 mod matrix;
 pub mod nvm;
@@ -64,6 +65,9 @@ mod vec;
 
 pub use backend::{FullTracker, LeanTracker, TrackerBackend, TrackerKind};
 pub use cell::TrackedCell;
+pub use delta::{
+    apply_delta, encode_delta, peek_delta, BaseRef, CheckpointChain, DeltaInfo, DeltaStats,
+};
 pub use map::TrackedMap;
 pub use matrix::TrackedMatrix;
 pub use nvm::{NvmCostModel, NvmReport};

@@ -56,6 +56,18 @@ pub enum SnapshotError {
     Corrupt(&'static str),
     /// Bytes remained after the payload was fully parsed (the count is attached).
     TrailingBytes(usize),
+    /// A delta checkpoint was applied to a base it was not encoded against (wrong
+    /// length or content), or a time-travel query asked for an epoch before the
+    /// chain's base.
+    MissingBase,
+    /// A delta was appended out of order: its recorded base epoch does not match the
+    /// epoch of the chain's current tip.
+    OutOfOrderDelta {
+        /// The tip epoch the chain expected the delta to be based on.
+        expected: u64,
+        /// The base epoch the delta was actually encoded against.
+        found: u64,
+    },
 }
 
 impl fmt::Display for SnapshotError {
@@ -75,6 +87,15 @@ impl fmt::Display for SnapshotError {
             SnapshotError::Corrupt(what) => write!(f, "snapshot: corrupt payload ({what})"),
             SnapshotError::TrailingBytes(n) => {
                 write!(f, "snapshot: {n} trailing byte(s) after the payload")
+            }
+            SnapshotError::MissingBase => {
+                write!(f, "snapshot: delta does not match the supplied base")
+            }
+            SnapshotError::OutOfOrderDelta { expected, found } => {
+                write!(
+                    f,
+                    "snapshot: delta based on epoch {found}, chain tip is at epoch {expected}"
+                )
             }
         }
     }
@@ -208,6 +229,18 @@ impl<'a> SnapshotReader<'a> {
             return Err(SnapshotError::UnsupportedVersion(version));
         }
         r.string()
+    }
+
+    /// Opens a reader with **no** header validation — the delta format
+    /// ([`crate::delta`]) carries its own magic and parses the shared header fields
+    /// itself.
+    pub(crate) fn raw(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Crate-internal raw read of `n` bytes (the delta header parser).
+    pub(crate) fn take_bytes(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        self.take(n)
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {

@@ -229,6 +229,20 @@ impl StateTracker {
     pub fn import_state(&self, state: &crate::snapshot::TrackerState) {
         self.backend.import_state(state)
     }
+
+    /// The addresses dirtied after `epoch`, or `None` as the conservative
+    /// "assume everything changed" answer (see
+    /// [`crate::backend::TrackerBackend::dirty_since`] for the exact soundness
+    /// contract — only the address-tracked backend ever answers `Some`).
+    pub fn dirty_since(&self, epoch: u64) -> Option<Vec<usize>> {
+        self.backend.dirty_since(epoch)
+    }
+
+    /// Drains the dirty-address journal since the previous drain (see
+    /// [`crate::backend::TrackerBackend::drain_dirty`]).
+    pub fn drain_dirty(&self) -> Option<Vec<usize>> {
+        self.backend.drain_dirty()
+    }
 }
 
 #[cfg(test)]

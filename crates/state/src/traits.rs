@@ -258,8 +258,31 @@ pub trait Snapshot: StreamAlgorithm {
     fn restore(bytes: &[u8]) -> Result<Self, SnapshotError>
     where
         Self: Sized;
+
+    /// Serializes a **delta** checkpoint against a previously captured base: the
+    /// `FSCD` bytes transforming `since` into the current full checkpoint (see
+    /// [`crate::delta`]).  Applying the result to `since`'s bytes with
+    /// [`crate::delta::apply_delta`] reproduces [`Snapshot::checkpoint`] exactly, and
+    /// the delta never exceeds the full checkpoint by more than
+    /// [`crate::delta::DELTA_OVERHEAD`] plus the id length.  For a summary with few
+    /// state changes the delta is small — persistence cost proportional to *changes*,
+    /// the durability face of the paper's thesis.
+    ///
+    /// The default implementation diffs the serialized state, which is correct for
+    /// every algorithm unconditionally; the tracker's dirty journal
+    /// ([`crate::StateTracker::dirty_since`]) is the observability layer that bounds
+    /// how much could have changed.
+    fn checkpoint_delta(&self, since: &BaseRef) -> Result<Vec<u8>, SnapshotError> {
+        crate::delta::encode_delta(
+            since.bytes(),
+            &self.checkpoint(),
+            since.epoch(),
+            self.report().epochs,
+        )
+    }
 }
 
+use crate::delta::BaseRef;
 use crate::snapshot::SnapshotError;
 
 /// Generates a [`Queryable`] implementation from a capability list.

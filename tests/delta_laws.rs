@@ -1,0 +1,546 @@
+//! Delta-checkpoint laws: a [`CheckpointChain`] built from `FSCD` deltas must be
+//! **observably indistinguishable** from full checkpoints.
+//!
+//! Mirroring `tests/snapshot_laws.rs`, every production `StreamAlgorithm` is driven
+//! through a chain of random checkpoint positions on random-seed streams, and the
+//! core laws are pinned at every link:
+//!
+//! * **reconstruction** — `base + deltas` equals the full checkpoint byte-for-byte,
+//!   so `restore(chain)` is observably identical (answers, [`StateReport`], wear
+//!   table) to restoring the full checkpoint;
+//! * **compaction** — `compact(chain)` keeps the tip bytes, epoch, and restored
+//!   instance identical;
+//! * **time-travel** — `restore_at(e)` equals a twin run truncated at epoch `e`,
+//!   for every retained epoch, and between-epoch queries resolve to the nearest
+//!   at-or-before checkpoint;
+//! * **size** — a delta never exceeds the full checkpoint plus the fixed `FSCD`
+//!   format overhead, and for fixed-size sketches (CountMin, AMS) delta bytes grow
+//!   *sublinearly* with stream length (the persistence face of the paper's thesis);
+//! * **robustness** — every truncation, header corruption, wrong-base, foreign
+//!   algorithm, and out-of-order append surfaces a typed [`SnapshotError`], never a
+//!   panic.
+
+use few_state_changes::algorithms::sparse_recovery::FewStateSparseRecovery;
+use few_state_changes::algorithms::{
+    EntropyFewState, FewStateHeavyHitters, FpEstimator, FpSmallEstimator, FullSampleAndHold,
+    Params, SampleAndHold,
+};
+use few_state_changes::baselines::{
+    AmsSketch, CountMin, CountSketch, ExactCounting, MisraGries, PickAndDrop, SampleAndHoldClassic,
+    SpaceSaving,
+};
+use few_state_changes::state::delta::DELTA_OVERHEAD;
+use few_state_changes::state::{
+    apply_delta, peek_delta, BaseRef, CheckpointChain, EntropyEstimator, FrequencyEstimator,
+    MomentEstimator, Snapshot, SnapshotError, StateTracker, StreamAlgorithm, SupportRecovery,
+    TrackerKind,
+};
+use few_state_changes::streamgen::zipf::zipf_stream;
+
+use proptest::prelude::*;
+
+/// Drives `make`'s instance through checkpoints at each position in `cuts`,
+/// chaining deltas produced by [`Snapshot::checkpoint_delta`], and asserts the
+/// reconstruction, compaction, time-travel, and size laws.
+fn check_delta_laws<A: StreamAlgorithm + Snapshot>(
+    make: impl Fn(&StateTracker) -> A,
+    digest: impl Fn(&A) -> Vec<u64>,
+    stream: &[u64],
+    cuts: &[usize],
+) {
+    // Sorted, deduplicated positions within the stream.
+    let mut cuts: Vec<usize> = cuts.iter().map(|&c| c.min(stream.len())).collect();
+    cuts.sort_unstable();
+    cuts.dedup();
+
+    let tracker = StateTracker::with_address_tracking();
+    let mut subject = make(&tracker);
+    let name = subject.name().to_string();
+    let id_len = subject.snapshot_id().len();
+
+    let mut chain: Option<CheckpointChain> = None;
+    let mut base: Option<BaseRef> = None;
+    // (epoch, full checkpoint, stream position) per link, for the time-travel law.
+    let mut history: Vec<(u64, Vec<u8>, usize)> = Vec::new();
+    let mut prev = 0usize;
+    for &cut in &cuts {
+        subject.process_batch(&stream[prev..cut]);
+        prev = cut;
+        let full = subject.checkpoint();
+        let epoch = subject.report().epochs;
+        match (chain.as_mut(), base.as_ref()) {
+            (None, _) => {
+                chain = Some(
+                    CheckpointChain::new(full.clone(), epoch)
+                        .unwrap_or_else(|e| panic!("{name}: chain base rejected: {e}")),
+                );
+            }
+            (Some(c), Some(b)) => {
+                let delta = subject
+                    .checkpoint_delta(b)
+                    .unwrap_or_else(|e| panic!("{name}: checkpoint_delta failed: {e}"));
+                // Size law: the encoder picks the smaller of run-diff and embedded
+                // payload, so a delta is bounded by full + format overhead + id.
+                assert!(
+                    delta.len() <= full.len() + DELTA_OVERHEAD + id_len,
+                    "{name}: {}-byte delta for a {}-byte checkpoint",
+                    delta.len(),
+                    full.len()
+                );
+                let info =
+                    peek_delta(&delta).unwrap_or_else(|e| panic!("{name}: peek_delta failed: {e}"));
+                assert_eq!(info.base_epoch, b.epoch(), "{name}: delta base epoch");
+                assert_eq!(info.epoch, epoch, "{name}: delta target epoch");
+                c.append_delta(delta)
+                    .unwrap_or_else(|e| panic!("{name}: append_delta failed: {e}"));
+            }
+            _ => unreachable!(),
+        }
+        let c = chain.as_ref().expect("chain exists");
+        // Reconstruction law, at every link: base + deltas ≡ full, byte-for-byte.
+        assert_eq!(
+            c.tip_bytes(),
+            &full[..],
+            "{name}: chain tip diverged from the full checkpoint at epoch {epoch}"
+        );
+        assert_eq!(c.tip_epoch(), epoch, "{name}: tip epoch");
+        base = Some(BaseRef::new(full.clone(), epoch));
+        history.push((epoch, full, cut));
+    }
+    let Some(mut chain) = chain else {
+        return; // no cut positions — nothing to pin
+    };
+
+    // Pin the subject's observable state *before* any digest: answer digests
+    // legitimately charge tracked reads on some summaries.
+    let final_report = subject.report();
+    let final_wear = subject.tracker().address_writes();
+
+    // restore(base + deltas) ≡ restore(full checkpoint): observable identity.
+    let restored: A = chain
+        .restore()
+        .unwrap_or_else(|e| panic!("{name}: chain restore failed: {e}"));
+    assert_eq!(restored.report(), final_report, "{name}: report diverged");
+    assert_eq!(
+        restored.tracker().address_writes(),
+        final_wear,
+        "{name}: wear table diverged"
+    );
+    assert_eq!(
+        restored.checkpoint(),
+        chain.tip_bytes(),
+        "{name}: re-checkpoint is not byte-identical to the chain tip"
+    );
+    assert_eq!(
+        digest(&restored),
+        digest(&subject),
+        "{name}: answers diverged"
+    );
+
+    // Time-travel law: every retained epoch equals a twin truncated there.
+    for (epoch, full, cut) in &history {
+        let (bytes, at) = chain
+            .bytes_at(*epoch)
+            .unwrap_or_else(|e| panic!("{name}: bytes_at({epoch}) failed: {e}"));
+        assert_eq!(at, *epoch, "{name}: bytes_at landed on the wrong epoch");
+        assert_eq!(&bytes, full, "{name}: time-travelled bytes diverged");
+
+        let (at_alg, at_epoch): (A, u64) = chain
+            .restore_at(*epoch)
+            .unwrap_or_else(|e| panic!("{name}: restore_at({epoch}) failed: {e}"));
+        assert_eq!(at_epoch, *epoch);
+        let t = StateTracker::with_address_tracking();
+        let mut twin = make(&t);
+        twin.process_batch(&stream[..*cut]);
+        assert_eq!(
+            at_alg.report(),
+            twin.report(),
+            "{name}: restore_at({epoch}) diverged from the truncated twin's report"
+        );
+        assert_eq!(
+            at_alg.tracker().address_writes(),
+            twin.tracker().address_writes(),
+            "{name}: restore_at({epoch}) diverged from the truncated twin's wear"
+        );
+        assert_eq!(
+            digest(&at_alg),
+            digest(&twin),
+            "{name}: restore_at({epoch}) diverged from the truncated twin's answers"
+        );
+    }
+
+    // Between-epoch queries resolve to the nearest at-or-before checkpoint…
+    if let [.., (prev_epoch, prev_full, _), (last_epoch, _, _)] = &history[..] {
+        if last_epoch > &(prev_epoch + 1) {
+            let (bytes, at) = chain
+                .bytes_at(last_epoch - 1)
+                .unwrap_or_else(|e| panic!("{name}: between-epoch bytes_at failed: {e}"));
+            assert_eq!(at, *prev_epoch, "{name}: nearest-at-or-before epoch");
+            assert_eq!(&bytes, prev_full, "{name}: nearest-at-or-before bytes");
+        }
+    }
+    // …and epochs before the base are a typed MissingBase, not a panic.
+    let first_epoch = history[0].0;
+    if first_epoch > 0 {
+        assert!(
+            matches!(
+                chain.bytes_at(first_epoch - 1),
+                Err(SnapshotError::MissingBase)
+            ),
+            "{name}: pre-base epoch must be MissingBase"
+        );
+    }
+
+    // compact(chain) ≡ chain: same tip bytes, epoch, and restored instance.
+    let tip = chain.tip_bytes().to_vec();
+    let tip_epoch = chain.tip_epoch();
+    chain.compact();
+    assert!(chain.is_empty(), "{name}: compaction must clear the deltas");
+    assert_eq!(
+        chain.tip_bytes(),
+        &tip[..],
+        "{name}: compaction moved the tip"
+    );
+    assert_eq!(
+        chain.tip_epoch(),
+        tip_epoch,
+        "{name}: compaction moved the epoch"
+    );
+    let recompacted: A = chain
+        .restore()
+        .unwrap_or_else(|e| panic!("{name}: post-compaction restore failed: {e}"));
+    assert_eq!(
+        recompacted.report(),
+        final_report,
+        "{name}: post-compaction restore diverged"
+    );
+}
+
+fn frequency_digest<A: FrequencyEstimator>(alg: &A) -> Vec<u64> {
+    let mut items = alg.tracked_items();
+    items.sort_unstable();
+    let mut out = items.clone();
+    out.extend(items.iter().map(|&i| alg.estimate(i).to_bits()));
+    out.extend((0u64..64).map(|i| alg.estimate(i).to_bits()));
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Baseline sketches and summaries obey the delta laws at arbitrary chains of
+    /// checkpoint positions.
+    #[test]
+    fn baseline_deltas_obey_the_chain_laws(
+        seed in 0u64..1_000,
+        len in 8usize..400,
+        cuts in proptest::collection::vec(0usize..400, 2..5),
+    ) {
+        let stream = zipf_stream(256, len, 1.1, seed);
+
+        check_delta_laws(
+            |t| AmsSketch::with_tracker(t, 3, 16, seed),
+            |a| vec![a.estimate_moment().to_bits()],
+            &stream,
+            &cuts,
+        );
+        check_delta_laws(
+            |t| CountMin::with_tracker(t, 64, 4, seed),
+            frequency_digest,
+            &stream,
+            &cuts,
+        );
+        check_delta_laws(
+            |t| CountSketch::with_tracker(t, 64, 3, seed),
+            frequency_digest,
+            &stream,
+            &cuts,
+        );
+        check_delta_laws(|t| MisraGries::with_tracker(t, 8), frequency_digest, &stream, &cuts);
+        check_delta_laws(|t| SpaceSaving::with_tracker(t, 8), frequency_digest, &stream, &cuts);
+        check_delta_laws(
+            |t| ExactCounting::with_tracker(t, 2.0),
+            |a| {
+                let mut d = frequency_digest(a);
+                d.push(a.estimate_moment().to_bits());
+                d.push(a.estimate_entropy().to_bits());
+                d.extend(a.recovered_support());
+                d
+            },
+            &stream,
+            &cuts,
+        );
+        check_delta_laws(
+            |t| SampleAndHoldClassic::with_tracker(t, 0.08, seed),
+            frequency_digest,
+            &stream,
+            &cuts,
+        );
+        check_delta_laws(
+            |t| PickAndDrop::with_tracker(t, 16, 3, seed),
+            |a| a.candidates().into_iter().flat_map(|(i, c)| [i, c]).collect(),
+            &stream,
+            &cuts,
+        );
+        check_delta_laws(
+            |t| FewStateSparseRecovery::with_tracker(48, t),
+            |a| {
+                let mut d = a.recovered_support();
+                d.push(a.overflowed() as u64);
+                d
+            },
+            &stream,
+            &cuts,
+        );
+    }
+
+    /// The paper's algorithms — including the held-counter tables whose Morris
+    /// registers are allocated mid-stream — obey the delta laws.
+    #[test]
+    fn fsc_deltas_obey_the_chain_laws(
+        seed in 0u64..1_000,
+        len in 64usize..384,
+        cuts in proptest::collection::vec(0usize..384, 2..5),
+    ) {
+        let n = 256;
+        let stream = zipf_stream(n, len, 1.2, seed);
+        let tracked = TrackerKind::FullAddressTracked;
+        let params = Params::new(2.0, 0.3, n, stream.len())
+            .with_seed(seed)
+            .with_tracker(tracked);
+
+        check_delta_laws(
+            |_| SampleAndHold::standalone(&params),
+            frequency_digest,
+            &stream,
+            &cuts,
+        );
+        check_delta_laws(
+            |_| FullSampleAndHold::standalone(&params),
+            frequency_digest,
+            &stream,
+            &cuts,
+        );
+        check_delta_laws(
+            |_| FewStateHeavyHitters::new(params.clone()),
+            |a| {
+                let mut d = frequency_digest(a);
+                d.push(a.rough_fp().to_bits());
+                d
+            },
+            &stream,
+            &cuts,
+        );
+        check_delta_laws(
+            |_| FpEstimator::new(params.clone()),
+            |a| vec![a.estimate_moment().to_bits()],
+            &stream,
+            &cuts,
+        );
+        check_delta_laws(
+            |t| FpSmallEstimator::with_tracker(0.5, 0.4, seed, t),
+            |a| vec![a.estimate_moment().to_bits()],
+            &stream,
+            &cuts,
+        );
+        check_delta_laws(
+            |_| EntropyFewState::new(0.3, n, stream.len(), seed),
+            |a| vec![a.estimate_entropy().to_bits()],
+            &stream,
+            &cuts,
+        );
+    }
+}
+
+/// Degenerate chains: a checkpoint before anything, duplicate positions, and a
+/// chain whose every link sits at the same epoch must all hold the laws.
+#[test]
+fn delta_laws_handle_degenerate_positions() {
+    check_delta_laws(
+        |t| CountMin::with_tracker(t, 16, 2, 1),
+        frequency_digest,
+        &[],
+        &[0, 0],
+    );
+    check_delta_laws(
+        |t| MisraGries::with_tracker(t, 4),
+        frequency_digest,
+        &[7, 7, 8],
+        &[0, 1, 3],
+    );
+    check_delta_laws(
+        |t| AmsSketch::with_tracker(t, 2, 8, 2),
+        |a| vec![a.estimate_moment().to_bits()],
+        &[5, 6, 7],
+        &[3, 3, 3],
+    );
+}
+
+/// Fixed-size sketches persist sublinearly: doubling (and quadrupling) the stream
+/// length must not proportionally grow the delta, because the set of touched
+/// counters saturates — the CountMin/AMS face of "persistence cost tracks changes,
+/// not stream length".
+#[test]
+fn count_min_and_ams_deltas_grow_sublinearly_with_stream_length() {
+    fn last_delta_bytes<A: StreamAlgorithm + Snapshot>(
+        make: impl Fn(&StateTracker) -> A,
+        len: usize,
+    ) -> (usize, usize) {
+        let stream = zipf_stream(256, len, 1.1, 7);
+        let t = StateTracker::with_address_tracking();
+        let mut alg = make(&t);
+        alg.process_batch(&stream[..len / 2]);
+        let base = BaseRef::capture(&alg);
+        alg.process_batch(&stream[len / 2..]);
+        let full = alg.checkpoint();
+        let delta = alg.checkpoint_delta(&base).expect("delta");
+        (delta.len(), full.len())
+    }
+
+    // CountMin with a wide sketch: the universe (256) touches at most a quarter of
+    // the 1024-wide rows, so deltas stay well under the full checkpoint and stop
+    // growing once the hot set saturates.
+    let cm = |len| last_delta_bytes(|t| CountMin::with_tracker(t, 1 << 10, 4, 7), len);
+    let (d1, f1) = cm(1_000);
+    let (d2, _) = cm(2_000);
+    let (d4, f4) = cm(4_000);
+    assert!(
+        d1 < f1 / 2 && d4 < f4 / 2,
+        "CountMin deltas must stay below half the full checkpoint ({d1}/{f1}, {d4}/{f4})"
+    );
+    assert!(
+        d4 < 2 * d1 && d2 < 2 * d1,
+        "CountMin delta must grow sublinearly: {d1} -> {d2} -> {d4} bytes for 1k/2k/4k updates"
+    );
+
+    // AMS is O(1)-sized: the delta is bounded by the (constant) sketch size, so it
+    // cannot grow with the stream at all.
+    let ams = |len| last_delta_bytes(|t| AmsSketch::with_tracker(t, 5, 48, 7), len);
+    let (a1, af1) = ams(1_000);
+    let (a4, af4) = ams(4_000);
+    assert!(
+        a1 <= af1 + DELTA_OVERHEAD + "ams".len() && a4 <= af4 + DELTA_OVERHEAD + "ams".len(),
+        "AMS delta must be bounded by its constant sketch size"
+    );
+    assert!(
+        a4 < 2 * a1,
+        "AMS delta must not scale with stream length: {a1} -> {a4} bytes"
+    );
+}
+
+/// Every truncation of a real `FSCD` delta, and every header corruption, must
+/// surface a typed error — never a panic (mirrors the `FSCS` corruption suite).
+#[test]
+fn corrupt_deltas_error_instead_of_panicking() {
+    let t = StateTracker::with_address_tracking();
+    let mut alg = CountMin::with_tracker(&t, 64, 4, 9);
+    let stream = zipf_stream(64, 200, 1.1, 3);
+    alg.process_batch(&stream[..100]);
+    let base = BaseRef::capture(&alg);
+    alg.process_batch(&stream[100..]);
+    let full = alg.checkpoint();
+    let delta = alg.checkpoint_delta(&base).expect("delta");
+    assert_eq!(apply_delta(base.bytes(), &delta).expect("apply"), full);
+
+    // Every truncation point is a typed error on apply; peeking succeeds only
+    // once the complete header is present, and then reports the true metadata.
+    for cut in 0..delta.len() {
+        assert!(
+            apply_delta(base.bytes(), &delta[..cut]).is_err(),
+            "truncation at {cut} unexpectedly applied"
+        );
+        if let Ok(info) = peek_delta(&delta[..cut]) {
+            assert_eq!(info.base_epoch, base.epoch());
+            assert_eq!(info.epoch, alg.report().epochs);
+            assert_eq!(info.new_len, full.len());
+        }
+    }
+
+    // Flipped magic (an FSCS full checkpoint is also not an FSCD delta).
+    let mut bad = delta.clone();
+    bad[0] ^= 0xFF;
+    assert!(matches!(
+        apply_delta(base.bytes(), &bad),
+        Err(SnapshotError::BadMagic)
+    ));
+    assert!(matches!(
+        apply_delta(base.bytes(), &full),
+        Err(SnapshotError::BadMagic)
+    ));
+
+    // Future format version.
+    let mut future = delta.clone();
+    future[4] = 0xFE;
+    assert!(matches!(
+        apply_delta(base.bytes(), &future),
+        Err(SnapshotError::UnsupportedVersion(_))
+    ));
+
+    // Trailing garbage.
+    let mut long = delta.clone();
+    long.push(0);
+    assert!(matches!(
+        apply_delta(base.bytes(), &long),
+        Err(SnapshotError::TrailingBytes(_))
+    ));
+
+    // Applying against the wrong base — same algorithm, different contents — is a
+    // typed MissingBase (checksum mismatch), not silent corruption.
+    let t2 = StateTracker::with_address_tracking();
+    let mut other = CountMin::with_tracker(&t2, 64, 4, 9);
+    other.process_batch(&zipf_stream(64, 100, 1.1, 77));
+    assert!(matches!(
+        apply_delta(&other.checkpoint(), &delta),
+        Err(SnapshotError::MissingBase)
+    ));
+
+    // A foreign algorithm's base is a typed WrongAlgorithm.
+    let t3 = StateTracker::with_address_tracking();
+    let mut foreign = CountSketch::with_tracker(&t3, 64, 3, 9);
+    foreign.process_batch(&stream[..100]);
+    assert!(matches!(
+        apply_delta(&foreign.checkpoint(), &delta),
+        Err(SnapshotError::WrongAlgorithm { .. })
+    ));
+}
+
+/// Chain-level ordering errors: a delta whose base epoch is not the chain tip is a
+/// typed `OutOfOrderDelta`, and foreign deltas are rejected by algorithm id.
+#[test]
+fn chains_reject_out_of_order_and_foreign_deltas() {
+    let t = StateTracker::with_address_tracking();
+    let mut alg = CountMin::with_tracker(&t, 64, 4, 9);
+    let stream = zipf_stream(64, 300, 1.1, 3);
+
+    alg.process_batch(&stream[..100]);
+    let mut chain = CheckpointChain::new(alg.checkpoint(), alg.report().epochs).expect("base");
+    let base_100 = BaseRef::capture(&alg);
+
+    alg.process_batch(&stream[100..200]);
+    let delta_100_200 = alg.checkpoint_delta(&base_100).expect("delta");
+    chain.append_delta(delta_100_200).expect("in-order append");
+
+    // A second delta built off the *old* base (epoch 100) no longer matches the
+    // chain tip (epoch 200): typed OutOfOrderDelta reporting both epochs.
+    alg.process_batch(&stream[200..]);
+    let stale = alg.checkpoint_delta(&base_100).expect("stale delta");
+    match chain.append_delta(stale) {
+        Err(SnapshotError::OutOfOrderDelta { expected, found }) => {
+            assert_eq!(expected, 200);
+            assert_eq!(found, 100);
+        }
+        other => panic!("expected OutOfOrderDelta, got {other:?}"),
+    }
+
+    // A foreign algorithm's delta is rejected by id before any bytes are applied.
+    let t2 = StateTracker::with_address_tracking();
+    let mut foreign = CountSketch::with_tracker(&t2, 64, 3, 9);
+    foreign.process_batch(&stream[..100]);
+    let foreign_base = BaseRef::capture(&foreign);
+    foreign.process_batch(&stream[100..200]);
+    let foreign_delta = foreign.checkpoint_delta(&foreign_base).expect("delta");
+    assert!(matches!(
+        chain.append_delta(foreign_delta),
+        Err(SnapshotError::WrongAlgorithm { .. })
+    ));
+}

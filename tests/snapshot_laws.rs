@@ -23,9 +23,10 @@ use few_state_changes::baselines::{
     AmsSketch, CountMin, CountSketch, ExactCounting, MisraGries, PickAndDrop, SampleAndHoldClassic,
     SpaceSaving,
 };
+use few_state_changes::engine::{Engine, EngineAlgorithm, EngineConfig, Routing};
 use few_state_changes::state::{
-    EntropyEstimator, FrequencyEstimator, MomentEstimator, Snapshot, SnapshotError, StateTracker,
-    StreamAlgorithm, SupportRecovery, TrackerKind,
+    EntropyEstimator, FrequencyEstimator, MomentEstimator, Query, Snapshot, SnapshotError,
+    StateTracker, StreamAlgorithm, SupportRecovery, TrackerKind,
 };
 use few_state_changes::streamgen::zipf::zipf_stream;
 
@@ -274,6 +275,131 @@ fn snapshot_law_handles_degenerate_positions() {
         |a| vec![a.estimate_moment().to_bits()],
         &[5, 6, 7],
         3,
+    );
+}
+
+/// Round-trips **every** shard of a sharded engine individually — not just shard 0,
+/// which the merged-query path already restores on every query — and reassembles an
+/// engine from the restored shards, asserting the merged answers, combined report,
+/// and engine checkpoint are identical to the original.
+fn check_engine_shard_law<A: EngineAlgorithm>(
+    make: impl FnMut(usize) -> A,
+    digest: impl Fn(&A) -> Vec<u64>,
+    stream: &[u64],
+) {
+    let config = EngineConfig {
+        shards: 4,
+        routing: Routing::RoundRobin,
+        ..EngineConfig::default()
+    };
+    let mut engine = Engine::new(config, make);
+    engine.ingest(stream);
+    let name = engine.shard(0).name().to_string();
+
+    let probes: Vec<Query> = (0..32u64)
+        .map(Query::Point)
+        .chain([Query::Moment])
+        .collect();
+    let merged_before = engine.query_many(&probes).expect("merged view");
+
+    let mut restored_shards: Vec<A> = Vec::new();
+    for i in 0..engine.shards() {
+        let shard = engine.shard(i);
+        let bytes = shard.checkpoint();
+        let restored =
+            A::restore(&bytes).unwrap_or_else(|e| panic!("{name}: shard {i} restore failed: {e}"));
+        assert_eq!(
+            restored.report(),
+            shard.report(),
+            "{name}: shard {i} report diverged"
+        );
+        assert_eq!(
+            restored.tracker().address_writes(),
+            shard.tracker().address_writes(),
+            "{name}: shard {i} wear table diverged"
+        );
+        assert_eq!(
+            restored.checkpoint(),
+            bytes,
+            "{name}: shard {i} re-checkpoint is not byte-identical"
+        );
+        // Digest both sides so read charges stay symmetric for the comparisons below.
+        assert_eq!(
+            digest(&restored),
+            digest(shard),
+            "{name}: shard {i} answers diverged"
+        );
+        restored_shards.push(restored);
+    }
+
+    // Engine-level recovery must agree with the per-shard round trips: every shard
+    // of the restored engine is byte-identical to its individually restored twin,
+    // and the restored engine resumes at the original ingest position.
+    let mut rebuilt = Engine::<A>::restore(&engine.checkpoint())
+        .unwrap_or_else(|e| panic!("{name}: engine restore failed: {e}"));
+    assert_eq!(
+        rebuilt.ingested(),
+        engine.ingested(),
+        "{name}: rebuilt engine lost its ingest position"
+    );
+    for (i, twin) in restored_shards.iter().enumerate() {
+        assert_eq!(
+            rebuilt.shard(i).checkpoint(),
+            twin.checkpoint(),
+            "{name}: engine-level restore of shard {i} diverged from per-shard restore"
+        );
+    }
+    assert_eq!(
+        rebuilt.report(),
+        engine.report(),
+        "{name}: rebuilt engine report diverged"
+    );
+    assert_eq!(
+        rebuilt.checkpoint(),
+        engine.checkpoint(),
+        "{name}: rebuilt engine checkpoint diverged"
+    );
+    // Query both engines so any read charges stay symmetric for the ingest below.
+    assert_eq!(
+        rebuilt.query_many(&probes).expect("merged view"),
+        merged_before,
+        "{name}: rebuilt engine merged answers diverged"
+    );
+    assert_eq!(
+        engine.query_many(&probes).expect("merged view"),
+        merged_before,
+        "{name}: original engine merged answers drifted"
+    );
+
+    // The rebuilt engine also behaves identically on further traffic.
+    rebuilt.ingest(stream);
+    engine.ingest(stream);
+    assert_eq!(
+        rebuilt.checkpoint(),
+        engine.checkpoint(),
+        "{name}: rebuilt engine diverged on post-restore ingest"
+    );
+}
+
+/// Engine coverage: the snapshot law holds shard-by-shard for exact-merge sketches
+/// and bounded-merge counter summaries alike.
+#[test]
+fn engine_checkpoints_round_trip_every_shard() {
+    let stream = zipf_stream(256, 4_000, 1.1, 11);
+    check_engine_shard_law(
+        |_| CountMin::with_tracker(&StateTracker::with_address_tracking(), 64, 4, 11),
+        frequency_digest,
+        &stream,
+    );
+    check_engine_shard_law(
+        |_| AmsSketch::with_tracker(&StateTracker::with_address_tracking(), 3, 16, 11),
+        |a| vec![a.estimate_moment().to_bits()],
+        &stream,
+    );
+    check_engine_shard_law(
+        |_| MisraGries::with_tracker(&StateTracker::with_address_tracking(), 8),
+        frequency_digest,
+        &stream,
     );
 }
 
