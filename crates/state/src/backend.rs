@@ -213,6 +213,13 @@ pub trait TrackerBackend: fmt::Debug + Send + Sync {
     /// semantics as [`TrackerBackend::dirty_since`]; a `None` drain also advances the
     /// mark, since the caller's response to `None` (persist everything) covers all
     /// history up to the current epoch.
+    ///
+    /// **Must be called at an epoch boundary** — between updates, i.e. not between a
+    /// `begin_epoch` and the writes of that epoch.  The drain claims all history up
+    /// to and including the current epoch, so a write stamped with the current epoch
+    /// that lands *after* a mid-epoch drain is treated as already reported and never
+    /// appears in a later drain.  All in-tree callers (checkpoint paths) drain only
+    /// after an update completes, where this cannot happen.
     fn drain_dirty(&self) -> Option<Vec<usize>> {
         None
     }

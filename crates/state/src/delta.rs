@@ -161,8 +161,12 @@ pub fn encode_delta(
         return Err(SnapshotError::Corrupt("delta epoch precedes base epoch"));
     }
 
-    // Changed-word runs over the zero-padded word views.
-    let words = base.len().div_ceil(8).max(new.len().div_ceil(8));
+    // Changed-word runs over the zero-padded word views.  Only `new`'s words need
+    // entries: apply_delta resizes the output to `new_len` before replaying runs,
+    // which already drops any base bytes past it, and it rejects runs beyond
+    // `new`'s word count — emitting shrink-truncated words here would make a
+    // sparse shrinking diff encode fine but fail to apply.
+    let words = new.len().div_ceil(8);
     let mut runs: Vec<(usize, Vec<u64>)> = Vec::new();
     let mut i = 0;
     while i < words {
@@ -518,6 +522,29 @@ mod tests {
             assert_eq!(apply_delta(&base, &delta).unwrap(), new);
             assert!(delta.len() <= new.len() + DELTA_OVERHEAD + "odd".len());
         }
+    }
+
+    #[test]
+    fn sparse_shrink_with_nonzero_trailing_base_bytes_round_trips() {
+        // Regression: a shrinking checkpoint whose trailing base bytes are nonzero
+        // and whose diff is otherwise sparse selects runs mode (not the embedded
+        // fallback).  The encoder used to emit runs for the truncated trailing
+        // words — past the word count apply_delta accepts — so encode succeeded
+        // but apply failed with Corrupt("delta run out of bounds").
+        let base = checkpoint_with("unit", &vec![u64::MAX; 200]);
+        let new = checkpoint_with("unit", &vec![u64::MAX; 199]);
+        let delta = encode_delta(&base, &new, 0, 1).unwrap();
+        assert!(
+            delta.len() < new.len(),
+            "sparse shrink must stay in runs mode for this regression to bite"
+        );
+        assert_eq!(apply_delta(&base, &delta).unwrap(), new);
+
+        // Same shape through the chain API that the F12 runner uses.
+        let mut chain = CheckpointChain::new(base, 0).unwrap();
+        let stats = chain.record(&new, 1).unwrap();
+        assert_eq!(chain.tip_bytes(), &new[..]);
+        assert!(stats.delta_bytes < stats.full_bytes);
     }
 
     #[test]

@@ -238,8 +238,9 @@ impl StateTracker {
         self.backend.dirty_since(epoch)
     }
 
-    /// Drains the dirty-address journal since the previous drain (see
-    /// [`crate::backend::TrackerBackend::drain_dirty`]).
+    /// Drains the dirty-address journal since the previous drain.  Call only at an
+    /// epoch boundary — between updates — or current-epoch writes after the drain go
+    /// unreported (see [`crate::backend::TrackerBackend::drain_dirty`]).
     pub fn drain_dirty(&self) -> Option<Vec<usize>> {
         self.backend.drain_dirty()
     }
