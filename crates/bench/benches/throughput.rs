@@ -281,11 +281,73 @@ fn bench_batch_kernels(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cached serving view vs the restore-and-merge path it replaces, at several
+/// sketch sizes: `Engine::query` answers from the generation-stamped snapshot
+/// (no rebuild while the generation is unchanged), `Engine::query_fresh` pays
+/// the full per-shard `checkpoint`/`restore`/`merge_from` cost on every call.
+/// Measured ratios are recorded in EXPERIMENTS.md §serve — the gap is the
+/// tentpole's acceptance criterion, and it widens with summary size because the
+/// fresh path scales with sketch bytes while the cached path is a stamp compare
+/// plus an `Arc` clone.
+fn bench_serve_paths(c: &mut Criterion) {
+    use fsc_engine::{Engine, EngineConfig, Routing};
+    use fsc_state::Query;
+
+    // 256 point queries per iteration so the sub-microsecond cached path still
+    // registers on the harness's millisecond display; the printed rate is
+    // therefore Mqueries/s for both paths.
+    const QUERIES: u64 = 256;
+    let stream = zipf_stream(N, M, 1.1, 7);
+    let mut group = c.benchmark_group("serve_paths");
+    group.throughput(Throughput::Elements(QUERIES));
+    group.sample_size(10);
+
+    for width_log2 in [8u32, 10, 12] {
+        let width = 1usize << width_log2;
+        let config = EngineConfig {
+            shards: 4,
+            routing: Routing::RoundRobin,
+            tracker: TrackerKind::Full,
+        };
+        let mut engine = Engine::new(config, |_| {
+            CountMin::with_tracker(&StateTracker::of_kind(config.tracker), width, 4, 7)
+        });
+        engine.ingest(&stream);
+        engine.refresh_view().expect("prime the serving view");
+
+        let label = format!("CountMin_4x{width}");
+        group.bench_function(BenchmarkId::new("cached", &label), |b| {
+            b.iter(|| {
+                let mut sum = 0.0f64;
+                for at in 0..QUERIES {
+                    let answer = engine.query(&Query::Point(at % 64)).expect("cached view");
+                    sum += answer.scalar().unwrap_or(0.0);
+                }
+                sum
+            })
+        });
+        group.bench_function(BenchmarkId::new("fresh", &label), |b| {
+            b.iter(|| {
+                let mut sum = 0.0f64;
+                for at in 0..QUERIES {
+                    let answer = engine
+                        .query_fresh(&Query::Point(at % 64))
+                        .expect("restore+merge");
+                    sum += answer.scalar().unwrap_or(0.0);
+                }
+                sum
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_updates,
     bench_tracker_backends,
     bench_flat_vs_rows,
-    bench_batch_kernels
+    bench_batch_kernels,
+    bench_serve_paths
 );
 criterion_main!(benches);

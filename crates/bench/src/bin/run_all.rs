@@ -59,6 +59,18 @@ fn main() {
         }),
         Box::new(move || experiments::sharding::run(scale).0.render()),
         Box::new(move || experiments::engine::run(scale).0.render()),
+        Box::new(move || {
+            let mut out = experiments::serve::run(scale).0.render();
+            out.push_str(
+                &experiments::serve::staleness_table(&experiments::serve::staleness(scale))
+                    .render(),
+            );
+            out.push_str(
+                &experiments::serve::concurrent_table(&experiments::serve::concurrent(scale))
+                    .render(),
+            );
+            out
+        }),
     ];
 
     // Print progressively: finished cells are buffered only until every earlier cell

@@ -10,6 +10,7 @@ pub mod morris;
 pub mod nvm;
 pub mod p_small;
 pub mod scaling;
+pub mod serve;
 pub mod sharding;
 pub mod table1;
 pub mod throughput;

@@ -1,4 +1,7 @@
-//! The sharded engine: replica ownership, routing, merged queries, checkpoints.
+//! The sharded engine: replica ownership, routing, cached merged queries,
+//! checkpoints.
+
+use std::sync::Arc;
 
 use fsc_state::delta::{encode_delta, BaseRef};
 use fsc_state::snapshot::{SnapshotReader, SnapshotWriter, TrackerState};
@@ -6,6 +9,8 @@ use fsc_state::{
     Answer, Mergeable, Query, Queryable, Snapshot, SnapshotError, StateReport, StreamAlgorithm,
     TrackerKind,
 };
+
+use crate::view::{ServeHandle, ServingView};
 
 /// Checkpoint-header id of an engine checkpoint (shard checkpoints nest inside with
 /// their own algorithm ids).
@@ -66,12 +71,22 @@ impl Default for EngineConfig {
 
 /// The bound an engine places on its summary type: ingest
 /// ([`StreamAlgorithm`]), typed queries ([`Queryable`]), checkpoints
-/// ([`Snapshot`]), and shard union ([`Mergeable`]).
+/// ([`Snapshot`]), and shard union ([`Mergeable`]) — plus `Send + Sync +
+/// 'static`, so shards can ingest on scoped worker threads and reader threads
+/// can hold `Arc`-published serving views across engine generations.
 ///
-/// Blanket-implemented: any summary with the four capabilities is engine-ready.
-pub trait EngineAlgorithm: StreamAlgorithm + Queryable + Snapshot + Mergeable + Sized {}
+/// Blanket-implemented: any summary with the four capabilities is engine-ready
+/// (all of this repository's summaries are plain owned data over thread-safe
+/// trackers, so the marker bounds come for free).
+pub trait EngineAlgorithm:
+    StreamAlgorithm + Queryable + Snapshot + Mergeable + Sized + Send + Sync + 'static
+{
+}
 
-impl<T: StreamAlgorithm + Queryable + Snapshot + Mergeable + Sized> EngineAlgorithm for T {}
+impl<T: StreamAlgorithm + Queryable + Snapshot + Mergeable + Sized + Send + Sync + 'static>
+    EngineAlgorithm for T
+{
+}
 
 /// A sharded, checkpointable serving engine over `S` replicas of one summary type.
 ///
@@ -87,7 +102,22 @@ pub struct Engine<A: EngineAlgorithm> {
     ingested: u64,
     /// Per-shard routing buffers, reused across batches.
     buffers: Vec<Vec<u64>>,
+    /// The cached merged view queries serve from, shared with any detached
+    /// reader handles (see [`ServingView`]).
+    view: Arc<ServingView<A>>,
+    /// Added to the summed shard generations by [`Engine::generation`].  Zero
+    /// for the life of a normally-constructed engine; bumped by
+    /// [`Engine::restore_from`] so the staleness clock stays strictly monotone
+    /// across in-place failover even though the restored trackers start their
+    /// own clocks near zero.
+    gen_offset: u64,
 }
+
+/// Per-shard sub-batch size at which [`Engine::ingest`] moves from the serial
+/// drain to scoped worker threads.  Spawning a thread costs microseconds —
+/// three orders of magnitude more than a small batch kernel — so parallelism
+/// only pays once each worker has thousands of items to chew through.
+const PARALLEL_INGEST_THRESHOLD: usize = 8_192;
 
 /// Multiplicative item hash for [`Routing::ByItemHash`] (SplitMix64 finalizer — the
 /// route must be a stable pure function of the item, independent of shard count
@@ -115,6 +145,8 @@ impl<A: EngineAlgorithm> Engine<A> {
             shards,
             ingested: 0,
             buffers,
+            view: Arc::new(ServingView::new()),
+            gen_offset: 0,
         }
     }
 
@@ -139,10 +171,13 @@ impl<A: EngineAlgorithm> Engine<A> {
     }
 
     /// Ingests a batch: items are routed to their shards and each shard processes
-    /// its sub-batch through the specialized batch kernels, in shard order (the
-    /// engine is sequential per instance; sharding buys mergeable state and
-    /// independent accounting, and `fsc-bench::sharded` shows the same shards
-    /// driven in parallel across threads).
+    /// its sub-batch through the specialized batch kernels.  Small batches run in
+    /// shard order on the calling thread; once the largest routed sub-batch
+    /// clears the parallel-ingest threshold (8 Ki items), the shards drain concurrently on
+    /// [`std::thread::scope`] workers (shards own disjoint state, so the result
+    /// is observably identical either way — pinned by the parallel-ingest law
+    /// test).  The threshold keeps the thread-spawn cost out of the
+    /// latency-sensitive small-batch path.
     pub fn ingest(&mut self, items: &[u64]) {
         match self.config.routing {
             Routing::RoundRobin => {
@@ -161,10 +196,24 @@ impl<A: EngineAlgorithm> Engine<A> {
             }
         }
         self.ingested += items.len() as u64;
-        for (shard, buffer) in self.shards.iter_mut().zip(&mut self.buffers) {
-            if !buffer.is_empty() {
-                shard.process_batch(buffer);
-                buffer.clear();
+        let largest = self.buffers.iter().map(Vec::len).max().unwrap_or(0);
+        if self.shards.len() > 1 && largest >= PARALLEL_INGEST_THRESHOLD {
+            std::thread::scope(|scope| {
+                for (shard, buffer) in self.shards.iter_mut().zip(&mut self.buffers) {
+                    if !buffer.is_empty() {
+                        scope.spawn(move || {
+                            shard.process_batch(buffer);
+                            buffer.clear();
+                        });
+                    }
+                }
+            });
+        } else {
+            for (shard, buffer) in self.shards.iter_mut().zip(&mut self.buffers) {
+                if !buffer.is_empty() {
+                    shard.process_batch(buffer);
+                    buffer.clear();
+                }
             }
         }
     }
@@ -181,20 +230,102 @@ impl<A: EngineAlgorithm> Engine<A> {
         Ok(merged)
     }
 
-    /// Answers a typed query from the merged view.
+    /// The engine's **staleness generation**: the sum of every shard tracker's
+    /// [`state_change_generation`](fsc_state::StateTracker::state_change_generation)
+    /// (plus a restore offset keeping the clock monotone across
+    /// [`Engine::restore_from`]).  Monotone over this engine instance's
+    /// lifetime, and guaranteed to have advanced after any ingest that changed
+    /// an observable answer on *any* shard.
     ///
-    /// Each call rebuilds the merged view; batch read-heavy probes through
-    /// [`Engine::query_many`] (or hold a [`Engine::merged_summary`]) to pay the
-    /// restore-and-merge cost once.
+    /// The sum — not the max — is what makes the clock sound: shard clocks
+    /// advance at different rates, and a change on a lagging shard would be
+    /// invisible to the max while the union's answers moved (DESIGN.md §1.7
+    /// spells out the argument).  Every changed write strictly increases its
+    /// own shard's term, hence the sum.
+    ///
+    /// Because ingest needs `&mut self`, the generation is frozen while any
+    /// `&self` query runs — a query compares a stable clock, never a racing
+    /// one.
+    pub fn generation(&self) -> u64 {
+        self.gen_offset
+            + self
+                .shards
+                .iter()
+                .map(|s| s.tracker().state_change_generation())
+                .sum::<u64>()
+    }
+
+    /// The cached view if it is current, else rebuild-and-publish at the live
+    /// generation.
+    fn current_view(&self) -> Result<Arc<A>, SnapshotError> {
+        let generation = self.generation();
+        if let Some(view) = self.view.get_if_current(generation) {
+            return Ok(view);
+        }
+        Ok(self.view.publish(generation, self.merged_summary()?))
+    }
+
+    /// Answers a typed query from the **cached** merged view.
+    ///
+    /// Freshness contract: the answer always reflects every ingested item.  The
+    /// view is revalidated lazily against [`Engine::generation`] — if no state
+    /// change landed since the last rebuild the query is a lock-free stamp
+    /// compare plus an `Arc` clone (no restore, no merge); otherwise the view
+    /// is rebuilt once and republished for every subsequent reader.  Rebuild
+    /// frequency therefore tracks *state changes*, not queries or ingested
+    /// items.  [`Engine::query_fresh`] bypasses the cache when a test wants the
+    /// always-rebuild semantics.
     pub fn query(&self, query: &Query) -> Result<Answer, SnapshotError> {
+        Ok(self.current_view()?.query(query))
+    }
+
+    /// Answers a batch of queries from one cached view (at most one rebuild,
+    /// however many queries follow — and none at all when the view is current).
+    pub fn query_many(&self, queries: &[Query]) -> Result<Vec<Answer>, SnapshotError> {
+        let merged = self.current_view()?;
+        Ok(queries.iter().map(|q| merged.query(q)).collect())
+    }
+
+    /// Answers a typed query by **rebuilding** the merged view from the live
+    /// shards, bypassing the cache — the pre-cache `query` semantics, kept as
+    /// the oracle the serve-law tests compare cached answers against.
+    pub fn query_fresh(&self, query: &Query) -> Result<Answer, SnapshotError> {
         Ok(self.merged_summary()?.query(query))
     }
 
-    /// Answers a batch of queries from **one** merged view (one checkpoint restore
-    /// plus one merge pass, however many queries follow).
-    pub fn query_many(&self, queries: &[Query]) -> Result<Vec<Answer>, SnapshotError> {
+    /// Batch flavour of [`Engine::query_fresh`]: one fresh rebuild, many
+    /// queries, cache untouched.
+    pub fn query_fresh_many(&self, queries: &[Query]) -> Result<Vec<Answer>, SnapshotError> {
         let merged = self.merged_summary()?;
         Ok(queries.iter().map(|q| merged.query(q)).collect())
+    }
+
+    /// Rebuilds and republishes the cached view if it is stale; returns whether
+    /// a rebuild happened.  This is the writer-side verb of the mixed
+    /// read/write pattern: reader threads serve from [`Engine::serving_view`]
+    /// handles while the ingesting thread (which owns `&mut self`) calls this
+    /// between batches to push fresh snapshots to them.
+    pub fn refresh_view(&self) -> Result<bool, SnapshotError> {
+        let generation = self.generation();
+        if self.view.get_if_current(generation).is_some() {
+            return Ok(false);
+        }
+        self.view.publish(generation, self.merged_summary()?);
+        Ok(true)
+    }
+
+    /// Times the cached view has been (re)built over this engine's lifetime —
+    /// the serve-cost counter F13 records next to state changes.
+    pub fn view_rebuilds(&self) -> u64 {
+        self.view.rebuilds()
+    }
+
+    /// A shared handle on the engine's serving view, for detached reader
+    /// threads.  The handle survives [`Engine::restore_from`] failover and
+    /// serves the latest *published* snapshot without ever rebuilding (see
+    /// [`ServeHandle`] for the staleness contract).
+    pub fn serving_view(&self) -> Arc<ServingView<A>> {
+        Arc::clone(&self.view)
     }
 
     /// Serializes the whole engine — config, ingest position, and one nested
@@ -262,7 +393,33 @@ impl<A: EngineAlgorithm> Engine<A> {
             buffers: vec![Vec::new(); shard_count],
             shards,
             ingested,
+            view: Arc::new(ServingView::new()),
+            gen_offset: 0,
         })
+    }
+
+    /// Replaces this engine's state with a restored checkpoint in place (the
+    /// failover verb: a fresh process constructs an engine and restores into
+    /// it).  Two things survive the swap that a plain [`Engine::restore`]
+    /// would discard:
+    ///
+    /// * **Reader handles** — the serving view cell is kept, so
+    ///   [`Engine::serving_view`] handles held by reader threads keep working;
+    ///   they serve the pre-restore snapshot until the next refresh.
+    /// * **Clock monotonicity** — restored trackers restart their staleness
+    ///   clocks near zero (import *taints* rather than restores the
+    ///   generation), so [`Engine::generation`] is re-based to land strictly
+    ///   above its pre-restore value.  Any stamp issued before the restore —
+    ///   including the kept view's — therefore compares stale, and the first
+    ///   post-restore query rebuilds: a restore is a state mutation.
+    pub fn restore_from(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let before = self.generation();
+        let mut restored = Engine::restore(bytes)?;
+        let raw = restored.generation();
+        restored.gen_offset = (before + 1).saturating_sub(raw);
+        restored.view = Arc::clone(&self.view);
+        *self = restored;
+        Ok(())
     }
 
     /// Combined accounting across shards ([`StateReport::sharded`] semantics: epochs,
@@ -321,10 +478,24 @@ pub trait DynEngine {
     fn ingested(&self) -> u64;
     /// Routes and ingests a batch (see [`Engine::ingest`]).
     fn ingest(&mut self, items: &[u64]);
-    /// Answers a typed query from the merged shard union (see [`Engine::query`]).
+    /// Answers a typed query from the **cached** merged view (see
+    /// [`Engine::query`] for the freshness contract).
     fn query(&self, query: &Query) -> Result<Answer, SnapshotError>;
-    /// Answers a batch of queries from one merged view (see [`Engine::query_many`]).
+    /// Answers a batch of queries from one cached view (see [`Engine::query_many`]).
     fn query_many(&self, queries: &[Query]) -> Result<Vec<Answer>, SnapshotError>;
+    /// Answers a typed query by rebuilding, cache bypassed (see
+    /// [`Engine::query_fresh`]).
+    fn query_fresh(&self, query: &Query) -> Result<Answer, SnapshotError>;
+    /// The engine's staleness generation (see [`Engine::generation`]).
+    fn generation(&self) -> u64;
+    /// Times the cached view has been built (see [`Engine::view_rebuilds`]).
+    fn view_rebuilds(&self) -> u64;
+    /// Rebuilds the cached view if stale; `Ok(true)` iff it rebuilt (see
+    /// [`Engine::refresh_view`]).
+    fn refresh_view(&self) -> Result<bool, SnapshotError>;
+    /// A shared, type-erased reader handle on the serving view (see
+    /// [`ServeHandle`] and [`Engine::serving_view`]).
+    fn serve_handle(&self) -> Arc<dyn ServeHandle>;
     /// Serializes the engine (see [`Engine::checkpoint`]).
     fn checkpoint(&self) -> Vec<u8>;
     /// Captures the current checkpoint as a delta base (see [`Engine::base_ref`]).
@@ -332,8 +503,8 @@ pub trait DynEngine {
     /// Serializes a delta checkpoint against `since` (see
     /// [`Engine::checkpoint_delta`]).
     fn checkpoint_delta(&self, since: &BaseRef) -> Result<Vec<u8>, SnapshotError>;
-    /// Replaces this engine's state with a restored checkpoint (the failover verb:
-    /// a fresh process constructs an engine and restores into it).
+    /// Replaces this engine's state with a restored checkpoint (the failover verb;
+    /// see [`Engine::restore_from`] for what survives the swap).
     fn restore_from(&mut self, bytes: &[u8]) -> Result<(), SnapshotError>;
     /// Combined accounting across shards (see [`Engine::report`]).
     fn report(&self) -> StateReport;
@@ -366,6 +537,26 @@ impl<A: EngineAlgorithm> DynEngine for Engine<A> {
         Engine::query_many(self, queries)
     }
 
+    fn query_fresh(&self, query: &Query) -> Result<Answer, SnapshotError> {
+        Engine::query_fresh(self, query)
+    }
+
+    fn generation(&self) -> u64 {
+        Engine::generation(self)
+    }
+
+    fn view_rebuilds(&self) -> u64 {
+        Engine::view_rebuilds(self)
+    }
+
+    fn refresh_view(&self) -> Result<bool, SnapshotError> {
+        Engine::refresh_view(self)
+    }
+
+    fn serve_handle(&self) -> Arc<dyn ServeHandle> {
+        self.serving_view()
+    }
+
     fn checkpoint(&self) -> Vec<u8> {
         Engine::checkpoint(self)
     }
@@ -379,8 +570,7 @@ impl<A: EngineAlgorithm> DynEngine for Engine<A> {
     }
 
     fn restore_from(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
-        *self = Engine::restore(bytes)?;
-        Ok(())
+        Engine::restore_from(self, bytes)
     }
 
     fn report(&self) -> StateReport {
@@ -557,6 +747,104 @@ mod tests {
         assert_eq!(at, 3_000);
         let past = Engine::<CountMin>::restore(&bytes).unwrap();
         assert_eq!(past.ingested(), 3_000);
+    }
+
+    #[test]
+    fn cached_queries_match_fresh_and_rebuild_only_on_state_changes() {
+        let stream = zipf_stream(512, 4_000, 1.1, 21);
+        let mut engine = count_min_engine(EngineConfig::default());
+        assert_eq!(engine.view_rebuilds(), 0);
+        for batch in stream.chunks(500) {
+            engine.ingest(batch);
+            for item in 0..16u64 {
+                let q = Query::Point(item);
+                assert_eq!(
+                    engine.query(&q).unwrap(),
+                    engine.query_fresh(&q).unwrap(),
+                    "cached answer must match the always-rebuild oracle"
+                );
+            }
+        }
+        // 8 ingest rounds, 128 queries: the first query of each round rebuilds
+        // (CountMin changes state almost every epoch), the rest hit the cache.
+        assert_eq!(engine.view_rebuilds(), 8, "one rebuild per dirty round");
+        let before = engine.view_rebuilds();
+        let _ = engine.query_many(&(0..64).map(Query::Point).collect::<Vec<_>>());
+        assert_eq!(
+            engine.view_rebuilds(),
+            before,
+            "current view: zero rebuilds"
+        );
+    }
+
+    #[test]
+    fn generation_advances_with_changes_and_freezes_between_ingests() {
+        let mut engine = count_min_engine(EngineConfig::default());
+        let g0 = engine.generation();
+        engine.ingest(&zipf_stream(256, 1_000, 1.1, 4));
+        let g1 = engine.generation();
+        assert!(g1 > g0, "ingest that changes state must advance the clock");
+        let _ = engine.query(&Query::Point(1)).unwrap();
+        let _ = engine.refresh_view().unwrap();
+        assert_eq!(engine.generation(), g1, "reads never tick the clock");
+    }
+
+    #[test]
+    fn restore_from_taints_the_generation_and_keeps_handles_alive() {
+        let stream = zipf_stream(256, 2_000, 1.1, 8);
+        let mut engine = count_min_engine(EngineConfig::default());
+        engine.ingest(&stream);
+        let handle = engine.serving_view();
+        let q = Query::Point(3);
+        let live = engine.query(&q).unwrap();
+        assert_eq!(
+            handle.serve(&q),
+            Some(live.clone()),
+            "handle sees publishes"
+        );
+
+        let bytes = engine.checkpoint();
+        let before = engine.generation();
+        let stamp_before = handle.published_stamp().unwrap();
+        engine.restore_from(&bytes).expect("failover restore");
+        assert!(
+            engine.generation() > before,
+            "restore taints the clock forward even though trackers rewind"
+        );
+        assert_ne!(
+            engine.generation(),
+            stamp_before,
+            "the kept view's stamp must compare stale after restore"
+        );
+        // The old handle still serves (the pre-restore snapshot) ...
+        assert_eq!(handle.serve(&q), Some(live.clone()));
+        // ... and the first post-restore query rebuilds through the same cell.
+        let rebuilds = engine.view_rebuilds();
+        assert_eq!(engine.query(&q).unwrap(), live);
+        assert_eq!(engine.view_rebuilds(), rebuilds + 1);
+        assert_eq!(handle.serve(&q), Some(live), "handle caught the republish");
+    }
+
+    #[test]
+    fn parallel_ingest_is_observably_identical_to_serial() {
+        // Large enough that every shard's sub-batch clears the threshold, so the
+        // scoped-thread path actually runs.
+        let stream = zipf_stream(1 << 10, 4 * PARALLEL_INGEST_THRESHOLD, 1.1, 13);
+        let config = EngineConfig {
+            tracker: TrackerKind::FullAddressTracked,
+            ..EngineConfig::default()
+        };
+        let mut parallel = count_min_engine(config);
+        let mut serial = count_min_engine(config);
+        parallel.ingest(&stream); // one call: sub-batches ≥ threshold → workers
+        for batch in stream.chunks(1_000) {
+            serial.ingest(batch); // small calls: always the serial drain
+        }
+        assert_eq!(parallel.shard_reports(), serial.shard_reports());
+        assert_eq!(parallel.checkpoint(), serial.checkpoint());
+        for i in 0..4 {
+            assert_eq!(parallel.shard_wear(i), serial.shard_wear(i), "shard {i}");
+        }
     }
 
     #[test]

@@ -17,9 +17,16 @@
 //!   (answers, per-shard [`StateReport`](fsc_state::StateReport), per-address wear),
 //!   so a crash between checkpoints loses only the updates since the last one.
 //!
-//! Queries never disturb shard state: the merged view is built by restoring shard
-//! 0's checkpoint (exercising the snapshot law on every query) and folding the
-//! remaining shards in with `merge_from`.
+//! Queries never disturb shard state, and they almost never rebuild: the merged
+//! view — shard 0 restored from its checkpoint, the remaining shards folded in
+//! with `merge_from` — is built once and published through a generation-stamped
+//! [`ServingView`], then revalidated lazily against [`Engine::generation`], the
+//! engine's state-change clock.  A query on a current view is a lock-free stamp
+//! compare plus an `Arc` clone; a rebuild happens only after a *state change*
+//! lands, so serve cost tracks the paper's scarce resource rather than ingest
+//! volume ([`Engine::query_fresh`] keeps the always-rebuild path as the testing
+//! oracle, and [`ServeHandle`] lets detached reader threads serve published
+//! snapshots while a writer ingests).
 //!
 //! Checkpoints have two faces: [`Engine::checkpoint`] serializes everything, and
 //! [`Engine::checkpoint_delta`] emits only the `FSCD` bytes that changed since a
@@ -39,6 +46,8 @@
 
 mod engine;
 pub mod scenario;
+mod view;
 
 pub use engine::{DynEngine, Engine, EngineAlgorithm, EngineConfig, Routing};
 pub use scenario::{CheckpointMode, Scenario, Segment, Workload};
+pub use view::{ServeHandle, ServingView};

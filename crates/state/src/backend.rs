@@ -168,6 +168,31 @@ pub trait TrackerBackend: fmt::Debug + Send + Sync {
     fn record_reads(&self, n: u64);
     /// Number of state changes so far (paper definition).
     fn state_changes(&self) -> u64;
+    /// A monotone **staleness clock**: a counter that never decreases over the
+    /// lifetime of this backend instance and is guaranteed to have advanced, by the
+    /// next epoch boundary, after any mutation that could change an observable
+    /// answer — a changed word write, or an [`TrackerBackend::import_state`] (which
+    /// replaces the whole state and therefore *taints* the generation by at least
+    /// one, mirroring the dirty-journal taint on restore).
+    ///
+    /// **Conservative contract.**  The generation may advance *at most once per
+    /// epoch* (it is allowed to coalesce all changed writes of one epoch into a
+    /// single tick, as [`LeanTracker`] does), so two generation reads are comparable
+    /// only when both were taken at epoch boundaries — between stream updates, never
+    /// mid-update.  Under that discipline, `generation unchanged` implies `no state
+    /// change happened in between`, which is what lets a cached serving view skip
+    /// its rebuild.  The converse direction is deliberately weak: the generation may
+    /// advance without an observable answer changing (e.g. an import that restored
+    /// identical state still ticks), which costs a spurious rebuild, never a stale
+    /// answer.
+    ///
+    /// The default implementation returns [`TrackerBackend::state_changes`], which
+    /// satisfies the contract for backends that never import state; backends that
+    /// support `import_state` must override it (an import can rewind the
+    /// state-change counter, which would move this clock backwards).
+    fn state_change_generation(&self) -> u64 {
+        self.state_changes()
+    }
     /// Number of epochs (stream updates) started so far.
     fn epochs(&self) -> u64;
     /// Current number of allocated words.
@@ -343,6 +368,13 @@ pub struct FullTracker {
     last_anon_change: AtomicU64,
     /// Epoch up to which [`TrackerBackend::drain_dirty`] has already reported.
     drain_mark: AtomicU64,
+    /// Monotone staleness clock (see [`TrackerBackend::state_change_generation`]):
+    /// ticks per changed write (the exact counter already paid for by
+    /// `word_writes`) plus one taint tick per [`TrackerBackend::import_state`].
+    /// Deliberately **not** serialized in [`TrackerState`] — it is an ephemeral
+    /// per-instance clock, like the dirty journal, so the checkpoint format is
+    /// unchanged.
+    generation: AtomicU64,
     /// Whether per-address wear accounting is enabled (fixed at construction).
     address_tracked: bool,
 }
@@ -443,6 +475,7 @@ impl TrackerBackend for FullTracker {
     fn record_write(&self, addr: Option<usize>, changed: bool) {
         if changed {
             bump(&self.word_writes, 1);
+            bump(&self.generation, 1);
             if self.epoch.claims_state_change() {
                 bump(&self.state_changes, 1);
             }
@@ -468,6 +501,7 @@ impl TrackerBackend for FullTracker {
             return;
         }
         bump(&self.word_writes, n);
+        bump(&self.generation, n);
         if self.epoch.claims_state_change() {
             bump(&self.state_changes, 1);
         }
@@ -496,6 +530,7 @@ impl TrackerBackend for FullTracker {
             return;
         }
         bump(&self.word_writes, addrs.len() as u64);
+        bump(&self.generation, addrs.len() as u64);
         if self.epoch.claims_state_change() {
             bump(&self.state_changes, 1);
         }
@@ -524,6 +559,7 @@ impl TrackerBackend for FullTracker {
         self.epoch.enter_claimed_run(first, n);
         bump(&self.state_changes, n);
         bump(&self.word_writes, n * writes);
+        bump(&self.generation, n * writes);
         if self.address_tracked {
             match addrs {
                 Some(addrs) => {
@@ -547,6 +583,13 @@ impl TrackerBackend for FullTracker {
 
     fn state_changes(&self) -> u64 {
         self.state_changes.load(Ordering::Relaxed)
+    }
+
+    /// Exact per-changed-write clock: ticks with `word_writes` (never with
+    /// redundant writes or reads) plus one taint tick per import — strictly finer
+    /// than the once-per-epoch minimum the contract requires.
+    fn state_change_generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
     }
 
     fn epochs(&self) -> u64 {
@@ -643,6 +686,10 @@ impl TrackerBackend for FullTracker {
             self.last_anon_change.store(state.epochs, Ordering::Relaxed);
         }
         self.drain_mark.store(0, Ordering::Relaxed);
+        // Restore taints the staleness clock: the counters above may rewind, but the
+        // generation only ever moves forward — an import is a state mutation, so any
+        // generation captured before it must now compare stale.
+        bump(&self.generation, 1);
     }
 
     fn dirty_since(&self, epoch: u64) -> Option<Vec<usize>> {
@@ -683,6 +730,11 @@ impl TrackerBackend for FullTracker {
 pub struct LeanTracker {
     epoch: EpochState,
     state_changes: AtomicU64,
+    /// Monotone staleness clock (see [`TrackerBackend::state_change_generation`]):
+    /// ticks with the state-change counter — at most once per epoch, the coarsest
+    /// granularity the conservative contract allows — plus one taint tick per
+    /// [`TrackerBackend::import_state`].  Not serialized.
+    generation: AtomicU64,
     next_addr: AtomicUsize,
     words_current: AtomicUsize,
     words_peak: AtomicUsize,
@@ -730,6 +782,7 @@ impl TrackerBackend for LeanTracker {
     fn record_write(&self, _addr: Option<usize>, changed: bool) {
         if changed && self.epoch.claims_state_change() {
             bump(&self.state_changes, 1);
+            bump(&self.generation, 1);
         }
     }
 
@@ -737,6 +790,7 @@ impl TrackerBackend for LeanTracker {
     fn record_changed_run(&self, _start: Option<usize>, n: u64) {
         if n > 0 && self.epoch.claims_state_change() {
             bump(&self.state_changes, 1);
+            bump(&self.generation, 1);
         }
     }
 
@@ -744,6 +798,7 @@ impl TrackerBackend for LeanTracker {
     fn record_changed_at(&self, addrs: &[usize]) {
         if !addrs.is_empty() && self.epoch.claims_state_change() {
             bump(&self.state_changes, 1);
+            bump(&self.generation, 1);
         }
     }
 
@@ -759,6 +814,7 @@ impl TrackerBackend for LeanTracker {
         }
         self.epoch.enter_claimed_run(first, n);
         bump(&self.state_changes, n);
+        bump(&self.generation, n);
     }
 
     #[inline]
@@ -766,6 +822,14 @@ impl TrackerBackend for LeanTracker {
 
     fn state_changes(&self) -> u64 {
         self.state_changes.load(Ordering::Relaxed)
+    }
+
+    /// Coarse once-per-epoch clock: ticks with the state-change counter (at most
+    /// one tick per epoch, however many words that epoch changed) plus one taint
+    /// tick per import — exactly the minimum granularity the conservative
+    /// contract allows.
+    fn state_change_generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
     }
 
     fn epochs(&self) -> u64 {
@@ -823,6 +887,10 @@ impl TrackerBackend for LeanTracker {
             .store(state.words_current, Ordering::Relaxed);
         self.words_peak.store(state.words_peak, Ordering::Relaxed);
         self.next_addr.store(state.next_addr, Ordering::Relaxed);
+        // Restore taints the staleness clock: the counters above may rewind, but
+        // the generation only ever moves forward — an import is a state mutation,
+        // so any generation captured before it must now compare stale.
+        bump(&self.generation, 1);
     }
 }
 
@@ -1251,6 +1319,112 @@ mod tests {
         restored.begin_epoch(); // epoch 5
         restored.record_write(Some(r.word(1)), true);
         assert_eq!(restored.dirty_since(4), Some(vec![1]));
+    }
+
+    #[test]
+    fn full_generation_ticks_per_changed_write_and_never_on_noise() {
+        let t = FullTracker::new();
+        let r = t.alloc(4);
+        assert_eq!(t.state_change_generation(), 0);
+        t.begin_epoch();
+        t.record_write(Some(r.word(0)), true);
+        t.record_write(Some(r.word(1)), true);
+        assert_eq!(t.state_change_generation(), 2, "exact per-changed-write");
+        t.begin_epoch();
+        t.record_write(Some(r.word(0)), false); // redundant write
+        t.record_reads(10);
+        assert_eq!(
+            t.state_change_generation(),
+            2,
+            "noise never ticks the clock"
+        );
+        t.record_changed_run(Some(r.word(0)), 3);
+        assert_eq!(t.state_change_generation(), 5);
+        t.record_changed_at(&[r.word(0), r.word(2)]);
+        assert_eq!(t.state_change_generation(), 7);
+    }
+
+    #[test]
+    fn lean_generation_coalesces_to_one_tick_per_epoch() {
+        let t = LeanTracker::new();
+        let r = t.alloc(4);
+        t.begin_epoch();
+        t.record_write(Some(r.word(0)), true);
+        t.record_write(Some(r.word(1)), true);
+        t.record_changed_run(Some(r.word(0)), 3);
+        assert_eq!(
+            t.state_change_generation(),
+            1,
+            "all changed writes of one epoch are one tick"
+        );
+        t.begin_epoch();
+        t.record_write(Some(r.word(0)), false);
+        assert_eq!(t.state_change_generation(), 1);
+        t.begin_epoch();
+        t.record_changed_at(&[r.word(2)]);
+        assert_eq!(t.state_change_generation(), 2);
+    }
+
+    #[test]
+    fn generation_is_tainted_forward_by_import_never_rewound() {
+        for (t, restored) in [
+            (
+                Box::new(FullTracker::new()) as Box<dyn TrackerBackend>,
+                Box::new(FullTracker::new()) as Box<dyn TrackerBackend>,
+            ),
+            (Box::new(LeanTracker::new()), Box::new(LeanTracker::new())),
+        ] {
+            let r = t.alloc(2);
+            for _ in 0..3 {
+                t.begin_epoch();
+                t.record_write(Some(r.word(0)), true);
+            }
+            let before = t.state_change_generation();
+            let state = t.export_state();
+            // Import into the *same* backend: counters rewind to the checkpoint,
+            // but the staleness clock must move strictly forward.
+            t.import_state(&state);
+            assert!(
+                t.state_change_generation() > before,
+                "import taints the clock forward on {:?}",
+                t.kind()
+            );
+            // Import into a fresh backend: even with zero local history the
+            // imported state is a mutation, so the clock leaves zero.
+            restored.import_state(&state);
+            assert!(
+                restored.state_change_generation() > 0,
+                "cold import still ticks on {:?}",
+                restored.kind()
+            );
+        }
+    }
+
+    #[test]
+    fn generation_satisfies_the_epoch_boundary_contract() {
+        // At every epoch boundary: generation advanced since the last boundary
+        // iff some observable mutation happened in between.
+        for backend in [
+            Box::new(FullTracker::new()) as Box<dyn TrackerBackend>,
+            Box::new(LeanTracker::new()),
+        ] {
+            let r = backend.alloc(8);
+            let mut last = backend.state_change_generation();
+            for i in 0..32u64 {
+                backend.begin_epoch();
+                let mutated = i % 3 == 0;
+                backend.record_write(Some(r.word((i % 8) as usize)), mutated);
+                let now = backend.state_change_generation();
+                assert!(now >= last, "monotone on {:?}", backend.kind());
+                assert_eq!(
+                    now > last,
+                    mutated,
+                    "advances iff the epoch mutated on {:?}",
+                    backend.kind()
+                );
+                last = now;
+            }
+        }
     }
 
     #[test]

@@ -190,6 +190,13 @@ impl StateTracker {
         self.backend.state_changes()
     }
 
+    /// Monotone staleness clock for cached serving views; see
+    /// [`TrackerBackend::state_change_generation`] for the conservative contract
+    /// (compare only at epoch boundaries; restore taints the clock forward).
+    pub fn state_change_generation(&self) -> u64 {
+        self.backend.state_change_generation()
+    }
+
     /// Number of epochs (stream updates) started so far.
     pub fn epochs(&self) -> u64 {
         self.backend.epochs()

@@ -1,0 +1,229 @@
+//! Serving-view laws: the cached [`Engine::query`] path must be **observably
+//! indistinguishable** from the always-rebuild [`Engine::query_fresh`] oracle,
+//! under arbitrary interleavings of ingest and queries — while rebuilding the
+//! merged summary only when the state-change generation says it has to.
+//!
+//! Three laws, each checked for every engine-capable summary (exact-merge
+//! sketches and bounded-merge counter tables alike):
+//!
+//! 1. **Answer equivalence** — at every interleaving point, `query` (cached)
+//!    and `query_fresh` (rebuild) return identical answers for identical probes.
+//! 2. **Rebuild economy** — the view rebuilds at most once per interleaving
+//!    round, and never more often than the generation clock advanced (a clean
+//!    round costs zero rebuilds).
+//! 3. **Generation monotonicity** — `Engine::generation()` never decreases:
+//!    not across ingest, not across checkpoint/restore-in-place (`restore_from`
+//!    taints the clock strictly forward so pre-failover cached stamps can never
+//!    satisfy a post-failover freshness check).
+//!
+//! A fourth, non-proptest law pins the threaded ingest path: one big batch
+//! (which crosses the parallel-ingest threshold) is observably identical to the
+//! same items fed in small serial chunks.
+
+use few_state_changes::baselines::{
+    AmsSketch, CountMin, CountSketch, ExactCounting, MisraGries, SpaceSaving,
+};
+use few_state_changes::engine::{Engine, EngineAlgorithm, EngineConfig, Routing};
+use few_state_changes::state::{Query, StateTracker, TrackerKind};
+use few_state_changes::streamgen::zipf::zipf_stream;
+
+use proptest::prelude::*;
+
+fn config(shards: usize) -> EngineConfig {
+    EngineConfig {
+        shards,
+        routing: Routing::RoundRobin,
+        tracker: TrackerKind::Full,
+    }
+}
+
+fn probes() -> Vec<Query> {
+    (0..48u64)
+        .map(Query::Point)
+        .chain([Query::Moment])
+        .collect()
+}
+
+/// Drives one engine through `rounds` ingest/query rounds, checking the
+/// answer-equivalence, rebuild-economy, and monotonicity laws at every step.
+fn check_serve_laws<A: EngineAlgorithm>(
+    make: impl FnMut(usize) -> A,
+    stream: &[u64],
+    cuts: &[usize],
+) {
+    let mut engine = Engine::new(config(4), make);
+    let name = engine.shard(0).name().to_string();
+    let probes = probes();
+
+    let mut fed = 0usize;
+    let mut last_generation = engine.generation();
+    let mut rounds = 0u64;
+    for &cut in cuts {
+        let cut = cut.min(stream.len());
+        if cut > fed {
+            engine.ingest(&stream[fed..cut]);
+            fed = cut;
+        }
+        rounds += 1;
+
+        let generation = engine.generation();
+        assert!(
+            generation >= last_generation,
+            "{name}: generation went backwards across ingest ({last_generation} -> {generation})"
+        );
+        last_generation = generation;
+
+        // Law 1: the cached path answers exactly like a fresh rebuild — on the
+        // first (cold) query of a round and on the repeat (warm) query alike.
+        let cached = engine.query_many(&probes).expect("cached view");
+        let fresh = engine.query_fresh_many(&probes).expect("fresh merge");
+        assert_eq!(
+            cached, fresh,
+            "{name}: cached answers diverged from the rebuild oracle"
+        );
+        let warm = engine.query_many(&probes).expect("cached view");
+        assert_eq!(warm, fresh, "{name}: warm cached answers diverged");
+
+        // Law 2: querying twice in the same round costs at most one rebuild,
+        // and the lifetime rebuild count never exceeds the rounds that could
+        // have dirtied the view.
+        assert!(
+            engine.view_rebuilds() <= rounds,
+            "{name}: {} rebuilds after {rounds} rounds — the view rebuilt without a \
+             generation bump",
+            engine.view_rebuilds()
+        );
+        assert_eq!(
+            engine.generation(),
+            generation,
+            "{name}: queries moved the generation clock"
+        );
+    }
+
+    // Drain the remainder so the final cross-check covers the whole stream.
+    if fed < stream.len() {
+        engine.ingest(&stream[fed..]);
+    }
+    assert_eq!(
+        engine.query_many(&probes).expect("cached view"),
+        engine.query_fresh_many(&probes).expect("fresh merge"),
+        "{name}: final cached answers diverged from the rebuild oracle"
+    );
+
+    // Law 3 (failover leg): restore-in-place must keep the clock strictly
+    // monotone even though the restored checkpoint carries a younger clock.
+    let before = engine.generation();
+    let bytes = engine.checkpoint();
+    engine.restore_from(&bytes).expect("restore_from");
+    let after = engine.generation();
+    assert!(
+        after > before,
+        "{name}: restore_from must taint the generation forward ({before} -> {after})"
+    );
+    assert_eq!(
+        engine.query_many(&probes).expect("cached view"),
+        engine.query_fresh_many(&probes).expect("fresh merge"),
+        "{name}: post-restore cached answers diverged from the rebuild oracle"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// All six engine-capable summaries obey the serving-view laws at arbitrary
+    /// ingest/query interleavings (random streams, random round boundaries).
+    #[test]
+    fn cached_queries_obey_the_serving_laws(
+        seed in 0u64..1_000,
+        len in 32usize..600,
+        mut cuts in proptest::collection::vec(0usize..600, 1..6),
+    ) {
+        let stream = zipf_stream(256, len, 1.1, seed);
+        cuts.sort_unstable();
+
+        check_serve_laws(
+            |_| CountMin::with_tracker(&StateTracker::with_address_tracking(), 64, 4, seed),
+            &stream,
+            &cuts,
+        );
+        check_serve_laws(
+            |_| CountSketch::with_tracker(&StateTracker::with_address_tracking(), 64, 3, seed),
+            &stream,
+            &cuts,
+        );
+        check_serve_laws(
+            |_| AmsSketch::with_tracker(&StateTracker::with_address_tracking(), 3, 16, seed),
+            &stream,
+            &cuts,
+        );
+        check_serve_laws(
+            |_| ExactCounting::with_tracker(&StateTracker::with_address_tracking(), 2.0),
+            &stream,
+            &cuts,
+        );
+        check_serve_laws(
+            |_| MisraGries::with_tracker(&StateTracker::with_address_tracking(), 8),
+            &stream,
+            &cuts,
+        );
+        check_serve_laws(
+            |_| SpaceSaving::with_tracker(&StateTracker::with_address_tracking(), 8),
+            &stream,
+            &cuts,
+        );
+    }
+
+    /// The generation clock is monotone across engine checkpoint/restore chains:
+    /// every `restore_from` strictly advances it, however short the hops.
+    #[test]
+    fn generation_is_monotone_across_restore_chains(
+        seed in 0u64..1_000,
+        hops in 1usize..5,
+    ) {
+        let stream = zipf_stream(128, 300, 1.2, seed);
+        let mut engine = Engine::new(config(2), |_| {
+            CountMin::with_tracker(&StateTracker::of_kind(TrackerKind::Lean), 32, 3, seed)
+        });
+
+        let mut last = engine.generation();
+        for hop in 0..hops {
+            engine.ingest(&stream[hop * 40..(hop + 1) * 40]);
+            let grown = engine.generation();
+            prop_assert!(grown >= last, "ingest rewound the clock");
+            let bytes = engine.checkpoint();
+            engine.restore_from(&bytes).expect("restore_from");
+            let after = engine.generation();
+            prop_assert!(after > grown, "restore hop {hop} failed to taint the clock");
+            last = after;
+        }
+    }
+}
+
+/// One big ingest call (crossing the parallel-ingest threshold, so shards run on
+/// scoped worker threads) is observably identical to the same items fed in small
+/// serial chunks: same answers, same accounting, same checkpoint bytes.
+#[test]
+fn threaded_ingest_matches_serial_chunks() {
+    let stream = zipf_stream(512, 64 * 1024, 1.1, 17);
+    let make = |_| CountSketch::with_tracker(&StateTracker::with_address_tracking(), 128, 3, 17);
+
+    let mut big = Engine::new(config(4), make);
+    big.ingest(&stream);
+
+    let mut chunked = Engine::new(config(4), make);
+    for chunk in stream.chunks(1_000) {
+        chunked.ingest(chunk);
+    }
+
+    assert_eq!(big.report(), chunked.report(), "accounting diverged");
+    assert_eq!(
+        big.query_many(&probes()).expect("merged view"),
+        chunked.query_many(&probes()).expect("merged view"),
+        "answers diverged"
+    );
+    assert_eq!(
+        big.checkpoint(),
+        chunked.checkpoint(),
+        "checkpoint bytes diverged"
+    );
+}
