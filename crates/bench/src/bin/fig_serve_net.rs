@@ -1,0 +1,129 @@
+//! F14 — the networked front-end under load and under fire; writes
+//! `BENCH_serve_net.json`.
+//!
+//! ```text
+//! cargo run -p fsc-bench --release --bin fig_serve_net             # full scale
+//! cargo run -p fsc-bench --release --bin fig_serve_net -- --quick  # CI self-check
+//! ... fig_serve_net -- --label "PR 8 serve front-end"              # trajectory label
+//! ... fig_serve_net -- --out /tmp/serve_net.json                   # custom path
+//! ```
+//!
+//! Two halves (see `experiments::serve_net`): a saturation sweep driving a real
+//! `fsc-serve` server over TCP loopback across (connections × batch-size) cells,
+//! and the five-class fault matrix — torn checkpoint write, corrupt chain tip,
+//! crash mid-ingest, dropped connections, overload shedding — where every class
+//! must end in recovery verified **exact** against a registry twin.  The binary
+//! **fails** (non-zero exit) if any sweep cell loses or double-counts a batch,
+//! if any drill fails to inject its fault, recovers with the wrong typed
+//! outcome, or diverges from its twin, or if the emitted JSON fails its schema
+//! check.
+//!
+//! Latency columns measured on a 1-CPU CI container reflect scheduling, not the
+//! server; recorded full-scale numbers come from an unloaded host.  The
+//! correctness checks are load-independent.
+//!
+//! The JSON carries a `trajectory` array like the other records: existing
+//! entries are carried forward verbatim and this run's entry is appended.  Only
+//! a full-scale run defaults to the committed repo-root `BENCH_serve_net.json`;
+//! `--quick` defaults to a temp file so a smoke run cannot replace the recorded
+//! results with reduced-scale numbers.
+
+use fsc_bench::experiments::serve_net::{
+    fault_matrix, matrix_check, run, schema_check, sweep_check, to_json, trajectory_entry,
+};
+use fsc_bench::experiments::throughput::trajectory_inner;
+use fsc_bench::Scale;
+
+fn flag_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Today's date as `YYYY-MM-DD` (UTC), from the system clock — no external crate.
+/// Uses the standard civil-from-days algorithm.
+fn today() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let days = (secs / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let label = flag_value("--label").unwrap_or_else(|| "unlabelled recording".to_string());
+    let out_path = flag_value("--out").unwrap_or_else(|| match scale {
+        Scale::Full => format!("{}/../../BENCH_serve_net.json", env!("CARGO_MANIFEST_DIR")),
+        Scale::Quick => std::env::temp_dir()
+            .join("BENCH_serve_net.quick.json")
+            .to_string_lossy()
+            .into_owned(),
+    });
+
+    let (table, sweep) = run(scale);
+    table.print();
+    if let Err(err) = sweep_check(&sweep) {
+        eprintln!("error: {err}");
+        std::process::exit(1);
+    }
+    println!(
+        "sweep check: every cell acknowledged every batch exactly once and every \
+         tenant cursor verified"
+    );
+
+    let (matrix_table, matrix) = fault_matrix();
+    matrix_table.print();
+    for r in &matrix {
+        println!("  {}: {}", r.fault, r.detail);
+    }
+    if let Err(err) = matrix_check(&matrix) {
+        eprintln!("error: {err}");
+        std::process::exit(1);
+    }
+    println!(
+        "fault-matrix check: all {} failure classes injected, recovered as typed, \
+         and matched their registry twins exactly",
+        matrix.len()
+    );
+
+    // Carry the existing trajectory forward, then append this run's entry.
+    let old = std::fs::read_to_string(&out_path).unwrap_or_default();
+    let mut trajectory = trajectory_inner(&old).unwrap_or_default();
+    trajectory.push(trajectory_entry(&today(), &label, scale, &sweep, &matrix));
+
+    let json = to_json(scale, &sweep, &matrix, &trajectory);
+    if let Err(err) = schema_check(&json) {
+        eprintln!("error: {err}");
+        std::process::exit(1);
+    }
+    std::fs::write(&out_path, &json).expect("write BENCH_serve_net.json");
+    if let Some(peak) = sweep
+        .iter()
+        .max_by(|a, b| a.items_per_sec.total_cmp(&b.items_per_sec))
+    {
+        println!(
+            "headline: peak ingest = {:.2} Mitems/s at {} connections × {} items/batch \
+             (p99 {} µs)",
+            peak.items_per_sec / 1e6,
+            peak.connections,
+            peak.batch_size,
+            peak.p99_us
+        );
+    }
+    println!("trajectory: {} entr(y/ies) recorded", trajectory.len());
+    println!("wrote {out_path}");
+}

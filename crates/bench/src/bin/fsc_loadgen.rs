@@ -1,0 +1,104 @@
+//! The standalone load generator / control client for `fsc_serve`.
+//!
+//! ```text
+//! cargo run -p fsc-bench --release --bin fsc_loadgen -- --addr 127.0.0.1:7070
+//! ... fsc_loadgen -- --addr 127.0.0.1:7070 --connections 4 --batches 100 --batch-size 512
+//! ... fsc_loadgen -- --addr 127.0.0.1:7070 --algorithm space_saving --shards 4
+//! ... fsc_loadgen -- --addr 127.0.0.1:7070 --shutdown   # graceful server stop
+//! ```
+//!
+//! Each connection runs its own tenant (`lg-<i>`) and ingests sequence-numbered
+//! batches with per-request timeouts, bounded retries, and jittered exponential
+//! backoff; the report prints acknowledged-item throughput, p50/p99 ingest
+//! latency, and the resilience counters (retries, reconnects, duplicate acks —
+//! all zero against a healthy server).  With `--shutdown` the run (if any
+//! batches were requested) is followed by the `Shutdown` control frame, which
+//! checkpoints every tenant and stops the server.
+
+use std::net::{SocketAddr, ToSocketAddrs};
+
+use fsc_serve::{Client, ClientConfig, LoadGen};
+
+fn flag_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+fn parse<T: std::str::FromStr>(name: &str, default: T) -> T {
+    flag_value(name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let addr = flag_value("--addr").unwrap_or_else(|| "127.0.0.1:7070".to_string());
+    let addr: SocketAddr = match addr.to_socket_addrs().ok().and_then(|mut a| a.next()) {
+        Some(resolved) => resolved,
+        None => {
+            eprintln!("error: cannot resolve {addr}");
+            std::process::exit(1);
+        }
+    };
+    let shutdown = flag("--shutdown");
+    let batches = parse("--batches", if shutdown { 0 } else { 50 });
+
+    if batches > 0 {
+        let gen = LoadGen {
+            connections: parse("--connections", 2),
+            batches,
+            batch_size: parse("--batch-size", 256),
+            algorithm: flag_value("--algorithm").unwrap_or_else(|| "count_min".to_string()),
+            shards: parse("--shards", 2),
+            universe: parse("--universe", 1 << 12),
+            seed: parse("--seed", 1),
+            client: ClientConfig::default(),
+        };
+        println!(
+            "load: {} connection(s) × {} batch(es) × {} item(s) of {:?} against {addr}",
+            gen.connections, gen.batches, gen.batch_size, gen.algorithm
+        );
+        let report = gen.run(addr);
+        println!(
+            "done: {} items in {:.3} s = {:.0} items/s ({} applied + {} duplicate batches)",
+            report.items,
+            report.elapsed.as_secs_f64(),
+            report.items_per_sec(),
+            report.applied_batches,
+            report.duplicate_batches
+        );
+        println!(
+            "latency: p50 {} µs, p99 {} µs; resilience: {} retries, {} reconnects, \
+             {} overloaded, {} duplicate acks",
+            report.p50.as_micros(),
+            report.p99.as_micros(),
+            report.counters.retries,
+            report.counters.reconnects,
+            report.counters.overloaded,
+            report.counters.duplicate_acks
+        );
+        for e in &report.errors {
+            eprintln!("error: {e}");
+        }
+        if !report.errors.is_empty() {
+            std::process::exit(1);
+        }
+    }
+
+    if shutdown {
+        let mut client = Client::new(addr, ClientConfig::default());
+        match client.shutdown() {
+            Ok(()) => println!("server checkpointed all tenants and stopped"),
+            Err(e) => {
+                eprintln!("error: shutdown: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

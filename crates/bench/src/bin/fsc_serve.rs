@@ -1,0 +1,65 @@
+//! The standalone `fsc-serve` server over the full algorithm registry.
+//!
+//! ```text
+//! cargo run -p fsc-bench --release --bin fsc_serve -- --data-dir /tmp/fsc-data
+//! ... fsc_serve -- --addr 127.0.0.1:7070 --data-dir /tmp/fsc-data
+//! ... fsc_serve -- --data-dir /tmp/fsc-data --max-inflight 128
+//! ```
+//!
+//! Binds the address (an ephemeral port if `--addr` ends in `:0`), recovers
+//! every tenant directory found under the data dir (printing the typed
+//! recovery report), and serves until a client sends the `Shutdown` control
+//! frame (e.g. `fsc_loadgen -- --shutdown`), which checkpoints every tenant
+//! before stopping.  Killing the process instead is the crash path the
+//! fault-matrix drills cover: the next start recovers the newest durable
+//! prefix and a sequence-numbered client replays the rest.
+
+use fsc_bench::registry::serve_factory;
+use fsc_serve::{Server, ServerConfig};
+
+fn flag_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let addr = flag_value("--addr").unwrap_or_else(|| "127.0.0.1:7070".to_string());
+    let data_dir = flag_value("--data-dir").unwrap_or_else(|| "fsc-serve-data".to_string());
+    let max_inflight: usize = flag_value("--max-inflight")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+
+    let config = ServerConfig::new(&data_dir).with_max_inflight_ingest(max_inflight);
+    let (server, recovery) = match Server::start(&addr, config, serve_factory()) {
+        Ok(started) => started,
+        Err(e) => {
+            eprintln!("error: binding {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    if recovery.tenants.is_empty() {
+        println!("recovery: fresh data dir, no tenants");
+    } else {
+        println!("recovery: {recovery}");
+    }
+    if recovery.failed() > 0 {
+        eprintln!(
+            "warning: {} tenant(s) failed recovery and are offline (isolation: \
+             the rest are serving)",
+            recovery.failed()
+        );
+    }
+    println!(
+        "serving on {} (data dir {data_dir}, ingest admission bound {max_inflight})",
+        server.addr()
+    );
+    println!(
+        "stop with a client Shutdown frame, e.g.: fsc_loadgen -- --addr {} --shutdown",
+        server.addr()
+    );
+    server.join();
+    println!("shutdown frame received: all tenants checkpointed, stopped");
+}

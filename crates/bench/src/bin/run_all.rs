@@ -71,6 +71,11 @@ fn main() {
             );
             out
         }),
+        Box::new(move || {
+            let mut out = experiments::serve_net::run(scale).0.render();
+            out.push_str(&experiments::serve_net::fault_matrix().0.render());
+            out
+        }),
     ];
 
     // Print progressively: finished cells are buffered only until every earlier cell

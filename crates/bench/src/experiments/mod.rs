@@ -11,6 +11,7 @@ pub mod nvm;
 pub mod p_small;
 pub mod scaling;
 pub mod serve;
+pub mod serve_net;
 pub mod sharding;
 pub mod table1;
 pub mod throughput;

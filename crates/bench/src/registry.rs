@@ -376,6 +376,26 @@ pub fn engine_specs() -> Vec<AlgorithmSpec> {
         .collect()
 }
 
+/// The registry wired up as an [`fsc_serve::EngineFactory`]: the server resolves
+/// tenant algorithm ids against the same constructor table every experiment
+/// uses, so a served tenant and a local oracle built from the same id are
+/// *twins* — identical geometry and seeds, byte-identical checkpoints — which is
+/// what lets the fault-matrix drills assert exact recovery.
+///
+/// Ids without an engine factory (non-mergeable summaries) resolve to `None`,
+/// which the server answers as a typed `UnknownAlgorithm`.
+pub fn serve_factory() -> fsc_serve::EngineFactory {
+    std::sync::Arc::new(|algorithm, config| {
+        let spec = spec(algorithm)?;
+        let make_engine = spec.engine?;
+        // Workload hints match the benchmark defaults; engine constructors
+        // ignore them today (geometry is fixed per entry), but the context is
+        // threaded through for parity with the other registry consumers.
+        let ctx = MakeCtx::new(1 << 12, 1 << 14).with_tracker(config.tracker);
+        Some(make_engine(&ctx, config))
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

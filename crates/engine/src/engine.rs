@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use fsc_state::delta::{encode_delta, BaseRef};
+use fsc_state::delta::{encode_delta, BaseRef, CheckpointChain};
 use fsc_state::snapshot::{SnapshotReader, SnapshotWriter, TrackerState};
 use fsc_state::{
     Answer, Mergeable, Query, Queryable, Snapshot, SnapshotError, StateReport, StreamAlgorithm,
@@ -412,14 +412,47 @@ impl<A: EngineAlgorithm> Engine<A> {
     ///   above its pre-restore value.  Any stamp issued before the restore —
     ///   including the kept view's — therefore compares stale, and the first
     ///   post-restore query rebuilds: a restore is a state mutation.
+    ///
+    /// Restoring is only meaningful between *twins*: a checkpoint from a
+    /// different summary type fails with the nested shard's typed
+    /// [`SnapshotError::WrongAlgorithm`], and a checkpoint whose engine config
+    /// (shard count, routing, tracker kind) or summary geometry (dimensions and
+    /// seeds, as carried in the summary's name) differs from this engine's
+    /// fails with [`SnapshotError::ConfigMismatch`] — *before* any state is
+    /// swapped, so a rejected restore leaves the engine untouched.
     pub fn restore_from(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
         let before = self.generation();
-        let mut restored = Engine::restore(bytes)?;
+        let mut restored = Engine::<A>::restore(bytes)?;
+        if restored.config != self.config {
+            return Err(SnapshotError::ConfigMismatch {
+                what: "engine config",
+                expected: format!("{:?}", self.config),
+                found: format!("{:?}", restored.config),
+            });
+        }
+        let expected = self.shards[0].name();
+        let found = restored.shards[0].name();
+        if expected != found {
+            return Err(SnapshotError::ConfigMismatch {
+                what: "summary geometry",
+                expected: expected.to_string(),
+                found: found.to_string(),
+            });
+        }
         let raw = restored.generation();
         restored.gen_offset = (before + 1).saturating_sub(raw);
         restored.view = Arc::clone(&self.view);
         *self = restored;
         Ok(())
+    }
+
+    /// [`Engine::restore_from`], fed by the tip of a persisted
+    /// [`CheckpointChain`] — the recovery verb: replay a base + delta log (via
+    /// [`CheckpointChain::recover`] when the log may be damaged), then restore
+    /// the surviving tip into a freshly constructed twin.  All of
+    /// [`Engine::restore_from`]'s pairing checks apply.
+    pub fn restore_from_chain(&mut self, chain: &CheckpointChain) -> Result<(), SnapshotError> {
+        self.restore_from(chain.tip_bytes())
     }
 
     /// Combined accounting across shards ([`StateReport::sharded`] semantics: epochs,
@@ -469,7 +502,11 @@ fn blank_tracker_state(kind: TrackerKind) -> TrackerState {
 /// The object-safe face of [`Engine`], so registries and scenario runners can hold
 /// engines over different summary types uniformly (`Box<dyn DynEngine>`) without
 /// downcasting.
-pub trait DynEngine {
+///
+/// `Send` is a supertrait so servers can own engines from connection-handling
+/// threads; every [`Engine`] qualifies for free ([`EngineAlgorithm`] already
+/// requires `Send + Sync` summaries).
+pub trait DynEngine: Send {
     /// Name of the underlying summary (shard 0's [`StreamAlgorithm::name`]).
     fn algorithm(&self) -> String;
     /// Number of shards.
@@ -504,8 +541,12 @@ pub trait DynEngine {
     /// [`Engine::checkpoint_delta`]).
     fn checkpoint_delta(&self, since: &BaseRef) -> Result<Vec<u8>, SnapshotError>;
     /// Replaces this engine's state with a restored checkpoint (the failover verb;
-    /// see [`Engine::restore_from`] for what survives the swap).
+    /// see [`Engine::restore_from`] for what survives the swap and which
+    /// mismatched pairings are rejected).
     fn restore_from(&mut self, bytes: &[u8]) -> Result<(), SnapshotError>;
+    /// Replaces this engine's state with the tip of a persisted chain (the
+    /// recovery verb; see [`Engine::restore_from_chain`]).
+    fn restore_from_chain(&mut self, chain: &CheckpointChain) -> Result<(), SnapshotError>;
     /// Combined accounting across shards (see [`Engine::report`]).
     fn report(&self) -> StateReport;
     /// Per-shard accounting reports.
@@ -571,6 +612,10 @@ impl<A: EngineAlgorithm> DynEngine for Engine<A> {
 
     fn restore_from(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
         Engine::restore_from(self, bytes)
+    }
+
+    fn restore_from_chain(&mut self, chain: &CheckpointChain) -> Result<(), SnapshotError> {
+        Engine::restore_from_chain(self, chain)
     }
 
     fn report(&self) -> StateReport {
@@ -691,6 +736,78 @@ mod tests {
             fresh.query(&Query::Point(3)).unwrap(),
             engine.query(&Query::Point(3)).unwrap()
         );
+    }
+
+    #[test]
+    fn restore_from_rejects_a_checkpoint_of_a_different_algorithm() {
+        let mut donor = Engine::new(EngineConfig::default(), |_| {
+            MisraGries::with_tracker(&StateTracker::new(), 32)
+        });
+        donor.ingest(&zipf_stream(128, 500, 1.1, 2));
+        let bytes = donor.checkpoint();
+
+        let mut engine = count_min_engine(EngineConfig::default());
+        engine.ingest(&zipf_stream(128, 200, 1.1, 3));
+        let before = engine.checkpoint();
+        match engine.restore_from(&bytes) {
+            Err(SnapshotError::WrongAlgorithm { .. }) => {}
+            other => panic!("cross-algorithm restore must fail typed, got {other:?}"),
+        }
+        assert_eq!(engine.checkpoint(), before, "rejected restore is a no-op");
+    }
+
+    #[test]
+    fn restore_from_rejects_mismatched_geometry_and_config() {
+        // Same summary type, different sketch width: parses fine, pairs wrong.
+        let mut wide = Engine::new(EngineConfig::default(), |_| {
+            CountMin::with_tracker(&StateTracker::new(), 256, 4, 77)
+        });
+        wide.ingest(&zipf_stream(128, 400, 1.1, 5));
+        let mut narrow = count_min_engine(EngineConfig::default());
+        match narrow.restore_from(&wide.checkpoint()) {
+            Err(SnapshotError::ConfigMismatch { what, .. }) => {
+                assert_eq!(what, "summary geometry");
+            }
+            other => panic!("geometry mismatch must fail typed, got {other:?}"),
+        }
+
+        // Same summary, different shard count: engine config mismatch.
+        let mut five = count_min_engine(EngineConfig {
+            shards: 5,
+            ..EngineConfig::default()
+        });
+        five.ingest(&zipf_stream(128, 400, 1.1, 5));
+        match narrow.restore_from(&five.checkpoint()) {
+            Err(SnapshotError::ConfigMismatch { what, .. }) => {
+                assert_eq!(what, "engine config");
+            }
+            other => panic!("config mismatch must fail typed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn restore_from_chain_restores_the_recovered_tip() {
+        use fsc_state::delta::CheckpointChain;
+        let stream = zipf_stream(256, 3_000, 1.2, 21);
+        let mut engine = count_min_engine(EngineConfig::default());
+        engine.ingest(&stream[..1_000]);
+        let mut chain = CheckpointChain::new(engine.checkpoint(), engine.ingested()).unwrap();
+        for end in [2_000, 3_000] {
+            engine.ingest(&stream[end - 1_000..end]);
+            chain
+                .record(&engine.checkpoint(), engine.ingested())
+                .unwrap();
+        }
+
+        let mut twin: Box<dyn DynEngine> = Box::new(count_min_engine(EngineConfig::default()));
+        twin.restore_from_chain(&chain).expect("chain restore");
+        assert_eq!(twin.ingested(), 3_000);
+        for item in 0..16u64 {
+            assert_eq!(
+                twin.query(&Query::Point(item)).unwrap(),
+                engine.query(&Query::Point(item)).unwrap()
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,186 @@
+//! Deterministic fault injection: every failure class the server claims to
+//! survive, producible on demand from a seed.
+//!
+//! The plan is *armed*, not random: each knob names one failure class (torn
+//! checkpoint write, dropped connection, stalled reads/ingest) and fires at a
+//! configured occurrence count, with any remaining nondeterminism (where a torn
+//! write tears, which byte a corruption flips) drawn from a seeded SplitMix64
+//! stream.  Runs with the same plan and seed inject byte-identical faults, which
+//! is what lets the fault-matrix drill in `fig_serve_net` assert *exact*
+//! recovery instead of "it probably worked".
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// SplitMix64 — the repository's stock deterministic mixer (also used for
+/// routing hashes and the proptest shim), reused here for tear offsets and
+/// backoff jitter so the serve crate needs no `rand`.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seeded injection plan.  [`FaultPlan::none`] (the default) injects nothing
+/// and is what production servers run with; drills arm exactly one knob per
+/// scenario so observed failures have one cause.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Tear the `nth` durable write (1-based), truncating it at a seeded offset.
+    torn_write_at: Option<u64>,
+    writes: AtomicU64,
+    /// Drop each connection after it has answered this many frames.
+    drop_after_frames: Option<u64>,
+    /// Added to every ingest, holding the tenant lock (drills the admission
+    /// bound: concurrent writers see `Overloaded`, readers stay live).
+    stall_ingest: Option<Duration>,
+    /// Whether the [`Request::Crash`](crate::protocol::Request::Crash) drill
+    /// frame is honored.
+    allow_crash_frame: bool,
+}
+
+impl FaultPlan {
+    /// The empty plan: no injected faults, crash frame refused.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A plan seeded for reproducible tear offsets and flips.
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Arms a torn durable write: the `nth` persisted blob (1-based, counted
+    /// across all tenants) is truncated mid-write, as if the process died there.
+    pub fn with_torn_write(mut self, nth: u64) -> Self {
+        self.torn_write_at = Some(nth);
+        self
+    }
+
+    /// Arms connection drops: every connection dies after answering `frames`
+    /// frames (the drop happens *after* the request takes effect but *before*
+    /// the response is written — the worst case for a retrying client).
+    pub fn with_drop_after_frames(mut self, frames: u64) -> Self {
+        self.drop_after_frames = Some(frames);
+        self
+    }
+
+    /// Arms slow ingest: every ingest holds the tenant for `stall` extra time.
+    pub fn with_stall_ingest(mut self, stall: Duration) -> Self {
+        self.stall_ingest = Some(stall);
+        self
+    }
+
+    /// Honors the `Crash` control frame (kill-without-checkpoint drills).
+    pub fn with_crash_frame(mut self) -> Self {
+        self.allow_crash_frame = true;
+        self
+    }
+
+    /// Whether the `Crash` control frame is honored.
+    pub fn crash_frame_allowed(&self) -> bool {
+        self.allow_crash_frame
+    }
+
+    /// Called by the storage layer before each durable write.  Returns the
+    /// bytes to *actually* write: a seeded-truncation of `bytes` on the armed
+    /// occurrence, `None` (write faithfully) otherwise.
+    ///
+    /// The tear keeps at least 1 byte and drops at least 1 byte, so an armed
+    /// tear is never accidentally a no-op or an empty file.
+    pub fn tear_write(&self, bytes: &[u8]) -> Option<Vec<u8>> {
+        let nth = self.torn_write_at?;
+        let count = self.writes.fetch_add(1, Ordering::Relaxed) + 1;
+        if count != nth || bytes.len() < 2 {
+            return None;
+        }
+        let mut state = self.seed ^ nth;
+        let cut = 1 + (splitmix64(&mut state) as usize) % (bytes.len() - 1);
+        Some(bytes[..cut].to_vec())
+    }
+
+    /// Whether a connection that has answered `frames_answered` frames should
+    /// now be dropped (before writing the pending response).
+    pub fn should_drop(&self, frames_answered: u64) -> bool {
+        self.drop_after_frames
+            .is_some_and(|limit| frames_answered >= limit)
+    }
+
+    /// The armed per-ingest stall, if any.
+    pub fn ingest_stall(&self) -> Option<Duration> {
+        self.stall_ingest
+    }
+
+    /// Durable writes attempted so far (tells a drill whether its tear fired).
+    pub fn writes_seen(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+}
+
+/// Flips one seeded byte of `bytes` (used by drills to corrupt a chain tip file
+/// in place).  Returns the flipped offset.
+pub fn flip_one_byte(bytes: &mut [u8], seed: u64) -> usize {
+    assert!(!bytes.is_empty());
+    let mut state = seed;
+    let at = (splitmix64(&mut state) as usize) % bytes.len();
+    // XOR with a nonzero mask always changes the byte.
+    bytes[at] ^= 0x5A;
+    at
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn torn_write_fires_exactly_once_at_the_armed_occurrence() {
+        let plan = FaultPlan::seeded(7).with_torn_write(3);
+        let blob = vec![9u8; 100];
+        assert!(plan.tear_write(&blob).is_none());
+        assert!(plan.tear_write(&blob).is_none());
+        let torn = plan.tear_write(&blob).expect("third write tears");
+        assert!(!torn.is_empty() && torn.len() < blob.len());
+        assert!(plan.tear_write(&blob).is_none(), "fires once");
+        assert_eq!(plan.writes_seen(), 4);
+    }
+
+    #[test]
+    fn tears_are_reproducible_per_seed() {
+        let blob = vec![1u8; 64];
+        let a = FaultPlan::seeded(42).with_torn_write(1);
+        let b = FaultPlan::seeded(42).with_torn_write(1);
+        let c = FaultPlan::seeded(43).with_torn_write(1);
+        let ta = a.tear_write(&blob).unwrap();
+        assert_eq!(ta, b.tear_write(&blob).unwrap());
+        // A different seed *may* pick the same cut; lengths just have to be valid.
+        let tc = c.tear_write(&blob).unwrap();
+        assert!((1..blob.len()).contains(&tc.len()));
+        assert!((1..blob.len()).contains(&ta.len()));
+    }
+
+    #[test]
+    fn byte_flip_always_changes_the_payload() {
+        let original = vec![0xA5u8; 33];
+        for seed in 0..32 {
+            let mut copy = original.clone();
+            let at = flip_one_byte(&mut copy, seed);
+            assert!(at < copy.len());
+            assert_ne!(copy, original, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn the_empty_plan_injects_nothing() {
+        let plan = FaultPlan::none();
+        assert!(plan.tear_write(&[1, 2, 3]).is_none());
+        assert!(!plan.should_drop(u64::MAX));
+        assert!(plan.ingest_stall().is_none());
+        assert!(!plan.crash_frame_allowed());
+    }
+}

@@ -1,0 +1,598 @@
+//! The wire protocol: length-prefixed frames whose payloads reuse the `FSCS`
+//! snapshot codec, so parsing is total and every malformed input maps to a typed
+//! error instead of a panic or an unbounded allocation.
+//!
+//! # Frame layout
+//!
+//! ```text
+//! +----------------+-------------------------------+
+//! | len: u32 LE    | payload: len bytes            |
+//! +----------------+-------------------------------+
+//! ```
+//!
+//! The payload is an `FSCS` blob with algorithm id [`FRAME_ID`]: magic, version,
+//! id string, then a request/response tag byte and the tag's fields.  Reusing
+//! [`SnapshotReader`] buys the same guarantees the checkpoint formats already
+//! have — length-prefix validation *before* allocation, typed truncation errors,
+//! and a trailing-bytes check — so a fuzzer cannot distinguish "weird frame" from
+//! "damaged checkpoint": both land in [`SnapshotError`].
+//!
+//! `len` is validated against [`MAX_FRAME`] before any allocation; an oversized
+//! prefix fails typed ([`FrameError::Oversized`]) with **zero** bytes buffered.
+
+use std::io::{self, Read, Write};
+
+use fsc_state::{Answer, Query, SnapshotError, SnapshotReader, SnapshotWriter};
+
+/// `FSCS` algorithm id of every frame payload.
+pub const FRAME_ID: &str = "fsc_serve_frame";
+
+/// Upper bound on a frame payload (16 MiB).  Large enough for a full engine
+/// checkpoint response, small enough that a hostile length prefix cannot drive
+/// an allocation.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// What went wrong reading a frame off a stream.
+#[derive(Debug)]
+pub enum FrameError {
+    /// A read timeout fired with **zero** bytes of the frame consumed: the peer
+    /// is idle, not broken, and the caller can safely poll again.  A timeout
+    /// *inside* a frame surfaces as [`FrameError::Io`] instead — resuming there
+    /// would desynchronize the stream.
+    Idle,
+    /// The transport failed (includes mid-frame timeouts and dropped peers).
+    Io(io::Error),
+    /// The peer announced a payload larger than [`MAX_FRAME`]; nothing was
+    /// allocated or consumed past the prefix.
+    Oversized {
+        /// The announced payload length.
+        announced: usize,
+    },
+    /// The stream ended inside a frame (a torn write or a dropped peer).
+    Truncated,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Idle => write!(f, "read timed out before a frame started"),
+            FrameError::Io(e) => write!(f, "frame transport: {e}"),
+            FrameError::Oversized { announced } => {
+                write!(f, "frame announces {announced} bytes (max {MAX_FRAME})")
+            }
+            FrameError::Truncated => write!(f, "stream ended inside a frame"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+impl FrameError {
+    /// Whether this is a read timeout (the retry signal, as opposed to a dead
+    /// peer): either an [`FrameError::Idle`] poll or a mid-frame timeout.
+    pub fn is_timeout(&self) -> bool {
+        match self {
+            FrameError::Idle => true,
+            FrameError::Io(e) => {
+                matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                )
+            }
+            _ => false,
+        }
+    }
+}
+
+fn is_timeout_kind(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Writes one frame (length prefix + payload).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame payload.  `Ok(None)` is a clean end-of-stream *at a frame
+/// boundary*; ending mid-frame is [`FrameError::Truncated`].  The length prefix
+/// is validated against [`MAX_FRAME`] before the payload buffer is allocated.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut prefix = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut prefix[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => return Err(FrameError::Truncated),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if filled == 0 && is_timeout_kind(&e) => return Err(FrameError::Idle),
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > MAX_FRAME {
+        return Err(FrameError::Oversized { announced: len });
+    }
+    let mut payload = vec![0u8; len];
+    let mut at = 0;
+    while at < len {
+        match r.read(&mut payload[at..]) {
+            Ok(0) => return Err(FrameError::Truncated),
+            Ok(n) => at += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(Some(payload))
+}
+
+/// A typed error the server answers with — every failure a client can cause or
+/// observe has a variant, so drills can assert on the *kind* of failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// No tenant with that name exists.
+    UnknownTenant(String),
+    /// `CreateTenant` for a name that is already provisioned.
+    TenantExists(String),
+    /// `CreateTenant` for a registry id without an engine factory.
+    UnknownAlgorithm(String),
+    /// The ingest admission bound is full; retry later (graceful degradation:
+    /// shed writes, never stall reads).
+    Overloaded,
+    /// An ingest batch arrived out of order: a gap means a previous batch was
+    /// lost for good, which idempotent retry cannot paper over.
+    SeqGap {
+        /// The sequence number the tenant expects next.
+        expected: u64,
+        /// The sequence number the batch carried.
+        found: u64,
+    },
+    /// The frame did not parse as a request (the typed fuzz answer).
+    Protocol(String),
+    /// The server is draining for shutdown and takes no new work.
+    ShuttingDown,
+    /// An internal persistence or engine failure, stringified.
+    Internal(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownTenant(t) => write!(f, "unknown tenant {t:?}"),
+            ServeError::TenantExists(t) => write!(f, "tenant {t:?} already exists"),
+            ServeError::UnknownAlgorithm(a) => write!(f, "no engine factory for {a:?}"),
+            ServeError::Overloaded => write!(f, "ingest admission bound full; retry"),
+            ServeError::SeqGap { expected, found } => {
+                write!(f, "ingest gap: expected seq {expected}, got {found}")
+            }
+            ServeError::Protocol(msg) => write!(f, "protocol: {msg}"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Internal(msg) => write!(f, "internal: {msg}"),
+        }
+    }
+}
+
+/// A request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Provisions a tenant running `shards` replicas of registry algorithm
+    /// `algorithm`.  Idempotent on exact repeats is *not* promised; a repeat
+    /// answers [`ServeError::TenantExists`].
+    CreateTenant {
+        /// Namespace name (also the on-disk directory name; validated).
+        tenant: String,
+        /// Registry id, e.g. `"count_min"`.
+        algorithm: String,
+        /// Shard count (≥ 1).
+        shards: u32,
+    },
+    /// Appends a batch under an idempotency sequence number: batches must arrive
+    /// with consecutive `seq` starting at the tenant's `next_seq` (0 after
+    /// creation).  A duplicate (`seq < next_seq`) acks `applied = false` — the
+    /// retry-safety contract.
+    Ingest {
+        /// Target tenant.
+        tenant: String,
+        /// Batch sequence number.
+        seq: u64,
+        /// The items.
+        items: Vec<u64>,
+    },
+    /// Asks a typed [`Query`] against the tenant's cached serving view.
+    Query {
+        /// Target tenant.
+        tenant: String,
+        /// The question.
+        query: Query,
+    },
+    /// Forces a durable delta-chain checkpoint of the tenant now.
+    Checkpoint {
+        /// Target tenant.
+        tenant: String,
+    },
+    /// Reads the tenant's counters (ingest position, seq, rebuilds, ...).
+    Stats {
+        /// Target tenant.
+        tenant: String,
+    },
+    /// Graceful shutdown: checkpoint every tenant, then stop (the SIGTERM
+    /// equivalent as a control frame).
+    Shutdown,
+    /// Abrupt stop *without* checkpointing — the `kill -9` drill hook.  Only
+    /// honored when the server was started with fault injection armed.
+    Crash,
+}
+
+/// A response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The request succeeded and carries no payload.
+    Ok,
+    /// Answer to a [`Request::Query`].
+    Answer(Answer),
+    /// Answer to a [`Request::Ingest`]: `applied` is false iff the batch was a
+    /// duplicate of one already ingested (a retried frame whose first copy
+    /// landed).
+    IngestAck {
+        /// Echo of the batch sequence number.
+        seq: u64,
+        /// Whether this frame mutated state.
+        applied: bool,
+    },
+    /// Answer to a [`Request::Stats`].
+    Stats(TenantStats),
+    /// The request failed, typed.
+    Error(ServeError),
+}
+
+/// Tenant counters reported by [`Request::Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Items ingested since creation (the engine's epoch clock).
+    pub ingested: u64,
+    /// Next expected ingest sequence number.
+    pub next_seq: u64,
+    /// Serving-view publishes so far.
+    pub rebuilds: u64,
+    /// Deltas in the in-memory chain since the last base.
+    pub chain_len: u64,
+}
+
+fn write_query(w: &mut SnapshotWriter, q: &Query) {
+    match q {
+        Query::Point(item) => {
+            w.u8(0);
+            w.u64(*item);
+        }
+        Query::HeavyHitters { threshold } => {
+            w.u8(1);
+            w.f64(*threshold);
+        }
+        Query::TrackedItems => w.u8(2),
+        Query::Moment => w.u8(3),
+        Query::Entropy => w.u8(4),
+        Query::Support => w.u8(5),
+    }
+}
+
+fn read_query(r: &mut SnapshotReader<'_>) -> Result<Query, SnapshotError> {
+    Ok(match r.u8()? {
+        0 => Query::Point(r.u64()?),
+        1 => Query::HeavyHitters {
+            threshold: r.f64()?,
+        },
+        2 => Query::TrackedItems,
+        3 => Query::Moment,
+        4 => Query::Entropy,
+        5 => Query::Support,
+        _ => return Err(SnapshotError::Corrupt("query tag")),
+    })
+}
+
+fn write_answer(w: &mut SnapshotWriter, a: &Answer) {
+    match a {
+        Answer::Scalar(v) => {
+            w.u8(0);
+            w.f64(*v);
+        }
+        Answer::ItemWeights(pairs) => {
+            w.u8(1);
+            w.usize(pairs.len());
+            for (item, weight) in pairs {
+                w.u64(*item);
+                w.f64(*weight);
+            }
+        }
+        Answer::Items(items) => {
+            w.u8(2);
+            w.usize(items.len());
+            for item in items {
+                w.u64(*item);
+            }
+        }
+        Answer::Unsupported => w.u8(3),
+    }
+}
+
+fn read_answer(r: &mut SnapshotReader<'_>) -> Result<Answer, SnapshotError> {
+    Ok(match r.u8()? {
+        0 => Answer::Scalar(r.f64()?),
+        1 => {
+            let len = r.len_prefix(16)?;
+            let mut pairs = Vec::with_capacity(len);
+            for _ in 0..len {
+                pairs.push((r.u64()?, r.f64()?));
+            }
+            Answer::ItemWeights(pairs)
+        }
+        2 => {
+            let len = r.len_prefix(8)?;
+            let mut items = Vec::with_capacity(len);
+            for _ in 0..len {
+                items.push(r.u64()?);
+            }
+            Answer::Items(items)
+        }
+        3 => Answer::Unsupported,
+        _ => return Err(SnapshotError::Corrupt("answer tag")),
+    })
+}
+
+fn write_serve_error(w: &mut SnapshotWriter, e: &ServeError) {
+    match e {
+        ServeError::UnknownTenant(t) => {
+            w.u8(0);
+            w.str(t);
+        }
+        ServeError::TenantExists(t) => {
+            w.u8(1);
+            w.str(t);
+        }
+        ServeError::UnknownAlgorithm(a) => {
+            w.u8(2);
+            w.str(a);
+        }
+        ServeError::Overloaded => w.u8(3),
+        ServeError::SeqGap { expected, found } => {
+            w.u8(4);
+            w.u64(*expected);
+            w.u64(*found);
+        }
+        ServeError::Protocol(msg) => {
+            w.u8(5);
+            w.str(msg);
+        }
+        ServeError::ShuttingDown => w.u8(6),
+        ServeError::Internal(msg) => {
+            w.u8(7);
+            w.str(msg);
+        }
+    }
+}
+
+fn read_serve_error(r: &mut SnapshotReader<'_>) -> Result<ServeError, SnapshotError> {
+    Ok(match r.u8()? {
+        0 => ServeError::UnknownTenant(r.string()?),
+        1 => ServeError::TenantExists(r.string()?),
+        2 => ServeError::UnknownAlgorithm(r.string()?),
+        3 => ServeError::Overloaded,
+        4 => ServeError::SeqGap {
+            expected: r.u64()?,
+            found: r.u64()?,
+        },
+        5 => ServeError::Protocol(r.string()?),
+        6 => ServeError::ShuttingDown,
+        7 => ServeError::Internal(r.string()?),
+        _ => return Err(SnapshotError::Corrupt("serve error tag")),
+    })
+}
+
+impl Request {
+    /// Encodes the request as a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new(FRAME_ID);
+        match self {
+            Request::CreateTenant {
+                tenant,
+                algorithm,
+                shards,
+            } => {
+                w.u8(0);
+                w.str(tenant);
+                w.str(algorithm);
+                w.u32(*shards);
+            }
+            Request::Ingest { tenant, seq, items } => {
+                w.u8(1);
+                w.str(tenant);
+                w.u64(*seq);
+                w.usize(items.len());
+                for item in items {
+                    w.u64(*item);
+                }
+            }
+            Request::Query { tenant, query } => {
+                w.u8(2);
+                w.str(tenant);
+                write_query(&mut w, query);
+            }
+            Request::Checkpoint { tenant } => {
+                w.u8(3);
+                w.str(tenant);
+            }
+            Request::Stats { tenant } => {
+                w.u8(4);
+                w.str(tenant);
+            }
+            Request::Shutdown => w.u8(5),
+            Request::Crash => w.u8(6),
+        }
+        w.finish()
+    }
+
+    /// Decodes a frame payload.  Total: truncated, oversized-field, wrong-id, and
+    /// trailing-byte payloads all fail typed.
+    pub fn decode(payload: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = SnapshotReader::open(payload, FRAME_ID)?;
+        let req = match r.u8()? {
+            0 => Request::CreateTenant {
+                tenant: r.string()?,
+                algorithm: r.string()?,
+                shards: r.u32()?,
+            },
+            1 => {
+                let tenant = r.string()?;
+                let seq = r.u64()?;
+                let len = r.len_prefix(8)?;
+                let mut items = Vec::with_capacity(len);
+                for _ in 0..len {
+                    items.push(r.u64()?);
+                }
+                Request::Ingest { tenant, seq, items }
+            }
+            2 => Request::Query {
+                tenant: r.string()?,
+                query: read_query(&mut r)?,
+            },
+            3 => Request::Checkpoint {
+                tenant: r.string()?,
+            },
+            4 => Request::Stats {
+                tenant: r.string()?,
+            },
+            5 => Request::Shutdown,
+            6 => Request::Crash,
+            _ => return Err(SnapshotError::Corrupt("request tag")),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encodes the response as a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new(FRAME_ID);
+        match self {
+            Response::Ok => w.u8(0),
+            Response::Answer(a) => {
+                w.u8(1);
+                write_answer(&mut w, a);
+            }
+            Response::IngestAck { seq, applied } => {
+                w.u8(2);
+                w.u64(*seq);
+                w.bool(*applied);
+            }
+            Response::Stats(s) => {
+                w.u8(3);
+                w.u64(s.ingested);
+                w.u64(s.next_seq);
+                w.u64(s.rebuilds);
+                w.u64(s.chain_len);
+            }
+            Response::Error(e) => {
+                w.u8(4);
+                write_serve_error(&mut w, e);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes a frame payload (same totality as [`Request::decode`]).
+    pub fn decode(payload: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = SnapshotReader::open(payload, FRAME_ID)?;
+        let resp = match r.u8()? {
+            0 => Response::Ok,
+            1 => Response::Answer(read_answer(&mut r)?),
+            2 => Response::IngestAck {
+                seq: r.u64()?,
+                applied: r.bool()?,
+            },
+            3 => Response::Stats(TenantStats {
+                ingested: r.u64()?,
+                next_seq: r.u64()?,
+                rebuilds: r.u64()?,
+                chain_len: r.u64()?,
+            }),
+            4 => Response::Error(read_serve_error(&mut r)?),
+            _ => return Err(SnapshotError::Corrupt("response tag")),
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+/// Tenant names become directory names; keep them boring (nonempty, `[A-Za-z0-9_-]`,
+/// ≤ 64 bytes) so the storage layer never interprets a name as a path.
+pub fn valid_tenant_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let req = Request::Ingest {
+            tenant: "t0".into(),
+            seq: 7,
+            items: vec![1, 2, 3],
+        };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &req.encode()).unwrap();
+        let mut cursor = &wire[..];
+        let payload = read_frame(&mut cursor).unwrap().expect("one frame");
+        assert_eq!(Request::decode(&payload).unwrap(), req);
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_length_prefix_fails_before_allocating() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        wire.extend_from_slice(&[0; 16]);
+        match read_frame(&mut &wire[..]) {
+            Err(FrameError::Oversized { announced }) => {
+                assert_eq!(announced, u32::MAX as usize);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn torn_frame_is_truncated_not_a_clean_eof() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Request::Shutdown.encode()).unwrap();
+        wire.truncate(wire.len() - 2);
+        assert!(matches!(
+            read_frame(&mut &wire[..]),
+            Err(FrameError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn tenant_names_cannot_traverse_paths() {
+        assert!(valid_tenant_name("tenant-07_a"));
+        for bad in ["", "../up", "a/b", "a b", &"x".repeat(65)] {
+            assert!(!valid_tenant_name(bad), "{bad:?}");
+        }
+    }
+}

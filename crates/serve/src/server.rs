@@ -1,0 +1,642 @@
+//! The server: a thread-per-connection TCP front-end over per-tenant
+//! [`DynEngine`]s, with delta-chain persistence, startup recovery, admission
+//! control, and fault-plan hooks.
+//!
+//! # Threading and degradation
+//!
+//! * **Writes lock, reads don't.**  Each tenant's engine lives behind a mutex
+//!   taken by ingest/checkpoint; queries go through the engine's lock-free
+//!   [`ServeHandle`] (the cached serving view), so a stalled or overloaded
+//!   ingest path never blocks readers — they serve the last published view.
+//! * **Admission control.**  At most [`ServerConfig::max_inflight_ingest`]
+//!   ingest requests are admitted concurrently; excess load is shed with the
+//!   typed [`ServeError::Overloaded`] instead of queueing without bound.
+//! * **Per-tenant isolation.**  Tenants share nothing but the listener: a
+//!   corrupt chain fails one tenant's recovery (reported, the rest come up), and
+//!   a locked tenant delays only its own writers.
+//!
+//! # Durability
+//!
+//! Every applied state change is observable through queries immediately, but
+//! durable only at checkpoints: the explicit [`Request::Checkpoint`] frame, and
+//! the checkpoint-on-shutdown sweep of [`Request::Shutdown`] /
+//! [`ServerHandle::stop`].  A crash (the [`Request::Crash`] drill or a real
+//! kill) loses exactly the batches applied after the newest durable delta — the
+//! recovery law drilled by `fig_serve_net` is that a restarted server answers
+//! identically to a twin that only ever saw the durable prefix, and that a
+//! retrying client's sequence numbers let it re-send the lost suffix without
+//! double-counting the survivors.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use fsc_engine::{DynEngine, EngineConfig, ServeHandle};
+use fsc_state::delta::{encode_delta, CheckpointChain};
+
+use crate::faults::FaultPlan;
+use crate::protocol::{
+    read_frame, valid_tenant_name, write_frame, FrameError, Request, Response, ServeError,
+    TenantStats,
+};
+use crate::storage::{
+    list_tenants, load_tenant, RecoveryReport, TenantMeta, TenantOutcome, TenantRecovery,
+    TenantSnapshot, TenantStorage,
+};
+
+/// How servers construct engines from registry algorithm ids, without this crate
+/// depending on the registry: `fsc-bench` supplies the closure (its
+/// `serve_factory()`), tests supply their own.  Returns `None` for unknown or
+/// engine-incapable ids.
+pub type EngineFactory =
+    Arc<dyn Fn(&str, EngineConfig) -> Option<Box<dyn DynEngine>> + Send + Sync>;
+
+/// Poll interval of the accept loop and the per-connection idle read timeout:
+/// how quickly threads notice the stop flag.
+const POLL: Duration = Duration::from_millis(10);
+
+/// How long a peer may stall *inside* a frame (between the length prefix and
+/// the last payload byte, or while draining a response) before the server
+/// declares it dead.  This is the slow-reader/slow-writer bound: a trickling or
+/// wedged peer occupies its connection thread for at most this long per frame,
+/// while an honest client on a congested link (or one whose small writes Nagle
+/// coalesces lazily) is not mistaken for a torn stream.
+const FRAME_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Server construction parameters.
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// Root directory tenant state persists under (created on demand).
+    pub data_dir: PathBuf,
+    /// Ingest admission bound: concurrent ingest requests beyond this many are
+    /// shed with [`ServeError::Overloaded`].
+    pub max_inflight_ingest: usize,
+    /// The armed fault plan ([`FaultPlan::none`] in production).
+    pub faults: Arc<FaultPlan>,
+}
+
+impl ServerConfig {
+    /// Defaults: the given data dir, an admission bound of 64, no faults.
+    pub fn new(data_dir: impl Into<PathBuf>) -> Self {
+        Self {
+            data_dir: data_dir.into(),
+            max_inflight_ingest: 64,
+            faults: Arc::new(FaultPlan::none()),
+        }
+    }
+
+    /// Replaces the fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Arc::new(faults);
+        self
+    }
+
+    /// Replaces the ingest admission bound.
+    pub fn with_max_inflight_ingest(mut self, bound: usize) -> Self {
+        self.max_inflight_ingest = bound.max(1);
+        self
+    }
+}
+
+/// One tenant: the locked write side and the lock-free read side.
+struct Tenant {
+    inner: Mutex<TenantInner>,
+    /// The engine's serving-view handle: queries answer from here without
+    /// touching the mutex.
+    serve: Arc<dyn ServeHandle>,
+}
+
+struct TenantInner {
+    engine: Box<dyn DynEngine>,
+    /// Next expected ingest sequence number (the idempotency cursor).
+    next_seq: u64,
+    /// In-memory image of the durable delta chain.  Chain epochs are
+    /// applied-batch counts (`next_seq` at capture), which strictly increase
+    /// per applied batch — including empty ones — so every checkpoint with new
+    /// batches has a recordable epoch.
+    chain: CheckpointChain,
+    storage: TenantStorage,
+}
+
+impl TenantInner {
+    /// Captures the wrapper checkpoint at the current cursor.
+    fn snapshot(&self) -> TenantSnapshot {
+        TenantSnapshot {
+            next_seq: self.next_seq,
+            epoch: self.next_seq,
+            engine: self.engine.checkpoint(),
+        }
+    }
+
+    /// Makes the current state durable: one delta against the chain tip, through
+    /// the fault plan.  A no-op when no batch was applied since the tip.
+    fn persist(&mut self, faults: &FaultPlan) -> Result<(), String> {
+        if self.next_seq == self.chain.tip_epoch() {
+            return Ok(());
+        }
+        let full = self.snapshot().encode();
+        let delta = encode_delta(
+            self.chain.tip_bytes(),
+            &full,
+            self.chain.tip_epoch(),
+            self.next_seq,
+        )
+        .map_err(|e| format!("encoding delta: {e}"))?;
+        self.chain
+            .append_delta(delta.clone())
+            .map_err(|e| format!("appending delta: {e}"))?;
+        self.storage
+            .append_delta(&delta, faults)
+            .map_err(|e| format!("writing delta: {e}"))?;
+        Ok(())
+    }
+}
+
+/// State shared between the accept loop, connection threads, and the handle.
+struct Shared {
+    tenants: RwLock<HashMap<String, Arc<Tenant>>>,
+    factory: EngineFactory,
+    data_dir: PathBuf,
+    faults: Arc<FaultPlan>,
+    /// Set on shutdown/crash; all loops exit when they see it.
+    stop: AtomicBool,
+    /// Ingest requests currently admitted.
+    inflight: AtomicUsize,
+    max_inflight: usize,
+}
+
+impl Shared {
+    fn tenant(&self, name: &str) -> Option<Arc<Tenant>> {
+        self.tenants.read().unwrap().get(name).cloned()
+    }
+
+    /// Checkpoints every tenant (the shutdown sweep).  Returns the first error.
+    fn persist_all(&self) -> Result<(), String> {
+        let tenants: Vec<Arc<Tenant>> = self.tenants.read().unwrap().values().cloned().collect();
+        let mut first_err = None;
+        for tenant in tenants {
+            let mut inner = tenant.inner.lock().unwrap();
+            if let Err(e) = inner.persist(&self.faults) {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+}
+
+/// The running server's control handle.  Dropping it stops the server
+/// *gracefully* (checkpoint sweep); use [`Request::Crash`] or
+/// [`ServerHandle::crash`] to drill the ungraceful path.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (`127.0.0.1:0` resolves to a real port here).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful stop: checkpoint every tenant, then stop accepting and join all
+    /// threads.  Returns the first persistence error, if any.
+    pub fn stop(mut self) -> Result<(), String> {
+        let result = self.shared.persist_all();
+        self.halt();
+        result
+    }
+
+    /// Ungraceful stop: no checkpoint sweep, just halt — the in-process
+    /// equivalent of `kill -9`, for drills that cannot spare a process.
+    pub fn crash(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Whether the server has stopped (shutdown frame, crash frame, or handle).
+    pub fn stopped(&self) -> bool {
+        self.shared.stop.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until the server stops on its own (a `Shutdown` or `Crash` frame),
+    /// then joins its threads.
+    pub fn join(mut self) {
+        while !self.stopped() {
+            std::thread::sleep(POLL);
+        }
+        self.halt();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            let _ = self.shared.persist_all();
+            self.halt();
+        }
+    }
+}
+
+/// The server constructor.
+pub struct Server;
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port), recovers every tenant
+    /// directory found under the data dir, and starts serving.  The returned
+    /// [`RecoveryReport`] is the typed account of what recovery found — a clean
+    /// boot reports every tenant recovered with zero discards.
+    pub fn start(
+        addr: &str,
+        config: ServerConfig,
+        factory: EngineFactory,
+    ) -> io::Result<(ServerHandle, RecoveryReport)> {
+        std::fs::create_dir_all(&config.data_dir)?;
+        let shared = Arc::new(Shared {
+            tenants: RwLock::new(HashMap::new()),
+            factory,
+            data_dir: config.data_dir.clone(),
+            faults: Arc::clone(&config.faults),
+            stop: AtomicBool::new(false),
+            inflight: AtomicUsize::new(0),
+            max_inflight: config.max_inflight_ingest,
+        });
+        let report = recover_all(&shared)?;
+
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let bound = listener.local_addr()?;
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::spawn(move || accept_loop(listener, accept_shared));
+        Ok((
+            ServerHandle {
+                addr: bound,
+                shared,
+                accept_thread: Some(accept_thread),
+            },
+            report,
+        ))
+    }
+}
+
+/// Replays every tenant directory through chain recovery and the engine's
+/// restore pairing checks.  A tenant that cannot come back is reported Failed
+/// and skipped; the server still starts.
+fn recover_all(shared: &Shared) -> io::Result<RecoveryReport> {
+    let mut report = RecoveryReport::default();
+    for name in list_tenants(&shared.data_dir)? {
+        let outcome = recover_tenant(shared, &name);
+        report.tenants.push(TenantRecovery {
+            tenant: name,
+            outcome,
+        });
+    }
+    Ok(report)
+}
+
+fn recover_tenant(shared: &Shared, name: &str) -> TenantOutcome {
+    let loaded = match load_tenant(&shared.data_dir, name) {
+        Ok(loaded) => loaded,
+        Err(error) => return TenantOutcome::Failed { error },
+    };
+    let config = EngineConfig {
+        shards: (loaded.meta.shards as usize).max(1),
+        ..EngineConfig::default()
+    };
+    let Some(mut engine) = (shared.factory)(&loaded.meta.algorithm, config) else {
+        return TenantOutcome::Failed {
+            error: format!("no engine factory for {:?}", loaded.meta.algorithm),
+        };
+    };
+    if let Err(e) = engine.restore_from(&loaded.snapshot.engine) {
+        return TenantOutcome::Failed {
+            error: format!("restoring recovered tip: {e}"),
+        };
+    }
+    let _ = engine.refresh_view();
+    let storage = match TenantStorage::open(&shared.data_dir, name) {
+        Ok(s) => s,
+        Err(e) => {
+            return TenantOutcome::Failed {
+                error: format!("opening storage: {e}"),
+            }
+        }
+    };
+    let outcome = TenantOutcome::Recovered {
+        epoch: loaded.chain.tip_epoch(),
+        next_seq: loaded.snapshot.next_seq,
+        applied: loaded.replay.applied,
+        discarded: loaded.replay.discarded.len(),
+    };
+    let serve = engine.serve_handle();
+    shared.tenants.write().unwrap().insert(
+        name.to_string(),
+        Arc::new(Tenant {
+            inner: Mutex::new(TenantInner {
+                engine,
+                next_seq: loaded.snapshot.next_seq,
+                chain: loaded.chain,
+                storage,
+            }),
+            serve,
+        }),
+    );
+    outcome
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let conn_shared = Arc::clone(&shared);
+                conns.push(std::thread::spawn(move || {
+                    handle_connection(stream, conn_shared)
+                }));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(_) => std::thread::sleep(POLL),
+        }
+        conns.retain(|c| !c.is_finished());
+    }
+    for conn in conns {
+        let _ = conn.join();
+    }
+}
+
+/// Waits for the next frame: idle-polls via `peek` under the short [`POLL`]
+/// timeout (so the stop flag is noticed quickly), and only once bytes are
+/// available reads the frame under the generous [`FRAME_TIMEOUT`] — a peer that
+/// pauses *between* frames is simply idle, and one that dribbles a frame slowly
+/// gets the full slow-peer budget instead of the poll interval.
+fn await_frame(stream: &mut TcpStream) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut probe = [0u8; 1];
+    match stream.peek(&mut probe) {
+        Ok(0) => return Ok(None), // clean EOF at a frame boundary
+        Ok(_) => {}
+        Err(e)
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ) =>
+        {
+            return Err(FrameError::Idle)
+        }
+        Err(e) => return Err(FrameError::Io(e)),
+    }
+    let _ = stream.set_read_timeout(Some(FRAME_TIMEOUT));
+    let result = read_frame(stream);
+    let _ = stream.set_read_timeout(Some(POLL));
+    result
+}
+
+fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(POLL));
+    let _ = stream.set_write_timeout(Some(FRAME_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let mut answered = 0u64;
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let payload = match await_frame(&mut stream) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return,
+            Err(FrameError::Oversized { announced }) => {
+                // Typed refusal, then close: after an oversized announcement the
+                // stream cannot be re-synchronized.
+                let resp = Response::Error(ServeError::Protocol(format!(
+                    "frame announces {announced} bytes"
+                )));
+                let _ = write_frame(&mut stream, &resp.encode());
+                return;
+            }
+            // Idle poll: no bytes yet, go around (and re-check the stop flag).
+            Err(FrameError::Idle) => continue,
+            // Everything else — mid-frame timeouts (a stalled or desynchronized
+            // peer), torn frames, transport errors — closes the connection; the
+            // framing cannot be trusted past this point.
+            Err(_) => return,
+        };
+        let (response, control) = match Request::decode(&payload) {
+            Ok(request) => handle_request(&shared, request),
+            Err(e) => (
+                Response::Error(ServeError::Protocol(e.to_string())),
+                Control::None,
+            ),
+        };
+        answered += 1;
+        if shared.faults.should_drop(answered) {
+            // The injected worst case: the request took effect, the response is
+            // lost.  Clients must retry idempotently.
+            return;
+        }
+        if matches!(control, Control::Crash) {
+            // kill -9: no goodbye frame, nothing persisted.
+            shared.stop.store(true, Ordering::SeqCst);
+            return;
+        }
+        if write_frame(&mut stream, &response.encode()).is_err() {
+            return;
+        }
+        if matches!(control, Control::Shutdown) {
+            shared.stop.store(true, Ordering::SeqCst);
+            return;
+        }
+    }
+}
+
+/// Post-response connection control.
+enum Control {
+    None,
+    Shutdown,
+    Crash,
+}
+
+fn handle_request(shared: &Shared, request: Request) -> (Response, Control) {
+    if shared.stop.load(Ordering::SeqCst) {
+        return (Response::Error(ServeError::ShuttingDown), Control::None);
+    }
+    match request {
+        Request::CreateTenant {
+            tenant,
+            algorithm,
+            shards,
+        } => (
+            create_tenant(shared, &tenant, &algorithm, shards),
+            Control::None,
+        ),
+        Request::Ingest { tenant, seq, items } => {
+            (ingest(shared, &tenant, seq, &items), Control::None)
+        }
+        Request::Query { tenant, query } => (query_tenant(shared, &tenant, &query), Control::None),
+        Request::Checkpoint { tenant } => (checkpoint_tenant(shared, &tenant), Control::None),
+        Request::Stats { tenant } => (stats_tenant(shared, &tenant), Control::None),
+        Request::Shutdown => {
+            let response = match shared.persist_all() {
+                Ok(()) => Response::Ok,
+                Err(e) => Response::Error(ServeError::Internal(e)),
+            };
+            (response, Control::Shutdown)
+        }
+        Request::Crash => {
+            if shared.faults.crash_frame_allowed() {
+                (Response::Ok, Control::Crash)
+            } else {
+                (
+                    Response::Error(ServeError::Protocol(
+                        "crash frame requires an armed fault plan".into(),
+                    )),
+                    Control::None,
+                )
+            }
+        }
+    }
+}
+
+fn create_tenant(shared: &Shared, tenant: &str, algorithm: &str, shards: u32) -> Response {
+    if !valid_tenant_name(tenant) {
+        return Response::Error(ServeError::Protocol(format!(
+            "invalid tenant name {tenant:?}"
+        )));
+    }
+    let config = EngineConfig {
+        shards: (shards as usize).max(1),
+        ..EngineConfig::default()
+    };
+    let mut map = shared.tenants.write().unwrap();
+    if map.contains_key(tenant) {
+        return Response::Error(ServeError::TenantExists(tenant.to_string()));
+    }
+    let Some(engine) = (shared.factory)(algorithm, config) else {
+        return Response::Error(ServeError::UnknownAlgorithm(algorithm.to_string()));
+    };
+    let _ = engine.refresh_view();
+    let base = TenantSnapshot {
+        next_seq: 0,
+        epoch: 0,
+        engine: engine.checkpoint(),
+    };
+    let meta = TenantMeta {
+        algorithm: algorithm.to_string(),
+        shards: shards.max(1),
+    };
+    let storage =
+        match TenantStorage::create(&shared.data_dir, tenant, &meta, &base, &shared.faults) {
+            Ok(s) => s,
+            Err(e) => return Response::Error(ServeError::Internal(format!("provisioning: {e}"))),
+        };
+    let chain = match CheckpointChain::new(base.encode(), 0) {
+        Ok(c) => c,
+        Err(e) => return Response::Error(ServeError::Internal(format!("chain base: {e}"))),
+    };
+    let serve = engine.serve_handle();
+    map.insert(
+        tenant.to_string(),
+        Arc::new(Tenant {
+            inner: Mutex::new(TenantInner {
+                engine,
+                next_seq: 0,
+                chain,
+                storage,
+            }),
+            serve,
+        }),
+    );
+    Response::Ok
+}
+
+fn ingest(shared: &Shared, tenant: &str, seq: u64, items: &[u64]) -> Response {
+    // Admission first: shed before queueing on any lock.
+    if shared.inflight.fetch_add(1, Ordering::SeqCst) + 1 > shared.max_inflight {
+        shared.inflight.fetch_sub(1, Ordering::SeqCst);
+        return Response::Error(ServeError::Overloaded);
+    }
+    let response = ingest_admitted(shared, tenant, seq, items);
+    shared.inflight.fetch_sub(1, Ordering::SeqCst);
+    response
+}
+
+fn ingest_admitted(shared: &Shared, tenant: &str, seq: u64, items: &[u64]) -> Response {
+    let Some(tenant) = shared.tenant(tenant) else {
+        return Response::Error(ServeError::UnknownTenant(tenant.to_string()));
+    };
+    let mut inner = tenant.inner.lock().unwrap();
+    if let Some(stall) = shared.faults.ingest_stall() {
+        std::thread::sleep(stall);
+    }
+    if seq < inner.next_seq {
+        // A retried batch whose first copy landed: ack without re-applying.
+        return Response::IngestAck {
+            seq,
+            applied: false,
+        };
+    }
+    if seq > inner.next_seq {
+        return Response::Error(ServeError::SeqGap {
+            expected: inner.next_seq,
+            found: seq,
+        });
+    }
+    inner.engine.ingest(items);
+    inner.next_seq += 1;
+    // Publish for the lock-free readers; a failure here means a query raced a
+    // poisoned merge, which the engine surfaces on its own query path too.
+    let _ = inner.engine.refresh_view();
+    Response::IngestAck { seq, applied: true }
+}
+
+fn query_tenant(shared: &Shared, tenant: &str, query: &fsc_state::Query) -> Response {
+    let Some(tenant) = shared.tenant(tenant) else {
+        return Response::Error(ServeError::UnknownTenant(tenant.to_string()));
+    };
+    // Lock-free fast path: the published view.
+    if let Some(answer) = tenant.serve.serve(query) {
+        return Response::Answer(answer);
+    }
+    // Nothing published yet (possible only before the first refresh): fall back
+    // to the locked engine.
+    let inner = tenant.inner.lock().unwrap();
+    match inner.engine.query(query) {
+        Ok(answer) => Response::Answer(answer),
+        Err(e) => Response::Error(ServeError::Internal(e.to_string())),
+    }
+}
+
+fn checkpoint_tenant(shared: &Shared, tenant: &str) -> Response {
+    let Some(tenant) = shared.tenant(tenant) else {
+        return Response::Error(ServeError::UnknownTenant(tenant.to_string()));
+    };
+    let mut inner = tenant.inner.lock().unwrap();
+    match inner.persist(&shared.faults) {
+        Ok(()) => Response::Ok,
+        Err(e) => Response::Error(ServeError::Internal(e)),
+    }
+}
+
+fn stats_tenant(shared: &Shared, tenant: &str) -> Response {
+    let Some(tenant) = shared.tenant(tenant) else {
+        return Response::Error(ServeError::UnknownTenant(tenant.to_string()));
+    };
+    let inner = tenant.inner.lock().unwrap();
+    Response::Stats(TenantStats {
+        ingested: inner.engine.ingested(),
+        next_seq: inner.next_seq,
+        rebuilds: inner.engine.view_rebuilds(),
+        chain_len: inner.chain.len() as u64,
+    })
+}

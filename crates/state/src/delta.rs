@@ -102,6 +102,58 @@ pub struct DeltaStats {
     pub delta_bytes: usize,
 }
 
+/// One delta dropped by [`CheckpointChain::recover`], with the typed reason.
+///
+/// `index` is the delta's position in the supplied log (0 = the first delta after
+/// the base); `epoch` is the target epoch the delta claimed, when its header was
+/// still parseable (a torn header yields `None`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiscardedDelta {
+    /// Position of the delta in the supplied log.
+    pub index: usize,
+    /// Target epoch from the delta header, if the header parsed.
+    pub epoch: Option<u64>,
+    /// Why the delta was not applied.
+    pub error: SnapshotError,
+}
+
+/// Outcome of [`CheckpointChain::recover`]: how much of a persisted delta log was
+/// restorable and exactly what was discarded — the typed report a crash-recovering
+/// server surfaces instead of silently dropping history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainRecovery {
+    /// Deltas applied onto the base, in order.
+    pub applied: usize,
+    /// Epoch of the recovered tip (base epoch when nothing applied).
+    pub tip_epoch: u64,
+    /// Deltas that failed validation or application, with typed reasons.
+    pub discarded: Vec<DiscardedDelta>,
+}
+
+impl ChainRecovery {
+    /// Whether the whole log was applied (nothing discarded).
+    pub fn is_clean(&self) -> bool {
+        self.discarded.is_empty()
+    }
+}
+
+impl std::fmt::Display for ChainRecovery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} delta(s) applied to epoch {}",
+            self.applied, self.tip_epoch
+        )?;
+        for d in &self.discarded {
+            match d.epoch {
+                Some(e) => write!(f, "; discarded #{} (epoch {}): {}", d.index, e, d.error)?,
+                None => write!(f, "; discarded #{}: {}", d.index, d.error)?,
+            }
+        }
+        Ok(())
+    }
+}
+
 /// A captured full checkpoint plus the epoch it was taken at: the `since` argument of
 /// [`Snapshot::checkpoint_delta`].
 #[derive(Debug, Clone)]
@@ -342,6 +394,49 @@ impl CheckpointChain {
             base_epoch,
             deltas: Vec::new(),
         })
+    }
+
+    /// Rebuilds a chain from a persisted log — a base plus deltas read back from
+    /// durable storage — **recovering past corrupt, truncated, or misordered
+    /// entries** instead of failing the whole chain.
+    ///
+    /// Each delta is validated and applied in log order; one that fails (torn
+    /// bytes, flipped bits caught by the checksum, an epoch that does not chain
+    /// onto the tip) is *discarded* with its typed error and recovery continues
+    /// with the next entry.  Because a delta must chain onto the exact tip epoch
+    /// and content, discarding entry `k` normally discards everything after it
+    /// too — the newest valid prefix semantics a crash-recovering server wants —
+    /// but a retried write of the same range (first copy torn, second intact)
+    /// heals without loss.  The base itself must be a valid `FSCS` checkpoint;
+    /// a torn base fails the whole recovery (the caller falls back to an older
+    /// base or reports the tenant lost).
+    ///
+    /// [`CheckpointChain::restore`] and [`CheckpointChain::restore_at`] on the
+    /// returned chain therefore answer from the newest restorable state, and the
+    /// [`ChainRecovery`] says exactly which persisted entries were thrown away.
+    pub fn recover(
+        base: Vec<u8>,
+        base_epoch: u64,
+        deltas: impl IntoIterator<Item = Vec<u8>>,
+    ) -> Result<(Self, ChainRecovery), SnapshotError> {
+        let mut chain = Self::new(base, base_epoch)?;
+        let mut discarded = Vec::new();
+        for (index, delta) in deltas.into_iter().enumerate() {
+            let epoch = peek_delta(&delta).ok().map(|info| info.epoch);
+            if let Err(error) = chain.append_delta(delta) {
+                discarded.push(DiscardedDelta {
+                    index,
+                    epoch,
+                    error,
+                });
+            }
+        }
+        let recovery = ChainRecovery {
+            applied: chain.len(),
+            tip_epoch: chain.tip_epoch(),
+            discarded,
+        };
+        Ok((chain, recovery))
     }
 
     /// The algorithm id shared by the base and every delta.
@@ -685,6 +780,132 @@ mod tests {
             chain.append_delta(foreign),
             Err(SnapshotError::WrongAlgorithm { .. })
         ));
+    }
+
+    /// The persisted parts of a 3-checkpoint chain: base bytes/epoch plus the two
+    /// delta byte strings, and the intermediate full checkpoints for oracles.
+    fn persisted_chain() -> (Vec<u8>, Vec<Vec<u8>>, Vec<Vec<u8>>) {
+        let v0 = checkpoint_with("unit", &[0, 0, 0, 0]);
+        let v1 = checkpoint_with("unit", &[1, 0, 7, 0]);
+        let v2 = checkpoint_with("unit", &[1, 2, 7, 9]);
+        let mut chain = CheckpointChain::new(v0.clone(), 0).unwrap();
+        chain.record(&v1, 10).unwrap();
+        chain.record(&v2, 20).unwrap();
+        let deltas: Vec<Vec<u8>> = chain.deltas.iter().map(|(_, d)| d.clone()).collect();
+        (v0, deltas, vec![v1, v2])
+    }
+
+    #[test]
+    fn recover_applies_a_clean_log_fully() {
+        let (base, deltas, fulls) = persisted_chain();
+        let (chain, report) = CheckpointChain::recover(base, 0, deltas).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.applied, 2);
+        assert_eq!(report.tip_epoch, 20);
+        assert_eq!(chain.tip_bytes(), &fulls[1][..]);
+        assert_eq!(chain.bytes_at(10).unwrap(), (fulls[0].clone(), 10));
+    }
+
+    #[test]
+    fn recover_falls_back_past_every_truncation_of_the_tip() {
+        let (base, deltas, fulls) = persisted_chain();
+        for cut in 0..deltas[1].len() {
+            let log = vec![deltas[0].clone(), deltas[1][..cut].to_vec()];
+            let (chain, report) =
+                CheckpointChain::recover(base.clone(), 0, log).expect("base is intact");
+            assert_eq!(report.applied, 1, "cut at {cut}");
+            assert_eq!(report.tip_epoch, 10, "cut at {cut}");
+            assert_eq!(
+                chain.tip_bytes(),
+                &fulls[0][..],
+                "cut at {cut}: tip must be the pre-corruption checkpoint"
+            );
+            assert_eq!(report.discarded.len(), 1, "cut at {cut}");
+            let discarded = &report.discarded[0];
+            assert_eq!(discarded.index, 1, "cut at {cut}");
+            assert!(
+                discarded.error != SnapshotError::BadMagic || cut < 4,
+                "cut at {cut}: full magic present must not read as BadMagic"
+            );
+        }
+    }
+
+    #[test]
+    fn recover_falls_back_past_a_bit_flipped_tip() {
+        let (base, mut deltas, fulls) = persisted_chain();
+        // Flip one payload byte near the end: the header parses, the checksum
+        // catches the damage, and the typed reason says so.
+        let last = deltas[1].len() - 1;
+        deltas[1][last] ^= 0x40;
+        let (chain, report) = CheckpointChain::recover(base, 0, deltas).unwrap();
+        assert_eq!(report.applied, 1);
+        assert_eq!(chain.tip_bytes(), &fulls[0][..]);
+        assert_eq!(report.discarded.len(), 1);
+        assert_eq!(report.discarded[0].epoch, Some(20), "header still parses");
+        assert!(!report.is_clean());
+        let rendered = report.to_string();
+        assert!(rendered.contains("discarded #1"), "{rendered}");
+    }
+
+    #[test]
+    fn recover_discards_everything_chained_past_a_corrupt_middle() {
+        let (base, mut deltas, _) = persisted_chain();
+        deltas[0][6] ^= 0xFF; // corrupt the *first* delta
+        let (chain, report) = CheckpointChain::recover(base.clone(), 0, deltas).unwrap();
+        // The second delta chains onto epoch 10, which never materialized.
+        assert_eq!(report.applied, 0);
+        assert_eq!(report.tip_epoch, 0);
+        assert_eq!(chain.tip_bytes(), &base[..]);
+        assert_eq!(report.discarded.len(), 2);
+        assert_eq!(
+            report.discarded[1].error,
+            SnapshotError::OutOfOrderDelta {
+                expected: 0,
+                found: 10
+            }
+        );
+    }
+
+    #[test]
+    fn recover_heals_a_torn_write_that_was_retried() {
+        let (base, deltas, fulls) = persisted_chain();
+        // The first copy of delta 0 is torn mid-write; the retried copy landed
+        // intact right after it.  Recovery discards the torn copy and applies the
+        // retry — no history lost.
+        let log = vec![
+            deltas[0][..deltas[0].len() / 2].to_vec(),
+            deltas[0].clone(),
+            deltas[1].clone(),
+        ];
+        let (chain, report) = CheckpointChain::recover(base, 0, log).unwrap();
+        assert_eq!(report.applied, 2);
+        assert_eq!(report.tip_epoch, 20);
+        assert_eq!(chain.tip_bytes(), &fulls[1][..]);
+        assert_eq!(report.discarded.len(), 1);
+        assert_eq!(report.discarded[0].index, 0);
+    }
+
+    #[test]
+    fn recover_rejects_a_base_torn_inside_the_header() {
+        let (base, deltas, _) = persisted_chain();
+        assert!(CheckpointChain::recover(base[..3].to_vec(), 0, deltas).is_err());
+    }
+
+    #[test]
+    fn recover_applies_nothing_onto_a_base_torn_inside_the_payload() {
+        // A tear past the header parses as a (shorter) checkpoint, so the chain
+        // layer cannot reject it outright — but every delta was encoded against
+        // the intact base, so each one fails its length/checksum pairing and the
+        // report shows an empty prefix.  Callers treat `applied == 0` with a
+        // non-empty discard list as "restore from the tip and let the algorithm's
+        // own total parsing have the final word".
+        let (base, deltas, _) = persisted_chain();
+        let torn = base[..base.len() / 2].to_vec();
+        let (chain, report) = CheckpointChain::recover(torn.clone(), 0, deltas).unwrap();
+        assert_eq!(report.applied, 0);
+        assert_eq!(chain.tip_bytes(), &torn[..]);
+        assert_eq!(report.discarded.len(), 2);
+        assert_eq!(report.discarded[0].error, SnapshotError::MissingBase);
     }
 
     #[test]

@@ -66,7 +66,8 @@ mod vec;
 pub use backend::{FullTracker, LeanTracker, TrackerBackend, TrackerKind};
 pub use cell::TrackedCell;
 pub use delta::{
-    apply_delta, encode_delta, peek_delta, BaseRef, CheckpointChain, DeltaInfo, DeltaStats,
+    apply_delta, encode_delta, peek_delta, BaseRef, ChainRecovery, CheckpointChain, DeltaInfo,
+    DeltaStats, DiscardedDelta,
 };
 pub use map::TrackedMap;
 pub use matrix::TrackedMatrix;

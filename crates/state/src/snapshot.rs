@@ -68,6 +68,19 @@ pub enum SnapshotError {
         /// The base epoch the delta was actually encoded against.
         found: u64,
     },
+    /// A structurally valid checkpoint was restored *into* a live structure whose
+    /// configuration it does not match — e.g. an engine checkpoint with a different
+    /// shard count, routing policy, tracker kind, or summary geometry than the
+    /// engine performing the failover.  Distinct from [`SnapshotError::Corrupt`]:
+    /// the bytes are fine, the *pairing* is wrong.
+    ConfigMismatch {
+        /// Which configuration axis mismatched (e.g. `"shard count"`).
+        what: &'static str,
+        /// The receiving structure's value.
+        expected: String,
+        /// The checkpoint's value.
+        found: String,
+    },
 }
 
 impl fmt::Display for SnapshotError {
@@ -95,6 +108,17 @@ impl fmt::Display for SnapshotError {
                 write!(
                     f,
                     "snapshot: delta based on epoch {found}, chain tip is at epoch {expected}"
+                )
+            }
+            SnapshotError::ConfigMismatch {
+                what,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "snapshot: checkpoint {what} mismatch (restoring structure has \
+                     {expected:?}, checkpoint has {found:?})"
                 )
             }
         }

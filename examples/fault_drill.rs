@@ -1,0 +1,139 @@
+//! Fault-drill walkthrough: the crash → recover → replay loop of the network
+//! front-end, end to end on a real TCP server.
+//!
+//! The sequence: a server ingests sequence-numbered batches over the wire and
+//! checkpoints partway; a `Crash` frame kills it holding volatile batches (no
+//! shutdown sweep — exactly what `kill -9` would do); a restart on the same
+//! data dir recovers the newest durable prefix and answers *exactly* like a
+//! twin engine that only ever saw that prefix; then the client replays the
+//! lost suffix — the duplicate is refused, the rest applies — and the served
+//! answers converge exactly to the full-stream twin. The same loop, with
+//! seeded torn writes and corrupt chain tips layered in, is what the
+//! `fig_serve_net` fault matrix drills in CI.
+//!
+//! Run with: `cargo run --release --example fault_drill`
+
+use fsc_bench::registry::serve_factory;
+use fsc_serve::faults::splitmix64;
+use fsc_serve::{Client, ClientConfig, FaultPlan, Server, ServerConfig};
+
+use few_state_changes::engine::{DynEngine, EngineConfig};
+use few_state_changes::state::{Answer, Query};
+
+const ALGORITHM: &str = "count_min";
+const SHARDS: u32 = 2;
+const BATCHES: usize = 6;
+const DURABLE: usize = 4; // batches checkpointed before the crash
+const BATCH: usize = 256;
+
+/// Deterministic drill traffic: same seed on the wire and in the twins.
+fn batches() -> Vec<Vec<u64>> {
+    let mut rng = 0x000D_2111_u64;
+    (0..BATCHES)
+        .map(|_| {
+            (0..BATCH)
+                .map(|_| splitmix64(&mut rng) % (1 << 10))
+                .collect()
+        })
+        .collect()
+}
+
+/// Point mass across the hot end of the universe, plus the second moment.
+fn probes() -> Vec<Query> {
+    let mut out: Vec<Query> = (0..24).map(Query::Point).collect();
+    out.push(Query::Moment);
+    out
+}
+
+/// The local twin: same registry constructor table, same config the server
+/// uses for the tenant — so equality below is byte-level, not approximate.
+fn twin_answers(prefix: &[Vec<u64>]) -> Vec<Answer> {
+    let config = EngineConfig {
+        shards: SHARDS as usize,
+        ..EngineConfig::default()
+    };
+    let mut engine: Box<dyn DynEngine> =
+        serve_factory()(ALGORITHM, config).expect("registry builds count_min");
+    for batch in prefix {
+        engine.ingest(batch);
+    }
+    probes()
+        .iter()
+        .map(|q| engine.query_fresh(q).expect("twin answers probes"))
+        .collect()
+}
+
+fn served_answers(client: &mut Client) -> Vec<Answer> {
+    probes()
+        .iter()
+        .map(|q| client.query("drill", *q).expect("served probe"))
+        .collect()
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("fsc-fault-drill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let batches = batches();
+
+    // --- ingest over the wire, checkpoint partway, then crash ---------------------
+    // `with_crash_frame` arms the drill-only `Crash` request; a production server
+    // leaves it disarmed and this step is a plain `kill -9`.
+    let config = ServerConfig::new(&dir).with_faults(FaultPlan::none().with_crash_frame());
+    let (server, _) = Server::start("127.0.0.1:0", config, serve_factory()).unwrap();
+    let mut client = Client::new(server.addr(), ClientConfig::default());
+    client.create_tenant("drill", ALGORITHM, SHARDS).unwrap();
+    for (seq, batch) in batches.iter().enumerate().take(DURABLE) {
+        assert!(client.ingest("drill", seq as u64, batch).unwrap());
+        if seq + 1 == DURABLE {
+            client.checkpoint("drill").unwrap(); // newest durable delta: seq 0..DURABLE
+        }
+    }
+    for (seq, batch) in batches.iter().enumerate().skip(DURABLE) {
+        assert!(client.ingest("drill", seq as u64, batch).unwrap());
+    }
+    println!(
+        "ingested {BATCHES} batches of {BATCH}; {DURABLE} durable (checkpointed), \
+         {} volatile — crashing now",
+        BATCHES - DURABLE
+    );
+    client.crash(); // no shutdown sweep: in-memory state is gone
+    server.join();
+
+    // --- restart on the same data dir: typed recovery of the durable prefix -------
+    let (server, report) =
+        Server::start("127.0.0.1:0", ServerConfig::new(&dir), serve_factory()).unwrap();
+    println!("recovery: {report}");
+    assert_eq!(report.recovered(), 1);
+    assert!(
+        report.is_clean(),
+        "a crash loses the volatile suffix but damages nothing on disk"
+    );
+
+    // --- the recovered server answers exactly like the truncated twin -------------
+    let mut client = Client::new(server.addr(), ClientConfig::default());
+    assert_eq!(
+        served_answers(&mut client),
+        twin_answers(&batches[..DURABLE])
+    );
+    println!("recovered answers == {DURABLE}-batch twin: exact");
+
+    // --- replay: the duplicate is refused, the suffix applies, answers converge ---
+    let duplicate = client
+        .ingest("drill", DURABLE as u64 - 1, &batches[DURABLE - 1])
+        .unwrap();
+    assert!(
+        !duplicate,
+        "a durable batch re-sent after recovery must not re-apply"
+    );
+    for (seq, batch) in batches.iter().enumerate().skip(DURABLE) {
+        assert!(client.ingest("drill", seq as u64, batch).unwrap());
+    }
+    assert_eq!(served_answers(&mut client), twin_answers(&batches));
+    println!(
+        "replayed the {} lost batches (duplicate refused): answers == full twin, exact",
+        BATCHES - DURABLE
+    );
+
+    client.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
