@@ -4,6 +4,7 @@
 //! cargo run -p fsc-bench --release --bin fsc_loadgen -- --addr 127.0.0.1:7070
 //! ... fsc_loadgen -- --addr 127.0.0.1:7070 --connections 4 --batches 100 --batch-size 512
 //! ... fsc_loadgen -- --addr 127.0.0.1:7070 --algorithm space_saving --shards 4
+//! ... fsc_loadgen -- --addr 127.0.0.1:7070 --status     # durability/recovery report
 //! ... fsc_loadgen -- --addr 127.0.0.1:7070 --shutdown   # graceful server stop
 //! ```
 //!
@@ -11,9 +12,13 @@
 //! batches with per-request timeouts, bounded retries, and jittered exponential
 //! backoff; the report prints acknowledged-item throughput, p50/p99 ingest
 //! latency, and the resilience counters (retries, reconnects, duplicate acks —
-//! all zero against a healthy server).  With `--shutdown` the run (if any
-//! batches were requested) is followed by the `Shutdown` control frame, which
-//! checkpoints every tenant and stops the server.
+//! all zero against a healthy server).  With `--status` the client asks the
+//! server for its durability mode and per-tenant recovery/journal counts, and
+//! exits non-zero if any tenant failed recovery, discarded chain entries, or
+//! truncated journal damage — a one-command health check after a restart.
+//! With `--shutdown` the run (if any batches were requested) is followed by
+//! the `Shutdown` control frame, which checkpoints every tenant and stops the
+//! server.
 
 use std::net::{SocketAddr, ToSocketAddrs};
 
@@ -87,6 +92,48 @@ fn main() {
             eprintln!("error: {e}");
         }
         if !report.errors.is_empty() {
+            std::process::exit(1);
+        }
+    }
+
+    if flag("--status") {
+        let mut client = Client::new(addr, ClientConfig::default());
+        let status = match client.status() {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: status: {e}");
+                std::process::exit(1);
+            }
+        };
+        println!(
+            "server: {}, group commit {}, {} tenant(s), {} failed recovery",
+            status.durability,
+            status.group_commit,
+            status.tenants.len(),
+            status.failed_tenants
+        );
+        let mut unhealthy = status.failed_tenants > 0;
+        for t in &status.tenants {
+            println!(
+                "  {}: next_seq {}, {}{} chain deltas applied, {} discarded; journal: \
+                 {} record(s) / {} B live, {} batch(es) replayed, {} B truncated",
+                t.tenant,
+                t.next_seq,
+                if t.recovered { "recovered, " } else { "" },
+                t.chain_applied,
+                t.chain_discarded,
+                t.wal_records,
+                t.wal_bytes,
+                t.wal_replayed,
+                t.wal_truncated_bytes
+            );
+            unhealthy |= t.chain_discarded > 0 || t.wal_truncated_bytes > 0;
+        }
+        if unhealthy {
+            eprintln!(
+                "error: at least one tenant failed recovery, discarded chain entries, \
+                 or truncated journal damage"
+            );
             std::process::exit(1);
         }
     }

@@ -4,6 +4,8 @@
 //! cargo run -p fsc-bench --release --bin fsc_serve -- --data-dir /tmp/fsc-data
 //! ... fsc_serve -- --addr 127.0.0.1:7070 --data-dir /tmp/fsc-data
 //! ... fsc_serve -- --data-dir /tmp/fsc-data --max-inflight 128
+//! ... fsc_serve -- --data-dir /tmp/fsc-data --durable          # fsync every ack
+//! ... fsc_serve -- --data-dir /tmp/fsc-data --group-commit 16  # relaxed fsync window
 //! ```
 //!
 //! Binds the address (an ephemeral port if `--addr` ends in `:0`), recovers
@@ -11,11 +13,14 @@
 //! recovery report), and serves until a client sends the `Shutdown` control
 //! frame (e.g. `fsc_loadgen -- --shutdown`), which checkpoints every tenant
 //! before stopping.  Killing the process instead is the crash path the
-//! fault-matrix drills cover: the next start recovers the newest durable
-//! prefix and a sequence-numbered client replays the rest.
+//! fault-matrix drills cover: the next start restores the checkpointed chain
+//! prefix and replays every acked batch out of the write-ahead journal.  With
+//! `--durable` the journal append is fsynced before every ack, so acked
+//! batches survive power loss too; the default relaxed mode batches fsyncs
+//! every `--group-commit` appends.
 
 use fsc_bench::registry::serve_factory;
-use fsc_serve::{Server, ServerConfig};
+use fsc_serve::{Durability, Server, ServerConfig};
 
 fn flag_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -31,8 +36,19 @@ fn main() {
     let max_inflight: usize = flag_value("--max-inflight")
         .and_then(|v| v.parse().ok())
         .unwrap_or(64);
+    let durability = if std::env::args().any(|a| a == "--durable") {
+        Durability::AckAfterDurable
+    } else {
+        Durability::AckAfterApply
+    };
+    let group_commit: u64 = flag_value("--group-commit")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
 
-    let config = ServerConfig::new(&data_dir).with_max_inflight_ingest(max_inflight);
+    let config = ServerConfig::new(&data_dir)
+        .with_max_inflight_ingest(max_inflight)
+        .with_durability(durability)
+        .with_group_commit(group_commit);
     let (server, recovery) = match Server::start(&addr, config, serve_factory()) {
         Ok(started) => started,
         Err(e) => {
@@ -53,7 +69,8 @@ fn main() {
         );
     }
     println!(
-        "serving on {} (data dir {data_dir}, ingest admission bound {max_inflight})",
+        "serving on {} (data dir {data_dir}, ingest admission bound {max_inflight}, \
+         {durability}, group commit {group_commit})",
         server.addr()
     );
     println!(

@@ -76,6 +76,11 @@ fn main() {
             out.push_str(&experiments::serve_net::fault_matrix().0.render());
             out
         }),
+        Box::new(move || {
+            let mut out = experiments::recovery::crash_matrix().0.render();
+            out.push_str(&experiments::recovery::cadence_sweep(scale).0.render());
+            out
+        }),
     ];
 
     // Print progressively: finished cells are buffered only until every earlier cell

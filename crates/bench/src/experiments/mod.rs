@@ -9,6 +9,7 @@ pub mod lower_bound;
 pub mod morris;
 pub mod nvm;
 pub mod p_small;
+pub mod recovery;
 pub mod scaling;
 pub mod serve;
 pub mod serve_net;

@@ -123,10 +123,10 @@ fn start_server(
     max_inflight: usize,
 ) -> (ServerHandle, fsc_serve::RecoveryReport) {
     let config = ServerConfig {
-        data_dir: dir.to_path_buf(),
-        max_inflight_ingest: max_inflight,
         faults,
-    };
+        ..ServerConfig::new(dir)
+    }
+    .with_max_inflight_ingest(max_inflight);
     Server::start("127.0.0.1:0", config, serve_factory()).expect("bind ephemeral port")
 }
 
@@ -349,9 +349,10 @@ fn replay_suffix(
     Ok((true, duplicate_refused))
 }
 
-/// Drill: the nth durable delta write is torn mid-write.  Recovery must fall
-/// back to the newest valid prefix, and the client must be able to replay the
-/// rest.
+/// Drill: the nth durable delta write is torn mid-write.  Chain recovery must
+/// fall back to the newest valid prefix, and the write-ahead journal — which a
+/// torn checkpoint write stops truncating — must restore every acked batch
+/// without any client replay.
 fn drill_torn_write() -> DrillRow {
     let fault = "torn_checkpoint_write";
     let dir = fresh_dir(fault);
@@ -385,22 +386,25 @@ fn drill_torn_write() -> DrillRow {
 
     let (server, report) = start_server(&dir, Arc::new(FaultPlan::none()), 64);
     let outcome = recovered_outcome(&report, "t0");
-    // The valid prefix ends at seq 1: the torn delta and its orphaned successor
-    // are both discarded.
-    let recovered = outcome == Some((1, 1, 2));
+    // The valid chain prefix ends at seq 1: the torn delta and its orphaned
+    // successor are both discarded.  But the tear also disabled journal
+    // truncation, so the write-ahead journal still holds the acked batches for
+    // seqs 1 and 2 — recovery replays them and lands at next_seq 3.
+    let recovered = outcome == Some((1, 3, 2));
     let discarded = outcome.map(|(_, _, d)| d).unwrap_or(0);
 
     let mut c = client(server.addr());
     let mut verify = || -> Result<bool, String> {
         let prefix = served_answers(&mut c, "t0")?;
-        let prefix_ok = prefix == twin_answers(twin(&batches[..1]).as_ref());
-        let (_, duplicate_refused) = replay_suffix(&mut c, "t0", &batches, 1)?;
+        let prefix_ok = prefix == twin_answers(twin(&batches).as_ref());
+        let (_, duplicate_refused) = replay_suffix(&mut c, "t0", &batches, 3)?;
         let full = served_answers(&mut c, "t0")?;
         let full_ok = full == twin_answers(twin(&batches).as_ref());
         if detail.is_empty() {
             detail = format!(
-                "tore write #3; recovered to seq 1 discarding {discarded}; \
-                 prefix twin {prefix_ok}, replay+full twin {full_ok}"
+                "tore write #3; chain fell back to seq 1 discarding \
+                 {discarded}, journal replay restored the acked tail; \
+                 full twin before replay {prefix_ok}, after {full_ok}"
             );
         }
         Ok(prefix_ok && full_ok && duplicate_refused)
@@ -511,8 +515,9 @@ fn drill_corrupt_tip() -> DrillRow {
 }
 
 /// Drill: the server is killed mid-ingest (crash frame: no goodbye, no
-/// checkpoint sweep).  The restart must answer like a twin that only saw the
-/// durable prefix, and the client must replay the lost suffix exactly once.
+/// checkpoint sweep).  The delta chain only holds the checkpointed prefix, but
+/// the write-ahead journal holds every acked batch — the restart must answer
+/// like a twin that saw all of them, with no client replay at all.
 fn drill_crash_mid_ingest() -> DrillRow {
     let fault = "crash_mid_ingest";
     let dir = fresh_dir(fault);
@@ -524,7 +529,7 @@ fn drill_crash_mid_ingest() -> DrillRow {
     let mut run = || -> Result<(), String> {
         c.create_tenant("t0", ALGORITHM, SHARDS)
             .map_err(|e| e.to_string())?;
-        // Two batches made durable, two applied but volatile.
+        // Two batches checkpointed into the chain, two only in the journal.
         for seq in 0..2u64 {
             c.ingest("t0", seq, &batches[seq as usize])
                 .map_err(|e| e.to_string())?;
@@ -542,22 +547,24 @@ fn drill_crash_mid_ingest() -> DrillRow {
 
     let (server, report) = start_server(&dir, Arc::new(FaultPlan::none()), 64);
     let outcome = recovered_outcome(&report, "t0");
-    // A crash loses exactly the undurable suffix — nothing on disk is damaged.
-    let recovered = outcome == Some((2, 2, 0));
+    // Nothing on disk is damaged: the chain restores the checkpointed prefix
+    // (epoch 2, next_seq 2) and the journal replays the two batches that were
+    // acked after the last checkpoint, landing at next_seq 4.
+    let recovered = outcome == Some((2, 4, 0));
     let discarded = outcome.map(|(_, _, d)| d).unwrap_or(0);
 
     let mut c = client(server.addr());
     let mut verify = || -> Result<bool, String> {
         let prefix = served_answers(&mut c, "t0")?;
-        let prefix_ok = prefix == twin_answers(twin(&batches[..2]).as_ref());
-        let (_, duplicate_refused) = replay_suffix(&mut c, "t0", &batches, 2)?;
+        let prefix_ok = prefix == twin_answers(twin(&batches).as_ref());
+        let (_, duplicate_refused) = replay_suffix(&mut c, "t0", &batches, 4)?;
         let full = served_answers(&mut c, "t0")?;
         let full_ok = full == twin_answers(twin(&batches).as_ref());
         if detail.is_empty() {
             detail = format!(
-                "crashed holding 2 volatile batches; restart answered as the \
-                 2-batch twin ({prefix_ok}), replay converged to the full twin \
-                 ({full_ok})"
+                "crashed holding 2 journaled-but-uncheckpointed batches; \
+                 restart answered as the full 4-batch twin ({prefix_ok}) with \
+                 no client replay; duplicates still refused ({full_ok})"
             );
         }
         Ok(prefix_ok && full_ok && duplicate_refused)

@@ -26,8 +26,9 @@ use std::time::{Duration, Instant};
 use fsc_state::{Answer, Query};
 
 use crate::faults::splitmix64;
-use crate::protocol::TenantStats;
-use crate::protocol::{read_frame, write_frame, FrameError, Request, Response, ServeError};
+use crate::protocol::{
+    read_frame, write_frame, FrameError, Request, Response, ServeError, ServerStatus, TenantStats,
+};
 
 /// Client resilience knobs.
 #[derive(Debug, Clone, Copy)]
@@ -284,6 +285,16 @@ impl Client {
         };
         match self.request(&request)? {
             Response::Stats(s) => Ok(s),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Protocol(format!("unexpected {other:?}"))),
+        }
+    }
+
+    /// Reads the server-wide durability status (mode, boot recovery counts,
+    /// live journal state per tenant).
+    pub fn status(&mut self) -> Result<ServerStatus, ClientError> {
+        match self.request(&Request::Status)? {
+            Response::Status(s) => Ok(s),
             Response::Error(e) => Err(ClientError::Server(e)),
             other => Err(ClientError::Protocol(format!("unexpected {other:?}"))),
         }

@@ -23,6 +23,35 @@ pub fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Where inside the write path of one ingest batch an injected crash fires.
+///
+/// The three points bracket the journal append and the in-memory apply — the
+/// interleavings the durability contract is stated over. In every case the
+/// client never sees an ack for the batch in flight; what differs is whether
+/// the journal holds the batch when the server comes back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Before the journal append: the batch is nowhere on disk.
+    BeforeJournal,
+    /// After the journal append (and its fsync, per mode) but before the
+    /// in-memory apply: recovery replays the batch from the journal.
+    AfterJournal,
+    /// After the apply but before the ack is written: the batch is journaled
+    /// *and* applied, only the ack is lost.
+    AfterApply,
+}
+
+/// How an injected fault mangles one journal append's bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalWriteFault {
+    /// Write faithfully.
+    Clean,
+    /// Write only this prefix: the record is torn mid-write.
+    Torn(Vec<u8>),
+    /// Write this instead: one byte flipped, framing intact.
+    Corrupt(Vec<u8>),
+}
+
 /// A seeded injection plan.  [`FaultPlan::none`] (the default) injects nothing
 /// and is what production servers run with; drills arm exactly one knob per
 /// scenario so observed failures have one cause.
@@ -32,6 +61,14 @@ pub struct FaultPlan {
     /// Tear the `nth` durable write (1-based), truncating it at a seeded offset.
     torn_write_at: Option<u64>,
     writes: AtomicU64,
+    /// Tear the `nth` journal append (1-based) at a seeded offset.
+    torn_wal_at: Option<u64>,
+    /// Flip one seeded byte inside the `nth` journal append (1-based).
+    corrupt_wal_at: Option<u64>,
+    wal_appends: AtomicU64,
+    /// Crash at this point inside the `nth` ingest (1-based).
+    crash_at: Option<(CrashPoint, u64)>,
+    ingests: AtomicU64,
     /// Drop each connection after it has answered this many frames.
     drop_after_frames: Option<u64>,
     /// Added to every ingest, holding the tenant lock (drills the admission
@@ -60,6 +97,30 @@ impl FaultPlan {
     /// across all tenants) is truncated mid-write, as if the process died there.
     pub fn with_torn_write(mut self, nth: u64) -> Self {
         self.torn_write_at = Some(nth);
+        self
+    }
+
+    /// Arms a torn journal append: the `nth` append (1-based, counted across
+    /// all tenants) writes only a seeded prefix of its record, as if the
+    /// process died mid-append.
+    pub fn with_torn_wal_append(mut self, nth: u64) -> Self {
+        self.torn_wal_at = Some(nth);
+        self
+    }
+
+    /// Arms a corrupt journal record: one seeded byte of the `nth` append
+    /// (1-based) is flipped before it reaches the file — latent media damage
+    /// that only the next recovery's checksum pass can see.
+    pub fn with_corrupt_wal_record(mut self, nth: u64) -> Self {
+        self.corrupt_wal_at = Some(nth);
+        self
+    }
+
+    /// Arms an injected crash at `point` inside the `nth` ingest (1-based,
+    /// counted across all tenants). The connection dies without a response,
+    /// exactly like a `kill -9` at that instruction.
+    pub fn with_crash_at(mut self, point: CrashPoint, nth: u64) -> Self {
+        self.crash_at = Some((point, nth));
         self
     }
 
@@ -103,6 +164,45 @@ impl FaultPlan {
         let mut state = self.seed ^ nth;
         let cut = 1 + (splitmix64(&mut state) as usize) % (bytes.len() - 1);
         Some(bytes[..cut].to_vec())
+    }
+
+    /// Called by the journal before each append.  Returns how to mangle the
+    /// record bytes: torn (seeded prefix, ≥ 1 byte kept and ≥ 1 dropped) or
+    /// corrupt (one seeded byte flipped) on the armed occurrence, clean
+    /// otherwise.  Appends are counted across both knobs so `nth` means "the
+    /// nth journal append", whichever fault is armed.
+    pub fn wal_write_fault(&self, bytes: &[u8]) -> WalWriteFault {
+        if self.torn_wal_at.is_none() && self.corrupt_wal_at.is_none() {
+            return WalWriteFault::Clean;
+        }
+        let count = self.wal_appends.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.torn_wal_at == Some(count) && bytes.len() >= 2 {
+            let mut state = self.seed ^ count;
+            let cut = 1 + (splitmix64(&mut state) as usize) % (bytes.len() - 1);
+            return WalWriteFault::Torn(bytes[..cut].to_vec());
+        }
+        if self.corrupt_wal_at == Some(count) && !bytes.is_empty() {
+            let mut mangled = bytes.to_vec();
+            flip_one_byte(&mut mangled, self.seed ^ count);
+            return WalWriteFault::Corrupt(mangled);
+        }
+        WalWriteFault::Clean
+    }
+
+    /// Journal appends attempted so far (tells a drill whether its fault fired).
+    pub fn wal_appends_seen(&self) -> u64 {
+        self.wal_appends.load(Ordering::Relaxed)
+    }
+
+    /// Called by the server at the top of each admitted ingest.  Returns the
+    /// 1-based ordinal of this ingest, which the crash-point checks below key on.
+    pub fn ingest_begun(&self) -> u64 {
+        self.ingests.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Whether the armed crash fires at `point` inside ingest number `nth`.
+    pub fn crash_now(&self, point: CrashPoint, nth: u64) -> bool {
+        self.crash_at == Some((point, nth))
     }
 
     /// Whether a connection that has answered `frames_answered` frames should
@@ -179,8 +279,49 @@ mod tests {
     fn the_empty_plan_injects_nothing() {
         let plan = FaultPlan::none();
         assert!(plan.tear_write(&[1, 2, 3]).is_none());
+        assert_eq!(plan.wal_write_fault(&[1, 2, 3]), WalWriteFault::Clean);
+        assert!(!plan.crash_now(CrashPoint::AfterApply, 1));
         assert!(!plan.should_drop(u64::MAX));
         assert!(plan.ingest_stall().is_none());
         assert!(!plan.crash_frame_allowed());
+    }
+
+    #[test]
+    fn wal_faults_fire_exactly_once_at_the_armed_append() {
+        let record = vec![7u8; 40];
+        let plan = FaultPlan::seeded(9).with_torn_wal_append(2);
+        assert_eq!(plan.wal_write_fault(&record), WalWriteFault::Clean);
+        match plan.wal_write_fault(&record) {
+            WalWriteFault::Torn(prefix) => {
+                assert!(!prefix.is_empty() && prefix.len() < record.len());
+                assert_eq!(prefix, record[..prefix.len()]);
+            }
+            other => panic!("second append must tear, got {other:?}"),
+        }
+        assert_eq!(plan.wal_write_fault(&record), WalWriteFault::Clean);
+        assert_eq!(plan.wal_appends_seen(), 3);
+
+        let plan = FaultPlan::seeded(9).with_corrupt_wal_record(1);
+        match plan.wal_write_fault(&record) {
+            WalWriteFault::Corrupt(mangled) => {
+                assert_eq!(mangled.len(), record.len());
+                let flips = mangled.iter().zip(&record).filter(|(a, b)| a != b).count();
+                assert_eq!(flips, 1, "exactly one byte flips");
+            }
+            other => panic!("first append must corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn the_armed_crash_fires_only_at_its_point_and_ordinal() {
+        let plan = FaultPlan::none().with_crash_at(CrashPoint::AfterJournal, 3);
+        assert_eq!(plan.ingest_begun(), 1);
+        assert_eq!(plan.ingest_begun(), 2);
+        let nth = plan.ingest_begun();
+        assert_eq!(nth, 3);
+        assert!(!plan.crash_now(CrashPoint::BeforeJournal, nth));
+        assert!(!plan.crash_now(CrashPoint::AfterApply, nth));
+        assert!(plan.crash_now(CrashPoint::AfterJournal, nth));
+        assert!(!plan.crash_now(CrashPoint::AfterJournal, plan.ingest_begun()));
     }
 }

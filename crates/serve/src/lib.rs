@@ -23,7 +23,11 @@
 //!   exponential backoff, sequence-numbered idempotent ingest, and the
 //!   [`LoadGen`] saturation driver.
 //! * [`faults`] — the seeded fault-injection plan the drills arm.
-//! * [`storage`] — the per-tenant directory layout (meta, base, delta files).
+//! * [`storage`] — the per-tenant directory layout (meta, base, delta files,
+//!   journal), with every durable write fsynced through to the directory.
+//! * [`wal`] — the per-tenant write-ahead batch journal: checksummed,
+//!   seq-stamped records appended before every ack, replayed at recovery,
+//!   truncated at every checkpoint.
 //!
 //! ## Quickstart
 //!
@@ -66,12 +70,16 @@
 //! ## The recovery law
 //!
 //! Kill a server mid-ingest and restart it over the same data dir: the restart
-//! answers exactly like a *truncated twin* — an engine that only ever saw the
-//! batches durable at the last checkpoint.  A sequence-numbered client then
-//! re-sends the suffix; duplicates ack without re-applying, and the final state
-//! matches an uninterrupted oracle byte for byte.  `fig_serve_net` drills this
-//! law (and the torn-write, corrupt-tip, dropped-connection, and overload
-//! classes) with exact-equality checks and a non-zero exit on divergence.
+//! answers exactly like a twin that saw *every acked batch* — the delta chain
+//! supplies the checkpointed prefix, the write-ahead journal replays the acked
+//! suffix, and any torn journal tail is truncated at the last valid record
+//! with typed counts in the [`RecoveryReport`].  Duplicate re-sends of
+//! recovered batches ack without re-applying.  In
+//! [`Durability::AckAfterDurable`] mode the
+//! law holds against power loss too: the journal append is fsynced before
+//! every ack.  `fig_serve_net` drills the fault classes (torn writes, corrupt
+//! tips, dropped connections, overload) and `fig_recovery` sweeps the crash
+//! points, both with exact-equality checks and a non-zero exit on divergence.
 
 #![warn(missing_docs)]
 
@@ -80,9 +88,13 @@ pub mod faults;
 pub mod protocol;
 pub mod server;
 pub mod storage;
+pub mod wal;
 
 pub use client::{Client, ClientConfig, ClientCounters, ClientError, LoadGen, LoadReport};
-pub use faults::FaultPlan;
-pub use protocol::{Request, Response, ServeError, TenantStats, MAX_FRAME};
+pub use faults::{CrashPoint, FaultPlan};
+pub use protocol::{
+    Request, Response, ServeError, ServerStatus, TenantStats, TenantStatus, MAX_FRAME,
+};
 pub use server::{EngineFactory, Server, ServerConfig, ServerHandle};
 pub use storage::{RecoveryReport, TenantOutcome, TenantRecovery};
+pub use wal::{Durability, Wal, WalError, WalRecord};

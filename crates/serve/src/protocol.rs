@@ -24,6 +24,8 @@ use std::io::{self, Read, Write};
 
 use fsc_state::{Answer, Query, SnapshotError, SnapshotReader, SnapshotWriter};
 
+use crate::wal::Durability;
+
 /// `FSCS` algorithm id of every frame payload.
 pub const FRAME_ID: &str = "fsc_serve_frame";
 
@@ -233,6 +235,10 @@ pub enum Request {
     /// Abrupt stop *without* checkpointing — the `kill -9` drill hook.  Only
     /// honored when the server was started with fault injection armed.
     Crash,
+    /// Reads the server-wide durability status: the mode, the boot-time
+    /// recovery counts per tenant, and each tenant's live journal state —
+    /// what an operator needs to assert clean recovery remotely.
+    Status,
 }
 
 /// A response frame.
@@ -255,6 +261,8 @@ pub enum Response {
     Stats(TenantStats),
     /// The request failed, typed.
     Error(ServeError),
+    /// Answer to a [`Request::Status`].
+    Status(ServerStatus),
 }
 
 /// Tenant counters reported by [`Request::Stats`].
@@ -268,6 +276,45 @@ pub struct TenantStats {
     pub rebuilds: u64,
     /// Deltas in the in-memory chain since the last base.
     pub chain_len: u64,
+}
+
+/// Server-wide durability status reported by [`Request::Status`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerStatus {
+    /// The ack-vs-durable mode the server is running in.
+    pub durability: Durability,
+    /// Journal appends between fsyncs in `AckAfterApply` mode.
+    pub group_commit: u64,
+    /// Tenant directories found at boot that could not be recovered.
+    pub failed_tenants: u64,
+    /// Per-tenant status, sorted by tenant name.
+    pub tenants: Vec<TenantStatus>,
+}
+
+/// One tenant's recovery history and live journal state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantStatus {
+    /// Tenant name.
+    pub tenant: String,
+    /// False when the tenant was created by this process (nothing recovered).
+    pub recovered: bool,
+    /// Next expected ingest sequence number, live.
+    pub next_seq: u64,
+    /// Deltas applied during boot-time chain replay.
+    pub chain_applied: u64,
+    /// Damaged chain entries discarded during boot-time replay.
+    pub chain_discarded: u64,
+    /// Journal batches replayed past the chain tip at boot.
+    pub wal_replayed: u64,
+    /// Torn journal bytes truncated at boot.
+    pub wal_truncated_bytes: u64,
+    /// Records currently in the journal (drops to 0 at each checkpoint).
+    pub wal_records: u64,
+    /// Bytes currently in the journal file, header included.
+    pub wal_bytes: u64,
+    /// Lifetime journal bytes appended since boot (checkpoint truncation does
+    /// not reset this — it is the durable-write cost meter).
+    pub wal_appended_bytes: u64,
 }
 
 fn write_query(w: &mut SnapshotWriter, q: &Query) {
@@ -399,6 +446,68 @@ fn read_serve_error(r: &mut SnapshotReader<'_>) -> Result<ServeError, SnapshotEr
     })
 }
 
+fn write_durability(w: &mut SnapshotWriter, d: Durability) {
+    w.u8(match d {
+        Durability::AckAfterApply => 0,
+        Durability::AckAfterDurable => 1,
+    });
+}
+
+fn read_durability(r: &mut SnapshotReader<'_>) -> Result<Durability, SnapshotError> {
+    Ok(match r.u8()? {
+        0 => Durability::AckAfterApply,
+        1 => Durability::AckAfterDurable,
+        _ => return Err(SnapshotError::Corrupt("durability tag")),
+    })
+}
+
+fn write_server_status(w: &mut SnapshotWriter, s: &ServerStatus) {
+    write_durability(w, s.durability);
+    w.u64(s.group_commit);
+    w.u64(s.failed_tenants);
+    w.usize(s.tenants.len());
+    for t in &s.tenants {
+        w.str(&t.tenant);
+        w.bool(t.recovered);
+        w.u64(t.next_seq);
+        w.u64(t.chain_applied);
+        w.u64(t.chain_discarded);
+        w.u64(t.wal_replayed);
+        w.u64(t.wal_truncated_bytes);
+        w.u64(t.wal_records);
+        w.u64(t.wal_bytes);
+        w.u64(t.wal_appended_bytes);
+    }
+}
+
+fn read_server_status(r: &mut SnapshotReader<'_>) -> Result<ServerStatus, SnapshotError> {
+    let durability = read_durability(r)?;
+    let group_commit = r.u64()?;
+    let failed_tenants = r.u64()?;
+    let len = r.len_prefix(32)?;
+    let mut tenants = Vec::with_capacity(len);
+    for _ in 0..len {
+        tenants.push(TenantStatus {
+            tenant: r.string()?,
+            recovered: r.bool()?,
+            next_seq: r.u64()?,
+            chain_applied: r.u64()?,
+            chain_discarded: r.u64()?,
+            wal_replayed: r.u64()?,
+            wal_truncated_bytes: r.u64()?,
+            wal_records: r.u64()?,
+            wal_bytes: r.u64()?,
+            wal_appended_bytes: r.u64()?,
+        });
+    }
+    Ok(ServerStatus {
+        durability,
+        group_commit,
+        failed_tenants,
+        tenants,
+    })
+}
+
 impl Request {
     /// Encodes the request as a frame payload.
     pub fn encode(&self) -> Vec<u8> {
@@ -438,6 +547,7 @@ impl Request {
             }
             Request::Shutdown => w.u8(5),
             Request::Crash => w.u8(6),
+            Request::Status => w.u8(7),
         }
         w.finish()
     }
@@ -474,6 +584,7 @@ impl Request {
             },
             5 => Request::Shutdown,
             6 => Request::Crash,
+            7 => Request::Status,
             _ => return Err(SnapshotError::Corrupt("request tag")),
         };
         r.finish()?;
@@ -507,6 +618,10 @@ impl Response {
                 w.u8(4);
                 write_serve_error(&mut w, e);
             }
+            Response::Status(s) => {
+                w.u8(5);
+                write_server_status(&mut w, s);
+            }
         }
         w.finish()
     }
@@ -528,6 +643,7 @@ impl Response {
                 chain_len: r.u64()?,
             }),
             4 => Response::Error(read_serve_error(&mut r)?),
+            5 => Response::Status(read_server_status(&mut r)?),
             _ => return Err(SnapshotError::Corrupt("response tag")),
         };
         r.finish()?;
@@ -586,6 +702,33 @@ mod tests {
             read_frame(&mut &wire[..]),
             Err(FrameError::Truncated)
         ));
+    }
+
+    #[test]
+    fn status_frames_round_trip() {
+        assert_eq!(
+            Request::decode(&Request::Status.encode()).unwrap(),
+            Request::Status
+        );
+        let status = ServerStatus {
+            durability: Durability::AckAfterDurable,
+            group_commit: 8,
+            failed_tenants: 1,
+            tenants: vec![TenantStatus {
+                tenant: "t0".into(),
+                recovered: true,
+                next_seq: 42,
+                chain_applied: 3,
+                chain_discarded: 1,
+                wal_replayed: 2,
+                wal_truncated_bytes: 17,
+                wal_records: 4,
+                wal_bytes: 500,
+                wal_appended_bytes: 1200,
+            }],
+        };
+        let resp = Response::Status(status);
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
     }
 
     #[test]

@@ -17,15 +17,24 @@
 //!
 //! # Durability
 //!
-//! Every applied state change is observable through queries immediately, but
-//! durable only at checkpoints: the explicit [`Request::Checkpoint`] frame, and
-//! the checkpoint-on-shutdown sweep of [`Request::Shutdown`] /
-//! [`ServerHandle::stop`].  A crash (the [`Request::Crash`] drill or a real
-//! kill) loses exactly the batches applied after the newest durable delta — the
-//! recovery law drilled by `fig_serve_net` is that a restarted server answers
-//! identically to a twin that only ever saw the durable prefix, and that a
-//! retrying client's sequence numbers let it re-send the lost suffix without
-//! double-counting the survivors.
+//! Two layers make acked batches durable.  Checkpoints (the explicit
+//! [`Request::Checkpoint`] frame and the shutdown sweep of
+//! [`Request::Shutdown`] / [`ServerHandle::stop`]) persist the applied state as
+//! delta-chain entries.  Between checkpoints, every ingest batch is appended to
+//! the tenant's write-ahead journal ([`crate::wal`]) *before* the ack, and each
+//! checkpoint truncates the journal it has just made redundant.  Recovery is
+//! restore-chain-tip → truncate any torn journal tail → replay the journal
+//! suffix through the idempotency cursor, so a restarted server answers
+//! identically to a twin that saw every acked batch.
+//!
+//! The [`Durability`] mode sets when the ack is safe against *power loss*:
+//! [`Durability::AckAfterDurable`] fsyncs the journal append before every ack
+//! (zero acked loss at every crash point); the default
+//! [`Durability::AckAfterApply`] batches fsyncs every
+//! [`ServerConfig::group_commit`] appends — a process kill still loses nothing
+//! (the page cache survives), and power loss is bounded by the group-commit
+//! window.  The recovery law is drilled end to end by `fig_serve_net` and the
+//! crash-point sweep of `fig_recovery`.
 
 use std::collections::HashMap;
 use std::io;
@@ -39,15 +48,16 @@ use std::time::Duration;
 use fsc_engine::{DynEngine, EngineConfig, ServeHandle};
 use fsc_state::delta::{encode_delta, CheckpointChain};
 
-use crate::faults::FaultPlan;
+use crate::faults::{CrashPoint, FaultPlan};
 use crate::protocol::{
     read_frame, valid_tenant_name, write_frame, FrameError, Request, Response, ServeError,
-    TenantStats,
+    ServerStatus, TenantStats, TenantStatus,
 };
 use crate::storage::{
     list_tenants, load_tenant, RecoveryReport, TenantMeta, TenantOutcome, TenantRecovery,
     TenantSnapshot, TenantStorage,
 };
+use crate::wal::{Durability, Wal, WalAppend};
 
 /// How servers construct engines from registry algorithm ids, without this crate
 /// depending on the registry: `fsc-bench` supplies the closure (its
@@ -78,15 +88,23 @@ pub struct ServerConfig {
     pub max_inflight_ingest: usize,
     /// The armed fault plan ([`FaultPlan::none`] in production).
     pub faults: Arc<FaultPlan>,
+    /// When the ack is issued relative to journal durability.
+    pub durability: Durability,
+    /// Journal appends between fsyncs in [`Durability::AckAfterApply`] mode
+    /// (ignored in `AckAfterDurable`, which syncs every append).
+    pub group_commit: u64,
 }
 
 impl ServerConfig {
-    /// Defaults: the given data dir, an admission bound of 64, no faults.
+    /// Defaults: the given data dir, an admission bound of 64, no faults,
+    /// `AckAfterApply` durability with a group commit of 8 appends.
     pub fn new(data_dir: impl Into<PathBuf>) -> Self {
         Self {
             data_dir: data_dir.into(),
             max_inflight_ingest: 64,
             faults: Arc::new(FaultPlan::none()),
+            durability: Durability::default(),
+            group_commit: 8,
         }
     }
 
@@ -101,6 +119,18 @@ impl ServerConfig {
         self.max_inflight_ingest = bound.max(1);
         self
     }
+
+    /// Replaces the durability mode.
+    pub fn with_durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
+        self
+    }
+
+    /// Replaces the group-commit window (0 behaves as 1: sync every append).
+    pub fn with_group_commit(mut self, appends: u64) -> Self {
+        self.group_commit = appends;
+        self
+    }
 }
 
 /// One tenant: the locked write side and the lock-free read side.
@@ -109,6 +139,30 @@ struct Tenant {
     /// The engine's serving-view handle: queries answer from here without
     /// touching the mutex.
     serve: Arc<dyn ServeHandle>,
+}
+
+/// What boot-time recovery found for one tenant (frozen at boot; reported by
+/// [`Request::Status`] so operators can assert clean recovery remotely).
+struct TenantBoot {
+    /// False for tenants created by this process (nothing to recover).
+    recovered: bool,
+    chain_applied: u64,
+    chain_discarded: u64,
+    wal_replayed: u64,
+    wal_truncated_bytes: u64,
+}
+
+impl TenantBoot {
+    /// The boot record of a freshly created tenant.
+    fn fresh() -> Self {
+        TenantBoot {
+            recovered: false,
+            chain_applied: 0,
+            chain_discarded: 0,
+            wal_replayed: 0,
+            wal_truncated_bytes: 0,
+        }
+    }
 }
 
 struct TenantInner {
@@ -121,6 +175,15 @@ struct TenantInner {
     /// batches has a recordable epoch.
     chain: CheckpointChain,
     storage: TenantStorage,
+    /// The write-ahead batch journal: appended (and fsynced, per mode) before
+    /// every ack, truncated by every checkpoint that lands intact.
+    wal: Wal,
+    /// Cleared permanently when a delta write tears: past that point the
+    /// on-disk chain is broken mid-sequence and the journal is the only
+    /// durable copy of the acked suffix, so checkpoints must stop truncating
+    /// it until a restart replays disk truth.
+    wal_ok: bool,
+    boot: TenantBoot,
 }
 
 impl TenantInner {
@@ -134,7 +197,8 @@ impl TenantInner {
     }
 
     /// Makes the current state durable: one delta against the chain tip, through
-    /// the fault plan.  A no-op when no batch was applied since the tip.
+    /// the fault plan, then truncates the journal the delta made redundant.  A
+    /// no-op when no batch was applied since the tip.
     fn persist(&mut self, faults: &FaultPlan) -> Result<(), String> {
         if self.next_seq == self.chain.tip_epoch() {
             return Ok(());
@@ -150,9 +214,18 @@ impl TenantInner {
         self.chain
             .append_delta(delta.clone())
             .map_err(|e| format!("appending delta: {e}"))?;
-        self.storage
+        let intact = self
+            .storage
             .append_delta(&delta, faults)
             .map_err(|e| format!("writing delta: {e}"))?;
+        if !intact {
+            self.wal_ok = false;
+        }
+        if self.wal_ok {
+            self.wal
+                .truncate()
+                .map_err(|e| format!("truncating journal: {e}"))?;
+        }
         Ok(())
     }
 }
@@ -168,6 +241,11 @@ struct Shared {
     /// Ingest requests currently admitted.
     inflight: AtomicUsize,
     max_inflight: usize,
+    durability: Durability,
+    group_commit: u64,
+    /// Tenant directories found at boot that could not be recovered (set once
+    /// after startup recovery; reported by `Status`).
+    failed_tenants: AtomicUsize,
 }
 
 impl Shared {
@@ -274,8 +352,14 @@ impl Server {
             stop: AtomicBool::new(false),
             inflight: AtomicUsize::new(0),
             max_inflight: config.max_inflight_ingest,
+            durability: config.durability,
+            group_commit: config.group_commit,
+            failed_tenants: AtomicUsize::new(0),
         });
         let report = recover_all(&shared)?;
+        shared
+            .failed_tenants
+            .store(report.failed(), Ordering::SeqCst);
 
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
@@ -327,7 +411,6 @@ fn recover_tenant(shared: &Shared, name: &str) -> TenantOutcome {
             error: format!("restoring recovered tip: {e}"),
         };
     }
-    let _ = engine.refresh_view();
     let storage = match TenantStorage::open(&shared.data_dir, name) {
         Ok(s) => s,
         Err(e) => {
@@ -336,11 +419,31 @@ fn recover_tenant(shared: &Shared, name: &str) -> TenantOutcome {
             }
         }
     };
+    // The chain tip is restored; now repair the journal (truncating any torn
+    // tail at the last valid record) and replay its suffix through the
+    // idempotency cursor — the batches that were acked but not yet
+    // checkpointed when the process died.
+    let (wal, wal_recovery) = match Wal::open(storage.dir(), loaded.snapshot.next_seq) {
+        Ok(pair) => pair,
+        Err(e) => {
+            return TenantOutcome::Failed {
+                error: format!("opening journal: {e}"),
+            }
+        }
+    };
+    let mut next_seq = loaded.snapshot.next_seq;
+    for record in &wal_recovery.replay {
+        engine.ingest(&record.items);
+        next_seq += 1;
+    }
+    let _ = engine.refresh_view();
     let outcome = TenantOutcome::Recovered {
         epoch: loaded.chain.tip_epoch(),
-        next_seq: loaded.snapshot.next_seq,
+        next_seq,
         applied: loaded.replay.applied,
         discarded: loaded.replay.discarded.len(),
+        wal_replayed: wal_recovery.replay.len() as u64,
+        wal_truncated_bytes: wal_recovery.truncated_bytes,
     };
     let serve = engine.serve_handle();
     shared.tenants.write().unwrap().insert(
@@ -348,9 +451,18 @@ fn recover_tenant(shared: &Shared, name: &str) -> TenantOutcome {
         Arc::new(Tenant {
             inner: Mutex::new(TenantInner {
                 engine,
-                next_seq: loaded.snapshot.next_seq,
+                next_seq,
                 chain: loaded.chain,
                 storage,
+                wal,
+                wal_ok: true,
+                boot: TenantBoot {
+                    recovered: true,
+                    chain_applied: loaded.replay.applied as u64,
+                    chain_discarded: loaded.replay.discarded.len() as u64,
+                    wal_replayed: wal_recovery.replay.len() as u64,
+                    wal_truncated_bytes: wal_recovery.truncated_bytes,
+                },
             }),
             serve,
         }),
@@ -480,12 +592,11 @@ fn handle_request(shared: &Shared, request: Request) -> (Response, Control) {
             create_tenant(shared, &tenant, &algorithm, shards),
             Control::None,
         ),
-        Request::Ingest { tenant, seq, items } => {
-            (ingest(shared, &tenant, seq, &items), Control::None)
-        }
+        Request::Ingest { tenant, seq, items } => ingest(shared, &tenant, seq, &items),
         Request::Query { tenant, query } => (query_tenant(shared, &tenant, &query), Control::None),
         Request::Checkpoint { tenant } => (checkpoint_tenant(shared, &tenant), Control::None),
         Request::Stats { tenant } => (stats_tenant(shared, &tenant), Control::None),
+        Request::Status => (status(shared), Control::None),
         Request::Shutdown => {
             let response = match shared.persist_all() {
                 Ok(()) => Response::Ok,
@@ -540,6 +651,10 @@ fn create_tenant(shared: &Shared, tenant: &str, algorithm: &str, shards: u32) ->
             Ok(s) => s,
             Err(e) => return Response::Error(ServeError::Internal(format!("provisioning: {e}"))),
         };
+    let wal = match Wal::create(storage.dir()) {
+        Ok(w) => w,
+        Err(e) => return Response::Error(ServeError::Internal(format!("creating journal: {e}"))),
+    };
     let chain = match CheckpointChain::new(base.encode(), 0) {
         Ok(c) => c,
         Err(e) => return Response::Error(ServeError::Internal(format!("chain base: {e}"))),
@@ -553,6 +668,9 @@ fn create_tenant(shared: &Shared, tenant: &str, algorithm: &str, shards: u32) ->
                 next_seq: 0,
                 chain,
                 storage,
+                wal,
+                wal_ok: true,
+                boot: TenantBoot::fresh(),
             }),
             serve,
         }),
@@ -560,20 +678,28 @@ fn create_tenant(shared: &Shared, tenant: &str, algorithm: &str, shards: u32) ->
     Response::Ok
 }
 
-fn ingest(shared: &Shared, tenant: &str, seq: u64, items: &[u64]) -> Response {
+fn ingest(shared: &Shared, tenant: &str, seq: u64, items: &[u64]) -> (Response, Control) {
     // Admission first: shed before queueing on any lock.
     if shared.inflight.fetch_add(1, Ordering::SeqCst) + 1 > shared.max_inflight {
         shared.inflight.fetch_sub(1, Ordering::SeqCst);
-        return Response::Error(ServeError::Overloaded);
+        return (Response::Error(ServeError::Overloaded), Control::None);
     }
-    let response = ingest_admitted(shared, tenant, seq, items);
+    let result = ingest_admitted(shared, tenant, seq, items);
     shared.inflight.fetch_sub(1, Ordering::SeqCst);
-    response
+    result
 }
 
-fn ingest_admitted(shared: &Shared, tenant: &str, seq: u64, items: &[u64]) -> Response {
+/// The write path, in ack-contract order: journal append → sync (per mode) →
+/// apply → ack.  [`Control::Crash`] exits mean the client never sees an ack —
+/// either an armed [`CrashPoint`] fired, or the journal append itself tore
+/// (a torn append *is* the crash: appending more records behind the tear would
+/// strand them past damage, so the server dies exactly where the write died).
+fn ingest_admitted(shared: &Shared, tenant: &str, seq: u64, items: &[u64]) -> (Response, Control) {
     let Some(tenant) = shared.tenant(tenant) else {
-        return Response::Error(ServeError::UnknownTenant(tenant.to_string()));
+        return (
+            Response::Error(ServeError::UnknownTenant(tenant.to_string())),
+            Control::None,
+        );
     };
     let mut inner = tenant.inner.lock().unwrap();
     if let Some(stall) = shared.faults.ingest_stall() {
@@ -581,23 +707,62 @@ fn ingest_admitted(shared: &Shared, tenant: &str, seq: u64, items: &[u64]) -> Re
     }
     if seq < inner.next_seq {
         // A retried batch whose first copy landed: ack without re-applying.
-        return Response::IngestAck {
-            seq,
-            applied: false,
-        };
+        return (
+            Response::IngestAck {
+                seq,
+                applied: false,
+            },
+            Control::None,
+        );
     }
     if seq > inner.next_seq {
-        return Response::Error(ServeError::SeqGap {
-            expected: inner.next_seq,
-            found: seq,
-        });
+        return (
+            Response::Error(ServeError::SeqGap {
+                expected: inner.next_seq,
+                found: seq,
+            }),
+            Control::None,
+        );
+    }
+    let nth = shared.faults.ingest_begun();
+    if shared.faults.crash_now(CrashPoint::BeforeJournal, nth) {
+        return (Response::Ok, Control::Crash);
+    }
+    match inner.wal.append(seq, items, &shared.faults) {
+        Ok(WalAppend::Clean) => {}
+        // Latent media damage: framing intact, so later appends still land
+        // behind it; the *next* recovery's checksum pass truncates there.
+        Ok(WalAppend::Corrupt) => {}
+        Ok(WalAppend::Torn) => return (Response::Ok, Control::Crash),
+        Err(e) => {
+            return (
+                Response::Error(ServeError::Internal(format!("journal append: {e}"))),
+                Control::None,
+            )
+        }
+    }
+    let synced = match shared.durability {
+        Durability::AckAfterDurable => inner.wal.sync(),
+        Durability::AckAfterApply => inner.wal.maybe_sync(shared.group_commit),
+    };
+    if let Err(e) = synced {
+        return (
+            Response::Error(ServeError::Internal(format!("journal sync: {e}"))),
+            Control::None,
+        );
+    }
+    if shared.faults.crash_now(CrashPoint::AfterJournal, nth) {
+        return (Response::Ok, Control::Crash);
     }
     inner.engine.ingest(items);
     inner.next_seq += 1;
     // Publish for the lock-free readers; a failure here means a query raced a
     // poisoned merge, which the engine surfaces on its own query path too.
     let _ = inner.engine.refresh_view();
-    Response::IngestAck { seq, applied: true }
+    if shared.faults.crash_now(CrashPoint::AfterApply, nth) {
+        return (Response::Ok, Control::Crash);
+    }
+    (Response::IngestAck { seq, applied: true }, Control::None)
 }
 
 fn query_tenant(shared: &Shared, tenant: &str, query: &fsc_state::Query) -> Response {
@@ -638,5 +803,41 @@ fn stats_tenant(shared: &Shared, tenant: &str) -> Response {
         next_seq: inner.next_seq,
         rebuilds: inner.engine.view_rebuilds(),
         chain_len: inner.chain.len() as u64,
+    })
+}
+
+/// The server-wide durability status: mode, boot recovery counts, live
+/// journal state — everything the remote clean-recovery assertion needs.
+fn status(shared: &Shared) -> Response {
+    let tenants: Vec<(String, Arc<Tenant>)> = {
+        let map = shared.tenants.read().unwrap();
+        let mut out: Vec<_> = map
+            .iter()
+            .map(|(name, tenant)| (name.clone(), Arc::clone(tenant)))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    };
+    let mut rows = Vec::with_capacity(tenants.len());
+    for (name, tenant) in tenants {
+        let inner = tenant.inner.lock().unwrap();
+        rows.push(TenantStatus {
+            tenant: name,
+            recovered: inner.boot.recovered,
+            next_seq: inner.next_seq,
+            chain_applied: inner.boot.chain_applied,
+            chain_discarded: inner.boot.chain_discarded,
+            wal_replayed: inner.boot.wal_replayed,
+            wal_truncated_bytes: inner.boot.wal_truncated_bytes,
+            wal_records: inner.wal.records(),
+            wal_bytes: inner.wal.len(),
+            wal_appended_bytes: inner.wal.appended_bytes(),
+        });
+    }
+    Response::Status(ServerStatus {
+        durability: shared.durability,
+        group_commit: shared.group_commit,
+        failed_tenants: shared.failed_tenants.load(Ordering::SeqCst) as u64,
+        tenants: rows,
     })
 }

@@ -7,7 +7,11 @@
 //! <root>/<tenant>/base.fscs         # wrapper checkpoint (next_seq + engine bytes)
 //! <root>/<tenant>/delta-000000.fscd # deltas, in append order
 //! <root>/<tenant>/delta-000001.fscd
+//! <root>/<tenant>/wal.fscw          # write-ahead batch journal (see `wal`)
 //! ```
+//!
+//! Every durable write here is fsynced (file *and* parent directory), so
+//! "durable" means surviving power loss, not just process kill.
 //!
 //! Checkpoints persist the *wrapper* ([`TenantSnapshot`]: ingest sequence
 //! number plus nested engine checkpoint), not the bare engine, so the cursor
@@ -114,6 +118,25 @@ fn delta_path(dir: &Path, index: u64) -> PathBuf {
     dir.join(format!("delta-{index:06}.fscd"))
 }
 
+/// Writes `bytes` to `path` and fsyncs the file. The caller still owes a
+/// [`sync_dir`] on the parent if the file is new.
+fn durable_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut file = fs::File::create(path)?;
+    io::Write::write_all(&mut file, bytes)?;
+    file.sync_all()
+}
+
+/// Fsyncs a directory, so a just-created file's *name* survives power loss
+/// (a file's own `sync_all` makes its bytes durable, not its directory entry).
+/// No-op off Unix, where directories cannot be opened for syncing.
+pub fn sync_dir(dir: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    fs::File::open(dir)?.sync_all()?;
+    #[cfg(not(unix))]
+    let _ = dir;
+    Ok(())
+}
+
 /// Lists `(index, path)` of the delta files present, in index order.
 fn delta_files(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
     let mut out = Vec::new();
@@ -145,10 +168,12 @@ impl TenantStorage {
     ) -> io::Result<Self> {
         let dir = root.join(tenant);
         fs::create_dir_all(&dir)?;
-        fs::write(dir.join("meta.fscs"), meta.encode())?;
+        durable_write(&dir.join("meta.fscs"), &meta.encode())?;
         let bytes = base.encode();
         let written = faults.tear_write(&bytes).unwrap_or(bytes);
-        fs::write(dir.join("base.fscs"), written)?;
+        durable_write(&dir.join("base.fscs"), &written)?;
+        sync_dir(&dir)?;
+        sync_dir(root)?;
         Ok(Self { dir, next_delta: 0 })
     }
 
@@ -168,16 +193,22 @@ impl TenantStorage {
         Ok(Self { dir, next_delta })
     }
 
-    /// Appends one delta blob (through the fault plan).  The in-memory chain has
-    /// already validated it; a tear here is exactly the crash-mid-write case the
-    /// recovery path drills.
-    pub fn append_delta(&mut self, delta: &[u8], faults: &FaultPlan) -> io::Result<()> {
+    /// Appends one delta blob (through the fault plan), fsyncing the file and
+    /// its directory.  The in-memory chain has already validated it; a tear
+    /// here is exactly the crash-mid-write case the recovery path drills.
+    ///
+    /// Returns whether the blob landed intact (`false` means the fault plan
+    /// tore it — the caller must then treat the on-disk chain as damaged and
+    /// stop truncating the journal, or acked batches past the tear would have
+    /// no durable copy anywhere).
+    pub fn append_delta(&mut self, delta: &[u8], faults: &FaultPlan) -> io::Result<bool> {
         let path = delta_path(&self.dir, self.next_delta);
         self.next_delta += 1;
-        match faults.tear_write(delta) {
-            Some(torn) => fs::write(path, torn),
-            None => fs::write(path, delta),
-        }
+        let torn = faults.tear_write(delta);
+        let intact = torn.is_none();
+        durable_write(&path, torn.as_deref().unwrap_or(delta))?;
+        sync_dir(&self.dir)?;
+        Ok(intact)
     }
 
     /// The tenant directory.
@@ -260,6 +291,10 @@ pub enum TenantOutcome {
         applied: usize,
         /// Damaged chain entries discarded during replay.
         discarded: usize,
+        /// Journal batches replayed past the chain tip.
+        wal_replayed: u64,
+        /// Bytes of torn journal tail truncated at the last valid record.
+        wal_truncated_bytes: u64,
     },
     /// The tenant could not be brought back (reason stringified); other tenants
     /// are unaffected.
@@ -310,9 +345,36 @@ impl RecoveryReport {
             .sum()
     }
 
-    /// Whether every tenant came back with nothing discarded.
+    /// Total journal batches replayed past chain tips across recovered tenants.
+    pub fn total_wal_replayed(&self) -> u64 {
+        self.tenants
+            .iter()
+            .map(|t| match t.outcome {
+                TenantOutcome::Recovered { wal_replayed, .. } => wal_replayed,
+                TenantOutcome::Failed { .. } => 0,
+            })
+            .sum()
+    }
+
+    /// Total torn journal bytes truncated across recovered tenants.
+    pub fn total_wal_truncated_bytes(&self) -> u64 {
+        self.tenants
+            .iter()
+            .map(|t| match t.outcome {
+                TenantOutcome::Recovered {
+                    wal_truncated_bytes,
+                    ..
+                } => wal_truncated_bytes,
+                TenantOutcome::Failed { .. } => 0,
+            })
+            .sum()
+    }
+
+    /// Whether every tenant came back with nothing discarded or truncated.
+    /// Journal *replay* is clean — it is the journal doing its job — but a
+    /// truncated tail means a record was torn or corrupted on disk.
     pub fn is_clean(&self) -> bool {
-        self.failed() == 0 && self.total_discarded() == 0
+        self.failed() == 0 && self.total_discarded() == 0 && self.total_wal_truncated_bytes() == 0
     }
 }
 
@@ -320,11 +382,14 @@ impl std::fmt::Display for RecoveryReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} tenant(s): {} recovered, {} failed, {} chain entr(ies) discarded",
+            "{} tenant(s): {} recovered, {} failed, {} chain entr(ies) discarded, \
+             {} journal batch(es) replayed, {} journal byte(s) truncated",
             self.tenants.len(),
             self.recovered(),
             self.failed(),
-            self.total_discarded()
+            self.total_discarded(),
+            self.total_wal_replayed(),
+            self.total_wal_truncated_bytes()
         )?;
         for t in &self.tenants {
             match &t.outcome {
@@ -333,14 +398,16 @@ impl std::fmt::Display for RecoveryReport {
                     next_seq,
                     applied,
                     discarded,
+                    wal_replayed,
+                    wal_truncated_bytes,
                 } => write!(
                     f,
-                    "; {}: epoch {epoch}, next_seq {next_seq}, {applied} applied, {discarded} discarded",
+                    "; {}: epoch {epoch}, next_seq {next_seq}, {applied} applied, \
+                     {discarded} discarded, {wal_replayed} replayed, \
+                     {wal_truncated_bytes} truncated",
                     t.tenant
                 )?,
-                TenantOutcome::Failed { error } => {
-                    write!(f, "; {}: FAILED ({error})", t.tenant)?
-                }
+                TenantOutcome::Failed { error } => write!(f, "; {}: FAILED ({error})", t.tenant)?,
             }
         }
         Ok(())
@@ -397,7 +464,7 @@ mod tests {
         for (seq, epoch) in [(1u64, 100u64), (2, 200)] {
             let snap = snapshot(seq, epoch, &[seq, epoch]);
             let delta = record_delta(&mut chain, &snap.encode(), epoch);
-            storage.append_delta(&delta, &faults).unwrap();
+            assert!(storage.append_delta(&delta, &faults).unwrap());
         }
 
         let loaded = load_tenant(&root, "t0").unwrap();
@@ -434,7 +501,8 @@ mod tests {
         let mut chain = CheckpointChain::new(base.encode(), 0).unwrap();
         let snap1 = snapshot(1, 50, &[7, 8, 7, 7]);
         let delta1 = record_delta(&mut chain, &snap1.encode(), 50);
-        storage.append_delta(&delta1, &faults).unwrap(); // torn on disk
+        let intact = storage.append_delta(&delta1, &faults).unwrap();
+        assert!(!intact, "the armed tear reports the blob as damaged");
 
         // The process "dies" here.  A new process reloads:
         let loaded = load_tenant(&root, "t0").unwrap();

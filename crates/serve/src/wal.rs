@@ -1,0 +1,782 @@
+//! Per-tenant write-ahead batch journal: the durability layer under the ack.
+//!
+//! Checkpoints (`storage` + `fsc_persist`) make the *applied* prefix durable,
+//! but only when a checkpoint runs. The journal closes the gap: every ingest
+//! batch is appended here — length-prefixed, seq-stamped, checksummed — before
+//! the server acknowledges it (in [`Durability::AckAfterDurable`] mode, fsynced
+//! before the ack). Recovery then becomes: restore the chain tip, truncate any
+//! torn journal tail at the last valid record, and replay the suffix through
+//! the idempotency cursor. An acked batch is either inside the recovered chain
+//! prefix or inside the replayed journal suffix — never lost.
+//!
+//! # On-disk format
+//!
+//! ```text
+//! wal.fscw := magic "FSCW" | version u32 LE | record*
+//! record   := len u32 LE | seq u64 LE | checksum u64 LE | item u64 LE × n
+//! ```
+//!
+//! `len` counts everything after itself (`16 + 8·n` bytes), `checksum` is
+//! FNV-1a-64 over the seq bytes followed by the item bytes, and seqs within a
+//! journal are strictly consecutive. Parsing is total: [`scan`] classifies any
+//! byte string into a valid prefix plus an optional typed [`WalError`], and
+//! never panics. Damage past the last valid record is *truncated* (a torn
+//! append from a crash); the valid prefix is always kept.
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::faults::{FaultPlan, WalWriteFault};
+use crate::storage::sync_dir;
+
+/// First bytes of every journal file.
+pub const WAL_MAGIC: [u8; 4] = *b"FSCW";
+/// Format version stamped after the magic.
+pub const WAL_VERSION: u32 = 1;
+/// Bytes of `magic | version` before the first record.
+pub const WAL_HEADER: u64 = 8;
+/// Bytes of `len | seq | checksum` framing around each record's items.
+pub const RECORD_OVERHEAD: u64 = 20;
+/// Hard cap on a single record's `len` field, mirroring the frame cap.
+pub const MAX_WAL_RECORD: u32 = 16 << 20;
+
+/// FNV-1a-64 over `bytes` — the journal's record checksum.
+///
+/// A single flipped byte changes the digest (each step is an XOR followed by
+/// multiplication by an odd constant, both injective), which is the failure
+/// mode torn and corrupt writes actually produce.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut fnv = Fnv::new();
+    fnv.update(bytes);
+    fnv.finish()
+}
+
+/// Incremental FNV-1a-64, so record checksums avoid concatenating buffers.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Path of the journal inside a tenant directory.
+pub fn wal_path(dir: &Path) -> PathBuf {
+    dir.join("wal.fscw")
+}
+
+/// When the server acknowledges an ingest batch, relative to durability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Durability {
+    /// Ack once the batch is applied in memory and appended to the journal.
+    /// The append is fsynced every `group_commit` appends, so a process kill
+    /// loses nothing (the page cache survives) and power loss is bounded by
+    /// the group-commit window. This is the seed behavior plus a journal.
+    #[default]
+    AckAfterApply,
+    /// Fsync the journal append before every ack: an acked batch survives
+    /// power loss. Zero acked-write loss at every crash point.
+    AckAfterDurable,
+}
+
+impl fmt::Display for Durability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Durability::AckAfterApply => write!(f, "ack-after-apply"),
+            Durability::AckAfterDurable => write!(f, "ack-after-durable"),
+        }
+    }
+}
+
+/// Typed damage found while scanning a journal. `at` is the byte offset of the
+/// damaged region; everything before it is a valid prefix that recovery keeps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalError {
+    /// The file does not start with `FSCW`.
+    BadMagic,
+    /// The version stamp is one this build cannot read.
+    UnsupportedVersion(u32),
+    /// The file ends mid-record: a torn append.
+    Truncated {
+        /// Byte offset where the torn record starts.
+        at: u64,
+    },
+    /// A record's length field is malformed (too small, not a whole number of
+    /// items, or over the cap) — garbage, not a record.
+    BadLength {
+        /// Byte offset of the malformed record.
+        at: u64,
+        /// The length field found there.
+        len: u32,
+    },
+    /// A record frames correctly but its checksum does not match: corruption.
+    BadChecksum {
+        /// Byte offset of the corrupt record.
+        at: u64,
+    },
+    /// A record's seq is not `prev + 1`: the journal itself is inconsistent.
+    OutOfOrderSeq {
+        /// Byte offset of the out-of-order record.
+        at: u64,
+        /// The seq of the record before it.
+        prev: u64,
+        /// The seq found.
+        found: u64,
+    },
+    /// The first surviving record is past the recovery cursor: the journal
+    /// cannot supply the batch the chain tip needs next.
+    Gap {
+        /// Byte offset of the unusable record.
+        at: u64,
+        /// The seq the chain tip needs next.
+        expected: u64,
+        /// The seq found.
+        found: u64,
+    },
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::BadMagic => write!(f, "journal header is not FSCW"),
+            WalError::UnsupportedVersion(v) => write!(f, "unsupported journal version {v}"),
+            WalError::Truncated { at } => write!(f, "torn journal record at byte {at}"),
+            WalError::BadLength { at, len } => {
+                write!(f, "malformed journal record length {len} at byte {at}")
+            }
+            WalError::BadChecksum { at } => {
+                write!(f, "journal record checksum mismatch at byte {at}")
+            }
+            WalError::OutOfOrderSeq { at, prev, found } => write!(
+                f,
+                "journal seq {found} after {prev} at byte {at} (records must be consecutive)"
+            ),
+            WalError::Gap {
+                at,
+                expected,
+                found,
+            } => write!(
+                f,
+                "journal starts at seq {found} but recovery needs seq {expected} (byte {at})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+/// One decoded journal record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Byte offset of the record's length field inside the file.
+    pub at: u64,
+    /// Ingest sequence number the batch was acked under.
+    pub seq: u64,
+    /// The batch items, exactly as ingested.
+    pub items: Vec<u64>,
+}
+
+/// Result of a total scan: the valid prefix and the first damage past it.
+#[derive(Debug)]
+pub struct WalScan {
+    /// Every record in the valid prefix, in order.
+    pub records: Vec<WalRecord>,
+    /// Bytes of the valid prefix (header + whole records). Truncating the
+    /// file to this length removes exactly the damage.
+    pub valid_len: u64,
+    /// The first damage found, if any. `None` means the file is clean.
+    pub damage: Option<WalError>,
+}
+
+/// Totally parse a journal image: never panics, classifies every byte string.
+pub fn scan(bytes: &[u8]) -> WalScan {
+    if bytes.len() < WAL_HEADER as usize {
+        return WalScan {
+            records: Vec::new(),
+            valid_len: 0,
+            damage: Some(WalError::Truncated { at: 0 }),
+        };
+    }
+    if bytes[..4] != WAL_MAGIC {
+        return WalScan {
+            records: Vec::new(),
+            valid_len: 0,
+            damage: Some(WalError::BadMagic),
+        };
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if version != WAL_VERSION {
+        return WalScan {
+            records: Vec::new(),
+            valid_len: 0,
+            damage: Some(WalError::UnsupportedVersion(version)),
+        };
+    }
+
+    let mut records = Vec::new();
+    let mut offset = WAL_HEADER as usize;
+    let mut prev_seq: Option<u64> = None;
+    let damage = loop {
+        if offset == bytes.len() {
+            break None;
+        }
+        let at = offset as u64;
+        if bytes.len() - offset < 4 {
+            break Some(WalError::Truncated { at });
+        }
+        let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap());
+        if len < 16 || (len - 16) % 8 != 0 || len > MAX_WAL_RECORD {
+            break Some(WalError::BadLength { at, len });
+        }
+        if bytes.len() - offset - 4 < len as usize {
+            break Some(WalError::Truncated { at });
+        }
+        let body = &bytes[offset + 4..offset + 4 + len as usize];
+        let seq = u64::from_le_bytes(body[..8].try_into().unwrap());
+        let checksum = u64::from_le_bytes(body[8..16].try_into().unwrap());
+        let mut fnv = Fnv::new();
+        fnv.update(&body[..8]);
+        fnv.update(&body[16..]);
+        if fnv.finish() != checksum {
+            break Some(WalError::BadChecksum { at });
+        }
+        if let Some(prev) = prev_seq {
+            if seq != prev + 1 {
+                break Some(WalError::OutOfOrderSeq {
+                    at,
+                    prev,
+                    found: seq,
+                });
+            }
+        }
+        let items = body[16..]
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        records.push(WalRecord { at, seq, items });
+        prev_seq = Some(seq);
+        offset += 4 + len as usize;
+    };
+    let valid_len = records.last().map_or(WAL_HEADER, |r| {
+        r.at + RECORD_OVERHEAD + 8 * r.items.len() as u64
+    });
+    WalScan {
+        records,
+        valid_len,
+        damage,
+    }
+}
+
+/// Encode one record (`len | seq | checksum | items`) ready to append.
+fn encode_record(seq: u64, items: &[u64]) -> Vec<u8> {
+    let len = 16 + 8 * items.len() as u32;
+    let mut out = Vec::with_capacity(4 + len as usize);
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    let mut fnv = Fnv::new();
+    fnv.update(&seq.to_le_bytes());
+    let checksum_at = out.len();
+    out.extend_from_slice(&[0u8; 8]);
+    for &item in items {
+        let b = item.to_le_bytes();
+        fnv.update(&b);
+        out.extend_from_slice(&b);
+    }
+    out[checksum_at..checksum_at + 8].copy_from_slice(&fnv.finish().to_le_bytes());
+    out
+}
+
+/// What recovery replays and repairs when a journal is opened.
+#[derive(Debug, Default)]
+pub struct WalRecovery {
+    /// Records past the chain tip, in seq order: the suffix to replay.
+    pub replay: Vec<WalRecord>,
+    /// Records skipped because the chain tip already covers them.
+    pub skipped: u64,
+    /// Bytes of damaged tail removed from the file (0 on a clean open).
+    pub truncated_bytes: u64,
+    /// The damage that forced the truncation, if any.
+    pub damage: Option<WalError>,
+}
+
+/// How an append landed on disk, after fault injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalAppend {
+    /// The full record is in the file (fsynced only per the durability mode).
+    Clean,
+    /// A fault cut the record short: the file ends mid-record, exactly as a
+    /// crash during the write would leave it. The server must treat this as
+    /// the crash itself — appending more records behind the tear would strand
+    /// them past damage and recovery would truncate them away.
+    Torn,
+    /// A fault flipped a byte inside the record: latent media damage that the
+    /// next recovery detects by checksum and truncates.
+    Corrupt,
+}
+
+/// An open per-tenant journal.
+#[derive(Debug)]
+pub struct Wal {
+    path: PathBuf,
+    file: File,
+    /// Bytes in the file (header + records + any injected damage).
+    len: u64,
+    /// Bytes known fsynced. `len > synced_len` is the power-loss exposure.
+    synced_len: u64,
+    unsynced_appends: u64,
+    /// Records currently in the journal (reset by `truncate`).
+    records: u64,
+    /// Lifetime appends since open — survive truncation, feed the cost sweep.
+    appended_records: u64,
+    appended_bytes: u64,
+    /// Set when a failed append could not be rolled back: the file may end in
+    /// garbage, so further appends would be stranded behind it.
+    poisoned: bool,
+}
+
+impl Wal {
+    /// Create a fresh journal in `dir`, durably (file and directory synced).
+    pub fn create(dir: &Path) -> io::Result<Wal> {
+        let path = wal_path(dir);
+        // `truncate` and `append` cannot be combined in `OpenOptions`; open in
+        // append mode and empty the file explicitly.
+        let mut file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(&path)?;
+        file.set_len(0)?;
+        let mut header = Vec::with_capacity(WAL_HEADER as usize);
+        header.extend_from_slice(&WAL_MAGIC);
+        header.extend_from_slice(&WAL_VERSION.to_le_bytes());
+        file.write_all(&header)?;
+        file.sync_all()?;
+        sync_dir(dir)?;
+        Ok(Wal {
+            path,
+            file,
+            len: WAL_HEADER,
+            synced_len: WAL_HEADER,
+            unsynced_appends: 0,
+            records: 0,
+            appended_records: 0,
+            appended_bytes: 0,
+            poisoned: false,
+        })
+    }
+
+    /// Open the journal in `dir`, repairing any torn tail and splitting its
+    /// records at `cursor` (the recovered chain tip's next expected seq):
+    /// records below the cursor are skipped, records from it on are returned
+    /// for replay. A missing file is created fresh — tenants from before the
+    /// journal existed recover exactly as they used to.
+    pub fn open(dir: &Path, cursor: u64) -> io::Result<(Wal, WalRecovery)> {
+        let path = wal_path(dir);
+        if !path.exists() {
+            return Ok((Wal::create(dir)?, WalRecovery::default()));
+        }
+        let mut file = OpenOptions::new().read(true).append(true).open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let scanned = scan(&bytes);
+        let mut recovery = WalRecovery {
+            damage: scanned.damage,
+            ..WalRecovery::default()
+        };
+
+        if scanned.valid_len < WAL_HEADER {
+            // Header damage: nothing salvageable. Rewrite a fresh journal and
+            // count every byte as truncated.
+            recovery.truncated_bytes = bytes.len() as u64;
+            return Ok((Wal::create(dir)?, recovery));
+        }
+        let mut valid_len = scanned.valid_len;
+        let mut records = scanned.records;
+
+        // Split at the cursor: the chain tip already covers seqs below it.
+        let mut replay = Vec::new();
+        for record in records.drain(..) {
+            if record.seq < cursor {
+                recovery.skipped += 1;
+            } else if record.seq == cursor + replay.len() as u64 {
+                replay.push(record);
+            } else {
+                // The journal's surviving records start past the cursor: the
+                // batches the chain needs next were never journaled (possible
+                // only after on-disk damage elsewhere). Keep the covered
+                // prefix, drop the unusable suffix.
+                recovery.damage = Some(WalError::Gap {
+                    at: record.at,
+                    expected: cursor + replay.len() as u64,
+                    found: record.seq,
+                });
+                valid_len = record.at;
+                break;
+            }
+        }
+        if valid_len < bytes.len() as u64 {
+            recovery.truncated_bytes = bytes.len() as u64 - valid_len;
+            file.set_len(valid_len)?;
+            file.sync_all()?;
+        }
+        let kept = recovery.skipped + replay.len() as u64;
+        recovery.replay = replay;
+        Ok((
+            Wal {
+                path,
+                file,
+                len: valid_len,
+                synced_len: valid_len,
+                unsynced_appends: 0,
+                records: kept,
+                appended_records: 0,
+                appended_bytes: 0,
+                poisoned: false,
+            },
+            recovery,
+        ))
+    }
+
+    /// Append one batch record, applying any injected write fault from
+    /// `faults`. Returns how the bytes actually landed. An io error rolls the
+    /// file back to its pre-append length so a retry appends cleanly; if the
+    /// rollback itself fails the journal is poisoned and every later append
+    /// errors (no ack can be issued over a file that may end in garbage).
+    pub fn append(&mut self, seq: u64, items: &[u64], faults: &FaultPlan) -> io::Result<WalAppend> {
+        if self.poisoned {
+            return Err(io::Error::other(
+                "journal poisoned by an earlier failed append",
+            ));
+        }
+        let record = encode_record(seq, items);
+        let fault = faults.wal_write_fault(&record);
+        let (bytes, landed): (&[u8], WalAppend) = match &fault {
+            WalWriteFault::Clean => (&record, WalAppend::Clean),
+            WalWriteFault::Torn(torn) => (torn, WalAppend::Torn),
+            WalWriteFault::Corrupt(mangled) => (mangled, WalAppend::Corrupt),
+        };
+        if let Err(e) = self.file.write_all(bytes) {
+            if self.file.set_len(self.len).is_err() {
+                self.poisoned = true;
+            }
+            return Err(e);
+        }
+        self.len += bytes.len() as u64;
+        self.appended_bytes += bytes.len() as u64;
+        if landed != WalAppend::Torn {
+            self.records += 1;
+            self.appended_records += 1;
+        }
+        self.unsynced_appends += 1;
+        Ok(landed)
+    }
+
+    /// Fsync the journal: everything appended so far survives power loss.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_all()?;
+        self.synced_len = self.len;
+        self.unsynced_appends = 0;
+        Ok(())
+    }
+
+    /// Fsync only once `group_commit` appends have accumulated (a knob of 0
+    /// behaves as 1: every append syncs).
+    pub fn maybe_sync(&mut self, group_commit: u64) -> io::Result<()> {
+        if self.unsynced_appends >= group_commit.max(1) {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Drop every record: the checkpoint that just landed covers them all.
+    /// Atomic in the crash sense — a crash before the `set_len` leaves the
+    /// full journal (recovery skips the covered records via the cursor), a
+    /// crash after it leaves the empty journal (recovery replays nothing).
+    pub fn truncate(&mut self) -> io::Result<()> {
+        self.file.set_len(WAL_HEADER)?;
+        self.file.sync_all()?;
+        self.len = WAL_HEADER;
+        self.synced_len = WAL_HEADER;
+        self.unsynced_appends = 0;
+        self.records = 0;
+        Ok(())
+    }
+
+    /// Records currently in the journal.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Bytes currently in the journal file, header included.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when the journal holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    /// Bytes known fsynced (`len` minus the power-loss exposure).
+    pub fn synced_len(&self) -> u64 {
+        self.synced_len
+    }
+
+    /// Lifetime records appended since open (truncation does not reset this).
+    pub fn appended_records(&self) -> u64 {
+        self.appended_records
+    }
+
+    /// Lifetime bytes appended since open (truncation does not reset this).
+    pub fn appended_bytes(&self) -> u64 {
+        self.appended_bytes
+    }
+
+    /// Path of the journal file (drills truncate it to simulate power loss).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fsc-serve-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn appended_records_round_trip_through_open() {
+        let dir = tmp_dir("roundtrip");
+        let faults = FaultPlan::none();
+        let mut wal = Wal::create(&dir).unwrap();
+        for seq in 0..5u64 {
+            let items = vec![seq, seq * 10, seq * 100];
+            assert_eq!(wal.append(seq, &items, &faults).unwrap(), WalAppend::Clean);
+        }
+        wal.sync().unwrap();
+        assert_eq!(wal.records(), 5);
+        drop(wal);
+
+        let (wal, recovery) = Wal::open(&dir, 0).unwrap();
+        assert_eq!(recovery.truncated_bytes, 0);
+        assert_eq!(recovery.skipped, 0);
+        assert!(recovery.damage.is_none());
+        assert_eq!(recovery.replay.len(), 5);
+        for (seq, record) in recovery.replay.iter().enumerate() {
+            assert_eq!(record.seq, seq as u64);
+            let seq = seq as u64;
+            assert_eq!(record.items, vec![seq, seq * 10, seq * 100]);
+        }
+        assert_eq!(wal.records(), 5);
+    }
+
+    #[test]
+    fn the_cursor_splits_skip_from_replay() {
+        let dir = tmp_dir("cursor");
+        let faults = FaultPlan::none();
+        let mut wal = Wal::create(&dir).unwrap();
+        for seq in 0..6u64 {
+            wal.append(seq, &[seq], &faults).unwrap();
+        }
+        wal.sync().unwrap();
+        drop(wal);
+
+        let (_, recovery) = Wal::open(&dir, 4).unwrap();
+        assert_eq!(recovery.skipped, 4);
+        assert_eq!(
+            recovery.replay.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![4, 5]
+        );
+    }
+
+    #[test]
+    fn every_byte_prefix_of_a_journal_truncates_to_whole_records() {
+        let dir = tmp_dir("prefix");
+        let faults = FaultPlan::none();
+        let mut wal = Wal::create(&dir).unwrap();
+        let mut boundaries = vec![WAL_HEADER];
+        for seq in 0..3u64 {
+            wal.append(seq, &[seq, seq + 7], &faults).unwrap();
+            boundaries.push(wal.len());
+        }
+        wal.sync().unwrap();
+        drop(wal);
+        let image = std::fs::read(wal_path(&dir)).unwrap();
+
+        for cut in 0..=image.len() {
+            let sub = dir.join(format!("cut-{cut}"));
+            std::fs::create_dir(&sub).unwrap();
+            std::fs::write(wal_path(&sub), &image[..cut]).unwrap();
+            let (_, recovery) = Wal::open(&sub, 0).unwrap();
+            let whole = boundaries
+                .iter()
+                .filter(|&&b| b <= cut as u64)
+                .count()
+                .saturating_sub(1);
+            assert_eq!(
+                recovery.replay.len(),
+                whole,
+                "cut at byte {cut} must keep exactly the whole records before it"
+            );
+            let valid = boundaries
+                .iter()
+                .copied()
+                .filter(|&b| b <= cut as u64)
+                .max()
+                .unwrap_or(0);
+            assert_eq!(
+                recovery.truncated_bytes,
+                cut as u64 - valid,
+                "cut at byte {cut} must truncate exactly the torn tail"
+            );
+            assert_eq!(recovery.damage.is_some(), cut as u64 != valid || cut < 8);
+            // The repaired file reopens clean.
+            let (_, again) = Wal::open(&sub, 0).unwrap();
+            assert!(again.damage.is_none());
+            assert_eq!(again.truncated_bytes, 0);
+        }
+    }
+
+    #[test]
+    fn a_flipped_byte_is_caught_and_truncated() {
+        let dir = tmp_dir("flip");
+        let faults = FaultPlan::none();
+        let mut wal = Wal::create(&dir).unwrap();
+        wal.append(0, &[1, 2, 3], &faults).unwrap();
+        wal.append(1, &[4, 5, 6], &faults).unwrap();
+        wal.sync().unwrap();
+        let first_record_end = WAL_HEADER + RECORD_OVERHEAD + 24;
+        drop(wal);
+
+        let path = wal_path(&dir);
+        let mut image = std::fs::read(&path).unwrap();
+        // Flip a byte inside the second record's payload.
+        let target = first_record_end as usize + 21;
+        image[target] ^= 0x5A;
+        std::fs::write(&path, &image).unwrap();
+
+        let (_, recovery) = Wal::open(&dir, 0).unwrap();
+        assert_eq!(recovery.replay.len(), 1);
+        assert!(matches!(
+            recovery.damage,
+            Some(WalError::BadChecksum { at }) if at == first_record_end
+        ));
+        assert!(recovery.truncated_bytes > 0);
+    }
+
+    #[test]
+    fn group_commit_syncs_every_nth_append() {
+        let dir = tmp_dir("group");
+        let faults = FaultPlan::none();
+        let mut wal = Wal::create(&dir).unwrap();
+        for seq in 0..7u64 {
+            wal.append(seq, &[seq], &faults).unwrap();
+            wal.maybe_sync(3).unwrap();
+        }
+        // 7 appends, sync at 3 and 6: one append of exposure remains.
+        assert_eq!(wal.len() - wal.synced_len(), RECORD_OVERHEAD + 8);
+        wal.sync().unwrap();
+        assert_eq!(wal.len(), wal.synced_len());
+    }
+
+    #[test]
+    fn truncate_resets_the_journal_but_not_lifetime_counters() {
+        let dir = tmp_dir("truncate");
+        let faults = FaultPlan::none();
+        let mut wal = Wal::create(&dir).unwrap();
+        for seq in 0..4u64 {
+            wal.append(seq, &[seq], &faults).unwrap();
+        }
+        let appended = wal.appended_bytes();
+        wal.truncate().unwrap();
+        assert_eq!(wal.records(), 0);
+        assert_eq!(wal.len(), WAL_HEADER);
+        assert_eq!(wal.appended_records(), 4);
+        assert_eq!(wal.appended_bytes(), appended);
+
+        wal.append(4, &[4], &faults).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let (_, recovery) = Wal::open(&dir, 4).unwrap();
+        assert_eq!(recovery.replay.len(), 1);
+        assert_eq!(recovery.replay[0].seq, 4);
+    }
+
+    #[test]
+    fn a_torn_injected_append_leaves_a_repairable_tail() {
+        let dir = tmp_dir("torn");
+        let mut wal = Wal::create(&dir).unwrap();
+        let clean = FaultPlan::none();
+        wal.append(0, &[1, 2], &clean).unwrap();
+        let faults = FaultPlan::none().with_torn_wal_append(1);
+        assert_eq!(wal.append(1, &[3, 4], &faults).unwrap(), WalAppend::Torn);
+        wal.sync().unwrap();
+        drop(wal);
+
+        let (_, recovery) = Wal::open(&dir, 0).unwrap();
+        assert_eq!(recovery.replay.len(), 1);
+        assert!(matches!(recovery.damage, Some(WalError::Truncated { .. })));
+        assert!(recovery.truncated_bytes > 0);
+    }
+
+    #[test]
+    fn a_corrupt_injected_append_is_caught_on_reopen() {
+        let dir = tmp_dir("corrupt");
+        let mut wal = Wal::create(&dir).unwrap();
+        let clean = FaultPlan::none();
+        wal.append(0, &[1, 2], &clean).unwrap();
+        let faults = FaultPlan::none().with_corrupt_wal_record(1);
+        assert_eq!(wal.append(1, &[3, 4], &faults).unwrap(), WalAppend::Corrupt);
+        wal.sync().unwrap();
+        drop(wal);
+
+        let (_, recovery) = Wal::open(&dir, 0).unwrap();
+        assert_eq!(recovery.replay.len(), 1);
+        assert!(matches!(
+            recovery.damage,
+            Some(WalError::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn scan_is_total_over_noise() {
+        assert!(scan(b"").damage.is_some());
+        assert!(scan(b"FSC").damage.is_some());
+        assert!(scan(b"NOPE0000").damage.is_some());
+        let mut v2 = Vec::new();
+        v2.extend_from_slice(&WAL_MAGIC);
+        v2.extend_from_slice(&2u32.to_le_bytes());
+        assert!(matches!(
+            scan(&v2).damage,
+            Some(WalError::UnsupportedVersion(2))
+        ));
+        // A length field of garbage is BadLength, not a panic.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&WAL_MAGIC);
+        bad.extend_from_slice(&WAL_VERSION.to_le_bytes());
+        bad.extend_from_slice(&3u32.to_le_bytes());
+        bad.extend_from_slice(&[0; 16]);
+        assert!(matches!(
+            scan(&bad).damage,
+            Some(WalError::BadLength { at: 8, len: 3 })
+        ));
+    }
+}

@@ -1,0 +1,376 @@
+//! Laws of durable ingest: the write-ahead journal and crash recovery.
+//!
+//! * **Torn-tail totality** — for *every* byte-length prefix of a journal
+//!   file (every place a crash can cut a write), opening the journal keeps
+//!   exactly the whole records the prefix contains, truncates the rest with
+//!   typed counts, and leaves a file that re-scans clean.  Checked both at
+//!   the `Wal` layer (every cut, exhaustively) and through a live server
+//!   (seeded cuts of a real tenant's journal).
+//! * **Zero acked-write loss** — in `AckAfterDurable` mode, a crash injected
+//!   at *every* point inside the ingest write path (before the journal
+//!   append, after it, after the in-memory apply) and at every batch position
+//!   recovers a server that answers exactly like a registry twin fed at least
+//!   every acked batch.
+//! * **Bounded relaxed loss** — in the default `AckAfterApply` mode, a
+//!   simulated power loss (journal truncated to its fsynced boundary) loses
+//!   at most one group-commit window of acked batches, and the sequence-
+//!   numbered client replays the tail to exact convergence.
+
+use std::path::PathBuf;
+
+use fsc_bench::registry::serve_factory;
+use fsc_engine::EngineConfig;
+use fsc_serve::faults::splitmix64;
+use fsc_serve::wal::{scan, Wal, WAL_HEADER};
+use fsc_serve::{
+    Client, ClientConfig, CrashPoint, Durability, FaultPlan, Server, ServerConfig, ServerHandle,
+};
+use fsc_state::{Answer, Query};
+use proptest::prelude::*;
+
+// --- helpers ------------------------------------------------------------------
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fsc-recovery-laws-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start(
+    dir: &PathBuf,
+    faults: FaultPlan,
+    durability: Durability,
+    group_commit: u64,
+) -> (ServerHandle, fsc_serve::RecoveryReport) {
+    let config = ServerConfig::new(dir)
+        .with_faults(faults)
+        .with_durability(durability)
+        .with_group_commit(group_commit);
+    Server::start("127.0.0.1:0", config, serve_factory()).expect("bind")
+}
+
+/// `n` seeded batches of `per` items over a small universe.
+fn batches(n: usize, per: usize, seed: u64) -> Vec<Vec<u64>> {
+    let mut rng = seed;
+    (0..n)
+        .map(|_| (0..per).map(|_| splitmix64(&mut rng) % 512).collect())
+        .collect()
+}
+
+/// Probe answers of a registry twin fed `upto` of `batches`.
+fn twin_answers(batches: &[Vec<u64>], upto: usize, probes: &[Query]) -> Vec<Answer> {
+    let factory = serve_factory();
+    let mut engine = factory(
+        "count_min",
+        EngineConfig {
+            shards: 2,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("count_min is engine-capable");
+    for batch in &batches[..upto] {
+        engine.ingest(batch);
+    }
+    probes
+        .iter()
+        .map(|q| engine.query_fresh(q).expect("twin answers"))
+        .collect()
+}
+
+fn served_answers(c: &mut Client, probes: &[Query]) -> Vec<Answer> {
+    probes
+        .iter()
+        .map(|q| c.query("t0", *q).expect("query"))
+        .collect()
+}
+
+fn probes() -> Vec<Query> {
+    (0..16).map(Query::Point).chain([Query::Moment]).collect()
+}
+
+// --- torn-tail totality at the Wal layer --------------------------------------
+
+/// Builds a journal of `shapes.len()` records (one per item count), returns
+/// the file's bytes.
+fn journal_image(dir: &PathBuf, shapes: &[usize]) -> Vec<u8> {
+    std::fs::create_dir_all(dir).expect("mkdir");
+    let mut wal = Wal::create(dir).expect("create journal");
+    let none = FaultPlan::none();
+    for (seq, &n) in shapes.iter().enumerate() {
+        let items: Vec<u64> = (0..n as u64).map(|i| i * 31 + seq as u64).collect();
+        wal.append(seq as u64, &items, &none).expect("append");
+    }
+    wal.sync().expect("sync");
+    std::fs::read(fsc_serve::wal::wal_path(dir)).expect("read journal")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For EVERY byte-length prefix of a journal — every place a crash can cut
+    /// a write — opening recovers exactly the whole records the prefix holds,
+    /// reports the rest as typed truncation, and repairs the file in place so
+    /// a second scan is clean.
+    #[test]
+    fn every_byte_prefix_of_a_journal_recovers_its_whole_records(seed in 0u64..10_000) {
+        let mut rng = seed;
+        let shapes: Vec<usize> = (0..3).map(|_| (splitmix64(&mut rng) % 9) as usize).collect();
+        let build = tmp_dir(&format!("image-{seed}"));
+        let image = journal_image(&build, &shapes);
+        let _ = std::fs::remove_dir_all(&build);
+
+        let dir = tmp_dir(&format!("cut-{seed}"));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = fsc_serve::wal::wal_path(&dir);
+        for cut in 0..=image.len() {
+            std::fs::write(&path, &image[..cut]).expect("write cut prefix");
+            let oracle = scan(&image[..cut]);
+            let (wal, recovery) = Wal::open(&dir, 0).expect("open never errors on damage");
+            prop_assert_eq!(
+                &recovery.replay, &oracle.records,
+                "cut {} must keep exactly the whole records", cut
+            );
+            prop_assert_eq!(recovery.skipped, 0);
+            // Everything past the last whole record is truncated — including a
+            // damaged header, which is rewritten from scratch.
+            let expected_truncated = cut as u64 - oracle.valid_len.min(cut as u64);
+            prop_assert_eq!(
+                recovery.truncated_bytes, expected_truncated,
+                "cut {}: truncation counts every damaged byte", cut
+            );
+            prop_assert_eq!(
+                recovery.damage.is_some(),
+                expected_truncated > 0 || cut < WAL_HEADER as usize,
+                "cut {}: damage is typed exactly when something was repaired", cut
+            );
+            prop_assert_eq!(wal.records(), oracle.records.len() as u64);
+            // The repaired file re-scans clean.
+            let repaired = std::fs::read(&path).expect("read repaired");
+            let rescan = scan(&repaired);
+            prop_assert!(rescan.damage.is_none(), "cut {} left damage behind", cut);
+            prop_assert_eq!(rescan.records, oracle.records);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+// --- torn-tail totality through a live server ---------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Cut a real tenant's journal at a seeded byte offset (as a crash mid-
+    /// append would), restart the server, and it must recover exactly the
+    /// whole-record prefix, report the truncation typed, and let the client
+    /// replay the lost tail to exact convergence.
+    #[test]
+    fn a_cut_journal_tail_recovers_the_longest_whole_prefix(seed in 0u64..10_000) {
+        let dir = tmp_dir(&format!("server-cut-{seed}"));
+        let work = batches(3, 32, seed ^ 0x7A11);
+        let probes = probes();
+
+        let (server, _) = start(
+            &dir,
+            FaultPlan::seeded(seed).with_crash_frame(),
+            Durability::AckAfterDurable,
+            8,
+        );
+        let mut c = Client::new(server.addr(), ClientConfig::default());
+        c.create_tenant("t0", "count_min", 2).expect("create");
+        for (seq, batch) in work.iter().enumerate() {
+            // Ignore the `applied` flag: a lost ack plus a client retry
+            // legally acks `applied = false` (idempotent duplicate); the twin
+            // equality below pins that every batch landed exactly once.
+            c.ingest("t0", seq as u64, batch).expect("ingest");
+        }
+        c.crash();
+        server.join();
+
+        // Cut the journal at a seeded offset past the header.
+        let path = fsc_serve::wal::wal_path(&dir.join("t0"));
+        let image = std::fs::read(&path).expect("read journal");
+        let mut rng = seed ^ 0xC07;
+        let cut = WAL_HEADER as usize
+            + (splitmix64(&mut rng) % (image.len() as u64 - WAL_HEADER)) as usize;
+        std::fs::write(&path, &image[..cut]).expect("cut journal");
+        let oracle = scan(&image[..cut]);
+        let kept = oracle.records.len();
+
+        let (server, report) = start(
+            &dir,
+            FaultPlan::none(),
+            Durability::AckAfterDurable,
+            8,
+        );
+        prop_assert_eq!(report.recovered(), 1, "t0 comes back: {}", &report);
+        prop_assert_eq!(report.total_wal_replayed(), kept as u64);
+        prop_assert_eq!(
+            report.total_wal_truncated_bytes(),
+            cut as u64 - oracle.valid_len,
+            "truncation is reported typed: {}", &report
+        );
+        prop_assert_eq!(report.is_clean(), cut as u64 == oracle.valid_len);
+
+        let mut c = Client::new(server.addr(), ClientConfig::default());
+        prop_assert_eq!(
+            served_answers(&mut c, &probes),
+            twin_answers(&work, kept, &probes),
+            "restart answers as the {}-batch twin", kept
+        );
+        // The client replays the truncated tail; convergence is exact.  (The
+        // `applied` flag is not asserted: a retried ack may be a duplicate.)
+        for (seq, batch) in work.iter().enumerate().skip(kept) {
+            c.ingest("t0", seq as u64, batch).expect("replay");
+        }
+        prop_assert_eq!(
+            served_answers(&mut c, &probes),
+            twin_answers(&work, work.len(), &probes)
+        );
+        server.stop().expect("stop");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+// --- the zero-acked-loss law --------------------------------------------------
+
+/// In durable mode, crash at every point inside the write path × every batch
+/// position: the restart must hold at least every acked batch and answer
+/// exactly like the twin of what it holds.
+#[test]
+fn durable_mode_loses_no_acked_batch_at_any_crash_point() {
+    let work = batches(5, 32, 0xD0_5EED);
+    let probes = probes();
+    for point in [
+        CrashPoint::BeforeJournal,
+        CrashPoint::AfterJournal,
+        CrashPoint::AfterApply,
+    ] {
+        for nth in 1..=work.len() as u64 {
+            let dir = tmp_dir(&format!("crash-{point:?}-{nth}"));
+            let (server, _) = start(
+                &dir,
+                FaultPlan::seeded(nth).with_crash_at(point, nth),
+                Durability::AckAfterDurable,
+                8,
+            );
+            // No retries: the armed crash must surface as the failed ingest
+            // it is, never be re-attempted against a dying server.  The long
+            // timeout keeps a loaded test machine from faking an early death
+            // (which would leave the crash unarmed and the join hanging).
+            let mut c = Client::new(
+                server.addr(),
+                ClientConfig {
+                    retries: 0,
+                    timeout: std::time::Duration::from_secs(10),
+                    ..ClientConfig::default()
+                },
+            );
+            c.create_tenant("t0", "count_min", 2).expect("create");
+            let mut acked = 0u64;
+            for (seq, batch) in work.iter().enumerate() {
+                match c.ingest("t0", seq as u64, batch) {
+                    Ok(_) => acked += 1,
+                    Err(_) => break,
+                }
+            }
+            assert_eq!(
+                acked,
+                nth - 1,
+                "{point:?} at {nth}: the nth ingest dies unacked"
+            );
+            server.join();
+
+            let (server, report) = start(&dir, FaultPlan::none(), Durability::AckAfterDurable, 8);
+            assert_eq!(report.recovered(), 1, "{point:?} at {nth}: {report}");
+            assert!(
+                report.is_clean(),
+                "{point:?} at {nth}: a crash between writes damages nothing: {report}"
+            );
+            let mut c = Client::new(server.addr(), ClientConfig::default());
+            let next_seq = c.stats("t0").expect("stats").next_seq;
+            assert!(
+                next_seq >= acked,
+                "{point:?} at {nth}: recovered {next_seq} < acked {acked} — an \
+                 acknowledged batch was lost"
+            );
+            assert_eq!(
+                served_answers(&mut c, &probes),
+                twin_answers(&work, next_seq as usize, &probes),
+                "{point:?} at {nth}: restart must answer as the {next_seq}-batch twin"
+            );
+            server.stop().expect("stop");
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+// --- bounded relaxed loss -----------------------------------------------------
+
+/// In the relaxed default, power loss costs at most one group-commit window
+/// of acked batches — and the client replays back to exact convergence.
+#[test]
+fn relaxed_power_loss_is_bounded_by_the_group_commit_window() {
+    const GROUP_COMMIT: u64 = 4;
+    let work = batches(6, 32, 0x9_5EED);
+    let probes = probes();
+    let dir = tmp_dir("power-loss");
+
+    let (server, _) = start(
+        &dir,
+        FaultPlan::seeded(3).with_crash_frame(),
+        Durability::AckAfterApply,
+        GROUP_COMMIT,
+    );
+    let mut c = Client::new(server.addr(), ClientConfig::default());
+    c.create_tenant("t0", "count_min", 2).expect("create");
+    for (seq, batch) in work.iter().enumerate() {
+        // `applied` not asserted: a lost ack plus a retry is a legal duplicate.
+        c.ingest("t0", seq as u64, batch).expect("ingest");
+    }
+    c.crash();
+    server.join();
+
+    // Power loss: the file keeps only what was fsynced — whole group-commit
+    // windows.  6 appends at window 4 ⇒ 4 survive.
+    let record_bytes = 20 + 8 * 32u64;
+    let synced = (work.len() as u64 / GROUP_COMMIT) * GROUP_COMMIT;
+    let path = fsc_serve::wal::wal_path(&dir.join("t0"));
+    let file = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&path)
+        .expect("open journal");
+    file.set_len(WAL_HEADER + synced * record_bytes)
+        .expect("truncate to the fsynced boundary");
+    drop(file);
+
+    let (server, report) = start(
+        &dir,
+        FaultPlan::none(),
+        Durability::AckAfterApply,
+        GROUP_COMMIT,
+    );
+    assert_eq!(report.recovered(), 1, "{report}");
+    let mut c = Client::new(server.addr(), ClientConfig::default());
+    let next_seq = c.stats("t0").expect("stats").next_seq;
+    let lost = work.len() as u64 - next_seq;
+    assert!(
+        lost <= GROUP_COMMIT,
+        "lost {lost} acked batches, more than the group-commit window"
+    );
+    assert_eq!(next_seq, synced, "exactly the unsynced tail is lost");
+    assert_eq!(
+        served_answers(&mut c, &probes),
+        twin_answers(&work, next_seq as usize, &probes)
+    );
+    // The sequence-numbered client replays the lost tail exactly once.
+    for seq in next_seq..work.len() as u64 {
+        c.ingest("t0", seq, &work[seq as usize]).expect("replay");
+    }
+    assert_eq!(
+        served_answers(&mut c, &probes),
+        twin_answers(&work, work.len(), &probes),
+        "replay converges to the full twin"
+    );
+    server.stop().expect("stop");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -6,9 +6,10 @@
 //!   oversized frames sent to a *live* server get typed refusals and never take
 //!   the server down.
 //! * **The recovery law** — kill a server mid-ingest and restart it over the
-//!   same data dir: the restart answers exactly like a truncated twin (an
-//!   engine that only saw the batches durable at the last checkpoint), and a
-//!   sequence-numbered client replays the suffix without double-counting.
+//!   same data dir: the delta chain restores the checkpointed prefix, the
+//!   write-ahead journal replays the acked suffix, and the restart answers
+//!   exactly like a twin that saw every acked batch — with duplicate re-sends
+//!   refused, no client-side replay needed.
 //! * **Idempotency** — re-sending an applied batch acks without re-applying.
 //! * **Graceful degradation** — excess ingest is shed with typed `Overloaded`
 //!   while readers keep answering off the cached view, and a corrupt tenant
@@ -113,7 +114,7 @@ fn arb_error(rng: &mut u64) -> ServeError {
 }
 
 fn arb_request(rng: &mut u64) -> Request {
-    match splitmix64(rng) % 7 {
+    match splitmix64(rng) % 8 {
         0 => Request::CreateTenant {
             tenant: arb_name(rng),
             algorithm: arb_name(rng),
@@ -135,12 +136,28 @@ fn arb_request(rng: &mut u64) -> Request {
             tenant: arb_name(rng),
         },
         5 => Request::Shutdown,
-        _ => Request::Crash,
+        6 => Request::Crash,
+        _ => Request::Status,
+    }
+}
+
+fn arb_tenant_status(rng: &mut u64) -> fsc_serve::TenantStatus {
+    fsc_serve::TenantStatus {
+        tenant: arb_name(rng),
+        recovered: splitmix64(rng).is_multiple_of(2),
+        next_seq: splitmix64(rng),
+        chain_applied: splitmix64(rng),
+        chain_discarded: splitmix64(rng),
+        wal_replayed: splitmix64(rng),
+        wal_truncated_bytes: splitmix64(rng),
+        wal_records: splitmix64(rng),
+        wal_bytes: splitmix64(rng),
+        wal_appended_bytes: splitmix64(rng),
     }
 }
 
 fn arb_response(rng: &mut u64) -> Response {
-    match splitmix64(rng) % 5 {
+    match splitmix64(rng) % 6 {
         0 => Response::Ok,
         1 => Response::Answer(arb_answer(rng)),
         2 => Response::IngestAck {
@@ -152,6 +169,18 @@ fn arb_response(rng: &mut u64) -> Response {
             next_seq: splitmix64(rng),
             rebuilds: splitmix64(rng),
             chain_len: splitmix64(rng),
+        }),
+        4 => Response::Status(fsc_serve::ServerStatus {
+            durability: if splitmix64(rng).is_multiple_of(2) {
+                fsc_serve::Durability::AckAfterApply
+            } else {
+                fsc_serve::Durability::AckAfterDurable
+            },
+            group_commit: splitmix64(rng),
+            failed_tenants: splitmix64(rng),
+            tenants: (0..splitmix64(rng) % 4)
+                .map(|_| arb_tenant_status(rng))
+                .collect(),
         }),
         _ => Response::Error(arb_error(rng)),
     }
@@ -277,8 +306,9 @@ fn garbage_and_truncated_frames_get_typed_errors_without_killing_the_connection(
 // --- the recovery law ---------------------------------------------------------
 
 /// Kill mid-ingest, restart, and the server answers exactly like a twin that
-/// only ever saw the durable prefix; the client replays the suffix and lands on
-/// the uninterrupted oracle — exactly once.
+/// saw every acked batch: the chain restores the checkpointed prefix and the
+/// write-ahead journal replays the acked suffix — no client-side replay, and
+/// duplicate re-sends are refused.
 #[test]
 fn a_restart_after_crash_answers_like_the_truncated_twin_and_replay_converges() {
     let dir = tmp_dir("recovery-law");
@@ -318,7 +348,7 @@ fn a_restart_after_crash_answers_like_the_truncated_twin_and_replay_converges() 
     for seq in 3..5u64 {
         assert!(c.ingest("t0", seq, &batches[seq as usize]).expect("ingest"));
     }
-    c.crash(); // batches 3..5 die with the process
+    c.crash(); // batches 3..5 were acked but never checkpointed: journal only
     server.join();
 
     let (server, report) = restart(&dir);
@@ -327,28 +357,52 @@ fn a_restart_after_crash_answers_like_the_truncated_twin_and_replay_converges() 
         report.is_clean(),
         "a crash damages nothing on disk: {report}"
     );
+    assert_eq!(
+        report.total_wal_replayed(),
+        2,
+        "the journal holds the acked suffix: {report}"
+    );
 
     let mut c = client(&server);
     let served: Vec<Answer> = probes
         .iter()
         .map(|q| c.query("t0", *q).expect("query"))
         .collect();
-    assert_eq!(served, twin(3), "restart must answer as the 3-batch twin");
-
-    // The sequence cursor survived inside the checkpoint; replay the suffix.
-    assert_eq!(c.stats("t0").expect("stats").next_seq, 3);
-    assert!(
-        !c.ingest("t0", 2, &batches[2]).expect("duplicate resend"),
-        "an already-applied batch must ack without re-applying"
+    assert_eq!(
+        served,
+        twin(5),
+        "restart must answer as the full 5-batch twin: chain prefix + journal suffix"
     );
-    for seq in 3..5u64 {
-        assert!(c.ingest("t0", seq, &batches[seq as usize]).expect("replay"));
+
+    // The cursor covers the replayed batches; re-sends of acked seqs are
+    // refused — the client has nothing to replay.
+    assert_eq!(c.stats("t0").expect("stats").next_seq, 5);
+    for seq in 2..5u64 {
+        assert!(
+            !c.ingest("t0", seq, &batches[seq as usize])
+                .expect("duplicate resend"),
+            "acked batch {seq} must not re-apply after recovery"
+        );
     }
     let served: Vec<Answer> = probes
         .iter()
         .map(|q| c.query("t0", *q).expect("query"))
         .collect();
-    assert_eq!(served, twin(5), "replay must converge to the full twin");
+    assert_eq!(
+        served,
+        twin(5),
+        "duplicate re-sends must not change answers"
+    );
+
+    // The Status frame reports the same recovery the report did.
+    let status = c.status().expect("status");
+    assert_eq!(status.failed_tenants, 0);
+    assert_eq!(status.tenants.len(), 1);
+    let t0 = &status.tenants[0];
+    assert!(t0.recovered);
+    assert_eq!(t0.next_seq, 5);
+    assert_eq!(t0.wal_replayed, 2);
+    assert_eq!(t0.wal_truncated_bytes, 0);
     server.stop().expect("stop");
     let _ = std::fs::remove_dir_all(&dir);
 }
