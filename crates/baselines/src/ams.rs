@@ -2,6 +2,7 @@
 
 use fsc_counters::fastmap::{fast_map, FastMap};
 use fsc_counters::hashing::{FoldedItem, FourWise, PolyHash};
+use fsc_counters::lanes;
 use fsc_state::snapshot::TrackerState;
 use fsc_state::{
     impl_queryable, Mergeable, MomentEstimator, Snapshot, SnapshotError, SnapshotReader,
@@ -45,6 +46,9 @@ pub struct AmsSketch {
     groups: usize,
     per_group: usize,
     seed: u64,
+    /// Lane width of the sign-evaluation loops in the batch kernel (1 = scalar
+    /// fallback); bit-identical at every width, purely a speed knob.
+    lanes: usize,
     name: String,
     tracker: StateTracker,
 }
@@ -78,9 +82,29 @@ impl AmsSketch {
             groups,
             per_group,
             seed,
+            lanes: lanes::DEFAULT_LANE_WIDTH,
             name: format!("AMS({groups}x{per_group})"),
             tracker: tracker.clone(),
         }
+    }
+
+    /// Selects the lane width of the batch kernel's sign-evaluation loops (`1`, `2`,
+    /// `4`, or `8`; `1` is the scalar fallback).  Every width produces bit-identical
+    /// answers, `StateReport`s, and wear tables — the batch-law lane sweep pins this
+    /// — so the choice only affects throughput.  Not serialized: a restored sketch
+    /// uses the default.
+    ///
+    /// # Panics
+    ///
+    /// If `lanes` is not a supported width.
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        assert!(
+            lanes::is_supported_width(lanes),
+            "unsupported lane width {lanes} (supported: {:?})",
+            lanes::LANE_WIDTHS
+        );
+        self.lanes = lanes;
+        self
     }
 
     /// Creates a sketch achieving relative error `ε` with failure probability `δ`
@@ -137,12 +161,34 @@ impl StreamAlgorithm for AmsSketch {
     /// plus `record_changed_run(base, k)` inside that update's epoch.  The
     /// batch-law tests pin report, wear, and answer equality with the per-item path.
     fn process_batch(&mut self, items: &[u64]) {
+        match self.lanes {
+            2 => self.process_batch_lanes::<2>(items),
+            4 => self.process_batch_lanes::<4>(items),
+            8 => self.process_batch_lanes::<8>(items),
+            _ => self.process_batch_lanes::<1>(items),
+        }
+    }
+}
+
+impl AmsSketch {
+    /// The monomorphized batch kernel behind [`StreamAlgorithm::process_batch`]
+    /// (`W = 1` is the bit-identical scalar fallback).  Lanes enter only the two
+    /// sign-evaluation loops — the pattern build and the arena-full fallback — via
+    /// [`lanes::four_wise_hashes_many`], which evaluates `W` *different* sign
+    /// functions at the one folded item (the transposed shape: AMS has one item and
+    /// a row of hash functions, where CountMin has one hash and a row of items).
+    /// Bit-packing order and counter walk order are unchanged, so patterns, sums,
+    /// and accounting are bit-identical at every width.  No prefetch: the counter
+    /// walk is sequential, which the hardware prefetcher already covers.
+    fn process_batch_lanes<const W: usize>(&mut self, items: &[u64]) {
         let tracker = self.tracker.clone();
         let first = tracker.begin_epochs(items.len() as u64);
         let total = self.counters.len();
         let base = self.counters.addr_of(0, 0);
         let words = total.div_ceil(64);
         let max_patterns = (SIGN_ARENA_BYTES / (words * 8)).clamp(1, 1 << 20);
+        let lane_chunks = self.signs.chunks_exact(W);
+        let tail_start = total - lane_chunks.remainder().len();
         let mut index: FastMap<u64, u32> = fast_map();
         let mut patterns: Vec<u64> = Vec::new();
         for (i, &item) in items.iter().enumerate() {
@@ -154,14 +200,23 @@ impl StreamAlgorithm for AmsSketch {
                     let folded = FoldedItem::new(item);
                     let mut word = 0u64;
                     let mut bits = 0;
-                    for sign_hash in &self.signs {
-                        word |= (sign_hash.hash_folded(&folded) & 1) << bits;
+                    let mut push_bit = |bit: u64| {
+                        word |= bit << bits;
                         bits += 1;
                         if bits == 64 {
                             patterns.push(word);
                             word = 0;
                             bits = 0;
                         }
+                    };
+                    for chunk in self.signs.chunks_exact(W) {
+                        let hs = lanes::four_wise_hashes_many::<W>(chunk, &folded);
+                        for &h in &hs {
+                            push_bit(h & 1);
+                        }
+                    }
+                    for sign_hash in &self.signs[tail_start..] {
+                        push_bit(sign_hash.hash_folded(&folded) & 1);
                     }
                     if bits > 0 {
                         patterns.push(word);
@@ -184,7 +239,16 @@ impl StreamAlgorithm for AmsSketch {
                 }
                 None => {
                     let folded = FoldedItem::new(item);
-                    for (cell, sign_hash) in data.iter_mut().zip(&self.signs) {
+                    for (cells, hashes) in data.chunks_exact_mut(W).zip(self.signs.chunks_exact(W))
+                    {
+                        let hs = lanes::four_wise_hashes_many::<W>(hashes, &folded);
+                        for (cell, &h) in cells.iter_mut().zip(&hs) {
+                            *cell += 1 - 2 * (h & 1) as i64;
+                        }
+                    }
+                    for (cell, sign_hash) in
+                        data[tail_start..].iter_mut().zip(&self.signs[tail_start..])
+                    {
                         *cell += sign_hash.sign_folded(&folded);
                     }
                 }

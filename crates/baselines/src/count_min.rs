@@ -1,6 +1,8 @@
 //! The CountMin sketch [CM05].
 
+use crate::{LANE_BLOCK, PREFETCH_MIN_BYTES};
 use fsc_counters::hashing::TabulationHash;
+use fsc_counters::lanes;
 use fsc_state::snapshot::TrackerState;
 use fsc_state::{
     impl_queryable, FrequencyEstimator, Mergeable, Snapshot, SnapshotError, SnapshotReader,
@@ -27,6 +29,9 @@ pub struct CountMin {
     hashes: Vec<TabulationHash>,
     width: usize,
     seed: u64,
+    /// Lane width of the batch kernel (1 = scalar fallback); answers and accounting
+    /// are bit-identical at every width, so this is purely a speed knob.
+    lanes: usize,
     name: String,
     tracker: StateTracker,
 }
@@ -49,9 +54,28 @@ impl CountMin {
             hashes,
             width,
             seed,
+            lanes: lanes::DEFAULT_LANE_WIDTH,
             name: format!("CountMin({depth}x{width})"),
             tracker: tracker.clone(),
         }
+    }
+
+    /// Selects the lane width of the batch kernel (`1`, `2`, `4`, or `8`; `1` is the
+    /// scalar fallback).  Every width produces bit-identical answers, `StateReport`s,
+    /// and wear tables — the batch-law lane sweep pins this — so the choice only
+    /// affects throughput.  Not serialized: a restored sketch uses the default.
+    ///
+    /// # Panics
+    ///
+    /// If `lanes` is not a supported width.
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        assert!(
+            lanes::is_supported_width(lanes),
+            "unsupported lane width {lanes} (supported: {:?})",
+            lanes::LANE_WIDTHS
+        );
+        self.lanes = lanes;
+        self
     }
 
     /// Creates a sketch for additive error `ε·m` with failure probability `δ`.
@@ -89,32 +113,21 @@ impl StreamAlgorithm for CountMin {
         &self.tracker
     }
 
-    /// Hash-hoisted batch kernel: per item, all row hashes are evaluated into a small
-    /// address buffer first, then the counters are bumped directly and the tracker is
-    /// charged with one bulk call — two accounting calls per update instead of two
-    /// per row.  A `+1` always changes a `u64` counter, so the bulk "changed writes"
-    /// charge is exactly what the per-cell `update` calls would have recorded (the
-    /// batch-law tests pin report and wear equality).
+    /// Lane-packed blocked batch kernel (scalar at `lanes == 1`): the hash phase
+    /// evaluates all row hashes for a whole block of items into a cell buffer using
+    /// the lane evaluators of [`fsc_counters::lanes`], the block's probe cells are
+    /// touched early with plain reads (software prefetch — see DESIGN §1.10), and
+    /// the scatter phase then bumps the counters and charges the tracker per item
+    /// exactly as the per-item path would.  A `+1` always changes a `u64` counter,
+    /// so the bulk "changed writes" charge is exactly what the per-cell `update`
+    /// calls would have recorded (the batch-law tests pin report, wear, and answer
+    /// equality at every lane width).
     fn process_batch(&mut self, items: &[u64]) {
-        let tracker = self.tracker.clone();
-        let first = tracker.begin_epochs(items.len() as u64);
-        let depth = self.table.rows();
-        let width = self.width;
-        let mut addrs = vec![0usize; depth];
-        let mut cells = vec![0usize; depth];
-        for (i, &item) in items.iter().enumerate() {
-            tracker.enter_epoch(first + i as u64);
-            for (r, hash) in self.hashes.iter().enumerate() {
-                let bucket = hash.hash_bucket(item, width);
-                addrs[r] = self.table.addr_of(r, bucket);
-                cells[r] = r * width + bucket;
-            }
-            let data = self.table.as_mut_slice_untracked();
-            for &cell in &cells {
-                data[cell] += 1;
-            }
-            tracker.record_reads(depth as u64);
-            tracker.record_changed_at(&addrs);
+        match self.lanes {
+            2 => self.process_batch_lanes::<2>(items),
+            4 => self.process_batch_lanes::<4>(items),
+            8 => self.process_batch_lanes::<8>(items),
+            _ => self.process_batch_lanes::<1>(items),
         }
     }
 
@@ -143,6 +156,79 @@ impl StreamAlgorithm for CountMin {
         }
         tracker.record_reads(depth as u64 * count);
         tracker.record_run_epochs(first, count, depth as u64, Some(&addrs));
+    }
+}
+
+impl CountMin {
+    /// The monomorphized batch kernel behind [`StreamAlgorithm::process_batch`].
+    ///
+    /// `W = 1` runs the same block structure with scalar hashing — the bit-identical
+    /// fallback — so there is exactly one accounting path to get right.  Per block:
+    ///
+    /// 1. **Hash phase** — evaluate all `depth` tabulation hashes for the block's
+    ///    items with [`lanes::tabulation_hashes`] (8·W independent table loads in
+    ///    flight instead of 8 dependent ones) and store the flat cell index of every
+    ///    probe.
+    /// 2. **Prefetch phase** — read every probe cell once, summing into a value fed
+    ///    to [`std::hint::black_box`].  Ordinary loads, no intrinsics: they pull the
+    ///    scattered counter lines into cache while staying invisible to tracking
+    ///    (reads change no state; the tracker's logical read charge is recorded in
+    ///    the scatter phase, unchanged).
+    /// 3. **Scatter phase** — per item: enter its epoch, bump its `depth` counters
+    ///    via the untracked slice, then charge `depth` reads and the changed
+    ///    addresses in bulk — call-for-call what the scalar per-item kernel charged.
+    fn process_batch_lanes<const W: usize>(&mut self, items: &[u64]) {
+        let tracker = self.tracker.clone();
+        let first = tracker.begin_epochs(items.len() as u64);
+        let depth = self.table.rows();
+        let width = self.width;
+        let base = self.table.addr_of(0, 0);
+        let elem_words = self.table.elem_words();
+        let mut addrs = vec![0usize; LANE_BLOCK * depth];
+        let mut cells = vec![0usize; LANE_BLOCK * depth];
+        // Prefetch pays only when the counter table outgrows cache; at cache-resident
+        // sizes the touch loop is pure overhead, so skip it (no observable effect —
+        // the touched cells were about to be read by the scatter anyway).
+        let prefetch = depth * width * std::mem::size_of::<u64>() > PREFETCH_MIN_BYTES;
+        for (b, block) in items.chunks(LANE_BLOCK).enumerate() {
+            // Hash phase, row-major: one row's 16 KiB of tabulation tables stays
+            // cache-hot across the whole block instead of being evicted by the next
+            // row's tables after every lane group.
+            let full = block.len() - block.len() % W;
+            for (r, hash) in self.hashes.iter().enumerate() {
+                for g in (0..full).step_by(W) {
+                    let xs: [u64; W] = block[g..g + W].try_into().unwrap();
+                    let hs = lanes::tabulation_hashes::<W>(hash, &xs);
+                    let buckets = lanes::multiply_shift_buckets::<W>(&hs, width, 64);
+                    for l in 0..W {
+                        cells[(g + l) * depth + r] = r * width + buckets[l];
+                    }
+                }
+                for (i, &item) in block.iter().enumerate().skip(full) {
+                    cells[i * depth + r] = r * width + hash.hash_bucket(item, width);
+                }
+            }
+            // Prefetch phase: touch every probe cell with a plain (untracked) read.
+            let data = self.table.as_mut_slice_untracked();
+            if prefetch {
+                let mut touch = 0u64;
+                for &cell in &cells[..block.len() * depth] {
+                    touch = touch.wrapping_add(data[cell]);
+                }
+                std::hint::black_box(touch);
+            }
+            // Scatter phase.  The accounting lands in two bulk calls that are
+            // call-for-call equivalent to the per-item loop: reads are a global sum,
+            // and `record_scatter_epochs` enters each item's epoch and charges its
+            // `depth` changed addresses (constant-time on the counting backends).
+            let probes = block.len() * depth;
+            for (i, &cell) in cells[..probes].iter().enumerate() {
+                data[cell] += 1;
+                addrs[i] = base + cell * elem_words;
+            }
+            tracker.record_reads(probes as u64);
+            tracker.record_scatter_epochs(first + (b * LANE_BLOCK) as u64, depth, &addrs[..probes]);
+        }
     }
 }
 

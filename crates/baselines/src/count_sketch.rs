@@ -1,6 +1,8 @@
 //! The CountSketch [CCF04].
 
+use crate::{LANE_BLOCK, PREFETCH_MIN_BYTES};
 use fsc_counters::hashing::{multiply_shift_bucket, FoldedItem, FourWise, PolyHash};
+use fsc_counters::lanes;
 use fsc_state::snapshot::TrackerState;
 use fsc_state::{
     impl_queryable, FrequencyEstimator, Mergeable, Snapshot, SnapshotError, SnapshotReader,
@@ -31,6 +33,9 @@ pub struct CountSketch {
     sign_hashes: Vec<FourWise>,
     width: usize,
     seed: u64,
+    /// Lane width of the batch kernel (1 = scalar fallback); answers and accounting
+    /// are bit-identical at every width, so this is purely a speed knob.
+    lanes: usize,
     name: String,
     tracker: StateTracker,
 }
@@ -57,9 +62,28 @@ impl CountSketch {
             sign_hashes,
             width,
             seed,
+            lanes: lanes::DEFAULT_LANE_WIDTH,
             name: format!("CountSketch({depth}x{width})"),
             tracker: tracker.clone(),
         }
+    }
+
+    /// Selects the lane width of the batch kernel (`1`, `2`, `4`, or `8`; `1` is the
+    /// scalar fallback).  Every width produces bit-identical answers, `StateReport`s,
+    /// and wear tables — the batch-law lane sweep pins this — so the choice only
+    /// affects throughput.  Not serialized: a restored sketch uses the default.
+    ///
+    /// # Panics
+    ///
+    /// If `lanes` is not a supported width.
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        assert!(
+            lanes::is_supported_width(lanes),
+            "unsupported lane width {lanes} (supported: {:?})",
+            lanes::LANE_WIDTHS
+        );
+        self.lanes = lanes;
+        self
     }
 
     /// Creates a sketch with `L_2` error `ε·‖f‖_2` and failure probability `δ`.
@@ -102,35 +126,93 @@ impl StreamAlgorithm for CountSketch {
         &self.tracker
     }
 
-    /// Hash-hoisted batch kernel (see [`CountMin`](crate::CountMin) for the shape):
-    /// the item is folded once, all row buckets and signs are evaluated into small
-    /// buffers, the signed counters are bumped directly, and the tracker is charged
-    /// in bulk.  A ±1 increment always changes an `i64` cell, so the bulk charge
-    /// equals the per-cell accounting exactly.
+    /// Lane-packed blocked batch kernel (see [`CountMin`](crate::CountMin) for the
+    /// shape): the block's items are folded once, all row buckets and signs are
+    /// evaluated lane-packed into block buffers, the probe cells are touched early
+    /// (gated software prefetch), and the scatter phase bumps the signed counters
+    /// and charges the tracker in bulk.  A ±1 increment always changes an `i64`
+    /// cell, so the bulk charge equals the per-cell accounting exactly (the
+    /// batch-law tests pin report, wear, and answer equality at every lane width).
     fn process_batch(&mut self, items: &[u64]) {
+        match self.lanes {
+            2 => self.process_batch_lanes::<2>(items),
+            4 => self.process_batch_lanes::<4>(items),
+            8 => self.process_batch_lanes::<8>(items),
+            _ => self.process_batch_lanes::<1>(items),
+        }
+    }
+}
+
+impl CountSketch {
+    /// The monomorphized batch kernel behind [`StreamAlgorithm::process_batch`]
+    /// (`W = 1` is the bit-identical scalar fallback running the same block
+    /// structure).  Phases per block: fold every item once; per row, evaluate the
+    /// 2-wise bucket polynomial ([`lanes::poly_hash_folded`]) and the 4-wise
+    /// power-form signs ([`lanes::four_wise_signs`]) over lane groups into cell and
+    /// sign buffers; optionally touch the probe cells early (untracked reads, see
+    /// DESIGN §1.10); then scatter the signed bumps and charge reads plus
+    /// per-item epochs/changed addresses in two bulk tracker calls.
+    fn process_batch_lanes<const W: usize>(&mut self, items: &[u64]) {
         let tracker = self.tracker.clone();
         let first = tracker.begin_epochs(items.len() as u64);
         let depth = self.table.rows();
         let width = self.width;
-        let mut addrs = vec![0usize; depth];
-        let mut deltas = vec![(0usize, 0i64); depth];
-        for (i, &item) in items.iter().enumerate() {
-            tracker.enter_epoch(first + i as u64);
-            let folded = FoldedItem::new(item);
+        let base = self.table.addr_of(0, 0);
+        let elem_words = self.table.elem_words();
+        let prefetch = depth * width * std::mem::size_of::<i64>() > PREFETCH_MIN_BYTES;
+        let mut folded: Vec<FoldedItem> = Vec::with_capacity(LANE_BLOCK);
+        let mut addrs = vec![0usize; LANE_BLOCK * depth];
+        let mut cells = vec![0usize; LANE_BLOCK * depth];
+        let mut signs = vec![0i64; LANE_BLOCK * depth];
+        for (b, block) in items.chunks(LANE_BLOCK).enumerate() {
+            // Fold phase: each item's x, x², x³ residues, once per block.
+            let full = block.len() - block.len() % W;
+            folded.clear();
+            for g in (0..full).step_by(W) {
+                let xs: [u64; W] = block[g..g + W].try_into().unwrap();
+                folded.extend(lanes::fold_items::<W>(&xs));
+            }
+            folded.extend(block[full..].iter().map(|&x| FoldedItem::new(x)));
+            // Hash phase, row-major (one row's hash state hot across the block).
             for (r, (bucket_hash, sign_hash)) in
                 self.bucket_hashes.iter().zip(&self.sign_hashes).enumerate()
             {
-                let bucket =
-                    multiply_shift_bucket(bucket_hash.hash_u64_folded(folded.x), width, 61);
-                addrs[r] = self.table.addr_of(r, bucket);
-                deltas[r] = (r * width + bucket, sign_hash.sign_folded(&folded));
+                let coefficients = bucket_hash.coefficients();
+                let sign_coefficients = sign_hash.coefficients();
+                for g in (0..full).step_by(W) {
+                    let f: &[FoldedItem; W] = folded[g..g + W].try_into().unwrap();
+                    let xs: [u64; W] = std::array::from_fn(|l| f[l].x);
+                    let hs = lanes::poly_hash_folded::<W>(coefficients, &xs);
+                    let buckets = lanes::multiply_shift_buckets::<W>(&hs, width, 61);
+                    let ss = lanes::four_wise_signs::<W>(&sign_coefficients, f);
+                    for l in 0..W {
+                        cells[(g + l) * depth + r] = r * width + buckets[l];
+                        signs[(g + l) * depth + r] = ss[l];
+                    }
+                }
+                for (i, f) in folded.iter().enumerate().skip(full) {
+                    let bucket = multiply_shift_bucket(bucket_hash.hash_u64_folded(f.x), width, 61);
+                    cells[i * depth + r] = r * width + bucket;
+                    signs[i * depth + r] = sign_hash.sign_folded(f);
+                }
             }
+            // Prefetch phase: touch every probe cell with a plain (untracked) read.
             let data = self.table.as_mut_slice_untracked();
-            for &(cell, sign) in &deltas {
-                data[cell] += sign;
+            let probes = block.len() * depth;
+            if prefetch {
+                let mut touch = 0i64;
+                for &cell in &cells[..probes] {
+                    touch = touch.wrapping_add(data[cell]);
+                }
+                std::hint::black_box(touch);
             }
-            tracker.record_reads(depth as u64);
-            tracker.record_changed_at(&addrs);
+            // Scatter phase with bulk accounting (see CountMin for the argument).
+            for (i, (&cell, &sign)) in cells[..probes].iter().zip(&signs[..probes]).enumerate() {
+                data[cell] += sign;
+                addrs[i] = base + cell * elem_words;
+            }
+            tracker.record_reads(probes as u64);
+            tracker.record_scatter_epochs(first + (b * LANE_BLOCK) as u64, depth, &addrs[..probes]);
         }
     }
 }

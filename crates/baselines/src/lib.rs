@@ -39,6 +39,20 @@ pub use pick_and_drop::PickAndDrop;
 pub use sample_hold::SampleAndHoldClassic;
 pub use space_saving::SpaceSaving;
 
+/// Items per block in the lane-packed batch kernels of [`CountMin`], [`CountSketch`],
+/// and [`AmsSketch`]: the hash phase fills a block's worth of probe cells before the
+/// scatter phase touches the table, so the early "prefetch" reads of one block's
+/// cells have a whole hash phase of latency to hide behind.  A multiple of the widest
+/// lane ([`fsc_counters::lanes::LANE_WIDTHS`]), small enough that a block's cell and
+/// sign buffers stay L1-resident at benchmark depths.
+pub(crate) const LANE_BLOCK: usize = 256;
+
+/// Counter tables at or below this byte size skip the prefetch touch loop: they are
+/// cache-resident, so early reads cannot pull anything closer and only cost cycles.
+/// Half a megabyte ≈ the point where scattered probes start missing L2 on the hosts
+/// we benchmark; correctness is unaffected either way (prefetch is untracked reads).
+pub(crate) const PREFETCH_MIN_BYTES: usize = 512 * 1024;
+
 /// Serializes a `u64 → u64` counter table in sorted-key order (deterministic bytes:
 /// two observably identical summaries produce identical checkpoints even though hash
 /// map iteration order is an implementation detail).

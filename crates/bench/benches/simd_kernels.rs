@@ -1,0 +1,52 @@
+//! Scalar-vs-lane A/B for the lane-packed batch kernels.
+//!
+//! Same geometry as the recorded throughput experiment (full-scale stream, full
+//! tracker), so the ratios here explain the BENCH_throughput.json headline moves.
+//! Every width computes bit-identical answers (the batch-law lane sweep pins it),
+//! so any ratio below 1.0 is pure kernel overhead, not a correctness trade.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fsc_baselines::{AmsSketch, CountMin, CountSketch};
+use fsc_state::{StateTracker, StreamAlgorithm, TrackerKind};
+use fsc_streamgen::zipf::zipf_stream;
+
+const N: usize = 1 << 14;
+const M: usize = 1 << 18;
+
+fn bench_lane_widths(c: &mut Criterion) {
+    let stream = zipf_stream(N, M, 1.1, 7);
+    let tracker = || StateTracker::of_kind(TrackerKind::Full);
+
+    let mut group = c.benchmark_group("simd_kernels");
+    group.throughput(Throughput::Elements(M as u64));
+    group.sample_size(10);
+
+    for &lanes in &fsc_counters::lanes::LANE_WIDTHS {
+        group.bench_function(BenchmarkId::new("CountMin(4x1024)", lanes), |b| {
+            b.iter(|| {
+                let mut alg = CountMin::with_tracker(&tracker(), 1 << 10, 4, 1).with_lanes(lanes);
+                alg.process_batch(&stream);
+                alg.report().state_changes
+            })
+        });
+        group.bench_function(BenchmarkId::new("CountSketch(5x1024)", lanes), |b| {
+            b.iter(|| {
+                let mut alg =
+                    CountSketch::with_tracker(&tracker(), 1 << 10, 5, 2).with_lanes(lanes);
+                alg.process_batch(&stream);
+                alg.report().state_changes
+            })
+        });
+        group.bench_function(BenchmarkId::new("AMS(5x48)", lanes), |b| {
+            b.iter(|| {
+                let mut alg = AmsSketch::with_tracker(&tracker(), 5, 48, 3).with_lanes(lanes);
+                alg.process_batch(&stream);
+                alg.report().state_changes
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lane_widths);
+criterion_main!(benches);

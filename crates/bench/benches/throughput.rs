@@ -308,6 +308,7 @@ fn bench_serve_paths(c: &mut Criterion) {
             shards: 4,
             routing: Routing::RoundRobin,
             tracker: TrackerKind::Full,
+            ..EngineConfig::default()
         };
         let mut engine = Engine::new(config, |_| {
             CountMin::with_tracker(&StateTracker::of_kind(config.tracker), width, 4, 7)

@@ -6,6 +6,8 @@
 //! ... fig_throughput -- --mode batch|item|both                         # update path(s)
 //! ... fig_throughput -- --label "PR 4 batch kernels"                   # trajectory label
 //! ... fig_throughput -- --baseline-countmin 9205209                    # record speedup
+//! ... fig_throughput -- --lanes 1|2|4|8                                # kernel lane width
+//! ... fig_throughput -- --regression-gate                              # CI perf gate
 //! ... fig_throughput -- --out /tmp/bench.json                          # custom path
 //! ```
 //!
@@ -15,10 +17,24 @@
 //! silently diverges from the per-item path fails CI, not a later experiment.  The
 //! emitted JSON is also schema-checked after writing.
 //!
-//! The JSON carries a `trajectory` array recording one dated entry per recording:
+//! The JSON carries a `trajectory` array recording one dated entry per recording
+//! (now including the detected host core count and the batch-kernel lane width):
 //! existing entries are carried forward verbatim and this run's entry is appended,
 //! so the perf history across PRs stays machine-readable.  A pre-trajectory record
 //! (the PR 3 format) is seeded into the history from its own rows before appending.
+//! Before writing, the run **refuses to overwrite prior trajectory entries**: if
+//! the new array is not a verbatim in-order extension of the recorded one, the run
+//! fails instead of rewriting history.
+//!
+//! `--lanes W` forces the lane-packed sketch kernels (CountMin/CountSketch/AMS) to
+//! width `W ∈ {1, 2, 4, 8}`; `--lanes 1` is the scalar fallback, so CI exercising
+//! both `--lanes 1` and the default proves the divergence check across widths.
+//!
+//! `--regression-gate` compares this run's CountMin headline against the
+//! `countmin` cell of the **last trajectory entry** in the committed repo-root
+//! `BENCH_throughput.json` and exits non-zero if the fresh measurement falls more
+//! than [`REGRESSION_TOLERANCE`] below it.  With no recorded reference (fresh
+//! clone, legacy record) the gate passes with a note rather than blocking.
 //!
 //! `--baseline-countmin ITEMS_PER_SEC` embeds a pre-change headline measurement
 //! (taken with this same harness on the same host) so the JSON records the speedup
@@ -30,9 +46,22 @@
 //! reduced-scale noise (pass `--out` explicitly to override either default).
 
 use fsc_bench::experiments::throughput::{
-    self, divergence_check, extract_cell, schema_check, trajectory_inner, Mode,
+    self, assert_append_only, divergence_check, extract_cell, last_trajectory_countmin,
+    schema_check, trajectory_inner, Mode,
 };
 use fsc_bench::Scale;
+
+/// Maximum fraction the fresh CountMin headline may fall below the last recorded
+/// trajectory entry before `--regression-gate` fails the run.
+///
+/// 15% is deliberately generous for a CI gate: the committed trajectory entries are
+/// **full-scale** recordings while CI gates at `--quick` scale (shorter streams
+/// carry relatively more fixed overhead), the CI host is not the recording host,
+/// and a shared/1-CPU container adds real run-to-run noise even under best-of
+/// sampling.  The gate is meant to catch a kernel that got structurally slower
+/// (a regression eating the lane-packing win), not a 5% wobble; if it fires,
+/// re-run once before digging in.
+const REGRESSION_TOLERANCE: f64 = 0.15;
 
 fn flag_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -102,6 +131,16 @@ fn main() {
             std::process::exit(2);
         })
     });
+    let lanes: Option<usize> = flag_value("--lanes").map(|v| {
+        v.parse()
+            .ok()
+            .filter(|w| fsc_counters::lanes::is_supported_width(*w))
+            .unwrap_or_else(|| {
+                eprintln!("error: --lanes expects one of 1|2|4|8, got {v:?}");
+                std::process::exit(2);
+            })
+    });
+    let regression_gate = std::env::args().any(|a| a == "--regression-gate");
     let out_path = flag_value("--out").unwrap_or_else(|| match scale {
         // The committed perf-trajectory record is full-scale by definition.
         Scale::Full => format!("{}/../../BENCH_throughput.json", env!("CARGO_MANIFEST_DIR")),
@@ -111,8 +150,12 @@ fn main() {
             .into_owned(),
     });
 
-    let (table, report) = throughput::run(scale, mode);
+    let (table, report) = throughput::run(scale, mode, lanes);
     table.print();
+    println!(
+        "host: {} core(s) detected; sketch kernels at lane width {}",
+        report.host_cores, report.lane_width
+    );
 
     if mode == Mode::Both {
         if let Err(err) = divergence_check(&report) {
@@ -125,10 +168,17 @@ fn main() {
     // Carry the existing trajectory forward (or seed one from a legacy record), then
     // append this run's entry.
     let old = std::fs::read_to_string(&out_path).unwrap_or_default();
+    let recorded = trajectory_inner(&old).unwrap_or_default();
     let mut trajectory = trajectory_inner(&old)
         .or_else(|| seed_entry_from_legacy(&old).map(|e| vec![e]))
         .unwrap_or_default();
     trajectory.push(report.trajectory_entry(&today(), &label));
+    // Refuse to rewrite history: the recorded entries must be a verbatim prefix of
+    // what is about to be written.
+    if let Err(err) = assert_append_only(&recorded, &trajectory) {
+        eprintln!("error: {err}");
+        std::process::exit(1);
+    }
 
     let json = report.to_json(baseline, &trajectory);
     if let Err(err) = schema_check(&json, mode) {
@@ -154,4 +204,47 @@ fn main() {
     }
     println!("trajectory: {} entr(y/ies) recorded", trajectory.len());
     println!("wrote {out_path}");
+
+    if regression_gate {
+        // The reference is always the committed repo-root record (the last
+        // trajectory entry), regardless of where this run's JSON went — a --quick
+        // CI run writes to the temp dir but still gates against recorded history.
+        let committed = format!("{}/../../BENCH_throughput.json", env!("CARGO_MANIFEST_DIR"));
+        let reference = std::fs::read_to_string(&committed)
+            .ok()
+            .and_then(|s| last_trajectory_countmin(&s));
+        match (reference, report.headline()) {
+            (Some(reference), Some(head)) => {
+                let floor = reference * (1.0 - REGRESSION_TOLERANCE);
+                if head.items_per_sec < floor {
+                    eprintln!(
+                        "error: throughput regression gate failed: CountMin headline \
+                         {:.2} Mitems/s is more than {:.0}% below the last recorded \
+                         trajectory entry ({:.2} Mitems/s, floor {:.2})",
+                        head.items_per_sec / 1e6,
+                        REGRESSION_TOLERANCE * 100.0,
+                        reference / 1e6,
+                        floor / 1e6
+                    );
+                    std::process::exit(1);
+                }
+                println!(
+                    "regression gate: {:.2} Mitems/s vs recorded {:.2} Mitems/s \
+                     (floor {:.2}, tolerance {:.0}%) — ok",
+                    head.items_per_sec / 1e6,
+                    reference / 1e6,
+                    floor / 1e6,
+                    REGRESSION_TOLERANCE * 100.0
+                );
+            }
+            (None, _) => println!(
+                "regression gate: no recorded CountMin reference in {committed}; \
+                 passing with a note"
+            ),
+            (_, None) => println!(
+                "regression gate: no batch headline in this run (--mode item); \
+                 passing with a note"
+            ),
+        }
+    }
 }

@@ -16,8 +16,12 @@
 //! cell disagrees between modes — a kernel that silently diverges cannot land.
 //!
 //! The machine-readable record `BENCH_throughput.json` additionally carries a
-//! `trajectory` array: one dated entry per recording, appended (never overwritten)
-//! by `fig_throughput`, so the perf history across PRs stays machine-readable.
+//! `trajectory` array: one dated entry per recording — including the detected host
+//! core count and the batch-kernel lane width — appended (never overwritten) by
+//! `fig_throughput`, so the perf history across PRs stays machine-readable.
+//! [`assert_append_only`] enforces the never-overwritten part, and
+//! [`last_trajectory_countmin`] exposes the latest recorded headline as the
+//! reference for the CI throughput-regression gate.
 //!
 //! Timing methodology: per (algorithm, stream, mode) cell the stream is processed
 //! once as a warm-up and then `samples` more times on freshly constructed instances;
@@ -96,6 +100,13 @@ pub struct Report {
     pub scale: &'static str,
     /// Timed samples per cell (after one warm-up).
     pub samples: usize,
+    /// Logical cores detected on the measuring host
+    /// ([`fsc_engine::detected_cores`]) — recorded so a reader can tell a 1-CPU
+    /// container's numbers from a workstation's.
+    pub host_cores: usize,
+    /// Batch-kernel lane width the lane-packed sketches ran with (the default
+    /// width when no `--lanes` override was given).
+    pub lane_width: usize,
     /// `(label, universe, length)` per stream.
     pub streams: Vec<(String, usize, usize)>,
     /// All measured cells.
@@ -130,6 +141,8 @@ impl Report {
         out.push_str("  \"experiment\": \"throughput\",\n");
         out.push_str(&format!("  \"scale\": \"{}\",\n", self.scale));
         out.push_str(&format!("  \"samples\": {},\n", self.samples));
+        out.push_str(&format!("  \"host_cores\": {},\n", self.host_cores));
+        out.push_str(&format!("  \"lane_width\": {},\n", self.lane_width));
         out.push_str("  \"unit\": \"items_per_sec\",\n");
         out.push_str("  \"streams\": [\n");
         for (i, (label, n, m)) in self.streams.iter().enumerate() {
@@ -213,10 +226,13 @@ impl Report {
         };
         format!(
             "{{\"date\": \"{date}\", \"label\": \"{label}\", \"scale\": \"{}\", \
+             \"cores\": {}, \"lane_width\": {}, \
              \"stream\": \"zipf-1.1\", \"mode\": \"batch\", \
              \"countmin\": {}, \"ams\": {}, \"few_state_heavy_hitters\": {}, \
              \"fp_estimator\": {}, \"sample_and_hold\": {}}}",
             self.scale,
+            self.host_cores,
+            self.lane_width,
             cell("CountMin"),
             cell("AMS"),
             cell("FewStateHeavyHitters"),
@@ -262,6 +278,8 @@ pub fn schema_check(json: &str, mode: Mode) -> Result<(), String> {
         "\"experiment\": \"throughput\"",
         "\"scale\":",
         "\"samples\":",
+        "\"host_cores\":",
+        "\"lane_width\":",
         "\"unit\": \"items_per_sec\"",
         "\"streams\":",
         "\"rows\":",
@@ -316,6 +334,46 @@ pub fn trajectory_inner(old_json: &str) -> Option<Vec<String>> {
     )
 }
 
+/// Fails unless the previously recorded trajectory entries are a verbatim,
+/// in-order prefix of the new entry list — i.e. a recording may only *append*
+/// history, never rewrite or drop it.  `fig_throughput` runs this before
+/// overwriting `BENCH_throughput.json`, so a bug (or a tempting hand edit) in the
+/// carry-forward path cannot silently erase the PR-over-PR perf record.
+pub fn assert_append_only(old_entries: &[String], new_entries: &[String]) -> Result<(), String> {
+    if new_entries.len() < old_entries.len() {
+        return Err(format!(
+            "trajectory shrank from {} to {} entries; recordings must append, never drop",
+            old_entries.len(),
+            new_entries.len()
+        ));
+    }
+    for (i, (old, new)) in old_entries.iter().zip(new_entries).enumerate() {
+        if old != new {
+            return Err(format!(
+                "trajectory entry {i} was rewritten:\n  recorded: {old}\n  new:      {new}\n\
+                 recordings must carry prior entries forward verbatim"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The `countmin` items/sec of the *last* trajectory entry in an existing record —
+/// the reference the CI throughput-regression gate compares a fresh measurement
+/// against.  `None` when the record predates the trajectory format or the last
+/// entry carries no CountMin cell.
+pub fn last_trajectory_countmin(old_json: &str) -> Option<f64> {
+    let entries = trajectory_inner(old_json)?;
+    let last = entries.last()?;
+    let idx = last.find("\"countmin\": ")?;
+    let rest = &last[idx + "\"countmin\": ".len()..];
+    let num: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.')
+        .collect();
+    num.parse().ok()
+}
+
 /// Extracts `items_per_sec` of a `(algorithm prefix, tracker, stream prefix)` row
 /// from an existing record (rows without a `"mode"` field — the pre-batch-kernel
 /// format — are treated as batch rows, which is what `process_stream` measured).
@@ -365,8 +423,10 @@ fn tracker_label(kind: TrackerKind) -> &'static str {
 }
 
 /// Runs the throughput sweep over the requested mode(s) and returns the printed
-/// table plus the raw report.
-pub fn run(scale: Scale, mode: Mode) -> (Table, Report) {
+/// table plus the raw report.  `lanes` overrides the batch-kernel lane width of
+/// the lane-packed sketches (`None` keeps each kernel's default); the effective
+/// width and the detected host core count are recorded in the report.
+pub fn run(scale: Scale, mode: Mode, lanes: Option<usize>) -> (Table, Report) {
     let n = scale.pick(1 << 12, 1 << 14);
     let m = scale.pick(1 << 14, 1 << 18);
     let samples = scale.pick(2, 3);
@@ -386,6 +446,8 @@ pub fn run(scale: Scale, mode: Mode) -> (Table, Report) {
     let mut report = Report {
         scale: scale.pick("Quick", "Full"),
         samples,
+        host_cores: fsc_engine::detected_cores(),
+        lane_width: lanes.unwrap_or(fsc_counters::lanes::DEFAULT_LANE_WIDTH),
         streams: streams
             .iter()
             .map(|(label, n, s)| (label.clone(), *n, s.len()))
@@ -408,7 +470,9 @@ pub fn run(scale: Scale, mode: Mode) -> (Table, Report) {
                 let mut algorithm = String::new();
                 // One warm-up + `samples` timed runs, each on a fresh instance.
                 for sample in 0..=samples {
-                    let ctx = MakeCtx::new(*universe, stream.len()).with_tracker(kind);
+                    let ctx = MakeCtx::new(*universe, stream.len())
+                        .with_tracker(kind)
+                        .with_lanes(lanes);
                     let mut alg = make(&ctx);
                     let start = Instant::now();
                     match run_mode {
@@ -473,8 +537,10 @@ mod tests {
 
     #[test]
     fn quick_sweep_measures_every_cell_in_both_modes() {
-        let (table, report) = run(Scale::Quick, Mode::Both);
+        let (table, report) = run(Scale::Quick, Mode::Both, None);
         assert_eq!(report.rows.len(), 11 * 3 * 2);
+        assert_eq!(report.lane_width, fsc_counters::lanes::DEFAULT_LANE_WIDTH);
+        assert!(report.host_cores >= 1);
         assert_eq!(table.len(), report.rows.len());
         for row in &report.rows {
             assert!(row.items_per_sec > 0.0, "{}: no throughput", row.algorithm);
@@ -502,9 +568,10 @@ mod tests {
 
     #[test]
     fn single_mode_runs_measure_only_that_mode() {
-        let (_, report) = run(Scale::Quick, Mode::Batch);
+        let (_, report) = run(Scale::Quick, Mode::Batch, Some(1));
         assert!(report.rows.iter().all(|r| r.mode == "batch"));
         assert_eq!(report.rows.len(), 11 * 3);
+        assert_eq!(report.lane_width, 1, "--lanes override is recorded");
         assert!(Mode::parse("nope").is_none());
         assert_eq!(Mode::parse("item"), Some(Mode::Item));
         assert_eq!(Mode::parse("both"), Some(Mode::Both));
@@ -515,7 +582,7 @@ mod tests {
         // An item-only run has no batch rows, hence no headline block; its record is
         // nevertheless valid (regression: schema_check used to demand the headline
         // unconditionally, failing every advertised `--mode item` run).
-        let (_, report) = run(Scale::Quick, Mode::Item);
+        let (_, report) = run(Scale::Quick, Mode::Item, None);
         assert!(report.headline().is_none());
         let entry = report.trajectory_entry("2026-01-01", "item-only");
         let json = report.to_json(None, std::slice::from_ref(&entry));
@@ -528,6 +595,8 @@ mod tests {
         let report = Report {
             scale: "Quick",
             samples: 1,
+            host_cores: 1,
+            lane_width: 8,
             streams: vec![],
             rows: vec![],
         };
@@ -554,6 +623,8 @@ mod tests {
         let report = Report {
             scale: "Quick",
             samples: 1,
+            host_cores: 1,
+            lane_width: 8,
             streams: vec![],
             rows: vec![mk("batch", 5), mk("item", 6)],
         };
@@ -561,6 +632,8 @@ mod tests {
         let ok = Report {
             scale: "Quick",
             samples: 1,
+            host_cores: 1,
+            lane_width: 8,
             streams: vec![],
             rows: vec![mk("batch", 5), mk("item", 5)],
         };
@@ -571,6 +644,49 @@ mod tests {
     fn schema_check_rejects_incomplete_json() {
         assert!(schema_check("{}", Mode::Batch).is_err());
         assert!(schema_check("", Mode::Both).is_err());
+    }
+
+    #[test]
+    fn append_only_guard_rejects_rewrites_and_drops() {
+        let old = vec!["{\"a\": 1}".to_string(), "{\"b\": 2}".to_string()];
+        let appended = vec![old[0].clone(), old[1].clone(), "{\"c\": 3}".to_string()];
+        assert!(assert_append_only(&old, &appended).is_ok());
+        assert!(
+            assert_append_only(&old, &old).is_ok(),
+            "no-op carry-forward"
+        );
+        assert!(assert_append_only(&[], &appended).is_ok(), "fresh record");
+
+        let dropped = vec![old[0].clone()];
+        assert!(
+            assert_append_only(&old, &dropped).is_err(),
+            "shrunk history"
+        );
+        let rewritten = vec![old[0].clone(), "{\"b\": 99}".to_string()];
+        assert!(
+            assert_append_only(&old, &rewritten).is_err(),
+            "rewritten entry"
+        );
+        let reordered = vec![old[1].clone(), old[0].clone()];
+        assert!(assert_append_only(&old, &reordered).is_err(), "reordered");
+    }
+
+    #[test]
+    fn regression_reference_is_the_last_trajectory_entry() {
+        let json = r#"{
+  "trajectory": [
+    {"date": "2026-07-01", "label": "old", "countmin": 1000000, "ams": 50},
+    {"date": "2026-08-01", "label": "new", "countmin": 2000000, "ams": 60}
+  ]
+}"#;
+        assert_eq!(last_trajectory_countmin(json), Some(2_000_000.0));
+        assert_eq!(last_trajectory_countmin("{}"), None, "no trajectory");
+        let null_cell = r#"{
+  "trajectory": [
+    {"date": "2026-07-01", "label": "x", "countmin": null}
+  ]
+}"#;
+        assert_eq!(last_trajectory_countmin(null_cell), None, "null cell");
     }
 
     #[test]

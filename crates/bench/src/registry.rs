@@ -43,6 +43,10 @@ pub struct MakeCtx {
     pub stream_len: usize,
     /// Tracker backend kind the instance's own tracker is created with.
     pub tracker: TrackerKind,
+    /// Batch-kernel lane width override for the sketches that have lane-packed
+    /// kernels (CountMin/CountSketch/AMS).  `None` keeps each kernel's default
+    /// ([`fsc_counters::lanes::DEFAULT_LANE_WIDTH`]); other entries ignore it.
+    pub lanes: Option<usize>,
 }
 
 impl MakeCtx {
@@ -52,12 +56,19 @@ impl MakeCtx {
             universe,
             stream_len,
             tracker: TrackerKind::Full,
+            lanes: None,
         }
     }
 
     /// Same hints, different tracker backend.
     pub fn with_tracker(mut self, tracker: TrackerKind) -> Self {
         self.tracker = tracker;
+        self
+    }
+
+    /// Same hints, explicit batch-kernel lane width (must be a supported width).
+    pub fn with_lanes(mut self, lanes: Option<usize>) -> Self {
+        self.lanes = lanes;
         self
     }
 
@@ -186,15 +197,27 @@ constructors!(make_space_saving, snapshot_space_saving, |ctx| {
 });
 
 constructors!(make_count_min, snapshot_count_min, |ctx| {
-    CountMin::with_tracker(&ctx.tracker(), 1 << 10, 4, 1)
+    let sketch = CountMin::with_tracker(&ctx.tracker(), 1 << 10, 4, 1);
+    match ctx.lanes {
+        Some(w) => sketch.with_lanes(w),
+        None => sketch,
+    }
 });
 
 constructors!(make_count_sketch, snapshot_count_sketch, |ctx| {
-    CountSketch::with_tracker(&ctx.tracker(), 1 << 10, 5, 2)
+    let sketch = CountSketch::with_tracker(&ctx.tracker(), 1 << 10, 5, 2);
+    match ctx.lanes {
+        Some(w) => sketch.with_lanes(w),
+        None => sketch,
+    }
 });
 
 constructors!(make_ams, snapshot_ams, |ctx| {
-    AmsSketch::with_tracker(&ctx.tracker(), 5, 48, 3)
+    let sketch = AmsSketch::with_tracker(&ctx.tracker(), 5, 48, 3);
+    match ctx.lanes {
+        Some(w) => sketch.with_lanes(w),
+        None => sketch,
+    }
 });
 
 constructors!(make_exact_counting, snapshot_exact_counting, |ctx| {
@@ -214,21 +237,37 @@ constructors!(make_pick_and_drop, snapshot_pick_and_drop, |ctx| {
 // --- engine factories (mergeable summaries; shards share seeds so linear sketches
 // merge exactly) ---------------------------------------------------------------
 
-fn engine_count_min(_ctx: &MakeCtx, config: EngineConfig) -> Box<dyn DynEngine> {
-    Box::new(Engine::new(config, |_| {
-        CountMin::with_tracker(&StateTracker::of_kind(config.tracker), 1 << 10, 4, 1)
+fn engine_count_min(ctx: &MakeCtx, config: EngineConfig) -> Box<dyn DynEngine> {
+    let lanes = ctx.lanes;
+    Box::new(Engine::new(config, move |_| {
+        let sketch = CountMin::with_tracker(&StateTracker::of_kind(config.tracker), 1 << 10, 4, 1);
+        match lanes {
+            Some(w) => sketch.with_lanes(w),
+            None => sketch,
+        }
     }))
 }
 
-fn engine_count_sketch(_ctx: &MakeCtx, config: EngineConfig) -> Box<dyn DynEngine> {
-    Box::new(Engine::new(config, |_| {
-        CountSketch::with_tracker(&StateTracker::of_kind(config.tracker), 1 << 10, 5, 2)
+fn engine_count_sketch(ctx: &MakeCtx, config: EngineConfig) -> Box<dyn DynEngine> {
+    let lanes = ctx.lanes;
+    Box::new(Engine::new(config, move |_| {
+        let sketch =
+            CountSketch::with_tracker(&StateTracker::of_kind(config.tracker), 1 << 10, 5, 2);
+        match lanes {
+            Some(w) => sketch.with_lanes(w),
+            None => sketch,
+        }
     }))
 }
 
-fn engine_ams(_ctx: &MakeCtx, config: EngineConfig) -> Box<dyn DynEngine> {
-    Box::new(Engine::new(config, |_| {
-        AmsSketch::with_tracker(&StateTracker::of_kind(config.tracker), 5, 48, 3)
+fn engine_ams(ctx: &MakeCtx, config: EngineConfig) -> Box<dyn DynEngine> {
+    let lanes = ctx.lanes;
+    Box::new(Engine::new(config, move |_| {
+        let sketch = AmsSketch::with_tracker(&StateTracker::of_kind(config.tracker), 5, 48, 3);
+        match lanes {
+            Some(w) => sketch.with_lanes(w),
+            None => sketch,
+        }
     }))
 }
 

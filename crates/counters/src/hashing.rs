@@ -20,9 +20,10 @@ pub const MERSENNE_61: u64 = (1u64 << 61) - 1;
 /// Branchless: the folded sum `lo + hi` is strictly below `2·(2^61 − 1)` for every
 /// product of operands below the modulus, so a single masked subtraction fully
 /// reduces it (the conditional is a flag-to-mask sequence, not a branch — one less
-/// mispredict source inside the sign-evaluation kernels).
+/// mispredict source inside the sign-evaluation kernels).  Public so the
+/// lane-packed kernels in [`crate::lanes`] evaluate the *same* reduction per lane.
 #[inline(always)]
-fn mod_mersenne(x: u128) -> u64 {
+pub fn mod_mersenne(x: u128) -> u64 {
     let lo = (x & MERSENNE_61 as u128) as u64;
     let hi = (x >> 61) as u64;
     let r = lo + hi;
@@ -31,9 +32,10 @@ fn mod_mersenne(x: u128) -> u64 {
 
 /// Folds a 128-bit value into `[0, 2^62)` without completing the reduction — the
 /// cheap half of [`mod_mersenne`], used where several partial residues are summed
-/// before one final reduction (see [`FourWise::hash_folded`]).
+/// before one final reduction (see [`FourWise::hash_folded`]; public for the
+/// lane-packed evaluators in [`crate::lanes`]).
 #[inline(always)]
-fn fold_mersenne(x: u128) -> u64 {
+pub fn fold_mersenne(x: u128) -> u64 {
     (x & MERSENNE_61 as u128) as u64 + (x >> 61) as u64
 }
 
@@ -210,6 +212,14 @@ impl FourWise {
         Self {
             c: [c[0], c[1], c[2], c[3]],
         }
+    }
+
+    /// The power-form coefficients `[a₀, a₁, a₂, a₃]` (constant term first) — exposed
+    /// so the lane-packed evaluators in [`crate::lanes`] can re-shape the evaluation
+    /// without re-drawing randomness, exactly like [`PolyHash::coefficients`].
+    #[inline(always)]
+    pub fn coefficients(&self) -> [u64; 4] {
+        self.c
     }
 
     /// Hash of a folded item as an element of `[0, 2^61 − 1)` — equal to
@@ -438,6 +448,15 @@ impl TabulationHash {
             acc ^= table[byte];
         }
         acc
+    }
+
+    /// The eight byte tables, for the lane-packed evaluator in [`crate::lanes`]
+    /// (which interleaves the table lookups of several keys for memory-level
+    /// parallelism while XOR-ing each lane in the same order as
+    /// [`TabulationHash::hash_u64`]).
+    #[inline(always)]
+    pub(crate) fn tables(&self) -> &[[u64; 256]] {
+        &self.tables
     }
 
     /// Hash of `x` mapped to a bucket in `[0, buckets)` (multiply-shift on the 64-bit

@@ -11,6 +11,9 @@
 //! * [`hashing`] — limited-independence hash families (polynomial hashing over a
 //!   Mersenne prime, and tabulation hashing) used for subsampling stream positions,
 //!   subsampling the universe, and the CountSketch / AMS baselines.
+//! * [`lanes`] — lane-packed (portable-SIMD-style) evaluators for the branch-free
+//!   hash kernels above, bit-identical per lane to the scalar entry points; the
+//!   bulk `process_batch` kernels of the baselines are built on these.
 //! * [`fastmap`] — a seeded, deterministic FxHash-style hasher plus map/set aliases,
 //!   replacing SipHash on the key-holding hot paths.
 //! * [`stable`] — p-stable variate generation (Definition 3.1 / \[Nol03\]) with
@@ -23,6 +26,7 @@ mod accumulator;
 mod exact;
 pub mod fastmap;
 pub mod hashing;
+pub mod lanes;
 mod morris;
 pub mod stable;
 

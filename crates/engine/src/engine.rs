@@ -57,6 +57,13 @@ pub struct EngineConfig {
     pub routing: Routing,
     /// Tracker backend kind each shard's summary is constructed with.
     pub tracker: TrackerKind,
+    /// Worker budget for the threaded ingest drain: `None` (the default) sizes it
+    /// from [`detected_cores`], so a 1-CPU host never pays thread-spawn overhead
+    /// for workers that cannot run concurrently.  A runtime performance knob, not
+    /// engine state — it is not serialized, and a restored engine reverts to
+    /// `None` (answers and accounting are identical either way; only wall-clock
+    /// changes).  Tests force `Some(n)` to exercise the threaded path on any host.
+    pub ingest_threads: Option<usize>,
 }
 
 impl Default for EngineConfig {
@@ -65,8 +72,28 @@ impl Default for EngineConfig {
             shards: 4,
             routing: Routing::RoundRobin,
             tracker: TrackerKind::Full,
+            ingest_threads: None,
         }
     }
+}
+
+/// Usable cores on this host, as reported by [`std::thread::available_parallelism`]
+/// (1 when detection fails).  Sizes the engine's threaded ingest gate and is
+/// recorded in the throughput experiment's JSON so numbers from a 1-CPU container
+/// are never mistaken for multi-core ones.
+pub fn detected_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The threaded-ingest gate, as a pure function of the three quantities that decide
+/// it: worker threads only pay when there is more than one shard to drain, more
+/// than one core to drain them on, and enough items per worker to amortize the
+/// spawn cost ([`PARALLEL_INGEST_THRESHOLD`]).
+#[inline]
+fn use_parallel_ingest(shards: usize, workers: usize, largest: usize) -> bool {
+    shards > 1 && workers > 1 && largest >= PARALLEL_INGEST_THRESHOLD
 }
 
 /// The bound an engine places on its summary type: ingest
@@ -173,11 +200,13 @@ impl<A: EngineAlgorithm> Engine<A> {
     /// Ingests a batch: items are routed to their shards and each shard processes
     /// its sub-batch through the specialized batch kernels.  Small batches run in
     /// shard order on the calling thread; once the largest routed sub-batch
-    /// clears the parallel-ingest threshold (8 Ki items), the shards drain concurrently on
-    /// [`std::thread::scope`] workers (shards own disjoint state, so the result
-    /// is observably identical either way — pinned by the parallel-ingest law
-    /// test).  The threshold keeps the thread-spawn cost out of the
-    /// latency-sensitive small-batch path.
+    /// clears the parallel-ingest threshold (8 Ki items) **and** the worker budget
+    /// ([`EngineConfig::ingest_threads`], by default the host's [`detected_cores`])
+    /// exceeds one, the shards drain concurrently on [`std::thread::scope`] workers
+    /// (shards own disjoint state, so the result is observably identical either
+    /// way — pinned by the parallel-ingest law test).  The threshold keeps the
+    /// thread-spawn cost out of the latency-sensitive small-batch path, and the
+    /// core gate keeps it off single-CPU hosts where workers cannot overlap.
     pub fn ingest(&mut self, items: &[u64]) {
         match self.config.routing {
             Routing::RoundRobin => {
@@ -197,7 +226,8 @@ impl<A: EngineAlgorithm> Engine<A> {
         }
         self.ingested += items.len() as u64;
         let largest = self.buffers.iter().map(Vec::len).max().unwrap_or(0);
-        if self.shards.len() > 1 && largest >= PARALLEL_INGEST_THRESHOLD {
+        let workers = self.config.ingest_threads.unwrap_or_else(detected_cores);
+        if use_parallel_ingest(self.shards.len(), workers, largest) {
             std::thread::scope(|scope| {
                 for (shard, buffer) in self.shards.iter_mut().zip(&mut self.buffers) {
                     if !buffer.is_empty() {
@@ -389,6 +419,7 @@ impl<A: EngineAlgorithm> Engine<A> {
                 shards: shard_count,
                 routing,
                 tracker,
+                ingest_threads: None,
             },
             buffers: vec![Vec::new(); shard_count],
             shards,
@@ -943,12 +974,34 @@ mod tests {
     }
 
     #[test]
+    fn parallel_ingest_gate_requires_shards_cores_and_volume() {
+        let t = PARALLEL_INGEST_THRESHOLD;
+        assert!(use_parallel_ingest(4, 4, t));
+        assert!(use_parallel_ingest(2, 2, t + 1));
+        assert!(
+            !use_parallel_ingest(1, 4, t),
+            "one shard has no parallelism"
+        );
+        assert!(
+            !use_parallel_ingest(4, 1, t),
+            "one core cannot overlap workers"
+        );
+        assert!(
+            !use_parallel_ingest(4, 4, t - 1),
+            "sub-threshold stays serial"
+        );
+        assert!(!use_parallel_ingest(4, 0, t), "zero workers never thread");
+    }
+
+    #[test]
     fn parallel_ingest_is_observably_identical_to_serial() {
-        // Large enough that every shard's sub-batch clears the threshold, so the
-        // scoped-thread path actually runs.
+        // Large enough that every shard's sub-batch clears the threshold, with the
+        // worker budget forced past the gate so the scoped-thread path actually
+        // runs even on a single-CPU host (where the default budget stays serial).
         let stream = zipf_stream(1 << 10, 4 * PARALLEL_INGEST_THRESHOLD, 1.1, 13);
         let config = EngineConfig {
             tracker: TrackerKind::FullAddressTracked,
+            ingest_threads: Some(4),
             ..EngineConfig::default()
         };
         let mut parallel = count_min_engine(config);

@@ -48,6 +48,6 @@ mod engine;
 pub mod scenario;
 mod view;
 
-pub use engine::{DynEngine, Engine, EngineAlgorithm, EngineConfig, Routing};
+pub use engine::{detected_cores, DynEngine, Engine, EngineAlgorithm, EngineConfig, Routing};
 pub use scenario::{CheckpointMode, Scenario, Segment, Workload};
 pub use view::{ServeHandle, ServingView};

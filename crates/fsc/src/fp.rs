@@ -35,7 +35,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::params::Params;
-use crate::sample_and_hold::{process_batch_leveled, SampleAndHold};
+use crate::sample_and_hold::{process_batch_leveled, SampleAndHold, BATCH_BLOCK};
 
 /// Stable checkpoint-header id of [`FpEstimator`].
 const SNAPSHOT_ID: &str = "fp_estimator";
@@ -57,6 +57,10 @@ pub struct FpEstimator {
     level_cutoffs: GeometricLevels,
     /// Random level-set boundary shift `λ ∈ [1/2, 1]`.
     lambda: f64,
+    /// Reusable per-block level buffer for the batch kernel, allocated once here at
+    /// construction (cached like `MorrisCounter`'s acceptance probability) instead of
+    /// per `process_batch` call.
+    level_scratch: Vec<u16>,
     name: String,
 }
 
@@ -94,6 +98,7 @@ impl FpEstimator {
             levels,
             level_cutoffs: GeometricLevels::new(levels - 1),
             lambda,
+            level_scratch: Vec::with_capacity(BATCH_BLOCK * reps),
         }
     }
 
@@ -327,17 +332,24 @@ impl StreamAlgorithm for FpEstimator {
             hashes,
             level_cutoffs,
             tracker,
+            level_scratch,
             ..
         } = self;
-        process_batch_leveled(tracker, instances, items, |block, deepest, reads| {
-            for &item in block {
-                let folded = item % MERSENNE_61;
-                for hash in hashes.iter() {
-                    *reads += 1;
-                    deepest.push(level_cutoffs.deepest(hash.hash_u64_folded(folded)) as u16);
+        process_batch_leveled(
+            tracker,
+            instances,
+            items,
+            level_scratch,
+            |block, deepest, reads| {
+                for &item in block {
+                    let folded = item % MERSENNE_61;
+                    for hash in hashes.iter() {
+                        *reads += 1;
+                        deepest.push(level_cutoffs.deepest(hash.hash_u64_folded(folded)) as u16);
+                    }
                 }
-            }
-        });
+            },
+        );
     }
 }
 
@@ -397,6 +409,32 @@ mod tests {
 
     fn relative_error(est: f64, truth: f64) -> f64 {
         (est - truth).abs() / truth
+    }
+
+    #[test]
+    fn batch_scratch_is_hoisted_to_construction() {
+        // The blocked kernel's per-(item, repetition) level buffer is allocated once
+        // at construction and reused verbatim across process_batch calls: same
+        // backing pointer, no per-call reallocation.  (The level *cutoffs* were
+        // already construction-cached via `GeometricLevels`; this pins the remaining
+        // per-call recomputation, the scratch allocation.)
+        let n = 1 << 10;
+        let stream = zipf_stream(n, 4 * n, 1.2, 11);
+        let mut est = FpEstimator::new(Params::new(2.0, 0.3, n, 4 * n).with_seed(5));
+        assert!(
+            est.level_scratch.capacity() > 0,
+            "scratch allocated at construction"
+        );
+        let before = est.level_scratch.as_ptr();
+        let capacity = est.level_scratch.capacity();
+        est.process_batch(&stream[..2 * n]);
+        est.process_batch(&stream[2 * n..]);
+        assert_eq!(est.level_scratch.as_ptr(), before, "scratch buffer reused");
+        assert_eq!(
+            est.level_scratch.capacity(),
+            capacity,
+            "no per-call reallocation"
+        );
     }
 
     #[test]

@@ -24,7 +24,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::params::Params;
-use crate::sample_and_hold::{process_batch_leveled, SampleAndHold};
+use crate::sample_and_hold::{process_batch_leveled, SampleAndHold, BATCH_BLOCK};
 
 /// Stable checkpoint-header id of [`FullSampleAndHold`].
 const SNAPSHOT_ID: &str = "full_sample_and_hold";
@@ -45,6 +45,9 @@ pub struct FullSampleAndHold {
     /// Precomputed cutoffs turning a uniform draw into its deepest nested level —
     /// bit-identical to the former per-update `⌊−log2(u)⌋` (see [`UnitLevels`]).
     level_cutoffs: UnitLevels,
+    /// Reusable per-block level buffer for the batch kernel, allocated once here at
+    /// construction instead of per `process_batch` call.
+    level_scratch: Vec<u16>,
     name: String,
 }
 
@@ -74,6 +77,7 @@ impl FullSampleAndHold {
             instances,
             levels,
             level_cutoffs: UnitLevels::new(levels - 1),
+            level_scratch: Vec::with_capacity(BATCH_BLOCK * reps),
         }
     }
 
@@ -170,17 +174,24 @@ impl StreamAlgorithm for FullSampleAndHold {
             rng,
             level_cutoffs,
             tracker,
+            level_scratch,
             ..
         } = self;
         let reps = instances.len();
-        process_batch_leveled(tracker, instances, items, |block, deepest, _reads| {
-            for _ in block {
-                for _ in 0..reps {
-                    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-                    deepest.push(level_cutoffs.deepest(u) as u16);
+        process_batch_leveled(
+            tracker,
+            instances,
+            items,
+            level_scratch,
+            |block, deepest, _reads| {
+                for _ in block {
+                    for _ in 0..reps {
+                        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                        deepest.push(level_cutoffs.deepest(u) as u16);
+                    }
                 }
-            }
-        });
+            },
+        );
     }
 }
 
@@ -268,6 +279,31 @@ mod tests {
         assert_eq!(alg.reps(), 3);
         assert_eq!(alg.levels(), 13);
         assert!(alg.name().contains("FullSampleAndHold"));
+    }
+
+    #[test]
+    fn batch_scratch_is_hoisted_to_construction() {
+        // Same pin as FpEstimator's: the blocked kernel's level buffer is allocated
+        // once at construction and its backing pointer survives repeated
+        // process_batch calls unchanged.
+        let n = 1 << 10;
+        let stream = zipf_stream(n, 4 * n, 1.2, 13);
+        let params = Params::new(2.0, 0.3, n, 4 * n).with_seed(9);
+        let mut alg = FullSampleAndHold::standalone(&params);
+        assert!(
+            alg.level_scratch.capacity() > 0,
+            "scratch allocated at construction"
+        );
+        let before = alg.level_scratch.as_ptr();
+        let capacity = alg.level_scratch.capacity();
+        alg.process_batch(&stream[..2 * n]);
+        alg.process_batch(&stream[2 * n..]);
+        assert_eq!(alg.level_scratch.as_ptr(), before, "scratch buffer reused");
+        assert_eq!(
+            alg.level_scratch.capacity(),
+            capacity,
+            "no per-call reallocation"
+        );
     }
 
     #[test]

@@ -107,20 +107,27 @@ pub(crate) const BATCH_BLOCK: usize = 1024;
 /// with one tracker call per batch.  Each copy still sees its substream in stream
 /// order, so every observable matches the per-item path — the batch-law tests pin
 /// this for both ensembles.
+///
+/// `scratch` is the block-level buffer the deepest-level table is built in — owned
+/// by the calling ensemble and allocated once at construction (like MorrisCounter's
+/// cached acceptance probability), so repeated `process_batch` calls reuse one
+/// allocation instead of growing a fresh vector each call.  Contents on entry are
+/// irrelevant; the kernel clears it per block.
 pub(crate) fn process_batch_leveled(
     tracker: &StateTracker,
     instances: &mut [Vec<SampleAndHold>],
     items: &[u64],
+    scratch: &mut Vec<u16>,
     mut fill_levels: impl FnMut(&[u64], &mut Vec<u16>, &mut u64),
 ) {
     let first = tracker.begin_epochs(items.len() as u64);
     let reps = instances.len();
     let mut reads = 0u64;
-    let mut deepest: Vec<u16> = Vec::with_capacity(BATCH_BLOCK.min(items.len()) * reps);
+    let deepest = scratch;
     let mut offset = 0u64;
     for block in items.chunks(BATCH_BLOCK) {
         deepest.clear();
-        fill_levels(block, &mut deepest, &mut reads);
+        fill_levels(block, deepest, &mut reads);
         for (i, &item) in block.iter().enumerate() {
             tracker.enter_epoch(first + offset + i as u64);
             for (r, row) in instances.iter_mut().enumerate() {

@@ -138,6 +138,29 @@ pub trait TrackerBackend: fmt::Debug + Send + Sync {
             self.record_write(Some(a), true);
         }
     }
+    /// Activates each reserved epoch `first + i` for `i in 0..addrs.len() / writes`
+    /// in turn and records, within it, one changed write at each address of
+    /// `addrs[i * writes..(i + 1) * writes]` — the bulk equivalent of the per-item
+    /// scatter-accounting loop
+    /// `for each item: enter_epoch(first + i); record_changed_at(item addrs)`
+    /// used by the lane-packed batch kernels (`writes` probes per item, every probe
+    /// a changed write, as in CountMin/CountSketch).  `addrs.len()` must be a
+    /// multiple of `writes`, and the caller must have reserved the span via
+    /// [`TrackerBackend::begin_epochs`] without entering any of its epochs.
+    ///
+    /// The default implementation is that per-item loop; backends may override it
+    /// with a counter-equivalent constant-time version (the full tracker does when
+    /// it is not recording per-address wear).
+    fn record_scatter_epochs(&self, first: u64, writes: usize, addrs: &[usize]) {
+        if writes == 0 {
+            return;
+        }
+        debug_assert_eq!(addrs.len() % writes, 0);
+        for (i, chunk) in addrs.chunks_exact(writes).enumerate() {
+            self.enter_epoch(first + i as u64);
+            self.record_changed_at(chunk);
+        }
+    }
     /// Activates each reserved epoch `first..first + n` in turn and records, within
     /// each, `writes` changed word writes — at the addresses `addrs` when provided
     /// (then `writes` must equal `addrs.len()`), anonymously otherwise.  This is the
@@ -545,6 +568,32 @@ impl TrackerBackend for FullTracker {
         }
     }
 
+    /// Constant time when wear is not tracked: every scatter epoch carries
+    /// `writes ≥ 1` changed writes, so each claims exactly one state change and the
+    /// clock ends on the last epoch with `last_change == current` — exactly where
+    /// the per-item loop leaves it.  With wear tracking on, falls back to the
+    /// per-item loop so each address's `last_write_epoch` is stamped with its own
+    /// item's epoch, not the block's last.
+    #[inline]
+    fn record_scatter_epochs(&self, first: u64, writes: usize, addrs: &[usize]) {
+        if writes == 0 || addrs.is_empty() {
+            return;
+        }
+        debug_assert_eq!(addrs.len() % writes, 0);
+        let n = (addrs.len() / writes) as u64;
+        if self.address_tracked {
+            for (i, chunk) in addrs.chunks_exact(writes).enumerate() {
+                self.epoch.enter(first + i as u64);
+                self.record_changed_at(chunk);
+            }
+            return;
+        }
+        self.epoch.enter_claimed_run(first, n);
+        bump(&self.state_changes, n);
+        bump(&self.word_writes, addrs.len() as u64);
+        bump(&self.generation, addrs.len() as u64);
+    }
+
     #[inline]
     fn record_run_epochs(&self, first: u64, n: u64, writes: u64, addrs: Option<&[usize]>) {
         debug_assert!(addrs.is_none_or(|a| a.len() as u64 == writes));
@@ -812,6 +861,21 @@ impl TrackerBackend for LeanTracker {
             self.epoch.enter(first + n - 1);
             return;
         }
+        self.epoch.enter_claimed_run(first, n);
+        bump(&self.state_changes, n);
+        bump(&self.generation, n);
+    }
+
+    /// Constant time always (no wear table to attribute): each scatter epoch claims
+    /// one state change and one generation tick, and the clock ends claimed on the
+    /// last epoch — exactly where the per-item loop leaves it.
+    #[inline]
+    fn record_scatter_epochs(&self, first: u64, writes: usize, addrs: &[usize]) {
+        if writes == 0 || addrs.is_empty() {
+            return;
+        }
+        debug_assert_eq!(addrs.len() % writes, 0);
+        let n = (addrs.len() / writes) as u64;
         self.epoch.enter_claimed_run(first, n);
         bump(&self.state_changes, n);
         bump(&self.generation, n);

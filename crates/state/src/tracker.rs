@@ -180,6 +180,16 @@ impl StateTracker {
         self.backend.record_run_epochs(first, n, writes, addrs)
     }
 
+    /// Activates each reserved epoch `first + i` and records, within it, one changed
+    /// write at each address of `addrs[i * writes..(i + 1) * writes]` — the bulk
+    /// accounting call behind the lane-packed scatter kernels (see
+    /// [`crate::backend::TrackerBackend::record_scatter_epochs`] for the exact
+    /// contract and the constant-time backend overrides).
+    #[inline]
+    pub fn record_scatter_epochs(&self, first: u64, writes: usize, addrs: &[usize]) {
+        self.backend.record_scatter_epochs(first, writes, addrs)
+    }
+
     /// Records `n` word reads.
     pub fn record_reads(&self, n: u64) {
         self.backend.record_reads(n)

@@ -20,6 +20,7 @@ fn make_engine(shards: usize) -> Engine<CountMin> {
         shards,
         routing: Routing::RoundRobin,
         tracker: TrackerKind::Full,
+        ..EngineConfig::default()
     };
     Engine::new(config, |_| {
         CountMin::with_tracker(&StateTracker::of_kind(config.tracker), 1 << 11, 4, 2024)

@@ -26,6 +26,7 @@ fn main() {
         shards: 4,
         routing: Routing::RoundRobin,
         tracker: TrackerKind::Full,
+        ..EngineConfig::default()
     };
     let mut engine = Engine::new(config, |_| {
         CountMin::with_tracker(&StateTracker::of_kind(config.tracker), 1 << 10, 4, 2024)

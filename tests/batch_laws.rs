@@ -261,6 +261,43 @@ proptest! {
         );
     }
 
+    /// Lane-width sweep: the lane-packed sketch kernels must be bit-identical to
+    /// the per-item path — answers, StateReports, and per-address wear — at
+    /// *every* supported width (1 is the scalar fallback, 8 the default), for
+    /// random batch splits and seeds.  The per-width instances also run under
+    /// address tracking, so a lane kernel that writes the right totals to the
+    /// wrong cells (or in the wrong epochs) is caught here, not just one that
+    /// miscounts.
+    #[test]
+    fn lane_widths_are_observably_identical(
+        seed in 0u64..1_000,
+        len in 1usize..400,
+        cuts in proptest::collection::vec(0usize..400, 0..5),
+    ) {
+        let stream = zipf_stream(256, len, 1.1, seed);
+
+        for &w in &few_state_changes::counters::lanes::LANE_WIDTHS {
+            check_batch_law(
+                |t| CountMin::with_tracker(t, 64, 4, seed).with_lanes(w),
+                frequency_digest,
+                &stream,
+                &cuts,
+            );
+            check_batch_law(
+                |t| CountSketch::with_tracker(t, 64, 3, seed).with_lanes(w),
+                frequency_digest,
+                &stream,
+                &cuts,
+            );
+            check_batch_law(
+                |t| AmsSketch::with_tracker(t, 3, 16, seed).with_lanes(w),
+                |a| vec![a.estimate_moment().to_bits()],
+                &stream,
+                &cuts,
+            );
+        }
+    }
+
     /// Run-length kernels (ExactCounting, MisraGries, SpaceSaving, CountMin) ≡
     /// per-item updates on bursty streams, including the fallback paths (absent
     /// items, full tables, the Misra-Gries decrement branch).

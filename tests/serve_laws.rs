@@ -34,6 +34,7 @@ fn config(shards: usize) -> EngineConfig {
         shards,
         routing: Routing::RoundRobin,
         tracker: TrackerKind::Full,
+        ..EngineConfig::default()
     }
 }
 
